@@ -1,0 +1,183 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//
+//  A. §6 layer cost — the same ε-agreement application over four
+//     substrates: primitive shared memory (Lemma 2.2 baseline), ABD over a
+//     complete message-passing graph, ABD over the flooded t-augmented
+//     ring, and the full alternating-bit register stack. Shows what each
+//     layer of Theorem 1.3's construction costs in simulator steps.
+//  B. Algorithm 6's Δ parameter — register width 3+Δ+… vs the number of
+//     realizable IS executions per R: Δ = 2 minimizes width (Theorem 8.1's
+//     constant); larger Δ buys more executions (finer ε) per round.
+//  C. ABP framing overhead — wire bits transferred per payload bit
+//     (the paper's 0-stuffed encoding costs exactly 2×).
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+
+#include "common.h"
+#include "core/alg6.h"
+#include "core/baseline.h"
+#include "core/sec6.h"
+#include "msg/abp.h"
+#include "sim/sched.h"
+
+namespace {
+
+using namespace bsr;
+
+// ------------------------------------------------------------ A: layers --
+
+void print_layer_ablation() {
+  bench::banner(
+      "Ablation A — cost of each §6 layer (n=5, t=2, ε=1/2)",
+      "same application; substrates from primitive registers down to "
+      "3(t+1)-bit words; steps grow by orders of magnitude per layer");
+  const int n = 5;
+  const int t = 2;
+  const int rounds = 1;
+  const std::vector<std::uint64_t> inputs{0, 1, 1, 0, 1};
+
+  bench::Table table({"substrate", "shared objects", "sim steps", "solved"});
+
+  {  // primitive shared memory (unbounded registers, snapshot steps)
+    sim::Sim sim(n);
+    core::install_unbounded_agreement(sim, rounds, inputs);
+    const auto rep = run_round_robin(sim);
+    table.row({"primitive registers (Lemma 2.2)",
+               bench::str(n) + " unbounded regs", bench::str(rep.steps),
+               rep.all_decided(n) ? "yes" : "NO"});
+  }
+  {  // ABD over complete graph
+    sim::Sim sim(n);
+    auto result = std::make_shared<core::Sec6Result>(n);
+    core::install_abd_stack(sim, core::Sec6Options{t, rounds}, inputs, result);
+    const auto rep = run_round_robin_until(
+        sim, core::Sec6Result::done_predicate(result), 50'000'000);
+    table.row({"ABD / complete graph", "n^2 FIFO channels",
+               bench::str(rep.steps), rep.hit_step_limit ? "NO" : "yes"});
+  }
+  {  // ABD over the flooded ring
+    sim::Sim sim(core::ring_sim_options(n, t));
+    auto result = std::make_shared<core::Sec6Result>(n);
+    core::install_ring_stack(sim, core::Sec6Options{t, rounds}, inputs, result);
+    const auto rep = run_round_robin_until(
+        sim, core::Sec6Result::done_predicate(result), 50'000'000);
+    table.row({"ABD / t-augmented ring", "n(t+1) FIFO links",
+               bench::str(rep.steps), rep.hit_step_limit ? "NO" : "yes"});
+  }
+  {  // full register stack
+    sim::Sim sim(n);
+    auto result = std::make_shared<core::Sec6Result>(n);
+    core::install_register_stack(sim, core::Sec6Options{t, rounds}, inputs,
+                                 result);
+    const auto rep = run_round_robin_until(
+        sim, core::Sec6Result::done_predicate(result), 200'000'000);
+    table.row({"ABP register stack (Thm 1.3)",
+               bench::str(n) + " regs x " +
+                   bench::str(core::sec6_register_bits(t)) + " bits",
+               bench::str(rep.steps), rep.hit_step_limit ? "NO" : "yes"});
+  }
+  table.print();
+}
+
+// ----------------------------------------------------------- B: Δ sweep --
+
+void print_delta_ablation() {
+  bench::banner(
+      "Ablation B — Algorithm 6's solo budget Δ",
+      "register width is ⌈log₂(2Δ+1)⌉ + (Δ+1) bits; larger Δ admits more "
+      "IS executions (finer ε) per round R — Δ=2 is the width-optimal "
+      "choice used by Theorem 8.1");
+  bench::Table table({"Δ", "register bits", "sequences @R=8", "2^R"});
+  for (int delta = 2; delta <= 5; ++delta) {
+    // Count outcome sequences with no Δ consecutive same-process solos.
+    const int R = 8;
+    long count = 0;
+    std::function<void(int, int, int)> rec = [&](int depth, int streak,
+                                                 int who) {
+      if (depth == R) {
+        ++count;
+        return;
+      }
+      for (int oc = 0; oc < 3; ++oc) {  // both, solo0, solo1
+        int nstreak = 0;
+        int nwho = -1;
+        if (oc == 1) nwho = 0;
+        if (oc == 2) nwho = 1;
+        if (nwho != -1) {
+          nstreak = (who == nwho) ? streak + 1 : 1;
+          if (nstreak > delta - 1) continue;
+        }
+        rec(depth + 1, nstreak, nwho);
+      }
+    };
+    rec(0, 0, -1);
+    table.row({bench::str(delta), bench::str(core::alg6_register_bits(delta)),
+               bench::str(count), bench::str(1 << 8)});
+  }
+  table.print();
+}
+
+// ---------------------------------------------------------- C: framing --
+
+void print_framing_ablation() {
+  bench::banner("Ablation C — ABP framing overhead",
+                "the paper's 0-stuffed encoding transmits 2 wire bits per "
+                "payload bit (separator/terminator markers)");
+  bench::Table table({"payload bits", "wire bits", "overhead"});
+  for (int len : {1, 8, 64, 512}) {
+    msg::AbpSender s;
+    msg::AbpReceiver r;
+    BitVec m(static_cast<std::size_t>(len), 1);
+    s.enqueue(m);
+    long wire = 0;  // delivered wire bits = receiver ack flips
+    int last_ack = r.ack_bit();
+    while (!s.idle()) {
+      s.poll(r.ack_bit());
+      benchmark::DoNotOptimize(r.poll(s.wire_data(), s.wire_alt()));
+      if (r.ack_bit() != last_ack) {
+        ++wire;
+        last_ack = r.ack_bit();
+      }
+    }
+    table.row({bench::str(len), bench::str(wire),
+               bench::str(wire / len) + "x"});
+  }
+  table.print();
+}
+
+void BM_LayerPrimitive(benchmark::State& state) {
+  const std::vector<std::uint64_t> inputs{0, 1, 1, 0, 1};
+  for (auto _ : state) {
+    sim::Sim sim(5);
+    core::install_unbounded_agreement(sim, 1, inputs);
+    run_round_robin(sim);
+    benchmark::DoNotOptimize(sim.total_steps());
+  }
+}
+BENCHMARK(BM_LayerPrimitive);
+
+void BM_LayerRegisterStack(benchmark::State& state) {
+  const std::vector<std::uint64_t> inputs{0, 1, 1, 0, 1};
+  for (auto _ : state) {
+    sim::Sim sim(5);
+    auto result = std::make_shared<core::Sec6Result>(5);
+    core::install_register_stack(sim, core::Sec6Options{2, 1}, inputs, result);
+    run_round_robin_until(sim, core::Sec6Result::done_predicate(result),
+                          200'000'000);
+    benchmark::DoNotOptimize(sim.total_steps());
+  }
+}
+BENCHMARK(BM_LayerRegisterStack)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_layer_ablation();
+  print_delta_ablation();
+  print_framing_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

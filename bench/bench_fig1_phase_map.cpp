@@ -1,0 +1,110 @@
+// Figure 1 reproduction: the universality phase map of the t-resilient
+// shared-memory model with bounded registers.
+//
+//   t < n/2  — universal with O(t)-bit registers (Theorem 1.3): we *run*
+//              the §6 register stack and report success + measured width;
+//   t > n/2  — not universal (Theorem 1.1): we report the pigeonhole
+//              threshold k(n,t,1) beyond which ε-agreement is unsolvable,
+//              and for n = 3 exhibit the concrete footprint collision;
+//   n = 2    — 1-bit registers universal (Theorem 1.2, Algorithm 1);
+//   t = n/2  — open problem (paper §9).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.h"
+#include "core/alg1.h"
+#include "core/sec4.h"
+#include "core/sec6.h"
+
+namespace {
+
+using namespace bsr;
+
+std::string classify(int n, int t) {
+  if (n == 2) {
+    // Theorem 1.2: verify by running Algorithm 1 in lockstep.
+    sim::Sim sim(2);
+    core::install_alg1(sim, 8, {0, 1});
+    run_round_robin(sim);
+    return sim.terminated(0) && sim.terminated(1) ? "universal @1 bit" : "??";
+  }
+  if (2 * t < n) {
+    // Theorem 1.3: run the full register stack once.
+    sim::Sim sim(n);
+    auto result = std::make_shared<core::Sec6Result>(n);
+    std::vector<std::uint64_t> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+    core::install_register_stack(sim, core::Sec6Options{t, 1}, inputs, result);
+    const auto rep = run_round_robin_until(
+        sim, core::Sec6Result::done_predicate(result), 50'000'000);
+    if (rep.hit_step_limit) return "stack stalled?";
+    return "universal @" + std::to_string(core::sec6_register_bits(t)) +
+           " bits";
+  }
+  if (2 * t > n) {
+    // Theorem 1.1: unsolvable past the pigeonhole threshold.
+    return "NOT universal (k>=" +
+           std::to_string(core::impossibility_threshold(n, t, 1)) + " @1 bit)";
+  }
+  return "t = n/2: open";
+}
+
+void print_figure1() {
+  bench::banner("Figure 1 — universality phase map",
+                "bounded registers universal iff t < n/2 (O(t) bits); "
+                "1-bit registers for n = 2; open at t = n/2");
+  bench::Table table({"n", "t", "regime", "verdict (measured)"});
+  for (int n = 2; n <= 7; ++n) {
+    for (int t = 1; t < n; ++t) {
+      if (n == 2 && t != 1) continue;
+      const std::string regime = n == 2          ? "n=2"
+                                 : 2 * t < n     ? "t < n/2"
+                                 : 2 * t == n    ? "t = n/2"
+                                                 : "t > n/2";
+      table.row({bench::str(n), bench::str(t), regime, classify(n, t)});
+    }
+  }
+  table.print();
+
+  const auto c = core::find_footprint_collision(5);
+  if (c) {
+    std::cout << "  witness (n=3, t=2, 1-bit coordination): footprint '"
+              << c->word << "' reached with outputs {" << c->outputs_a[0]
+              << "," << c->outputs_a[1] << "}/11 and {" << c->outputs_b[0]
+              << "," << c->outputs_b[1] << "}/11 — no third-process rule "
+              << "can be within 1 grid step of both\n";
+  }
+}
+
+void BM_PhaseMapStack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  long steps = 0;
+  for (auto _ : state) {
+    sim::Sim sim(n);
+    auto result = std::make_shared<core::Sec6Result>(n);
+    std::vector<std::uint64_t> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+    core::install_register_stack(sim, core::Sec6Options{t, 1}, inputs, result);
+    const auto rep = run_round_robin_until(
+        sim, core::Sec6Result::done_predicate(result), 50'000'000);
+    steps = rep.steps;
+  }
+  state.counters["sim_steps"] = static_cast<double>(steps);
+  state.counters["register_bits"] = core::sec6_register_bits(t);
+}
+BENCHMARK(BM_PhaseMapStack)
+    ->Args({3, 1})
+    ->Args({5, 1})
+    ->Args({5, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

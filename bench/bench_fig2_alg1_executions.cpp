@@ -1,0 +1,104 @@
+// Figure 2 reproduction: the execution structure of Algorithm 1 (k = 4,
+// inputs 0 and 1). The figure shows the chromatic path of final states,
+// labelled with the register contents at each state. We regenerate it by
+// exhaustively enumerating every execution and grouping final states by
+// (iterations, decide line, outputs, registers).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "common.h"
+#include "core/alg1.h"
+#include "sim/explore.h"
+
+namespace {
+
+using namespace bsr;
+
+void print_figure2() {
+  const std::uint64_t k = 4;
+  bench::banner(
+      "Figure 2 — executions of Algorithm 1 (k=4, inputs 0/1)",
+      "final states form a chromatic path; outputs of co-final states are "
+      "1/(2k+1) apart; registers alternate with the iteration parity");
+
+  struct Profile {
+    long count = 0;
+  };
+  // Key: (y0, y1, r0, r1, word)
+  std::map<std::tuple<std::uint64_t, std::uint64_t, int, int, std::string>,
+           Profile>
+      profiles;
+  auto diag = std::make_shared<core::Alg1Diag>();
+  sim::Explorer ex(sim::ExploreOptions{.max_steps = 100});
+  long total = 0;
+  std::uint64_t max_gap = 0;
+  ex.explore(
+      [&]() {
+        *diag = core::Alg1Diag{};
+        auto sim = std::make_unique<sim::Sim>(2);
+        core::install_alg1(*sim, k, {0, 1}, diag.get());
+        return sim;
+      },
+      [&](sim::Sim& sim, const std::vector<sim::Choice>&) {
+        ++total;
+        const std::uint64_t y0 = sim.decision(0).as_u64();
+        const std::uint64_t y1 = sim.decision(1).as_u64();
+        max_gap = std::max(max_gap, y0 > y1 ? y0 - y1 : y1 - y0);
+        profiles[{y0, y1, diag->iterations[0], diag->iterations[1],
+                  sim.register_word({2, 3})}]
+            .count += 1;
+      });
+
+  bench::Table table({"y1/(2k+1)", "y2/(2k+1)", "r1", "r2", "(R1,R2)",
+                      "#executions"});
+  for (const auto& [key, prof] : profiles) {
+    const auto& [y0, y1, r0, r1, word] = key;
+    table.row({bench::str(y0) + "/9", bench::str(y1) + "/9", bench::str(r0),
+               bench::str(r1), word, bench::str(prof.count)});
+  }
+  table.print();
+  std::cout << "  total executions: " << total
+            << ", distinct outcome profiles: " << profiles.size()
+            << ", max |y1-y2| (grid steps): " << max_gap << " (paper: <= 1)\n";
+}
+
+void BM_Alg1Exhaustive(benchmark::State& state) {
+  const auto k = static_cast<std::uint64_t>(state.range(0));
+  long execs = 0;
+  for (auto _ : state) {
+    sim::Explorer ex(sim::ExploreOptions{.max_steps = 200});
+    execs = ex.explore(
+        [&]() {
+          auto sim = std::make_unique<sim::Sim>(2);
+          core::install_alg1(*sim, k, {0, 1});
+          return sim;
+        },
+        [](sim::Sim&, const std::vector<sim::Choice>&) {});
+  }
+  state.counters["executions"] = static_cast<double>(execs);
+}
+BENCHMARK(BM_Alg1Exhaustive)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_Alg1LockstepRun(benchmark::State& state) {
+  const auto k = static_cast<std::uint64_t>(state.range(0));
+  long steps = 0;
+  for (auto _ : state) {
+    sim::Sim sim(2);
+    core::install_alg1(sim, k, {0, 1});
+    run_round_robin(sim);
+    steps = sim.total_steps();
+  }
+  state.counters["sim_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_Alg1LockstepRun)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

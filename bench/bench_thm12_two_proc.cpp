@@ -1,0 +1,108 @@
+// Theorem 1.2 reproduction: 1-bit registers are universal for two
+// processes. Algorithm 1 solves ε-agreement with Θ(1/ε) steps on 1-bit
+// registers; Algorithm 2 solves arbitrary BMZ-solvable tasks with 3 bits of
+// coordination per process.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.h"
+#include "core/alg1.h"
+#include "core/alg2.h"
+#include "sim/explore.h"
+#include "tasks/approx.h"
+#include "tasks/checker.h"
+
+namespace {
+
+using namespace bsr;
+
+void print_alg1_scaling() {
+  bench::banner("Theorem 1.2 — Algorithm 1 step complexity",
+                "ε = 1/(2k+1) with 1-bit registers; worst-case steps Θ(k) "
+                "= Θ(1/ε) (the paper's exponential slowdown vs log(1/ε))");
+  bench::Table table({"k", "1/ε = 2k+1", "lockstep steps/proc",
+                      "bound 2k+3", "R width (bits)"});
+  for (std::uint64_t k : {4ull, 16ull, 64ull, 256ull, 1024ull, 4096ull}) {
+    sim::Sim sim(2);
+    core::install_alg1(sim, k, {0, 1});
+    run_round_robin(sim);
+    table.row({bench::str(k), bench::str(2 * k + 1),
+               bench::str(sim.steps(0) - 1),  // minus the start step
+               bench::str(2 * k + 3),
+               bench::str(sim.register_info(2).width_bits)});
+  }
+  table.print();
+}
+
+void print_alg2_demo() {
+  bench::banner("Theorem 1.2 — Algorithm 2 universality (3-bit registers)",
+                "any BMZ-solvable 2-process task is solved with 3 bits of "
+                "coordination state per process");
+  bench::Table table({"task", "path length L", "inputs", "executions checked",
+                      "all legal"});
+  for (std::uint64_t m : {3ull, 5ull}) {
+    const tasks::ApproxAgreement aa(2, m);
+    std::vector<Value> domain;
+    for (std::uint64_t v = 0; v <= m; ++v) domain.emplace_back(v);
+    const tasks::ExplicitTask task = tasks::materialize(aa, domain);
+    const topo::Bmz2 bmz(task);
+    const topo::Bmz2Plan& plan = bmz.plan();
+    {
+      const tasks::Config input{Value(0), Value(1)};
+      long execs = 0;
+      bool all_legal = true;
+      sim::Explorer ex(sim::ExploreOptions{.max_steps = 400});
+      ex.explore(
+          [&]() {
+            auto sim = std::make_unique<sim::Sim>(2);
+            core::install_alg2(*sim, plan, input);
+            return sim;
+          },
+          [&](sim::Sim& sim, const std::vector<sim::Choice>&) {
+            ++execs;
+            all_legal &= tasks::check_outputs(task, input,
+                                              tasks::decisions_of(sim))
+                             .ok;
+          });
+      table.row({task.name(), bench::str(plan.L), tasks::config_str(input),
+                 bench::str(execs), all_legal ? "yes" : "NO"});
+    }
+  }
+  table.print();
+}
+
+void BM_Alg1Run(benchmark::State& state) {
+  const auto k = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Sim sim(2);
+    core::install_alg1(sim, k, {0, 1});
+    run_round_robin(sim);
+    benchmark::DoNotOptimize(sim.decision(0));
+  }
+  state.counters["steps_per_proc"] = static_cast<double>(2 * state.range(0) + 3);
+}
+BENCHMARK(BM_Alg1Run)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BmzPlanConstruction(benchmark::State& state) {
+  const auto m = static_cast<std::uint64_t>(state.range(0));
+  const tasks::ApproxAgreement aa(2, m);
+  std::vector<Value> domain;
+  for (std::uint64_t v = 0; v <= m; ++v) domain.emplace_back(v);
+  const tasks::ExplicitTask task = tasks::materialize(aa, domain);
+  for (auto _ : state) {
+    const topo::Bmz2 bmz(task);
+    benchmark::DoNotOptimize(bmz.solvable());
+  }
+}
+BENCHMARK(BM_BmzPlanConstruction)->Arg(3)->Arg(9)->Arg(17);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_alg1_scaling();
+  print_alg2_demo();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared table-printing helpers for the reproduction benches.
+//
+// Every bench binary regenerates one figure/table/claim of the paper: it
+// first prints the reproduced series in a fixed-width table (with a
+// `paper:` annotation giving the predicted shape), then runs its
+// google-benchmark timing section.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace bsr::bench {
+
+inline void banner(const std::string& title, const std::string& paper_claim) {
+  std::cout << "\n== " << title << " ==\n";
+  std::cout << "paper: " << paper_claim << "\n";
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(const std::vector<std::string>& cells) {
+    rows_.push_back(cells);
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+      std::cout << "  ";
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::cout << std::left << std::setw(static_cast<int>(width[c]) + 2)
+                  << cells[c];
+      }
+      std::cout << "\n";
+    };
+    line(headers_);
+    std::vector<std::string> dashes;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      dashes.push_back(std::string(width[c], '-'));
+    }
+    line(dashes);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+template <class T>
+std::string str(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v;
+  } else {
+    return std::to_string(v);
+  }
+}
+
+}  // namespace bsr::bench

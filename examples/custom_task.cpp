@@ -1,0 +1,65 @@
+// Solving a user-defined task with 3-bit registers (Theorem 1.2 /
+// Algorithm 2).
+//
+// We define a small 2-process task by its explicit Δ relation, run the
+// Biran–Moran–Zaks analysis (Lemma 5.7) to decide 1-resilient solvability,
+// and — when solvable — execute the universal Algorithm 2 under an
+// adversarial scheduler. We also show the analysis *rejecting* consensus.
+#include <iostream>
+
+#include "core/alg2.h"
+#include "sim/sched.h"
+#include "tasks/approx.h"
+#include "tasks/checker.h"
+
+int main() {
+  using namespace bsr;
+  using tasks::Config;
+
+  auto c2 = [](std::uint64_t a, std::uint64_t b) {
+    return Config{Value(a), Value(b)};
+  };
+
+  // A custom "staircase" task: on mixed inputs the processes must output a
+  // pair from a small connected ladder; on equal inputs, the matching end.
+  tasks::ExplicitTask::Delta delta;
+  delta[c2(0, 0)] = {c2(10, 10)};
+  delta[c2(1, 1)] = {c2(13, 13)};
+  delta[c2(0, 1)] = {c2(10, 10), c2(10, 11), c2(11, 11), c2(11, 12),
+                     c2(12, 12), c2(12, 13), c2(13, 13)};
+  delta[c2(1, 0)] = delta[c2(0, 1)];
+  const tasks::ExplicitTask task("staircase", 2, delta);
+
+  const topo::Bmz2 analysis(task);
+  std::cout << "task 'staircase': "
+            << (analysis.solvable() ? "1-resilient solvable (Lemma 5.7 holds)"
+                                    : analysis.failure_reason())
+            << "\n";
+  const topo::Bmz2Plan& plan = analysis.plan();
+  std::cout << "BMZ plan: common path length L = " << plan.L
+            << " (Algorithm 1 grid 2k+1 = L)\n\n";
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Config input = c2(seed % 2, (seed / 2) % 2);
+    sim::Sim sim(2);
+    core::install_alg2(sim, plan, input);
+    sim::RandomRunOptions opts;
+    opts.seed = seed;
+    opts.max_crashes = 1;
+    run_random(sim, opts);
+    const Config out = tasks::decisions_of(sim);
+    const auto check = tasks::check_outputs(task, input, out);
+    std::cout << "inputs " << tasks::config_str(input) << " -> outputs "
+              << tasks::config_str(out) << "  ["
+              << (check.ok ? "legal" : check.detail) << "]\n";
+  }
+
+  // The same machinery proves consensus unsolvable (Lemma 2.1).
+  const tasks::Consensus consensus(2);
+  const tasks::ExplicitTask ct =
+      tasks::materialize(consensus, {Value(0), Value(1)});
+  const topo::Bmz2 cons(ct);
+  std::cout << "\ntask 'consensus': "
+            << (cons.solvable() ? "solvable?!" : cons.failure_reason()) << "\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fast ε-agreement with constant-size registers (Theorem 8.1).
+//
+// Algorithm 1 pays Θ(1/ε) steps for its 1-bit registers. Algorithm 6
+// simulates an iterated-snapshot labelling protocol through two 6-bit
+// registers and reaches the same precision in O(log 1/ε) steps. This
+// example builds the offline value assignment (the path of simulation
+// labels), runs both algorithms at matched precision, and prints the
+// step-count gap.
+#include <iostream>
+
+#include "core/alg1.h"
+#include "core/alg6.h"
+#include "sim/sched.h"
+
+int main() {
+  using namespace bsr;
+
+  const int R = 4;  // Algorithm 6 simulation rounds
+  std::cout << "building the offline label path for R = " << R
+            << " (exhausts all simulation executions)...\n";
+  const core::FastAgreementPlan plan({R, 2});
+  std::cout << "  path length " << plan.path_length() << " (>= 2^R = "
+            << (1 << R) << "), " << plan.label_count() << " labels, "
+            << plan.full_length_executions() << " full-length executions\n\n";
+
+  // Fast agreement at ε = 1/path_length with 6-bit registers.
+  sim::Sim fast(2);
+  core::install_fast_agreement(fast, plan, {0, 1});
+  run_round_robin(fast);
+  std::cout << "Algorithm 6 stack (6-bit registers): decisions "
+            << fast.decision(0).as_u64() << "/" << plan.path_length() << ", "
+            << fast.decision(1).as_u64() << "/" << plan.path_length()
+            << " in " << fast.steps(0) - 1 << " ops per process\n";
+
+  // Algorithm 1 at the same precision with 1-bit registers.
+  const std::uint64_t k = plan.path_length() / 2;
+  sim::Sim slow(2);
+  core::install_alg1(slow, k, {0, 1});
+  run_round_robin(slow);
+  std::cout << "Algorithm 1      (1-bit registers): decisions "
+            << slow.decision(0).as_u64() << "/" << core::alg1_denominator(k)
+            << ", " << slow.decision(1).as_u64() << "/"
+            << core::alg1_denominator(k) << " in " << slow.steps(0) - 1
+            << " ops per process\n\n";
+
+  std::cout << "Same ε, " << (slow.steps(0) - 1) / (fast.steps(0) - 1)
+            << "x fewer steps — the price is 6-bit instead of 1-bit "
+               "registers (§8: the slowdown is not inherent to constant "
+               "size).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The iterated models of §7: run the generic full-information protocol
+// (Algorithm 3), enumerate its configuration space, and then re-run it
+// through Algorithm 4 — where every shared register is a single bit and the
+// unbounded views are encoded in *which* iterated memory a process writes
+// 1 into (Theorem 1.4).
+#include <iostream>
+
+#include "core/sec7.h"
+#include "memory/ic.h"
+#include "sim/sched.h"
+#include "tasks/checker.h"
+
+int main() {
+  using namespace bsr;
+
+  const int n = 2;
+  const int k = 2;  // rounds of the full-information protocol
+
+  // The configuration space C^0 … C^k over binary inputs.
+  std::vector<tasks::Config> inits;
+  for (std::uint64_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<Value> xs;
+    for (int i = 0; i < n; ++i) xs.emplace_back((mask >> i) & 1);
+    inits.push_back(memory::initial_full_info_config(xs));
+  }
+  const auto cfgs = memory::enumerate_full_info_configs(inits, n, k);
+  std::cout << "full-information configuration space (n=" << n << ", k=" << k
+            << "):";
+  for (const auto& level : cfgs.per_round) std::cout << " " << level.size();
+  std::cout << "  (|C^0| … |C^" << k << "|)\n\n";
+
+  // 1. Algorithm 3 with unbounded registers.
+  const std::vector<Value> inputs{Value(0), Value(1)};
+  {
+    sim::Sim sim(n);
+    core::install_full_info_ic(sim, k, inputs);
+    run_round_robin(sim);
+    std::cout << "Algorithm 3 (unbounded registers), lockstep:\n";
+    for (int i = 0; i < n; ++i) {
+      std::cout << "  W_" << i << "^" << k << " = " << sim.decision(i)
+                << "\n";
+    }
+    std::cout << "  in C^" << k << ": "
+              << (core::alg4_output_valid(cfgs, tasks::decisions_of(sim))
+                      ? "yes"
+                      : "NO")
+              << "\n\n";
+  }
+
+  // 2. Algorithm 4: the same protocol through 1-bit registers.
+  {
+    sim::Sim sim(n);
+    const core::Alg4Handles h = core::install_alg4(
+        sim, cfgs, memory::initial_full_info_config(inputs));
+    run_round_robin(sim);
+    std::cout << "Algorithm 4 (1-bit registers): " << h.iterations
+              << " iterations, " << h.iterations * n
+              << " one-bit registers\n";
+    for (int i = 0; i < n; ++i) {
+      std::cout << "  W_" << i << "^" << k << " = " << sim.decision(i)
+                << "\n";
+    }
+    std::cout << "  in C^" << k << ": "
+              << (core::alg4_output_valid(cfgs, tasks::decisions_of(sim))
+                      ? "yes"
+                      : "NO")
+              << "\n";
+    std::cout << "  max bits ever written to a register: "
+              << sim.max_bounded_bits_used() << "\n\n";
+  }
+
+  std::cout << "The unbounded views moved into the *memory index*: iteration "
+               "ρ is dedicated to configuration c_ρ, so writing 1 there says "
+               "\"my view is c_ρ[me]\" — Theorem 1.4's trade of space for "
+               "rounds.\n";
+  return 0;
+}

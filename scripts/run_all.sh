@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every figure/claim of the reproduction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,108 @@
+#include "core/alg1.h"
+
+#include "util/errors.h"
+
+namespace bsr::core {
+
+using sim::Env;
+using sim::OpResult;
+using sim::Proc;
+using sim::Task;
+
+Task<std::uint64_t> alg1_agree(Env& env, Alg1Handles h, std::uint64_t k,
+                               std::uint64_t input, Alg1Diag* diag) {
+  const int me = env.pid();
+  const int other = 1 - me;
+  const std::uint64_t denom = alg1_denominator(k);
+
+  co_await env.write(h.input[me], Value(input));  // line 2: I_me.write
+
+  std::uint64_t prec = 0;  // initialized to 0 (matches R's initial value)
+  std::uint64_t newv = 0;
+  std::uint64_t r = 0;
+  bool broke = false;
+  for (r = 1; r <= k; ++r) {                                 // line 3
+    co_await env.write(h.comm[me], Value(r % 2));            // line 4
+    const OpResult got = co_await env.read(h.comm[other]);   // line 5
+    newv = got.value.as_u64();
+    if (newv != prec) {  // line 6
+      prec = newv;
+    } else {  // line 7: same value read twice — leave the loop
+      broke = true;
+      break;
+    }
+  }
+  if (!broke) r = k;  // the for-loop completed its k iterations
+  if (diag != nullptr) diag->iterations[me] = static_cast<int>(r);
+
+  // Lines 8–10: exchange inputs through the write-once registers.
+  const std::uint64_t x_me = (co_await env.read(h.input[me])).value.as_u64();
+  const Value x_other_raw = (co_await env.read(h.input[other])).value;
+  if (x_other_raw.is_bottom() || x_me == x_other_raw.as_u64()) {
+    if (diag != nullptr) diag->line[me] = Alg1DecideLine::SameInputs;
+    co_return x_me * denom;  // decide own input, as a grid numerator
+  }
+  const std::uint64_t x_other = x_other_raw.as_u64();
+
+  if (r == k && newv == k % 2) {
+    // Lines 11–14: left the for-loop after k full iterations.
+    const bool who_is_me = (r % 2 == 0);  // line 13
+    const std::uint64_t x_who = who_is_me ? x_me : x_other;
+    if (diag != nullptr) diag->line[me] = Alg1DecideLine::LoopEnd;
+    co_return x_who + k;  // line 14: (x_who + k) / (2k+1)
+  }
+
+  // Lines 15–17: left the for-loop after reading the same value twice.
+  const bool who_is_me = (r % 2 != 0);  // line 16
+  const std::uint64_t x_who = who_is_me ? x_me : x_other;
+  // line 17: x_who + (-1)^{x_who} (r-1)/(2k+1), as a numerator over 2k+1.
+  const std::int64_t numerator =
+      static_cast<std::int64_t>(x_who * denom) +
+      (x_who == 0 ? 1 : -1) * static_cast<std::int64_t>(r - 1);
+  model_check(numerator >= 0 && numerator <= static_cast<std::int64_t>(denom),
+              "Algorithm 1 produced an out-of-grid decision");
+  if (diag != nullptr) diag->line[me] = Alg1DecideLine::EarlyBreak;
+  co_return static_cast<std::uint64_t>(numerator);
+}
+
+Alg1Handles add_alg1_registers(sim::Sim& sim) {
+  usage_check(sim.n() == 2, "Algorithm 1 is a 2-process protocol");
+  Alg1Handles h;
+  // ⊥/0/1 input registers: 3 states, i.e. 2 bits with one state for ⊥.
+  h.input[0] = sim.add_bottom_register("alg1.I1", 0, /*width_bits=*/2,
+                                       /*write_once=*/true);
+  h.input[1] = sim.add_bottom_register("alg1.I2", 1, /*width_bits=*/2,
+                                       /*write_once=*/true);
+  h.comm[0] = sim.add_register("alg1.R1", 0, /*width_bits=*/1, Value(0));
+  h.comm[1] = sim.add_register("alg1.R2", 1, /*width_bits=*/1, Value(0));
+  return h;
+}
+
+namespace {
+
+Proc alg1_body(Env& env, Alg1Handles h, std::uint64_t k, std::uint64_t input,
+               Alg1Diag* diag) {
+  const std::uint64_t y = co_await alg1_agree(env, h, k, input, diag);
+  co_return Value(y);
+}
+
+}  // namespace
+
+Alg1Handles install_alg1(sim::Sim& sim, std::uint64_t k,
+                         std::array<std::uint64_t, 2> inputs,
+                         Alg1Diag* diag) {
+  usage_check(sim.n() == 2, "install_alg1: Algorithm 1 is a 2-process protocol");
+  usage_check(k >= 1, "install_alg1: k must be at least 1");
+  usage_check(inputs[0] <= 1 && inputs[1] <= 1,
+              "install_alg1: inputs must be binary");
+  const Alg1Handles h = add_alg1_registers(sim);
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn(i, [h, k, input = inputs[static_cast<std::size_t>(i)],
+                  diag](Env& env) -> Proc {
+      return alg1_body(env, h, k, input, diag);
+    });
+  }
+  return h;
+}
+
+}  // namespace bsr::core

@@ -1,0 +1,89 @@
+#include "core/alg2.h"
+
+#include "util/errors.h"
+
+namespace bsr::core {
+
+namespace {
+
+using sim::Env;
+using sim::Proc;
+using tasks::Config;
+
+/// The partial configuration obtained by erasing coordinate i.
+Config erase_at(Config c, int i) {
+  c[static_cast<std::size_t>(i)] = Value();
+  return c;
+}
+
+Proc alg2_body(Env& env, Alg2Handles h, const topo::Bmz2Plan* plan,
+               Value my_task_input) {
+  const int me = env.pid();
+  const int other = 1 - me;
+  const auto L = static_cast<std::uint64_t>(plan->L);
+  const std::uint64_t k = (L - 1) / 2;  // Algorithm 1 grid: 2k+1 = L
+
+  // Line 2: publish my task input, read the other's.
+  co_await env.write(h.task_input[me], my_task_input);
+  Value x_other = (co_await env.read(h.task_input[other])).value;
+
+  // Lines 3–5: ε-agree on my view of the input (1 = partial, 0 = full).
+  const std::uint64_t my_view = x_other.is_bottom() ? 1 : 0;
+  const std::uint64_t d = co_await alg1_agree(env, h.agree, k, my_view);
+
+  Config full(2);
+  full[static_cast<std::size_t>(me)] = my_task_input;
+
+  if (d == 0) {
+    // Lines 6–8: both saw the full input (Lemma 5.6: my view was 0).
+    model_check(!x_other.is_bottom(),
+                "Algorithm 2: decided 0 without the full input");
+    full[static_cast<std::size_t>(other)] = x_other;
+    co_return plan->delta_full.at(full).at(static_cast<std::size_t>(me));
+  }
+
+  if (d == L) {
+    // Lines 19–21: both views were partial at agreement start; decide from
+    // δ of my partial input (⊥ at the other process).
+    const Config partial = erase_at(full, other);
+    co_return plan->delta_partial.at(partial).at(static_cast<std::size_t>(me));
+  }
+
+  // Lines 9–18: 0 < d < L. By now the other process has written its input
+  // (it started the ε-agreement, whose first step follows its input write).
+  x_other = (co_await env.read(h.task_input[other])).value;  // line 11
+  model_check(!x_other.is_bottom(),
+              "Algorithm 2: other input still missing at 0 < d < L");
+  full[static_cast<std::size_t>(other)] = x_other;
+  // Lines 13–16: the process whose view was partial is missing the *other*
+  // process's input; the one with the full view knows the other missed *me*.
+  const Config partial =
+      (my_view == 1) ? erase_at(full, other) : erase_at(full, me);
+  const std::vector<Config>& path = plan->path_for(full, partial);
+  co_return path.at(static_cast<std::size_t>(d))
+      .at(static_cast<std::size_t>(me));  // line 18: Y_d[me]
+}
+
+}  // namespace
+
+Alg2Handles install_alg2(sim::Sim& sim, const topo::Bmz2Plan& plan,
+                         const Config& inputs) {
+  usage_check(sim.n() == 2, "install_alg2: Algorithm 2 is a 2-process protocol");
+  usage_check(inputs.size() == 2 && tasks::is_full(inputs),
+              "install_alg2: need two non-⊥ task inputs");
+  usage_check(plan.L >= 3 && plan.L % 2 == 1,
+              "install_alg2: plan path length must be odd and >= 3");
+  Alg2Handles h;
+  h.task_input[0] = sim.add_input_register("task.I1", 0);
+  h.task_input[1] = sim.add_input_register("task.I2", 1);
+  h.agree = add_alg1_registers(sim);
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn(i, [h, plan = &plan,
+                  x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
+      return alg2_body(env, h, plan, x);
+    });
+  }
+  return h;
+}
+
+}  // namespace bsr::core

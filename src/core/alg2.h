@@ -1,0 +1,32 @@
+// Algorithm 2 (§5.2.3): universal construction solving any wait-free
+// solvable 2-process task with 3-bit coordination registers.
+//
+// The processes exchange task inputs through write-once input registers
+// (free, per the model of §2), run Algorithm 1's ε-agreement with
+// ε = 1/L over their *views* of the input (0 = saw both inputs, 1 = saw
+// only its own), and use the agreed grid point d to select an output
+// configuration on the precomputed BMZ path path(δ(fullX), δ(partialX)).
+//
+// Coordination state per process: Algorithm 1's ⊥/0/1 input register
+// (2 bits) and 1-bit register — the paper's 3 bits.
+#pragma once
+
+#include "core/alg1.h"
+#include "tasks/explicit_task.h"
+#include "topo/bmz.h"
+
+namespace bsr::core {
+
+struct Alg2Handles {
+  std::array<int, 2> task_input;  ///< Write-once input registers I_1, I_2.
+  Alg1Handles agree;              ///< Algorithm 1's 3 bits per process.
+};
+
+/// Installs Algorithm 2 into `sim` (n = 2) for the given task plan and task
+/// inputs. `plan` must outlive the simulation (it is shared, read-only
+/// precomputed data — both processes hold the same copy, as in the paper's
+/// "pre-processing" step). Decisions are the processes' task outputs.
+Alg2Handles install_alg2(sim::Sim& sim, const topo::Bmz2Plan& plan,
+                         const tasks::Config& inputs);
+
+}  // namespace bsr::core

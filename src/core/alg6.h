@@ -1,0 +1,126 @@
+// Algorithm 6 (§8.2): simulating a 2-process IS labelling protocol with two
+// constant-size registers, and the fast ε-agreement of Theorem 8.1.
+//
+// Each process simulates IS rounds of the 1-bit labelling protocol
+// (topo/labelling.h). Its single shared register holds a pair (x, H):
+//   x — its position on a directed ring of 2Δ+1 nodes (advanced once per
+//       simulated round; the reader infers how many rounds the writer has
+//       completed from ring movement, which is unambiguous because a
+//       process can never complete a full lap unobserved — Lemma 8.4);
+//   H — the bits written in its last Δ+1 simulated rounds.
+// A process that has simulated Δ consecutive solo rounds exits the
+// simulation (bounding the lag between the processes, Lemma 8.3). With
+// Δ = 2 and the 1-bit labelling protocol the register is
+// ⌈log₂5⌉ + 3 = 6 bits — the constant of Theorem 8.1.
+//
+// The decisions of the installed label-simulation processes are vectors
+// [r, pos]: the number of simulated rounds and the final path position.
+//
+// Fast ε-agreement (Theorem 8.1) adds the §8.1 value assignment: the final
+// labels of all executions of the simulation form a chromatic path from the
+// p0-solo label to the p1-solo label, of length ≥ 2^R (Lemma 8.7);
+// FastAgreementPlan materializes that path offline (by exhaustive
+// exploration of the simulation) and f(λ) = index/length turns labels into
+// ε-agreement outputs with ε = 1/length and O(R) = O(log 1/ε) steps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/sim.h"
+#include "topo/labelling.h"
+
+namespace bsr::core {
+
+struct Alg6Options {
+  int rounds = 5;  ///< R: maximum number of simulated IS rounds.
+  int delta = 2;   ///< Δ ≥ 2: solo-round budget before exiting.
+};
+
+/// Register width used by the simulation: ⌈log₂(2Δ+1)⌉ ring bits plus one
+/// history bit per entry (Δ+1 entries).
+[[nodiscard]] int alg6_register_bits(int delta);
+
+/// White-box trace of one process's simulated execution.
+struct Alg6ProcTrace {
+  std::vector<int> bits;                 ///< Bit written per simulated round.
+  std::vector<std::optional<int>> obs;   ///< Observation per round (⊥ = solo).
+  /// estr after each round's read — Lemma 8.5 says it equals the number of
+  /// writes the other process performed before that read.
+  std::vector<std::uint64_t> estr;
+  int rounds = 0;                        ///< Simulated rounds completed.
+  std::uint64_t final_pos = 0;           ///< Label position after `rounds`.
+};
+
+struct Alg6Diag {
+  std::array<Alg6ProcTrace, 2> proc;
+};
+
+struct Alg6Handles {
+  std::array<int, 2> reg;  ///< The two constant-size registers.
+};
+
+/// Runs the Algorithm 6 simulation inside a process coroutine; returns the
+/// final (rounds, position) of the simulated labelling protocol.
+sim::Task<std::pair<int, std::uint64_t>> alg6_simulate(sim::Env& env,
+                                                       Alg6Handles h,
+                                                       Alg6Options opts,
+                                                       Alg6Diag* diag);
+
+/// Installs the bare label simulation: both processes run Algorithm 6 and
+/// decide the vector [rounds, position].
+Alg6Handles install_alg6_labelling(sim::Sim& sim, Alg6Options opts,
+                                   Alg6Diag* diag = nullptr);
+
+/// A label of the simulated protocol: which process, after how many rounds,
+/// at which path position.
+struct SimLabel {
+  int pid = 0;
+  int rounds = 0;
+  std::uint64_t pos = 0;
+  auto operator<=>(const SimLabel&) const = default;
+};
+
+/// Offline value assignment for Theorem 8.1: enumerates every execution of
+/// the Algorithm 6 simulation (exhaustively, so only feasible for small R),
+/// checks that the final labels form a chromatic path, and assigns each
+/// label its index along that path.
+class FastAgreementPlan {
+ public:
+  explicit FastAgreementPlan(Alg6Options opts);
+
+  [[nodiscard]] const Alg6Options& options() const noexcept { return opts_; }
+  /// Path length (number of edges) = 1/ε denominator. ≥ 2^R by Lemma 8.7.
+  [[nodiscard]] std::uint64_t path_length() const noexcept { return length_; }
+  /// f(λ)·length: the label's index along the path (0 at the p0-solo end).
+  [[nodiscard]] std::uint64_t index_of(const SimLabel& label) const;
+  /// Number of distinct labels (path vertices).
+  [[nodiscard]] std::size_t label_count() const noexcept {
+    return index_.size();
+  }
+  /// Number of distinct complete executions in which both processes ran the
+  /// full R rounds (Lemma 8.7 counts these: ≥ 2^R).
+  [[nodiscard]] long full_length_executions() const noexcept {
+    return full_len_execs_;
+  }
+
+ private:
+  Alg6Options opts_;
+  std::uint64_t length_ = 0;
+  std::map<SimLabel, std::uint64_t> index_;
+  long full_len_execs_ = 0;
+};
+
+/// Installs fast ε-agreement (Theorem 8.1): binary inputs exchanged through
+/// write-once input registers, Algorithm 6 for coordination, decisions are
+/// grid numerators over plan.path_length(). The plan must outlive the sim.
+struct FastAgreementHandles {
+  std::array<int, 2> input;
+  Alg6Handles alg6;
+};
+FastAgreementHandles install_fast_agreement(sim::Sim& sim,
+                                            const FastAgreementPlan& plan,
+                                            std::array<std::uint64_t, 2> inputs);
+
+}  // namespace bsr::core

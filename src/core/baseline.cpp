@@ -1,0 +1,126 @@
+#include "core/baseline.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "memory/snapshot.h"
+#include "util/errors.h"
+
+namespace bsr::core {
+
+using sim::Env;
+using sim::Proc;
+using sim::Task;
+
+Task<std::uint64_t> unbounded_agree(Env& env, const BaselineHandles& h,
+                                    std::uint64_t input) {
+  const int n = env.n();
+  const int me = env.pid();
+  std::uint64_t est = input << h.rounds;  // numerator over 2^T
+  for (int r = 0; r < h.rounds; ++r) {
+    const auto base = static_cast<std::size_t>(r) * static_cast<std::size_t>(n);
+    std::vector<int> group(h.regs.begin() + static_cast<std::ptrdiff_t>(base),
+                           h.regs.begin() +
+                               static_cast<std::ptrdiff_t>(base) + n);
+    const sim::OpResult snap = co_await env.write_snapshot(
+        group[static_cast<std::size_t>(me)], Value(est), group);
+    std::uint64_t lo = est;
+    std::uint64_t hi = est;
+    for (const Value& v : snap.value.as_vec()) {
+      if (v.is_bottom()) continue;
+      lo = std::min(lo, v.as_u64());
+      hi = std::max(hi, v.as_u64());
+    }
+    est = (lo + hi) / 2;  // exact: round-r estimates share a 2^{T-r} factor
+  }
+  co_return est;
+}
+
+namespace {
+
+Proc baseline_body(Env& env, BaselineHandles h, std::uint64_t input) {
+  const std::uint64_t y = co_await unbounded_agree(env, h, input);
+  co_return Value(y);
+}
+
+}  // namespace
+
+BaselineHandles install_unbounded_agreement(
+    sim::Sim& sim, int rounds, const std::vector<std::uint64_t>& inputs) {
+  const int n = sim.n();
+  usage_check(rounds >= 1 && rounds <= 62,
+              "install_unbounded_agreement: rounds out of range");
+  usage_check(static_cast<int>(inputs.size()) == n,
+              "install_unbounded_agreement: one input per process");
+  for (std::uint64_t x : inputs) {
+    usage_check(x <= 1, "install_unbounded_agreement: inputs must be binary");
+  }
+  BaselineHandles h;
+  h.rounds = rounds;
+  h.regs.reserve(static_cast<std::size_t>(rounds) * static_cast<std::size_t>(n));
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < n; ++i) {
+      h.regs.push_back(sim.add_register(
+          "M" + std::to_string(r) + "." + std::to_string(i), i,
+          sim::kUnbounded, Value()));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    sim.spawn(i, [h, x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
+      return baseline_body(env, h, x);
+    });
+  }
+  return h;
+}
+
+namespace {
+
+Proc register_baseline_body(
+    Env& env,
+    std::shared_ptr<std::vector<std::unique_ptr<memory::SnapshotObject>>>
+        rounds,
+    std::uint64_t input) {
+  const int T = static_cast<int>(rounds->size());
+  std::uint64_t est = input << T;
+  for (int r = 0; r < T; ++r) {
+    memory::SnapshotObject& snap = *(*rounds)[static_cast<std::size_t>(r)];
+    co_await snap.update(env, Value(est));
+    std::vector<Value> view = co_await snap.scan(env);
+    std::uint64_t lo = est;
+    std::uint64_t hi = est;
+    for (const Value& v : view) {
+      if (v.is_bottom()) continue;
+      lo = std::min(lo, v.as_u64());
+      hi = std::max(hi, v.as_u64());
+    }
+    est = (lo + hi) / 2;
+  }
+  co_return Value(est);
+}
+
+}  // namespace
+
+void install_unbounded_agreement_from_registers(
+    sim::Sim& sim, int rounds, const std::vector<std::uint64_t>& inputs) {
+  const int n = sim.n();
+  usage_check(rounds >= 1 && rounds <= 62,
+              "install_unbounded_agreement_from_registers: rounds out of range");
+  usage_check(static_cast<int>(inputs.size()) == n,
+              "install_unbounded_agreement_from_registers: one input per process");
+  for (std::uint64_t x : inputs) {
+    usage_check(x <= 1,
+                "install_unbounded_agreement_from_registers: binary inputs");
+  }
+  auto objs = std::make_shared<
+      std::vector<std::unique_ptr<memory::SnapshotObject>>>();
+  for (int r = 0; r < rounds; ++r) {
+    objs->push_back(std::make_unique<memory::SnapshotObject>(
+        sim, "S" + std::to_string(r)));
+  }
+  for (int i = 0; i < n; ++i) {
+    sim.spawn(i, [objs, x = inputs[static_cast<std::size_t>(i)]](Env& env)
+                     -> Proc { return register_baseline_body(env, objs, x); });
+  }
+}
+
+}  // namespace bsr::core

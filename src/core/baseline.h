@@ -1,0 +1,52 @@
+// Lemma 2.2 baseline: wait-free n-process binary ε-agreement with
+// *unbounded* registers, via iterated immediate-snapshot averaging.
+//
+// Values are numerators over 2^T. In round r each process immediate-snapshot
+// writes its estimate into the round's fresh register array and replaces it
+// by ⌊(min+max)/2⌋ of the estimates it saw. Because round-r views are
+// ordered by containment, the estimate range halves every round (and
+// midpoints stay exact: round-r estimates are multiples of 2^{T-r}), so
+// after T rounds the spread is at most one grid step: ε = 2^{-T}, with
+// O(T) = O(log 1/ε) steps per process — the complexity the paper contrasts
+// with Algorithm 1's Θ(1/ε) (§8 intro).
+//
+// This is the paper's positive reference point (ε-agreement is wait-free
+// solvable with unbounded registers, so Theorem 1.1's task is solvable);
+// the §4 adversary attacks its bounded-register counterparts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim.h"
+
+namespace bsr::core {
+
+struct BaselineHandles {
+  /// Registers of round r occupy regs[r * n + i] for process i.
+  std::vector<int> regs;
+  int rounds = 0;
+};
+
+/// Installs the averaging protocol: n = sim.n() processes, T rounds,
+/// binary inputs. Decisions are grid numerators over 2^T.
+BaselineHandles install_unbounded_agreement(
+    sim::Sim& sim, int rounds, const std::vector<std::uint64_t>& inputs);
+
+/// The subroutine form, for embedding in larger protocols: runs the T-round
+/// averaging and returns the decided numerator over 2^T.
+sim::Task<std::uint64_t> unbounded_agree(sim::Env& env,
+                                         const BaselineHandles& h,
+                                         std::uint64_t input);
+
+/// The same protocol built from *plain registers only*: the per-round
+/// snapshots go through the Afek-style SnapshotObject (the Lemma 2.3
+/// construction) instead of the simulator's snapshot primitive — an honest
+/// end-to-end instantiation of Lemma 2.2 in the bare read/write model.
+/// Atomic scans are totally ordered by containment, which is all the
+/// halving argument needs. Costs O(n²) reads per round instead of one
+/// snapshot step.
+void install_unbounded_agreement_from_registers(
+    sim::Sim& sim, int rounds, const std::vector<std::uint64_t>& inputs);
+
+}  // namespace bsr::core

@@ -1,0 +1,93 @@
+#include "core/lemma82.h"
+
+#include "topo/labelling.h"
+#include "util/errors.h"
+
+namespace bsr::core {
+
+using sim::Env;
+using sim::OpResult;
+using sim::Proc;
+
+std::uint64_t pow3(int r) {
+  usage_check(r >= 0 && r <= 39, "pow3: exponent out of range");
+  std::uint64_t p = 1;
+  for (int i = 0; i < r; ++i) p *= 3;
+  return p;
+}
+
+namespace {
+
+Proc label_agreement_body(Env& env, LabelAgreementHandles h, int rounds,
+                          std::uint64_t input) {
+  const int me = env.pid();
+  const int other = 1 - me;
+  const std::uint64_t denom = pow3(rounds);
+
+  co_await env.write(h.input[me], Value(input));
+
+  topo::LabellingProcess lab(me);
+  for (int r = 0; r < rounds; ++r) {
+    // One IIS round: write my bit into this round's fresh memory and
+    // immediate-snapshot it.
+    std::vector<int> group;
+    group.push_back(h.rounds[static_cast<std::size_t>(r) * 2]);
+    group.push_back(h.rounds[static_cast<std::size_t>(r) * 2 + 1]);
+    const OpResult snap = co_await env.write_snapshot(
+        group[static_cast<std::size_t>(me)],
+        Value(static_cast<std::uint64_t>(lab.write_bit())), group);
+    const Value& theirs = snap.value.at(static_cast<std::size_t>(other));
+    if (theirs.is_bottom()) {
+      lab.observe(std::nullopt);  // solo round
+    } else {
+      lab.observe(static_cast<int>(theirs.as_u64()));
+    }
+  }
+
+  const Value x_other_raw = (co_await env.read(h.input[other])).value;
+  if (x_other_raw.is_bottom() || x_other_raw.as_u64() == input) {
+    co_return Value(input * denom);
+  }
+  const std::uint64_t x_other = x_other_raw.as_u64();
+  const std::uint64_t x0 = (me == 0) ? input : x_other;
+  const std::uint64_t x1 = (me == 0) ? x_other : input;
+  const std::uint64_t m = lab.pos();  // f(λ) numerator over 3^r
+  std::uint64_t y = 0;
+  if (2 * m < denom) {
+    y = (x0 == 0) ? m : denom - m;
+  } else {
+    y = (x1 == 1) ? m : denom - m;
+  }
+  co_return Value(y);
+}
+
+}  // namespace
+
+LabelAgreementHandles install_labelling_agreement(
+    sim::Sim& sim, int rounds, std::array<std::uint64_t, 2> inputs) {
+  usage_check(sim.n() == 2, "install_labelling_agreement: 2 processes");
+  usage_check(rounds >= 1 && rounds <= 39,
+              "install_labelling_agreement: rounds out of range");
+  usage_check(inputs[0] <= 1 && inputs[1] <= 1,
+              "install_labelling_agreement: binary inputs");
+  LabelAgreementHandles h;
+  h.input[0] = sim.add_input_register("I1", 0);
+  h.input[1] = sim.add_input_register("I2", 1);
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 2; ++i) {
+      // 1 data bit + the ⊥ "not written yet" state (see header comment).
+      h.rounds.push_back(sim.add_bottom_register(
+          "M" + std::to_string(r) + "." + std::to_string(i), i,
+          /*width_bits=*/2, /*write_once=*/true));
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn(i, [h, rounds, x = inputs[static_cast<std::size_t>(i)]](
+                     Env& env) -> Proc {
+      return label_agreement_body(env, h, rounds, x);
+    });
+  }
+  return h;
+}
+
+}  // namespace bsr::core

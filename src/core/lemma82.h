@@ -1,0 +1,44 @@
+// Lemma 8.2 instantiated in the IIS model: 2-process ε-agreement from the
+// 1-bit labelling protocol (§8.1).
+//
+// Each process runs the chromatic-path labelling protocol for r rounds over
+// iterated 1-bit registers (one fresh pair per round, written once and
+// immediate-snapshotted), obtaining a label position pos ∈ {0, …, 3^r}, and
+// decides by the §8.1 rule:
+//   - never saw the other's input (or inputs equal): decide own input;
+//   - otherwise f(λ) = pos/3^r, oriented by the inputs:
+//       2·pos < 3^r :  y = f      if x₀ = 0,  else 1 − f
+//       2·pos ≥ 3^r :  y = f      if x₁ = 1,  else 1 − f
+// giving ε = 3^{-r} in r rounds — the optimal base-3 convergence for two
+// processes (Hoest–Shavit), against Algorithm 6's base-2 with non-iterated
+// constant registers. Decisions are grid numerators over 3^r.
+//
+// Register accounting: [14] works in a dynamic-network model where a 1-bit
+// *message* may simply not arrive — absence is observable for free. In the
+// register formulation a round register must distinguish ⊥ (not yet
+// written) from the data bit, so each iterated register carries 1 data bit
+// plus the ⊥ state (a write-once 2-bit register here).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/sim.h"
+
+namespace bsr::core {
+
+/// 3^r (the output grid denominator).
+[[nodiscard]] std::uint64_t pow3(int r);
+
+struct LabelAgreementHandles {
+  std::array<int, 2> input;  ///< Write-once input registers.
+  /// Round registers (1 data bit + ⊥): rounds[r*2 + i] = M_r[i].
+  std::vector<int> rounds;
+};
+
+/// Installs the Lemma 8.2 protocol: r rounds, binary inputs, decisions =
+/// numerators over 3^r.
+LabelAgreementHandles install_labelling_agreement(
+    sim::Sim& sim, int rounds, std::array<std::uint64_t, 2> inputs);
+
+}  // namespace bsr::core

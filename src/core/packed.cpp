@@ -1,0 +1,167 @@
+#include "core/packed.h"
+
+#include "util/errors.h"
+
+namespace bsr::core {
+
+using sim::Env;
+using sim::OpResult;
+using sim::Proc;
+using sim::Task;
+using tasks::Config;
+
+std::array<int, 2> add_packed_registers(sim::Sim& sim) {
+  usage_check(sim.n() >= 2, "add_packed_registers: need two processes");
+  return {sim.add_register("packed.P1", 0, /*width_bits=*/3, Value(0)),
+          sim.add_register("packed.P2", 1, /*width_bits=*/3, Value(0))};
+}
+
+Task<std::uint64_t> packed_alg1_agree(Env& env, std::array<int, 2> regs,
+                                      std::uint64_t k, std::uint64_t input,
+                                      Alg1Diag* diag) {
+  const int me = env.pid();
+  const int other = 1 - me;
+  const std::uint64_t denom = alg1_denominator(k);
+
+  PackedWord mine;          // local shadow of my whole shared word
+  mine.set_input(input);    // line 2: publish the input field
+  co_await env.write(regs[me], Value(mine.raw));
+
+  std::uint64_t prec = 0;
+  std::uint64_t newv = 0;
+  std::uint64_t r = 0;
+  bool broke = false;
+  for (r = 1; r <= k; ++r) {                    // line 3
+    mine.set_r_bit(static_cast<int>(r % 2));    // line 4: rewrite whole word
+    co_await env.write(regs[me], Value(mine.raw));
+    PackedWord theirs;
+    theirs.raw = (co_await env.read(regs[other])).value.as_u64();  // line 5
+    newv = static_cast<std::uint64_t>(theirs.r_bit());
+    if (newv != prec) {  // line 6
+      prec = newv;
+    } else {  // line 7
+      broke = true;
+      break;
+    }
+  }
+  if (!broke) r = k;
+  if (diag != nullptr) diag->iterations[me] = static_cast<int>(r);
+
+  // Lines 8–10: my input is local; the other's input field needs a read.
+  PackedWord theirs;
+  theirs.raw = (co_await env.read(regs[other])).value.as_u64();
+  if (!theirs.input_present() || input == theirs.input()) {
+    if (diag != nullptr) diag->line[me] = Alg1DecideLine::SameInputs;
+    co_return input * denom;
+  }
+  const std::uint64_t x_other = theirs.input();
+
+  if (r == k && newv == k % 2) {  // lines 11–14
+    const bool who_is_me = (r % 2 == 0);
+    const std::uint64_t x_who = who_is_me ? input : x_other;
+    if (diag != nullptr) diag->line[me] = Alg1DecideLine::LoopEnd;
+    co_return x_who + k;
+  }
+
+  const bool who_is_me = (r % 2 != 0);  // lines 15–17
+  const std::uint64_t x_who = who_is_me ? input : x_other;
+  const std::int64_t numerator =
+      static_cast<std::int64_t>(x_who * denom) +
+      (x_who == 0 ? 1 : -1) * static_cast<std::int64_t>(r - 1);
+  model_check(numerator >= 0 && numerator <= static_cast<std::int64_t>(denom),
+              "packed Algorithm 1 produced an out-of-grid decision");
+  if (diag != nullptr) diag->line[me] = Alg1DecideLine::EarlyBreak;
+  co_return static_cast<std::uint64_t>(numerator);
+}
+
+namespace {
+
+Proc packed_alg1_body(Env& env, std::array<int, 2> regs, std::uint64_t k,
+                      std::uint64_t input, Alg1Diag* diag) {
+  const std::uint64_t y = co_await packed_alg1_agree(env, regs, k, input, diag);
+  co_return Value(y);
+}
+
+/// The packed Algorithm 2 body; mirrors alg2.cpp with the ε-agreement core
+/// and the "did the other write its input" check going through the packed
+/// registers.
+Proc packed_alg2_body(Env& env, PackedAlg2Handles h,
+                      const topo::Bmz2Plan* plan, Value my_task_input) {
+  const int me = env.pid();
+  const int other = 1 - me;
+  const auto L = static_cast<std::uint64_t>(plan->L);
+  const std::uint64_t k = (L - 1) / 2;
+
+  co_await env.write(h.task_input[me], my_task_input);  // line 2
+  Value x_other = (co_await env.read(h.task_input[other])).value;
+
+  const std::uint64_t my_view = x_other.is_bottom() ? 1 : 0;
+  const std::uint64_t d =
+      co_await packed_alg1_agree(env, h.packed, k, my_view, nullptr);
+
+  Config full(2);
+  full[static_cast<std::size_t>(me)] = my_task_input;
+
+  if (d == 0) {
+    model_check(!x_other.is_bottom(),
+                "packed Algorithm 2: decided 0 without the full input");
+    full[static_cast<std::size_t>(other)] = x_other;
+    co_return plan->delta_full.at(full).at(static_cast<std::size_t>(me));
+  }
+  if (d == L) {
+    Config partial = full;
+    partial[static_cast<std::size_t>(other)] = Value();
+    co_return plan->delta_partial.at(partial).at(static_cast<std::size_t>(me));
+  }
+  x_other = (co_await env.read(h.task_input[other])).value;  // line 11
+  model_check(!x_other.is_bottom(),
+              "packed Algorithm 2: other input still missing at 0 < d < L");
+  full[static_cast<std::size_t>(other)] = x_other;
+  Config partial = full;
+  partial[static_cast<std::size_t>(my_view == 1 ? other : me)] = Value();
+  co_return plan->path_for(full, partial)
+      .at(static_cast<std::size_t>(d))
+      .at(static_cast<std::size_t>(me));
+}
+
+}  // namespace
+
+std::array<int, 2> install_packed_alg1(sim::Sim& sim, std::uint64_t k,
+                                       std::array<std::uint64_t, 2> inputs,
+                                       Alg1Diag* diag) {
+  usage_check(sim.n() == 2, "install_packed_alg1: a 2-process protocol");
+  usage_check(k >= 1, "install_packed_alg1: k must be at least 1");
+  usage_check(inputs[0] <= 1 && inputs[1] <= 1,
+              "install_packed_alg1: inputs must be binary");
+  const std::array<int, 2> regs = add_packed_registers(sim);
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn(i, [regs, k, input = inputs[static_cast<std::size_t>(i)],
+                  diag](Env& env) -> Proc {
+      return packed_alg1_body(env, regs, k, input, diag);
+    });
+  }
+  return regs;
+}
+
+PackedAlg2Handles install_packed_alg2(sim::Sim& sim,
+                                      const topo::Bmz2Plan& plan,
+                                      const Config& inputs) {
+  usage_check(sim.n() == 2, "install_packed_alg2: a 2-process protocol");
+  usage_check(inputs.size() == 2 && tasks::is_full(inputs),
+              "install_packed_alg2: need two non-⊥ task inputs");
+  usage_check(plan.L >= 3 && plan.L % 2 == 1,
+              "install_packed_alg2: plan path length must be odd and >= 3");
+  PackedAlg2Handles h;
+  h.task_input[0] = sim.add_input_register("task.I1", 0);
+  h.task_input[1] = sim.add_input_register("task.I2", 1);
+  h.packed = add_packed_registers(sim);
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn(i, [h, plan = &plan,
+                  x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
+      return packed_alg2_body(env, h, plan, x);
+    });
+  }
+  return h;
+}
+
+}  // namespace bsr::core

@@ -1,0 +1,77 @@
+// Single-register variants of Algorithms 1 and 2 (§5.2.3, literally).
+//
+// The model grants each process *one* SWMR register; the paper notes a
+// register of b₁+b₂ bits emulates two registers of b₁ and b₂ bits (the
+// writer keeps a local shadow and rewrites the whole word). Algorithm 2's
+// statement is "3-bit registers": each process's ⊥/0/1 ε-agreement input
+// field (2 bits) and its alternating R bit share one register.
+//
+// This module provides that packed form: a per-process 3-bit register with
+// a field accessor discipline, the packed ε-agreement core, and the packed
+// universal construction — so Theorem 1.2's resource claim can be checked
+// with register count n and width 3, nothing else.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/alg1.h"
+#include "sim/sim.h"
+#include "tasks/explicit_task.h"
+#include "topo/bmz.h"
+
+namespace bsr::core {
+
+/// Field layout of the packed 3-bit register:
+///   bit 0      — the alternating coordination bit R
+///   bits 1..2  — the ε-agreement input field: 0 = ⊥, 1, 2 = input 0, 1.
+struct PackedWord {
+  std::uint64_t raw = 0;
+
+  [[nodiscard]] int r_bit() const noexcept {
+    return static_cast<int>(raw & 1);
+  }
+  [[nodiscard]] bool input_present() const noexcept {
+    return ((raw >> 1) & 3) != 0;
+  }
+  /// The ε-agreement input; only meaningful when input_present().
+  [[nodiscard]] std::uint64_t input() const noexcept {
+    return ((raw >> 1) & 3) - 1;
+  }
+
+  void set_r_bit(int b) noexcept {
+    raw = (raw & ~std::uint64_t{1}) | static_cast<std::uint64_t>(b & 1);
+  }
+  void set_input(std::uint64_t x) noexcept {
+    raw = (raw & ~std::uint64_t{6}) | ((x + 1) << 1);
+  }
+};
+
+/// Adds the two 3-bit registers (one per process) and returns their indices.
+[[nodiscard]] std::array<int, 2> add_packed_registers(sim::Sim& sim);
+
+/// Algorithm 1's ε-agreement core over the packed registers: identical
+/// decisions to alg1_agree, but each process's entire shared state is one
+/// 3-bit word. Returns the grid numerator over alg1_denominator(k).
+sim::Task<std::uint64_t> packed_alg1_agree(sim::Env& env,
+                                           std::array<int, 2> regs,
+                                           std::uint64_t k, std::uint64_t input,
+                                           Alg1Diag* diag = nullptr);
+
+/// Installs the packed Algorithm 1 (decisions = grid numerators).
+std::array<int, 2> install_packed_alg1(sim::Sim& sim, std::uint64_t k,
+                                       std::array<std::uint64_t, 2> inputs,
+                                       Alg1Diag* diag = nullptr);
+
+/// Installs the packed Algorithm 2: task inputs go through write-once input
+/// registers (free by the model), all coordination through the two 3-bit
+/// registers. Returns {task input registers, packed registers}.
+struct PackedAlg2Handles {
+  std::array<int, 2> task_input;
+  std::array<int, 2> packed;
+};
+PackedAlg2Handles install_packed_alg2(sim::Sim& sim,
+                                      const topo::Bmz2Plan& plan,
+                                      const tasks::Config& inputs);
+
+}  // namespace bsr::core

@@ -1,0 +1,235 @@
+#include "core/sec4.h"
+
+#include <map>
+#include <memory>
+
+#include "sim/explore.h"
+#include "tasks/checker.h"
+#include "util/errors.h"
+
+namespace bsr::core {
+
+using sim::Choice;
+using sim::Env;
+using sim::OpResult;
+using sim::Proc;
+using sim::Sim;
+
+std::uint64_t impossibility_threshold(int n, int t, int s_bits) {
+  usage_check(n > 2 && t > n / 2 && t < n, "impossibility_threshold: need n/2 < t < n, n > 2");
+  usage_check(s_bits >= 1 && s_bits * (n - t + 1) < 62,
+              "impossibility_threshold: word space too large to represent");
+  const std::uint64_t words = std::uint64_t{1}
+                              << (static_cast<std::uint64_t>(s_bits) *
+                                  static_cast<std::uint64_t>(n - t + 1));
+  return 2 * words + 1;
+}
+
+namespace {
+
+/// Registers are created in this fixed order so footprints are comparable
+/// across the 2-process search sim and the 3-process violation sim.
+struct Sec4Regs {
+  Alg1Handles h;
+  std::vector<int> all;  ///< I1, I2, R1, R2 — the late reader's footprint.
+};
+
+Sec4Regs add_sec4_registers(Sim& sim) {
+  Sec4Regs r;
+  r.h.input[0] = sim.add_bottom_register("alg1.I1", 0, 2, /*write_once=*/true);
+  r.h.input[1] = sim.add_bottom_register("alg1.I2", 1, 2, /*write_once=*/true);
+  r.h.comm[0] = sim.add_register("alg1.R1", 0, 1, Value(0));
+  r.h.comm[1] = sim.add_register("alg1.R2", 1, 1, Value(0));
+  r.all = {r.h.input[0], r.h.input[1], r.h.comm[0], r.h.comm[1]};
+  return r;
+}
+
+Proc early_body(Env& env, Alg1Handles h, std::uint64_t k, std::uint64_t input) {
+  const std::uint64_t y = co_await alg1_agree(env, h, k, input);
+  co_return Value(y);
+}
+
+}  // namespace
+
+std::optional<FootprintCollision> find_collision_for(
+    const EarlyFactory& factory, long max_steps) {
+  struct Entry {
+    std::array<std::uint64_t, 2> outputs;
+    std::vector<Choice> sched;
+  };
+  // Per footprint word: the executions attaining the smallest and largest
+  // output values seen so far.
+  std::map<std::string, std::pair<Entry, Entry>> best;  // (min-entry, max-entry)
+  std::optional<FootprintCollision> found;
+  long searched = 0;
+
+  sim::ExploreOptions opts;
+  opts.max_steps = max_steps;
+  const sim::Explorer ex(opts);
+  std::vector<int> regs;
+  ex.explore(
+      [&]() {
+        EarlySetup setup = factory();
+        usage_check(setup.sim != nullptr && setup.sim->n() == 2,
+                    "find_collision_for: factory must build a 2-process sim");
+        regs = setup.footprint;
+        return std::move(setup.sim);
+      },
+      [&](Sim& sim, const std::vector<Choice>& sched) {
+        ++searched;
+        if (found) return;
+        const std::string word = sim.register_word(regs);
+        const Entry e{{sim.decision(0).as_u64(), sim.decision(1).as_u64()},
+                      sched};
+        const std::uint64_t lo = std::min(e.outputs[0], e.outputs[1]);
+        const std::uint64_t hi = std::max(e.outputs[0], e.outputs[1]);
+        auto it = best.find(word);
+        if (it == best.end()) {
+          best.emplace(word, std::make_pair(e, e));
+          return;
+        }
+        auto& [mn, mx] = it->second;
+        const auto lo_of = [](const Entry& x) {
+          return std::min(x.outputs[0], x.outputs[1]);
+        };
+        const auto hi_of = [](const Entry& x) {
+          return std::max(x.outputs[0], x.outputs[1]);
+        };
+        if (lo < lo_of(mn)) mn = e;
+        if (hi > hi_of(mx)) mx = e;
+        // Indistinguishable executions whose combined output spread is ≥ 3
+        // grid steps: no single late output can be within 1 of both.
+        if (hi_of(mx) - lo_of(mn) >= 3) {
+          FootprintCollision c;
+          c.word = word;
+          c.outputs_a = mn.outputs;
+          c.outputs_b = mx.outputs;
+          c.sched_a = mn.sched;
+          c.sched_b = mx.sched;
+          found = c;
+        }
+      });
+  if (found) found->executions_searched = searched;
+  return found;
+}
+
+std::optional<FootprintCollision> find_footprint_collision(std::uint64_t k) {
+  usage_check(k >= 1 && k <= 6,
+              "find_footprint_collision: exhaustive search needs small k");
+  auto found = find_collision_for([k]() {
+    EarlySetup setup;
+    setup.sim = std::make_unique<Sim>(2);
+    const Sec4Regs r = add_sec4_registers(*setup.sim);
+    setup.footprint = r.all;
+    for (int i = 0; i < 2; ++i) {
+      setup.sim->spawn(i, [h = r.h, k, input = static_cast<std::uint64_t>(i)](
+                              Env& env) -> Proc {
+        return early_body(env, h, k, input);
+      });
+    }
+    return setup;
+  });
+  if (found) found->k = k;
+  return found;
+}
+
+namespace {
+
+Proc quantized_body(Env& env, std::array<int, 2> regs, int rounds,
+                    std::uint64_t grid_max, std::uint64_t input) {
+  const int me = env.pid();
+  const int other = 1 - me;
+  std::uint64_t est = input * grid_max;  // endpoints of the s-bit grid
+  for (int r = 0; r < rounds; ++r) {
+    co_await env.write(regs[static_cast<std::size_t>(me)], Value(est));
+    const OpResult got =
+        co_await env.read(regs[static_cast<std::size_t>(other)]);
+    est = (est + got.value.as_u64()) / 2;  // unwritten register reads as 0
+  }
+  co_return Value(est);
+}
+
+}  // namespace
+
+EarlySetup make_quantized_early_group(int s_bits, int rounds) {
+  usage_check(s_bits >= 2 && s_bits <= 6 && rounds >= 1 && rounds <= 6,
+              "make_quantized_early_group: parameters out of range");
+  EarlySetup setup;
+  setup.sim = std::make_unique<Sim>(2);
+  std::array<int, 2> regs{
+      setup.sim->add_register("Q1", 0, s_bits, Value(0)),
+      setup.sim->add_register("Q2", 1, s_bits, Value(0)),
+  };
+  setup.footprint = {regs[0], regs[1]};
+  const std::uint64_t grid_max = (std::uint64_t{1} << s_bits) - 1;
+  for (int i = 0; i < 2; ++i) {
+    setup.sim->spawn(
+        i, [regs, rounds, grid_max,
+            input = static_cast<std::uint64_t>(i)](Env& env) -> Proc {
+          return quantized_body(env, regs, rounds, grid_max, input);
+        });
+  }
+  return setup;
+}
+
+RuleRefutation refute_completion_rule(const FootprintCollision& c,
+                                      const CompletionRule& rule) {
+  RuleRefutation r;
+  r.rule_output = rule(c.word);
+  const auto far = [&](const std::array<std::uint64_t, 2>& outs) {
+    for (std::uint64_t y : outs) {
+      const std::uint64_t d =
+          y > r.rule_output ? y - r.rule_output : r.rule_output - y;
+      if (d >= 2) return true;
+    }
+    return false;
+  };
+  r.violates_a = far(c.outputs_a);
+  r.violates_b = far(c.outputs_b);
+  return r;
+}
+
+namespace {
+
+Proc late_body(Env& env, Sec4Regs regs, CompletionRule rule) {
+  // A late process reads the whole footprint, then decides.
+  std::string word;
+  for (int reg : regs.all) {
+    const OpResult got = co_await env.read(reg);
+    word += got.value.str();
+    word += '|';
+  }
+  co_return Value(rule(word));
+}
+
+}  // namespace
+
+tasks::Config run_violation(const FootprintCollision& c, bool use_execution_a,
+                            const CompletionRule& rule, int n_total) {
+  usage_check(n_total >= 3, "run_violation: need at least one late process");
+  Sim sim(n_total);
+  const Sec4Regs regs = add_sec4_registers(sim);
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn(i, [h = regs.h, k = c.k,
+                  input = static_cast<std::uint64_t>(i)](Env& env) -> Proc {
+      return early_body(env, h, k, input);
+    });
+  }
+  for (int i = 2; i < n_total; ++i) {
+    sim.spawn(i, [regs, rule](Env& env) -> Proc {
+      return late_body(env, regs, rule);
+    });
+  }
+  // Replay the early group's execution; p2 takes no step during it.
+  const std::vector<Choice>& sched = use_execution_a ? c.sched_a : c.sched_b;
+  const std::size_t applied = run_schedule(sim, sched);
+  usage_check(applied == sched.size(), "run_violation: replay diverged");
+  usage_check(sim.terminated(0) && sim.terminated(1),
+              "run_violation: early group did not decide during replay");
+  // Now the late process runs alone (the early ones are done — in the
+  // paper's scenario they have crashed, which is indistinguishable).
+  run_round_robin(sim);
+  return tasks::decisions_of(sim);
+}
+
+}  // namespace bsr::core

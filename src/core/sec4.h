@@ -1,0 +1,113 @@
+// §4: non-universality when a majority of processes may fail
+// (Theorem 1.1 / Proposition 4.1), reproduced executably.
+//
+// The proof works by pigeonhole on the shared-register footprint: with
+// registers of f(n) bits, the n−t+1 "early" processes can leave at most
+// (2^{f(n)})^{n−t+1} distinct footprints, while for k = 2·(2^{f(n)})^{n−t+1}+1
+// there are (k−1)/2 + 1 mutually-exclusive output classes O_0, O_2, …,
+// O_{k−1}. Two executions with the same footprint but far-apart outputs are
+// indistinguishable to the "late" processes, so whatever a late process
+// decides violates ε-agreement in one of them.
+//
+// We reproduce the mechanism on the concrete case n = 3, t = 2 (wait-free),
+// with the early group {p0, p1} running Algorithm 1 (1-bit registers) on
+// inputs (0, 1):
+//   1. find_footprint_collision enumerates all executions of Algorithm 1
+//      and returns two with identical register footprints whose outputs are
+//      ≥ 2 grid steps apart — it exists whenever the grid is finer than the
+//      footprint space (k ≥ 9 here), matching the pigeonhole threshold;
+//   2. refute_completion_rule takes *any* candidate decision rule for the
+//      late process p2 (a function of the footprint it reads) and returns
+//      the execution in which that rule breaks ε-agreement — demonstrating
+//      that no extension of the protocol to p2 exists;
+//   3. run_violation executes the losing scenario end-to-end in a 3-process
+//      simulation (replay collision prefix, crash the early group, run p2)
+//      and returns the illegal output configuration.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/alg1.h"
+#include "sim/sched.h"
+#include "tasks/task.h"
+
+namespace bsr::core {
+
+/// The §4 threshold: the grid denominator beyond which no protocol whose
+/// early group leaves s-bit footprints can solve ε-agreement.
+/// k(n, t, s) = 2 · (2^s)^{n−t+1} + 1.
+[[nodiscard]] std::uint64_t impossibility_threshold(int n, int t, int s_bits);
+
+/// Two Algorithm 1 executions indistinguishable to a late reader.
+struct FootprintCollision {
+  std::string word;  ///< Common footprint: R1 | R2 | I1 | I2 contents.
+  std::array<std::uint64_t, 2> outputs_a;  ///< (y1, y2) in execution A.
+  std::array<std::uint64_t, 2> outputs_b;  ///< (y1, y2) in execution B.
+  std::vector<sim::Choice> sched_a;
+  std::vector<sim::Choice> sched_b;
+  std::uint64_t k = 0;      ///< Algorithm 1 parameter; grid = 2k+1.
+  long executions_searched = 0;
+};
+
+/// Exhaustively searches the executions of Algorithm 1 with inputs (0, 1)
+/// for a footprint collision with outputs ≥ 2 grid steps apart.
+[[nodiscard]] std::optional<FootprintCollision> find_footprint_collision(
+    std::uint64_t k);
+
+/// A pluggable early group for the adversary: builds a 2-process protocol
+/// into a fresh Sim and reports which registers form the footprint a late
+/// process would read. Process decisions must be grid numerators.
+struct EarlySetup {
+  std::unique_ptr<sim::Sim> sim;
+  std::vector<int> footprint;
+};
+using EarlyFactory = std::function<EarlySetup()>;
+
+/// The generic pigeonhole search: enumerates every execution of the early
+/// group and returns two with identical footprints whose combined output
+/// spread is ≥ 3 (so no late value is within 1 of both executions'
+/// outputs). `k` in the result is left 0 — grid interpretation belongs to
+/// the protocol. Works for any bounded-register 2-process protocol.
+[[nodiscard]] std::optional<FootprintCollision> find_collision_for(
+    const EarlyFactory& factory, long max_steps = 300);
+
+/// A second concrete early group: quantized midpoint averaging — each
+/// process repeatedly writes its s-bit quantized estimate and averages with
+/// what it reads, for `rounds` rounds (a natural-looking bounded-register
+/// ε-agreement attempt). The adversary defeats it too, as Theorem 1.1
+/// demands of *every* bounded protocol.
+[[nodiscard]] EarlySetup make_quantized_early_group(int s_bits, int rounds);
+
+/// A candidate decision rule for the late process: footprint word ↦ output
+/// grid numerator (over 2k+1).
+using CompletionRule = std::function<std::uint64_t(const std::string&)>;
+
+/// Which of the two collision executions a completion rule loses in.
+struct RuleRefutation {
+  bool violates_a = false;
+  bool violates_b = false;
+  std::uint64_t rule_output = 0;
+};
+
+/// Evaluates a completion rule against a collision: the rule's (single,
+/// footprint-determined) output is ≥ 2 grid steps from some early output in
+/// at least one of the two executions.
+[[nodiscard]] RuleRefutation refute_completion_rule(
+    const FootprintCollision& c, const CompletionRule& rule);
+
+/// End-to-end violation: an n-process simulation (n ≥ 3; the t > n/2 case
+/// has the early group of size n−t+1 = 2 here) where p0, p1 replay one of
+/// the collision executions of Algorithm 1 and stop, and every late process
+/// p2 … p_{n−1} decides by reading the registers and applying `rule`.
+/// Returns the resulting output configuration (which violates ε-agreement
+/// for the losing execution).
+[[nodiscard]] tasks::Config run_violation(const FootprintCollision& c,
+                                          bool use_execution_a,
+                                          const CompletionRule& rule,
+                                          int n_total = 3);
+
+}  // namespace bsr::core

@@ -1,0 +1,273 @@
+#include "core/sec6.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "msg/abd.h"
+#include "msg/abp.h"
+#include "msg/local.h"
+#include "msg/router.h"
+#include "util/codec.h"
+#include "util/errors.h"
+
+namespace bsr::core {
+
+using msg::AbdLayer;
+using msg::FloodRouter;
+using msg::LocalTask;
+using sim::Env;
+using sim::OpResult;
+using sim::Proc;
+
+std::function<bool(const sim::Sim&)> Sec6Result::done_predicate(
+    std::shared_ptr<Sec6Result> res) {
+  return [res](const sim::Sim& sim) {
+    for (sim::Pid p = 0; p < sim.n(); ++p) {
+      if (!sim.crashed(p) &&
+          !res->decision[static_cast<std::size_t>(p)].has_value()) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+namespace {
+
+std::uint64_t reg_id(int round, int pid, int n) {
+  return static_cast<std::uint64_t>(round) * static_cast<std::uint64_t>(n) +
+         static_cast<std::uint64_t>(pid);
+}
+
+/// The application of Theorem 1.3's demonstration: T-round midpoint
+/// averaging over the emulated registers (see file comment).
+LocalTask averaging_app(AbdLayer& abd, int n, int me, int rounds,
+                        std::uint64_t input,
+                        std::shared_ptr<Sec6Result> result) {
+  std::uint64_t est = input << rounds;
+  for (int r = 0; r < rounds; ++r) {
+    co_await abd.write(reg_id(r, me, n), Value(est));
+    std::uint64_t lo = est;
+    std::uint64_t hi = est;
+    for (int j = 0; j < n; ++j) {
+      if (j == me) continue;
+      const Value v = co_await abd.read(reg_id(r, j, n));
+      if (v.is_bottom()) continue;
+      lo = std::min(lo, v.as_u64());
+      hi = std::max(hi, v.as_u64());
+    }
+    est = (lo + hi) / 2;  // exact: round-r values share a 2^{T-r} factor
+  }
+  result->decision[static_cast<std::size_t>(me)] = est;
+}
+
+void check_stack_args(const sim::Sim& sim, Sec6Options opts,
+                      const std::vector<std::uint64_t>& inputs) {
+  usage_check(opts.t >= 1 && 2 * opts.t < sim.n(),
+              "sec6: Theorem 1.3 requires 1 <= t < n/2");
+  usage_check(opts.rounds >= 1 && opts.rounds <= 32, "sec6: bad round count");
+  usage_check(static_cast<int>(inputs.size()) == sim.n(),
+              "sec6: one input per process");
+  for (std::uint64_t x : inputs) {
+    usage_check(x <= 1, "sec6: inputs must be binary");
+  }
+}
+
+// ------------------------------------------------------------- native ABD --
+
+Proc abd_node_body(Env& env, Sec6Options opts, std::uint64_t input,
+                   std::shared_ptr<Sec6Result> result) {
+  const int n = env.n();
+  const int me = env.pid();
+  std::deque<std::pair<sim::Pid, Value>> outbox;
+  AbdLayer abd(me, n, opts.t, [&outbox](sim::Pid dst, Value payload) {
+    outbox.emplace_back(dst, std::move(payload));
+  });
+  const LocalTask app = averaging_app(abd, n, me, opts.rounds, input, result);
+  for (;;) {
+    app.rethrow_if_failed();
+    while (!outbox.empty()) {
+      auto [to, v] = std::move(outbox.front());
+      outbox.pop_front();
+      co_await env.send(to, std::move(v));
+    }
+    const OpResult m = co_await env.recv();  // serve forever
+    abd.on_message(m.from, m.value);
+  }
+}
+
+// ------------------------------------------------------- native ring + ABD --
+
+Proc ring_node_body(Env& env, Sec6Options opts, std::uint64_t input,
+                    std::shared_ptr<Sec6Result> result) {
+  const int n = env.n();
+  const int me = env.pid();
+  std::deque<std::pair<sim::Pid, Value>> outbox;
+  FloodRouter router(me, n, opts.t);
+  AbdLayer abd(me, n, opts.t,
+               [&outbox, &router](sim::Pid dst, Value payload) {
+                 for (msg::LinkSend& ls : router.send(dst, std::move(payload))) {
+                   outbox.emplace_back(ls.to, std::move(ls.envelope));
+                 }
+               });
+  const LocalTask app = averaging_app(abd, n, me, opts.rounds, input, result);
+  for (;;) {
+    app.rethrow_if_failed();
+    while (!outbox.empty()) {
+      auto [to, v] = std::move(outbox.front());
+      outbox.pop_front();
+      co_await env.send(to, std::move(v));
+    }
+    const OpResult m = co_await env.recv();
+    FloodRouter::RxResult rx = router.on_receive(m.value);
+    for (msg::LinkSend& ls : rx.forwards) {
+      outbox.emplace_back(ls.to, std::move(ls.envelope));
+    }
+    for (auto& [src, payload] : rx.deliveries) {
+      abd.on_message(src, payload);
+    }
+  }
+}
+
+// --------------------------------------------------------- register stack --
+
+/// Bit layout of process i's 3(t+1)-bit register:
+///   bits [2(o-1), 2(o-1)+1]  — (data, alt) of the out-link to (i+o) mod n
+///   bit  [2(t+1) + (o-1)]    — ack of the in-link from (i-o) mod n
+struct SlotLayout {
+  int t;
+  [[nodiscard]] int out_data(int o) const { return 2 * (o - 1); }
+  [[nodiscard]] int out_alt(int o) const { return 2 * (o - 1) + 1; }
+  [[nodiscard]] int ack(int o) const { return 2 * (t + 1) + (o - 1); }
+};
+
+int bit_of(std::uint64_t word, int pos) {
+  return static_cast<int>((word >> pos) & 1);
+}
+
+Proc abp_node_body(Env& env, Sec6Options opts, std::uint64_t input,
+                   std::vector<int> regs,
+                   std::shared_ptr<Sec6Result> result) {
+  const int n = env.n();
+  const int me = env.pid();
+  const int t = opts.t;
+  const SlotLayout layout{t};
+  FloodRouter router(me, n, t);
+
+  // One ABP sender per out-neighbour, one receiver per in-neighbour.
+  std::map<sim::Pid, msg::AbpSender> senders;
+  for (sim::Pid nb : router.out_neighbours()) senders[nb];
+  std::map<sim::Pid, msg::AbpReceiver> receivers;
+  for (sim::Pid nb : router.in_neighbours()) receivers[nb];
+
+  const auto enqueue_env = [&](const msg::LinkSend& ls) {
+    senders.at(ls.to).enqueue(encode_bits(ls.envelope));
+  };
+
+  AbdLayer abd(me, n, t, [&](sim::Pid dst, Value payload) {
+    for (const msg::LinkSend& ls : router.send(dst, std::move(payload))) {
+      enqueue_env(ls);
+    }
+  });
+  const LocalTask app = averaging_app(abd, n, me, opts.rounds, input, result);
+
+  std::uint64_t shadow = 0;  // local copy of my register's contents
+  for (;;) {
+    app.rethrow_if_failed();
+    // One pump: read every relevant peer register once...
+    std::map<sim::Pid, std::uint64_t> peer;
+    for (const auto& [nb, _] : receivers) peer[nb] = 0;
+    for (const auto& [nb, _] : senders) peer[nb] = 0;
+    for (auto& [nb, word] : peer) {
+      word = (co_await env.read(regs[static_cast<std::size_t>(nb)]))
+                 .value.as_u64();
+    }
+    // ...drain incoming links (my in-link from nb is nb's out-link with
+    // offset (me - nb) mod n)...
+    for (auto& [nb, recv] : receivers) {
+      const int o = ((me - nb) % n + n) % n;
+      const std::uint64_t w = peer.at(nb);
+      for (BitVec& bits :
+           recv.poll(bit_of(w, layout.out_data(o)), bit_of(w, layout.out_alt(o)))) {
+        FloodRouter::RxResult rx = router.on_receive(decode_bits(bits));
+        for (const msg::LinkSend& ls : rx.forwards) enqueue_env(ls);
+        for (auto& [src, payload] : rx.deliveries) abd.on_message(src, payload);
+      }
+    }
+    // ...advance outgoing links (nb stores the ack for my link me→nb in its
+    // in-slot with offset (nb - me) mod n)...
+    for (auto& [nb, snd] : senders) {
+      const int o = ((nb - me) % n + n) % n;
+      snd.poll(bit_of(peer.at(nb), layout.ack(o)));
+    }
+    // ...and publish my new wire state in a single register write.
+    std::uint64_t now = 0;
+    for (const auto& [nb, snd] : senders) {
+      const int o = ((nb - me) % n + n) % n;
+      now |= static_cast<std::uint64_t>(snd.wire_data()) << layout.out_data(o);
+      now |= static_cast<std::uint64_t>(snd.wire_alt()) << layout.out_alt(o);
+    }
+    for (const auto& [nb, recv] : receivers) {
+      const int o = ((me - nb) % n + n) % n;
+      now |= static_cast<std::uint64_t>(recv.ack_bit()) << layout.ack(o);
+    }
+    if (now != shadow) {
+      co_await env.write(regs[static_cast<std::size_t>(me)], Value(now));
+      shadow = now;
+    }
+  }
+}
+
+}  // namespace
+
+void install_abd_stack(sim::Sim& sim, Sec6Options opts,
+                       const std::vector<std::uint64_t>& inputs,
+                       std::shared_ptr<Sec6Result> result) {
+  check_stack_args(sim, opts, inputs);
+  for (int i = 0; i < sim.n(); ++i) {
+    sim.spawn(i, [opts, x = inputs[static_cast<std::size_t>(i)],
+                  result](Env& env) -> Proc {
+      return abd_node_body(env, opts, x, result);
+    });
+  }
+}
+
+sim::SimOptions ring_sim_options(int n, int t) {
+  sim::SimOptions o;
+  o.n = n;
+  o.edges = msg::t_augmented_ring(n, t);
+  return o;
+}
+
+void install_ring_stack(sim::Sim& sim, Sec6Options opts,
+                        const std::vector<std::uint64_t>& inputs,
+                        std::shared_ptr<Sec6Result> result) {
+  check_stack_args(sim, opts, inputs);
+  for (int i = 0; i < sim.n(); ++i) {
+    sim.spawn(i, [opts, x = inputs[static_cast<std::size_t>(i)],
+                  result](Env& env) -> Proc {
+      return ring_node_body(env, opts, x, result);
+    });
+  }
+}
+
+std::vector<int> install_register_stack(sim::Sim& sim, Sec6Options opts,
+                                        const std::vector<std::uint64_t>& inputs,
+                                        std::shared_ptr<Sec6Result> result) {
+  check_stack_args(sim, opts, inputs);
+  std::vector<int> regs;
+  for (int i = 0; i < sim.n(); ++i) {
+    regs.push_back(sim.add_register("abp.R" + std::to_string(i), i,
+                                    sec6_register_bits(opts.t), Value(0)));
+  }
+  for (int i = 0; i < sim.n(); ++i) {
+    sim.spawn(i, [opts, x = inputs[static_cast<std::size_t>(i)], regs,
+                  result](Env& env) -> Proc {
+      return abp_node_body(env, opts, x, regs, result);
+    });
+  }
+  return regs;
+}
+
+}  // namespace bsr::core

@@ -1,0 +1,354 @@
+#include "core/sec7.h"
+
+#include <set>
+
+#include "util/errors.h"
+
+namespace bsr::core {
+
+using sim::Env;
+using sim::OpResult;
+using sim::Proc;
+using tasks::Config;
+
+sim::Task<Value> alg4_simulate(Env& env, Alg4Handles h,
+                               const memory::FullInfoConfigs* cfgs,
+                               Value w0) {
+  const int n = env.n();
+  const int me = env.pid();
+  Value w = std::move(w0);  // W_i^{r-1}, the current simulated view (line 2)
+
+  for (int r = 1; r <= cfgs->k; ++r) {  // line 4
+    std::vector<Value> w_next(static_cast<std::size_t>(n));  // line 5
+    const auto [first, last] = cfgs->round_range(r - 1);
+    for (std::size_t rho = first; rho < last; ++rho) {  // line 6
+      const Config& c_rho = cfgs->flat[rho];
+      // Lines 7–10: write 1 iff my simulated view is my entry of c_ρ.
+      const std::uint64_t bit =
+          (c_rho[static_cast<std::size_t>(me)] == w) ? 1 : 0;
+      std::vector<int> group(
+          h.regs.begin() + static_cast<std::ptrdiff_t>(rho) * n,
+          h.regs.begin() + static_cast<std::ptrdiff_t>(rho) * n + n);
+      const OpResult snap = co_await env.write_snapshot(
+          group[static_cast<std::size_t>(me)], Value(bit), group);  // line 11
+      // Line 12: a 1 from process j reveals that j's round-(r-1) view is
+      // c_ρ[j]; the iteration index carries the value.
+      for (int j = 0; j < n; ++j) {
+        if (!snap.value.at(static_cast<std::size_t>(j)).is_bottom() &&
+            snap.value.at(static_cast<std::size_t>(j)).as_u64() == 1) {
+          w_next[static_cast<std::size_t>(j)] =
+              c_rho[static_cast<std::size_t>(j)];
+        }
+      }
+    }
+    w = Value(std::move(w_next));
+  }
+  co_return w;  // line 13
+}
+
+namespace {
+
+Proc alg4_body(Env& env, Alg4Handles h, const memory::FullInfoConfigs* cfgs,
+               Value w0) {
+  Value w = co_await alg4_simulate(env, h, cfgs, std::move(w0));
+  co_return w;
+}
+
+}  // namespace
+
+Alg4Handles install_alg4(sim::Sim& sim,
+                         const memory::FullInfoConfigs& configs,
+                         const Config& init) {
+  const int n = sim.n();
+  usage_check(configs.n == n, "install_alg4: configuration space n mismatch");
+  usage_check(static_cast<int>(init.size()) == n,
+              "install_alg4: bad initial configuration");
+  Alg4Handles h;
+  h.iterations = configs.flat.size();
+  h.regs.reserve(h.iterations * static_cast<std::size_t>(n));
+  for (std::size_t rho = 0; rho < h.iterations; ++rho) {
+    for (int i = 0; i < n; ++i) {
+      // The whole point: every register of every iterated memory is 1 bit.
+      h.regs.push_back(sim.add_register(
+          "M" + std::to_string(rho) + "." + std::to_string(i), i,
+          /*width_bits=*/1, Value(0)));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    sim.spawn(i, [h, cfgs = &configs,
+                  w0 = init[static_cast<std::size_t>(i)]](Env& env) -> Proc {
+      return alg4_body(env, h, cfgs, w0);
+    });
+  }
+  return h;
+}
+
+bool alg4_output_valid(const memory::FullInfoConfigs& configs,
+                       const Config& final_views) {
+  for (const Config& c : configs.per_round.back()) {
+    if (tasks::extends(c, final_views)) return true;
+  }
+  return false;
+}
+
+Alg4AgreementPlan::Alg4AgreementPlan(int k) : k_(k) {
+  usage_check(k >= 1 && k <= 3, "Alg4AgreementPlan: k out of range");
+  denom_ = 1;
+  for (int i = 0; i < k; ++i) denom_ *= 3;
+
+  // The simulation's configuration space covers every binary input pair
+  // (the protocol does not know the other process's input up front).
+  std::vector<Config> inits;
+  for (std::uint64_t mask = 0; mask < 4; ++mask) {
+    inits.push_back(memory::initial_full_info_config(
+        {Value(mask & 1), Value((mask >> 1) & 1)}));
+  }
+  configs_ = memory::enumerate_full_info_configs(inits, 2, k);
+
+  // Per input pair: index the chromatic path of (pid, view) vertices in
+  // C^k restricted to that input, oriented from the p0-solo view.
+  for (std::uint64_t x0 = 0; x0 <= 1; ++x0) {
+    for (std::uint64_t x1 = 0; x1 <= 1; ++x1) {
+      const Config init =
+          memory::initial_full_info_config({Value(x0), Value(x1)});
+      const auto sub = memory::enumerate_full_info_configs({init}, 2, k);
+      const auto& finals = sub.per_round.back();
+      usage_check(finals.size() == denom_,
+                  "Alg4AgreementPlan: C^k is not the 3^k path");
+      using V = std::pair<int, Value>;
+      std::map<V, std::set<V>> adj;
+      for (const Config& c : finals) {
+        adj[{0, c[0]}].insert({1, c[1]});
+        adj[{1, c[1]}].insert({0, c[0]});
+      }
+      // Solo extremities: p0 (resp. p1) first in every round.
+      Config solo0 = init;
+      Config solo1 = init;
+      for (int r = 0; r < k; ++r) {
+        solo0 = memory::apply_full_info_round(solo0, {0b01, 0b11});
+        solo1 = memory::apply_full_info_round(solo1, {0b11, 0b10});
+      }
+      const V start{0, solo0[0]};
+      const V finish{1, solo1[1]};
+      usage_check(adj.contains(start) && adj.contains(finish),
+                  "Alg4AgreementPlan: solo views missing");
+      auto& table = index_[static_cast<std::size_t>(x0 + 2 * x1)];
+      V prev = start;
+      V cur = start;
+      std::uint64_t idx = 0;
+      table[cur] = 0;
+      while (!(cur == finish)) {
+        usage_check(adj.at(cur).size() <= 2,
+                    "Alg4AgreementPlan: branching complex");
+        V next = cur;
+        bool found = false;
+        for (const V& cand : adj.at(cur)) {
+          if (cand == prev) continue;
+          usage_check(!found, "Alg4AgreementPlan: branching complex");
+          next = cand;
+          found = true;
+        }
+        usage_check(found, "Alg4AgreementPlan: dead end before p1-solo view");
+        prev = cur;
+        cur = next;
+        table[cur] = ++idx;
+      }
+      usage_check(idx == denom_, "Alg4AgreementPlan: path length != 3^k");
+      usage_check(table.size() == adj.size(),
+                  "Alg4AgreementPlan: views off the main path");
+    }
+  }
+}
+
+std::uint64_t Alg4AgreementPlan::index_of(int pid, const Value& view,
+                                          std::uint64_t x0,
+                                          std::uint64_t x1) const {
+  usage_check(x0 <= 1 && x1 <= 1, "Alg4AgreementPlan: binary inputs");
+  const auto& table = index_[static_cast<std::size_t>(x0 + 2 * x1)];
+  const auto it = table.find({pid, view});
+  usage_check(it != table.end(), "Alg4AgreementPlan: unknown view");
+  return it->second;
+}
+
+namespace {
+
+Proc alg4_agreement_body(Env& env, Alg4Handles h, std::array<int, 2> inputs_r,
+                         const Alg4AgreementPlan* plan, std::uint64_t input) {
+  const int me = env.pid();
+  const int other = 1 - me;
+  const std::uint64_t denom = plan->denominator();
+
+  co_await env.write(inputs_r[static_cast<std::size_t>(me)], Value(input));
+
+  // My initial full-information view: my input at my own index.
+  std::vector<Value> w0(2);
+  w0[static_cast<std::size_t>(me)] = Value(input);
+  const Value w =
+      co_await alg4_simulate(env, h, &plan->configs(), Value(std::move(w0)));
+
+  const Value x_other_raw =
+      (co_await env.read(inputs_r[static_cast<std::size_t>(other)])).value;
+  if (x_other_raw.is_bottom() || x_other_raw.as_u64() == input) {
+    co_return Value(input * denom);
+  }
+  const std::uint64_t x_other = x_other_raw.as_u64();
+  const std::uint64_t x0 = (me == 0) ? input : x_other;
+  const std::uint64_t x1 = (me == 0) ? x_other : input;
+  const std::uint64_t m = plan->index_of(me, w, x0, x1);
+  std::uint64_t y = 0;
+  if (2 * m < denom) {  // §8.1 orientation rule
+    y = (x0 == 0) ? m : denom - m;
+  } else {
+    y = (x1 == 1) ? m : denom - m;
+  }
+  co_return Value(y);
+}
+
+}  // namespace
+
+Alg4Handles install_alg4_agreement(sim::Sim& sim,
+                                   const Alg4AgreementPlan& plan,
+                                   std::array<std::uint64_t, 2> inputs) {
+  usage_check(sim.n() == 2, "install_alg4_agreement: 2 processes");
+  usage_check(inputs[0] <= 1 && inputs[1] <= 1,
+              "install_alg4_agreement: binary inputs");
+  std::array<int, 2> inputs_r{sim.add_input_register("I1", 0),
+                              sim.add_input_register("I2", 1)};
+  Alg4Handles h;
+  h.iterations = plan.configs().flat.size();
+  h.regs.reserve(h.iterations * 2);
+  for (std::size_t rho = 0; rho < h.iterations; ++rho) {
+    for (int i = 0; i < 2; ++i) {
+      h.regs.push_back(sim.add_register(
+          "M" + std::to_string(rho) + "." + std::to_string(i), i,
+          /*width_bits=*/1, Value(0)));
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn(i, [h, inputs_r, plan = &plan,
+                  x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
+      return alg4_agreement_body(env, h, inputs_r, plan, x);
+    });
+  }
+  return h;
+}
+
+namespace {
+
+/// Algorithm 3, code for one process (paper line numbers in comments).
+Proc alg3_body(Env& env, Alg3Handles h, Value input) {
+  const int n = env.n();
+  const int me = env.pid();
+  // Line 2–3: myview starts with only my input, at my own index.
+  std::vector<Value> myview(static_cast<std::size_t>(n));
+  myview[static_cast<std::size_t>(me)] = std::move(input);
+  for (int r = 0; r < h.k; ++r) {  // line 4
+    const std::size_t base =
+        static_cast<std::size_t>(r) * static_cast<std::size_t>(n);
+    co_await env.write(h.regs[base + static_cast<std::size_t>(me)],
+                       Value(myview));  // line 5
+    // Line 6: collect — n individual reads.
+    std::vector<Value> next(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      next[static_cast<std::size_t>(j)] =
+          (co_await env.read(h.regs[base + static_cast<std::size_t>(j)])).value;
+    }
+    myview = std::move(next);
+  }
+  co_return Value(std::move(myview));  // line 7
+}
+
+}  // namespace
+
+Alg3Handles install_full_info_ic(sim::Sim& sim, int k,
+                                 const std::vector<Value>& inputs) {
+  const int n = sim.n();
+  usage_check(k >= 1 && k <= 8, "install_full_info_ic: k out of range");
+  usage_check(static_cast<int>(inputs.size()) == n,
+              "install_full_info_ic: one input per process");
+  Alg3Handles h;
+  h.k = k;
+  for (int r = 0; r < k; ++r) {
+    for (int i = 0; i < n; ++i) {
+      h.regs.push_back(sim.add_register(
+          "M" + std::to_string(r) + "." + std::to_string(i), i,
+          sim::kUnbounded, Value()));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    sim.spawn(i, [h, x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
+      return alg3_body(env, h, x);
+    });
+  }
+  return h;
+}
+
+namespace {
+
+/// Algorithm 5, code for one process.
+Proc alg5_body(Env& env, Alg5Handles h, Value x) {
+  const int n = env.n();
+  const int me = env.pid();
+  bool done = false;  // b_i
+  std::vector<Value> snapshot(static_cast<std::size_t>(n));  // S_i
+
+  for (int rho = 1; rho <= n; ++rho) {  // line 2
+    // Line 3: write (x_i, b_i) into M_ρ[i].
+    const std::size_t base =
+        static_cast<std::size_t>(rho - 1) * static_cast<std::size_t>(n);
+    co_await env.write(h.regs[base + static_cast<std::size_t>(me)],
+                       make_vec(x, Value(done ? 1 : 0)));
+    // Line 4: collect — n individual reads (NOT an atomic snapshot).
+    std::vector<Value> collected(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      collected[static_cast<std::size_t>(j)] =
+          (co_await env.read(h.regs[base + static_cast<std::size_t>(j)])).value;
+    }
+    // Line 5: count processes still without a snapshot.
+    int unfinished = 0;
+    for (int j = 0; j < n; ++j) {
+      const Value& v = collected[static_cast<std::size_t>(j)];
+      if (!v.is_bottom() && v.at(1).as_u64() == 0) ++unfinished;
+    }
+    if (!done && unfinished == n + 1 - rho) {
+      // Lines 6–11: adopt the unfinished processes' values as my snapshot.
+      for (int j = 0; j < n; ++j) {
+        const Value& v = collected[static_cast<std::size_t>(j)];
+        if (!v.is_bottom() && v.at(1).as_u64() == 0) {
+          snapshot[static_cast<std::size_t>(j)] = v.at(0);
+        }
+      }
+      done = true;
+    }
+  }
+  model_check(done, "Algorithm 5: no snapshot obtained within n iterations");
+  co_return Value(std::move(snapshot));  // line 12
+}
+
+}  // namespace
+
+Alg5Handles install_alg5(sim::Sim& sim, const std::vector<Value>& inputs) {
+  const int n = sim.n();
+  usage_check(static_cast<int>(inputs.size()) == n,
+              "install_alg5: one input per process");
+  for (const Value& v : inputs) {
+    usage_check(!v.is_bottom(), "install_alg5: inputs must be non-⊥");
+  }
+  Alg5Handles h;
+  h.regs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int rho = 0; rho < n; ++rho) {
+    for (int i = 0; i < n; ++i) {
+      h.regs.push_back(sim.add_register(
+          "M" + std::to_string(rho) + "." + std::to_string(i), i,
+          sim::kUnbounded, Value()));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    sim.spawn(i, [h, x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
+      return alg5_body(env, h, x);
+    });
+  }
+  return h;
+}
+
+}  // namespace bsr::core

@@ -1,0 +1,122 @@
+// §7: universality of the IIS model with 1-bit registers (Theorem 1.4).
+//
+// Algorithm 4 simulates the k-round full-information IC protocol
+// (Algorithm 3) in the iterated immediate-snapshot model using *1-bit*
+// registers: iteration ρ of the simulation is dedicated to the ρ-th
+// configuration c_ρ in the round-preserving enumeration of C^0 … C^{k-1};
+// a process writes 1 in iteration ρ exactly when its current simulated view
+// equals its entry of c_ρ, so observing a 1 from process j reveals j's
+// entire (unbounded!) view — the iteration index encodes the value.
+//
+// Algorithm 5 (Borowsky–Gafni) simulates one round of immediate snapshot
+// with n write/collect iterations of the IC model, closing the loop between
+// the two iterated models (Proposition 7.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "memory/ic.h"
+#include "sim/sim.h"
+
+namespace bsr::core {
+
+// ---------------------------------------------------------------- Alg. 4 --
+
+struct Alg4Handles {
+  /// 1-bit registers: regs[ρ * n + i] is M_ρ[i]; N·n of them.
+  std::vector<int> regs;
+  std::size_t iterations = 0;  ///< N = |C^0| + … + |C^{k-1}|.
+};
+
+/// Installs Algorithm 4: every process simulates the k-round
+/// full-information IC protocol over the precomputed configuration space
+/// `configs` (which must outlive the sim), starting from its entry of the
+/// initial configuration `init` (= initial_full_info_config(inputs)).
+/// Decisions are the simulated final views W_i^k (n-vectors of round-(k-1)
+/// views).
+Alg4Handles install_alg4(sim::Sim& sim,
+                         const memory::FullInfoConfigs& configs,
+                         const tasks::Config& init);
+
+/// The Algorithm 4 core as an awaitable subroutine: returns the simulated
+/// final view W_i^k, for protocols that decide a task output from it.
+sim::Task<Value> alg4_simulate(sim::Env& env, Alg4Handles h,
+                               const memory::FullInfoConfigs* configs,
+                               Value w0);
+
+/// Theorem 1.4 end-to-end for n = 2: solve binary ε-agreement (ε = 3^-k)
+/// through Algorithm 4's 1-bit registers. The offline plan indexes, for
+/// each input pair, the chromatic path formed by the (process, view)
+/// vertices of C^k; processes decide by the §8.1 value rule applied to
+/// their view's path index.
+class Alg4AgreementPlan {
+ public:
+  explicit Alg4AgreementPlan(int k);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+  /// Grid denominator: the common path length 3^k.
+  [[nodiscard]] std::uint64_t denominator() const noexcept { return denom_; }
+  [[nodiscard]] const memory::FullInfoConfigs& configs() const noexcept {
+    return configs_;
+  }
+  /// Path index of (pid, final view) under input pair (x0, x1); the path
+  /// is oriented from the p0-solo view (index 0) to the p1-solo view.
+  [[nodiscard]] std::uint64_t index_of(int pid, const Value& view,
+                                       std::uint64_t x0,
+                                       std::uint64_t x1) const;
+
+ private:
+  int k_;
+  std::uint64_t denom_ = 0;
+  memory::FullInfoConfigs configs_;
+  /// index_[(x0, x1 as 2-bit key)][(pid, view)] = path index.
+  std::array<std::map<std::pair<int, Value>, std::uint64_t>, 4> index_;
+};
+
+/// Installs the Algorithm-4-backed ε-agreement (1-bit coordination
+/// registers plus write-once input registers). Decisions are grid
+/// numerators over plan.denominator(). The plan must outlive the sim.
+Alg4Handles install_alg4_agreement(sim::Sim& sim,
+                                   const Alg4AgreementPlan& plan,
+                                   std::array<std::uint64_t, 2> inputs);
+
+/// Validity of a (possibly partial) final configuration against C^k: every
+/// decided view must extend to some configuration of C^k (Lemma 7.1 for
+/// full runs; crash runs are prefixes of full runs).
+[[nodiscard]] bool alg4_output_valid(const memory::FullInfoConfigs& configs,
+                                     const tasks::Config& final_views);
+
+// ---------------------------------------------------------------- Alg. 3 --
+
+struct Alg3Handles {
+  /// Unbounded registers: regs[r * n + i] is M_r[i], k rounds.
+  std::vector<int> regs;
+  int k = 0;
+};
+
+/// Installs Algorithm 3 itself at step level: the generic k-round
+/// full-information protocol in the IC model (write the whole view, then
+/// collect the round's n registers one by one). Decisions are the final
+/// views W_i^k; they must land inside the enumerated configuration space
+/// C^k — the cross-check that ties enumerate_full_info_configs to real
+/// executions.
+Alg3Handles install_full_info_ic(sim::Sim& sim, int k,
+                                 const std::vector<Value>& inputs);
+
+// ---------------------------------------------------------------- Alg. 5 --
+
+struct Alg5Handles {
+  /// Unbounded registers: regs[ρ * n + i] is M_ρ[i], n iterations.
+  std::vector<int> regs;
+};
+
+/// Installs Algorithm 5 (one-shot immediate snapshot from n write/collect
+/// IC iterations). Process i contributes `inputs[i]`; its decision is the
+/// n-vector snapshot S_i (⊥ entries for processes outside its snapshot).
+Alg5Handles install_alg5(sim::Sim& sim, const std::vector<Value>& inputs);
+
+}  // namespace bsr::core

@@ -1,0 +1,153 @@
+#include "memory/ic.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/errors.h"
+
+namespace bsr::memory {
+
+std::vector<IcOutcome> all_ic_outcomes(int n) {
+  usage_check(n >= 1 && n <= 5, "all_ic_outcomes: n out of range");
+  std::set<IcOutcome> uniq;
+  // Enumerate write orders (permutations) and, per position, the free
+  // choices among later writers.
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  do {
+    // For the process at position p, the mandatory mask is itself plus all
+    // earlier writers; the optional mask is the set of later writers.
+    std::vector<std::uint32_t> mandatory(static_cast<std::size_t>(n));
+    std::vector<std::uint32_t> optional(static_cast<std::size_t>(n));
+    std::uint32_t before = 0;
+    for (int p = 0; p < n; ++p) {
+      const int who = perm[static_cast<std::size_t>(p)];
+      mandatory[static_cast<std::size_t>(who)] =
+          before | (1u << who);
+      before |= (1u << who);
+    }
+    const std::uint32_t all = (1u << n) - 1;
+    for (int i = 0; i < n; ++i) {
+      optional[static_cast<std::size_t>(i)] =
+          all & ~mandatory[static_cast<std::size_t>(i)];
+    }
+    // Odometer over subsets of each process's optional mask.
+    std::vector<std::uint32_t> extra(static_cast<std::size_t>(n), 0);
+    for (;;) {
+      IcOutcome oc(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        oc[static_cast<std::size_t>(i)] =
+            mandatory[static_cast<std::size_t>(i)] |
+            extra[static_cast<std::size_t>(i)];
+      }
+      uniq.insert(std::move(oc));
+      int pos = 0;
+      while (pos < n) {
+        auto& e = extra[static_cast<std::size_t>(pos)];
+        const std::uint32_t opt = optional[static_cast<std::size_t>(pos)];
+        // Advance e to the next subset of opt (bit trick: fill-and-mask).
+        e = (e - opt) & opt;
+        if (e != 0) break;
+        ++pos;
+      }
+      if (pos == n) break;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return {uniq.begin(), uniq.end()};
+}
+
+bool is_valid_ic_outcome(const IcOutcome& outcome, int n) {
+  if (static_cast<int>(outcome.size()) != n) return false;
+  const std::uint32_t all = (1u << n) - 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t s = outcome[static_cast<std::size_t>(i)];
+    if ((s & (1u << i)) == 0) return false;  // self-containment
+    if ((s & ~all) != 0) return false;       // validity (known pids only)
+  }
+  // Write-order consistency: sort by |S_i|; a valid order must see all
+  // earlier writers, i.e. greedily pick, among unplaced processes, one whose
+  // mandatory-prefix requirement is satisfied... Conversely, an order π is
+  // consistent iff π(i) < π(j) ⇒ i ∈ S_j. Greedy: repeatedly place a
+  // process contained in the view of every remaining process.
+  std::vector<int> remaining;
+  for (int i = 0; i < n; ++i) remaining.push_back(i);
+  while (!remaining.empty()) {
+    bool placed = false;
+    for (std::size_t idx = 0; idx < remaining.size(); ++idx) {
+      const int cand = remaining[idx];
+      const bool ok = std::all_of(
+          remaining.begin(), remaining.end(), [&](int j) {
+            return j == cand ||
+                   (outcome[static_cast<std::size_t>(j)] & (1u << cand)) != 0;
+          });
+      if (ok) {
+        remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(idx));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+tasks::Config apply_full_info_round(const tasks::Config& c,
+                                    const IcOutcome& outcome) {
+  const std::size_t n = c.size();
+  usage_check(outcome.size() == n, "apply_full_info_round: size mismatch");
+  tasks::Config next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Value> view(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (outcome[i] & (1u << j)) view[j] = c[j];
+    }
+    next[i] = Value(std::move(view));
+  }
+  return next;
+}
+
+std::pair<std::size_t, std::size_t> FullInfoConfigs::round_range(int r) const {
+  usage_check(r >= 0 && r < k, "round_range: r out of range");
+  std::size_t first = 0;
+  for (int s = 0; s < r; ++s) first += per_round[static_cast<std::size_t>(s)].size();
+  return {first, first + per_round[static_cast<std::size_t>(r)].size()};
+}
+
+FullInfoConfigs enumerate_full_info_configs(
+    const std::vector<tasks::Config>& inputs, int n, int k) {
+  usage_check(!inputs.empty(), "enumerate_full_info_configs: no inputs");
+  usage_check(k >= 1 && k <= 4, "enumerate_full_info_configs: k out of range");
+  FullInfoConfigs out;
+  out.n = n;
+  out.k = k;
+  const std::vector<IcOutcome> outcomes = all_ic_outcomes(n);
+  std::set<tasks::Config> level(inputs.begin(), inputs.end());
+  out.per_round.emplace_back(level.begin(), level.end());
+  for (int r = 1; r <= k; ++r) {
+    std::set<tasks::Config> next;
+    for (const tasks::Config& c : out.per_round.back()) {
+      for (const IcOutcome& oc : outcomes) {
+        next.insert(apply_full_info_round(c, oc));
+      }
+    }
+    out.per_round.emplace_back(next.begin(), next.end());
+  }
+  for (int r = 0; r < k; ++r) {
+    const auto& cs = out.per_round[static_cast<std::size_t>(r)];
+    out.flat.insert(out.flat.end(), cs.begin(), cs.end());
+  }
+  return out;
+}
+
+tasks::Config initial_full_info_config(const std::vector<Value>& inputs) {
+  const std::size_t n = inputs.size();
+  tasks::Config c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Value> view(n);
+    view[i] = inputs[i];
+    c[i] = Value(std::move(view));
+  }
+  return c;
+}
+
+}  // namespace bsr::memory

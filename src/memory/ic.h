@@ -1,0 +1,67 @@
+// Round-level model of the Iterated Collect (IC) model (§7).
+//
+// In an IC round every participant writes its value to its register of a
+// fresh memory and then collect()s — reads the n registers one by one, in
+// any order. The possible outcomes of a round are exactly the view tuples
+// satisfying validity, self-containment, and write-order consistency
+// (Lemma 7.2 proves the converse direction: any such tuple is schedulable).
+//
+// Operationally: there is a total write order π, and the view-set of a
+// process must contain every process that wrote before it (its collect
+// starts after its own write), may contain any subset of the later writers,
+// and always contains itself. This module enumerates those outcomes as bit
+// masks, used to enumerate the configuration space C^r of full-information
+// protocols (Algorithm 3 / Algorithm 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tasks/task.h"
+#include "util/value.h"
+
+namespace bsr::memory {
+
+/// One IC round outcome: entry i is the set (bit mask) of processes whose
+/// round values process i's collect returned. Always contains bit i.
+using IcOutcome = std::vector<std::uint32_t>;
+
+/// Enumerates every valid IC round outcome for n participating processes
+/// (deduplicated). Exponential in n; intended for n ≤ 4.
+[[nodiscard]] std::vector<IcOutcome> all_ic_outcomes(int n);
+
+/// Checks validity + self-containment + write-order consistency of an
+/// outcome (write-order consistency = some write order π makes every
+/// process see all earlier writers).
+[[nodiscard]] bool is_valid_ic_outcome(const IcOutcome& outcome, int n);
+
+/// Applies one full-information IC round to a configuration: process i's
+/// new view is the n-vector whose j-th entry is c[j] (j's current view) if
+/// j ∈ outcome[i], and ⊥ otherwise.
+[[nodiscard]] tasks::Config apply_full_info_round(const tasks::Config& c,
+                                                  const IcOutcome& outcome);
+
+/// The configuration space of the k-round full-information IC protocol
+/// (Algorithm 3): per_round[r] = C^r, deduplicated and sorted; flat = the
+/// round-preserving enumeration c_1 … c_N of Eq. (1) (0-indexed here).
+struct FullInfoConfigs {
+  std::vector<std::vector<tasks::Config>> per_round;  ///< C^0 … C^k
+  std::vector<tasks::Config> flat;  ///< C^0 ⧺ … ⧺ C^{k-1} (what Alg. 4 indexes)
+  int n = 0;
+  int k = 0;
+
+  /// Index range [first, last) of C^r within `flat`, r < k.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> round_range(int r) const;
+};
+
+/// Enumerates C^0 … C^k starting from the initial configurations `inputs`
+/// (each an n-vector of round-0 views). Exponential in k and n.
+[[nodiscard]] FullInfoConfigs enumerate_full_info_configs(
+    const std::vector<tasks::Config>& inputs, int n, int k);
+
+/// The round-0 view configuration for an input assignment: process i's view
+/// is the n-vector with x_i at position i and ⊥ elsewhere.
+[[nodiscard]] tasks::Config initial_full_info_config(
+    const std::vector<Value>& inputs);
+
+}  // namespace bsr::memory

@@ -1,0 +1,130 @@
+#include "memory/iis.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace bsr::memory {
+
+namespace {
+
+/// Recursively extends `prefix` with ordered partitions of `rest`.
+void extend(const std::vector<sim::Pid>& rest, OrderedPartition& prefix,
+            std::vector<OrderedPartition>& out) {
+  if (rest.empty()) {
+    out.push_back(prefix);
+    return;
+  }
+  // Enumerate non-empty subsets of `rest` as the next block. To avoid
+  // duplicates each subset is taken as-is (rest is sorted, masks give all
+  // subsets exactly once).
+  const std::size_t m = rest.size();
+  usage_check(m < 20, "all_ordered_partitions: set too large");
+  for (std::uint32_t mask = 1; mask < (1u << m); ++mask) {
+    Block block;
+    std::vector<sim::Pid> remaining;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) {
+        block.push_back(rest[i]);
+      } else {
+        remaining.push_back(rest[i]);
+      }
+    }
+    prefix.push_back(std::move(block));
+    extend(remaining, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<OrderedPartition> all_ordered_partitions(
+    const std::vector<sim::Pid>& pids) {
+  std::vector<sim::Pid> sorted = pids;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<OrderedPartition> out;
+  OrderedPartition prefix;
+  extend(sorted, prefix, out);
+  return out;
+}
+
+unsigned long long ordered_partition_count(int s) {
+  usage_check(s >= 0 && s <= 12, "ordered_partition_count: s out of range");
+  // Fubini numbers via a(n) = sum_{k=1}^{n} C(n,k) a(n-k).
+  std::vector<unsigned long long> a(static_cast<std::size_t>(s) + 1, 0);
+  a[0] = 1;
+  for (int n = 1; n <= s; ++n) {
+    unsigned long long c = 1;  // C(n, k)
+    for (int k = 1; k <= n; ++k) {
+      c = c * static_cast<unsigned long long>(n - k + 1) /
+          static_cast<unsigned long long>(k);
+      a[static_cast<std::size_t>(n)] +=
+          c * a[static_cast<std::size_t>(n - k)];
+    }
+  }
+  return a[static_cast<std::size_t>(s)];
+}
+
+std::vector<std::vector<Value>> is_round_views(
+    const std::vector<Value>& written, const OrderedPartition& round, int n) {
+  usage_check(static_cast<int>(written.size()) == n,
+              "is_round_views: written size mismatch");
+  std::vector<std::vector<Value>> views(static_cast<std::size_t>(n));
+  std::vector<Value> seen(static_cast<std::size_t>(n));  // all ⊥
+  for (const Block& block : round) {
+    // Writes of this block become visible...
+    for (sim::Pid p : block) {
+      usage_check(p >= 0 && p < n, "is_round_views: bad pid in partition");
+      seen[static_cast<std::size_t>(p)] = written[static_cast<std::size_t>(p)];
+    }
+    // ...and every member of the block snapshots the same state.
+    for (sim::Pid p : block) {
+      views[static_cast<std::size_t>(p)] = seen;
+    }
+  }
+  return views;
+}
+
+bool check_is_properties(const std::vector<Value>& written,
+                         const std::vector<std::vector<Value>>& views,
+                         const std::vector<sim::Pid>& participants) {
+  const int n = static_cast<int>(written.size());
+  const auto view_of = [&](sim::Pid p) -> const std::vector<Value>& {
+    return views[static_cast<std::size_t>(p)];
+  };
+  for (sim::Pid p : participants) {
+    const auto& v = view_of(p);
+    if (static_cast<int>(v.size()) != n) return false;
+    // Self-containment.
+    if (v[static_cast<std::size_t>(p)].is_bottom()) return false;
+    // Validity.
+    for (int j = 0; j < n; ++j) {
+      const Value& x = v[static_cast<std::size_t>(j)];
+      if (!x.is_bottom() && !(x == written[static_cast<std::size_t>(j)])) {
+        return false;
+      }
+    }
+  }
+  // Inclusion: views are totally ordered by containment.
+  const auto contained = [&](const std::vector<Value>& a,
+                             const std::vector<Value>& b) {
+    for (int j = 0; j < n; ++j) {
+      const Value& x = a[static_cast<std::size_t>(j)];
+      if (!x.is_bottom() && !(x == b[static_cast<std::size_t>(j)])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (sim::Pid p : participants) {
+    for (sim::Pid q : participants) {
+      if (!contained(view_of(p), view_of(q)) &&
+          !contained(view_of(q), view_of(p))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace bsr::memory

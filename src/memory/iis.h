@@ -1,0 +1,49 @@
+// Round-level model of the Iterated Immediate Snapshot (IIS) model (§2).
+//
+// A round of immediate snapshot over a participant set P is fully described
+// by an *ordered partition* of P into blocks B_1, …, B_m: the processes of
+// each block write simultaneously, then each takes a snapshot reflecting all
+// blocks up to and including its own. Enumerating ordered partitions
+// enumerates exactly the one-round IS executions (this is the standard
+// combinatorial presentation of the IS protocol complex), which lets tests
+// and benches sweep *all* r-round IIS executions without step-level
+// interleaving.
+#pragma once
+
+#include <vector>
+
+#include "sim/op.h"
+#include "util/value.h"
+
+namespace bsr::memory {
+
+/// One concurrency block: a set of pids, kept sorted.
+using Block = std::vector<sim::Pid>;
+/// One round of IS: blocks in execution order.
+using OrderedPartition = std::vector<Block>;
+
+/// All ordered partitions of `pids` (Fubini-number many: 1, 3, 13, 75, …).
+[[nodiscard]] std::vector<OrderedPartition> all_ordered_partitions(
+    const std::vector<sim::Pid>& pids);
+
+/// Number of ordered partitions of an s-element set.
+[[nodiscard]] unsigned long long ordered_partition_count(int s);
+
+/// Views of one IS round: given the value written by each pid in `written`
+/// (indexed by pid; entries for non-participants ignored) and the round's
+/// ordered partition over the participants, returns for each participant p
+/// an n-vector v with v[j] = written[j] if j's block precedes or equals p's
+/// block, and ⊥ otherwise. Result is indexed by pid; non-participants get
+/// an empty vector.
+[[nodiscard]] std::vector<std::vector<Value>> is_round_views(
+    const std::vector<Value>& written, const OrderedPartition& round, int n);
+
+/// Checks the IS snapshot properties of §7 (validity, self-containment,
+/// inclusion) over per-pid views; `written[j]` is what pid j wrote, and
+/// `participants` lists the pids whose views are meaningful.
+[[nodiscard]] bool check_is_properties(
+    const std::vector<Value>& written,
+    const std::vector<std::vector<Value>>& views,
+    const std::vector<sim::Pid>& participants);
+
+}  // namespace bsr::memory

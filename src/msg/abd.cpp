@@ -1,0 +1,133 @@
+#include "msg/abd.h"
+
+#include "util/errors.h"
+
+namespace bsr::msg {
+
+AbdLayer::AbdLayer(sim::Pid me, int n, int t, SendFn send)
+    : me_(me), n_(n), t_(t), send_(std::move(send)) {
+  usage_check(t >= 1 && 2 * t < n, "AbdLayer: ABD requires t < n/2");
+}
+
+void AbdLayer::apply_write(std::uint64_t reg, const Stored& incoming) {
+  Stored& cur = store_[reg];
+  if (incoming.seq > cur.seq ||
+      (incoming.seq == cur.seq && incoming.writer > cur.writer)) {
+    cur = incoming;
+  }
+}
+
+void AbdLayer::broadcast(const Value& payload) {
+  for (sim::Pid j = 0; j < n_; ++j) {
+    if (j != me_) send_(j, payload);
+  }
+  // Self-delivery: the local server processes the message immediately.
+  on_message(me_, payload);
+}
+
+Future<bool> AbdLayer::write(std::uint64_t reg, Value v) {
+  const std::uint64_t nonce = next_nonce_++;
+  PendingWrite& pw = writes_[nonce];
+  const Future<bool> fut = pw.promise.future();
+  my_seq_ += 1;
+  broadcast(make_vec(Value(std::uint64_t{kWrite}), Value(reg), Value(my_seq_),
+                     Value(static_cast<std::uint64_t>(me_)), v, Value(nonce)));
+  return fut;
+}
+
+Future<Value> AbdLayer::read(std::uint64_t reg) {
+  const std::uint64_t nonce = next_nonce_++;
+  PendingRead& pr = reads_[nonce];
+  pr.reg = reg;
+  const Future<Value> fut = pr.promise.future();
+  broadcast(make_vec(Value(std::uint64_t{kReadReq}), Value(reg), Value(nonce)));
+  return fut;
+}
+
+void AbdLayer::start_write_back(PendingRead& pr, std::uint64_t read_nonce) {
+  pr.phase2 = true;
+  const std::uint64_t nonce = next_nonce_++;
+  PendingWrite& pw = writes_[nonce];
+  pw.read_nonce = read_nonce;
+  broadcast(make_vec(Value(std::uint64_t{kWrite}), Value(pr.reg),
+                     Value(pr.best.seq), Value(pr.best.writer), pr.best.value,
+                     Value(nonce)));
+}
+
+void AbdLayer::on_message(sim::Pid src, const Value& payload) {
+  const std::uint64_t type = payload.at(0).as_u64();
+  switch (type) {
+    case kWrite: {
+      Stored incoming;
+      incoming.seq = payload.at(2).as_u64();
+      incoming.writer = payload.at(3).as_u64();
+      incoming.value = payload.at(4);
+      apply_write(payload.at(1).as_u64(), incoming);
+      const Value ack =
+          make_vec(Value(std::uint64_t{kWriteAck}), payload.at(5));
+      if (src == me_) {
+        on_message(me_, ack);
+      } else {
+        send_(src, ack);
+      }
+      break;
+    }
+    case kWriteAck: {
+      const std::uint64_t nonce = payload.at(1).as_u64();
+      const auto it = writes_.find(nonce);
+      if (it == writes_.end() || it->second.done) break;
+      PendingWrite& pw = it->second;
+      pw.acks += 1;
+      if (pw.acks < quorum()) break;
+      pw.done = true;
+      if (pw.read_nonce.has_value()) {
+        // Write-back complete: the enclosing read can return.
+        const auto rit = reads_.find(*pw.read_nonce);
+        usage_check(rit != reads_.end(), "AbdLayer: orphan write-back");
+        const Value result = rit->second.best.value;
+        Promise<Value> promise = rit->second.promise;
+        reads_.erase(rit);
+        writes_.erase(it);
+        promise.fulfill(result);  // may reenter via the application
+      } else {
+        Promise<bool> promise = pw.promise;
+        writes_.erase(it);
+        promise.fulfill(true);
+      }
+      break;
+    }
+    case kReadReq: {
+      const Stored& cur = store_[payload.at(1).as_u64()];
+      const Value reply =
+          make_vec(Value(std::uint64_t{kReadReply}), payload.at(2),
+                   Value(cur.seq), Value(cur.writer), cur.value);
+      if (src == me_) {
+        on_message(me_, reply);
+      } else {
+        send_(src, reply);
+      }
+      break;
+    }
+    case kReadReply: {
+      const std::uint64_t nonce = payload.at(1).as_u64();
+      const auto it = reads_.find(nonce);
+      if (it == reads_.end() || it->second.phase2) break;
+      PendingRead& pr = it->second;
+      Stored incoming;
+      incoming.seq = payload.at(2).as_u64();
+      incoming.writer = payload.at(3).as_u64();
+      incoming.value = payload.at(4);
+      if (incoming.seq > pr.best.seq ||
+          (incoming.seq == pr.best.seq && incoming.writer > pr.best.writer)) {
+        pr.best = incoming;
+      }
+      pr.replies += 1;
+      if (pr.replies >= quorum()) start_write_back(pr, nonce);
+      break;
+    }
+    default:
+      bsr::detail::throw_usage("AbdLayer: unknown message type");
+  }
+}
+
+}  // namespace bsr::msg

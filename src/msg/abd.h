@@ -1,0 +1,92 @@
+// ABD emulation of atomic SWMR registers over t-resilient message passing
+// (Attiya, Bar-Noy & Dolev [4]; §6 phase 1).
+//
+// Every process acts as both a server (storing a timestamped copy of every
+// emulated register) and a client. A write broadcasts (reg, seq, v) and
+// waits for n−t acknowledgements; a read broadcasts a query, waits for n−t
+// timestamped replies, adopts the largest timestamp, and *writes back* the
+// adopted pair to a quorum before returning (the write-back is what makes
+// concurrent reads atomic rather than merely regular). Quorums of size
+// n−t > n/2 pairwise intersect, which is where t < n/2 is needed.
+//
+// Pure protocol logic: outgoing messages go through a SendFn callback
+// (bound to the flooding router or to the native channels by the node
+// body), incoming ones arrive via on_message. Client operations return
+// Futures fulfilled when the quorum completes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "msg/local.h"
+#include "sim/op.h"
+#include "util/value.h"
+
+namespace bsr::msg {
+
+class AbdLayer {
+ public:
+  /// Delivers `payload` to process `dst` (≠ me). Self-delivery is internal.
+  using SendFn = std::function<void(sim::Pid dst, Value payload)>;
+
+  AbdLayer(sim::Pid me, int n, int t, SendFn send);
+
+  /// Emulated register name space: caller-chosen u64 ids.
+  /// Writes `v` (tagged with the next sequence number of this process) and
+  /// completes after n−t acknowledgements.
+  [[nodiscard]] Future<bool> write(std::uint64_t reg, Value v);
+
+  /// Reads `reg`: query quorum, adopt max timestamp, write back to quorum.
+  [[nodiscard]] Future<Value> read(std::uint64_t reg);
+
+  /// Handles an ABD message from `src` (queries, replies, acks).
+  void on_message(sim::Pid src, const Value& payload);
+
+  [[nodiscard]] int quorum() const noexcept { return n_ - t_; }
+
+ private:
+  enum MsgType : std::uint64_t {
+    kWrite = 0,     // [type, reg, seq, writer, value, nonce]
+    kWriteAck = 1,  // [type, nonce]
+    kReadReq = 2,   // [type, reg, nonce]
+    kReadReply = 3, // [type, nonce, seq, writer, value]
+  };
+
+  struct Stored {
+    std::uint64_t seq = 0;
+    std::uint64_t writer = 0;  // tie-break (only relevant for write-backs)
+    Value value;
+  };
+
+  struct PendingWrite {
+    int acks = 0;
+    bool done = false;
+    Promise<bool> promise;              // for top-level writes
+    std::optional<std::uint64_t> read_nonce;  // set when this is a write-back
+  };
+
+  struct PendingRead {
+    int replies = 0;
+    bool phase2 = false;
+    Stored best;
+    std::uint64_t reg = 0;
+    Promise<Value> promise;
+  };
+
+  void apply_write(std::uint64_t reg, const Stored& incoming);
+  void broadcast(const Value& payload);
+  void start_write_back(PendingRead& pr, std::uint64_t read_nonce);
+
+  sim::Pid me_;
+  int n_;
+  int t_;
+  SendFn send_;
+  std::map<std::uint64_t, Stored> store_;
+  std::uint64_t my_seq_ = 0;
+  std::uint64_t next_nonce_ = 0;
+  std::map<std::uint64_t, PendingWrite> writes_;  // by nonce
+  std::map<std::uint64_t, PendingRead> reads_;    // by nonce
+};
+
+}  // namespace bsr::msg

@@ -1,0 +1,98 @@
+// The alternating-bit protocol over shared registers (§6, phase 3).
+//
+// One directed link i→j is implemented by a 2-bit field (data, alt) in the
+// sender's register and a 1-bit acknowledgement field in the receiver's.
+// The sender exposes the next payload bit with a flipped alt bit and waits
+// until the receiver's ack equals it; the receiver consumes a bit whenever
+// the alt bit differs from its ack, then echoes it. Exactly-once, in-order
+// delivery of a bit stream over two lossless registers.
+//
+// Messages are framed as in the paper: payload bits are interleaved with
+// marker bits — 0 after each non-final bit, 1 after the last — so the
+// receiver knows where a message ends (m = b₁…b_k ⟶ b₁ 0 b₂ 0 … b_k 1).
+//
+// Both classes are pure state machines: the node body moves their wire
+// state in and out of the packed 3(t+1)-bit registers.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "util/codec.h"
+#include "util/errors.h"
+
+namespace bsr::msg {
+
+/// Sender half of one directed link.
+class AbpSender {
+ public:
+  /// Queues a framed message (payload bits + markers) for transmission.
+  void enqueue(const BitVec& message_bits) {
+    usage_check(!message_bits.empty(), "AbpSender: empty message");
+    for (std::size_t i = 0; i < message_bits.size(); ++i) {
+      bits_.push_back(message_bits[i] & 1);
+      bits_.push_back(i + 1 == message_bits.size() ? 1 : 0);  // marker
+    }
+  }
+
+  /// Advances the protocol given the receiver's current ack bit. Call
+  /// whenever fresh ack state is available; idempotent.
+  void poll(int ack_bit) {
+    if (in_flight_ && ack_bit == alt_) in_flight_ = false;  // delivered
+    if (!in_flight_ && !bits_.empty()) {
+      data_ = bits_.front();
+      bits_.pop_front();
+      alt_ ^= 1;
+      in_flight_ = true;
+    }
+  }
+
+  /// The (data, alt) pair to expose in the sender's register.
+  [[nodiscard]] int wire_data() const noexcept { return data_; }
+  [[nodiscard]] int wire_alt() const noexcept { return alt_; }
+
+  [[nodiscard]] bool idle() const noexcept {
+    return !in_flight_ && bits_.empty();
+  }
+
+ private:
+  std::deque<int> bits_;
+  int data_ = 0;
+  int alt_ = 0;  // matches the register's initial contents
+  bool in_flight_ = false;
+};
+
+/// Receiver half of one directed link.
+class AbpReceiver {
+ public:
+  /// Consumes the sender's current wire state; returns any completed
+  /// (deframed) messages.
+  std::vector<BitVec> poll(int data, int alt) {
+    std::vector<BitVec> done;
+    if (alt == ack_) return done;  // nothing new
+    ack_ = alt;                    // acknowledge
+    if (!have_data_) {
+      pending_bit_ = data & 1;
+      have_data_ = true;
+    } else {
+      partial_.push_back(pending_bit_);
+      have_data_ = false;
+      if ((data & 1) == 1) {  // marker 1: end of message
+        done.push_back(std::move(partial_));
+        partial_.clear();
+      }
+    }
+    return done;
+  }
+
+  /// The ack bit to expose in the receiver's register.
+  [[nodiscard]] int ack_bit() const noexcept { return ack_; }
+
+ private:
+  int ack_ = 0;  // matches the register's initial contents
+  BitVec partial_;
+  int pending_bit_ = 0;
+  bool have_data_ = false;
+};
+
+}  // namespace bsr::msg

@@ -1,0 +1,125 @@
+// Intra-process asynchrony for layered protocol stacks (§6).
+//
+// A §6 node multiplexes several roles inside one simulated process: the ABD
+// server must keep answering quorum requests while the application is
+// blocked waiting for its own quorum. We express the application as a
+// *local* coroutine (LocalTask) that may only await Futures — never
+// simulator operations — so all its shared-memory effects go through the
+// node's event loop. The event loop fulfills Promises as replies arrive,
+// which synchronously resumes the application up to its next suspension.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "util/errors.h"
+
+namespace bsr::msg {
+
+/// Eagerly-started application coroutine. Runs until its first Future
+/// suspension when created; thereafter it is resumed by Promise::fulfill.
+class LocalTask {
+ public:
+  struct promise_type {
+    std::exception_ptr exc;
+    bool finished = false;
+
+    LocalTask get_return_object() {
+      return LocalTask(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept {
+      finished = true;
+      return {};
+    }
+    void return_void() noexcept { finished = true; }
+    void unhandled_exception() {
+      exc = std::current_exception();
+      finished = true;
+    }
+  };
+
+  LocalTask() = default;
+  LocalTask(LocalTask&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  LocalTask& operator=(LocalTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  LocalTask(const LocalTask&) = delete;
+  LocalTask& operator=(const LocalTask&) = delete;
+  ~LocalTask() { destroy(); }
+
+  [[nodiscard]] bool done() const { return h_ && h_.promise().finished; }
+
+  /// Rethrows an exception that escaped the application coroutine.
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().exc) std::rethrow_exception(h_.promise().exc);
+  }
+
+ private:
+  explicit LocalTask(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+namespace detail {
+
+template <class T>
+struct FutureState {
+  std::optional<T> value;
+  std::coroutine_handle<> waiter;
+};
+
+}  // namespace detail
+
+/// Single-consumer future; awaitable from LocalTask coroutines.
+template <class T>
+class Future {
+ public:
+  explicit Future(std::shared_ptr<detail::FutureState<T>> st)
+      : st_(std::move(st)) {}
+
+  bool await_ready() const { return st_->value.has_value(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    usage_check(!st_->waiter, "Future: already awaited");
+    st_->waiter = h;
+  }
+  T await_resume() { return std::move(*st_->value); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> st_;
+};
+
+/// The producer side; fulfilling resumes the awaiting coroutine in place.
+template <class T>
+class Promise {
+ public:
+  Promise() : st_(std::make_shared<detail::FutureState<T>>()) {}
+
+  [[nodiscard]] Future<T> future() const { return Future<T>(st_); }
+
+  void fulfill(T v) {
+    usage_check(!st_->value.has_value(), "Promise: fulfilled twice");
+    st_->value.emplace(std::move(v));
+    if (auto w = std::exchange(st_->waiter, {})) w.resume();
+  }
+
+  [[nodiscard]] bool fulfilled() const { return st_->value.has_value(); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> st_;
+};
+
+}  // namespace bsr::msg

@@ -1,0 +1,113 @@
+#include "msg/router.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/errors.h"
+
+namespace bsr::msg {
+
+std::vector<std::vector<sim::Pid>> t_augmented_ring(int n, int t) {
+  usage_check(n >= 2 && t >= 1 && t + 1 < n,
+              "t_augmented_ring: need t + 1 < n");
+  std::vector<std::vector<sim::Pid>> edges(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int o = 1; o <= t + 1; ++o) {
+      edges[static_cast<std::size_t>(i)].push_back((i + o) % n);
+    }
+  }
+  return edges;
+}
+
+bool strongly_connected_after_removal(
+    const std::vector<std::vector<sim::Pid>>& edges,
+    const std::vector<sim::Pid>& removed) {
+  const int n = static_cast<int>(edges.size());
+  std::vector<bool> gone(static_cast<std::size_t>(n), false);
+  for (sim::Pid p : removed) gone[static_cast<std::size_t>(p)] = true;
+  // Reachability in both directions from one surviving node.
+  int start = -1;
+  int alive = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!gone[static_cast<std::size_t>(i)]) {
+      if (start == -1) start = i;
+      ++alive;
+    }
+  }
+  if (alive <= 1) return true;
+  const auto reach = [&](bool forward) {
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::deque<int> q{start};
+    seen[static_cast<std::size_t>(start)] = true;
+    int count = 1;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop_front();
+      for (int v = 0; v < n; ++v) {
+        const bool linked =
+            forward ? std::count(edges[static_cast<std::size_t>(u)].begin(),
+                                 edges[static_cast<std::size_t>(u)].end(), v) > 0
+                    : std::count(edges[static_cast<std::size_t>(v)].begin(),
+                                 edges[static_cast<std::size_t>(v)].end(), u) > 0;
+        if (!linked || gone[static_cast<std::size_t>(v)] ||
+            seen[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        seen[static_cast<std::size_t>(v)] = true;
+        ++count;
+        q.push_back(v);
+      }
+    }
+    return count == alive;
+  };
+  return reach(true) && reach(false);
+}
+
+FloodRouter::FloodRouter(sim::Pid me, int n, int t) : me_(me), n_(n) {
+  const auto edges = t_augmented_ring(n, t);
+  out_ = edges[static_cast<std::size_t>(me)];
+  for (int i = 0; i < n; ++i) {
+    const auto& o = edges[static_cast<std::size_t>(i)];
+    if (std::find(o.begin(), o.end(), me) != o.end()) in_.push_back(i);
+  }
+}
+
+std::vector<LinkSend> FloodRouter::route(const Value& envelope,
+                                         sim::Pid dst) const {
+  std::vector<LinkSend> out;
+  if (std::find(out_.begin(), out_.end(), dst) != out_.end()) {
+    out.push_back(LinkSend{dst, envelope});  // direct link exists
+  } else {
+    for (sim::Pid nb : out_) out.push_back(LinkSend{nb, envelope});
+  }
+  return out;
+}
+
+std::vector<LinkSend> FloodRouter::send(sim::Pid dst, Value payload) {
+  usage_check(dst != me_ && dst >= 0 && dst < n_, "FloodRouter::send: bad dst");
+  const std::uint64_t id = next_id_++;
+  seen_.insert({static_cast<std::uint64_t>(me_), id});
+  const Value envelope =
+      make_vec(Value(static_cast<std::uint64_t>(me_)),
+               Value(static_cast<std::uint64_t>(dst)), Value(id),
+               std::move(payload));
+  return route(envelope, dst);
+}
+
+FloodRouter::RxResult FloodRouter::on_receive(const Value& envelope) {
+  RxResult rx;
+  usage_check(envelope.is_vec() && envelope.as_vec().size() == 4,
+              "FloodRouter: malformed envelope");
+  const std::uint64_t src = envelope.at(0).as_u64();
+  const auto dst = static_cast<sim::Pid>(envelope.at(1).as_u64());
+  const std::uint64_t id = envelope.at(2).as_u64();
+  if (!seen_.insert({src, id}).second) return rx;  // duplicate: drop
+  if (dst == me_) {
+    rx.deliveries.emplace_back(static_cast<sim::Pid>(src), envelope.at(3));
+  } else {
+    rx.forwards = route(envelope, dst);
+  }
+  return rx;
+}
+
+}  // namespace bsr::msg

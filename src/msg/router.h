@@ -1,0 +1,76 @@
+// The t-augmented ring (Figure 3) and flooding router (§6, phase 2).
+//
+// Nodes 0…n−1 form a directed cycle; every node additionally links to its
+// next t successors, so each node has exactly t+1 out-neighbours
+// (i+1, …, i+t+1 mod n). The graph is (t+1)-connected: removing any t nodes
+// leaves it strongly connected, so flooding with duplicate suppression
+// delivers every message between alive nodes as long as at most t crash.
+//
+// The router is pure logic (no I/O): `send` turns an application-level
+// message into link-level envelope transmissions, `on_receive` processes an
+// incoming envelope into deliveries and forwards. Envelopes are Values
+// [src, dst, id, payload] and are deduplicated by (src, id).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/op.h"
+#include "util/value.h"
+
+namespace bsr::msg {
+
+/// Out-neighbour lists of the t-augmented n-node ring.
+[[nodiscard]] std::vector<std::vector<sim::Pid>> t_augmented_ring(int n, int t);
+
+/// True if the digraph stays strongly connected after removing `removed`.
+/// Used by tests to certify (t+1)-connectivity.
+[[nodiscard]] bool strongly_connected_after_removal(
+    const std::vector<std::vector<sim::Pid>>& edges,
+    const std::vector<sim::Pid>& removed);
+
+/// A link-level transmission: send `envelope` to out-neighbour `to`.
+struct LinkSend {
+  sim::Pid to = -1;
+  Value envelope;
+};
+
+class FloodRouter {
+ public:
+  FloodRouter(sim::Pid me, int n, int t);
+
+  [[nodiscard]] const std::vector<sim::Pid>& out_neighbours() const noexcept {
+    return out_;
+  }
+  [[nodiscard]] const std::vector<sim::Pid>& in_neighbours() const noexcept {
+    return in_;
+  }
+
+  /// Routes an application message to `dst` (≠ me): directly if `dst` is an
+  /// out-neighbour, otherwise flooded to all out-neighbours.
+  [[nodiscard]] std::vector<LinkSend> send(sim::Pid dst, Value payload);
+
+  struct RxResult {
+    std::vector<LinkSend> forwards;
+    /// Messages addressed to me: (original sender, payload).
+    std::vector<std::pair<sim::Pid, Value>> deliveries;
+  };
+
+  /// Processes an envelope arriving on an in-link.
+  [[nodiscard]] RxResult on_receive(const Value& envelope);
+
+ private:
+  [[nodiscard]] std::vector<LinkSend> route(const Value& envelope,
+                                            sim::Pid dst) const;
+
+  sim::Pid me_;
+  int n_;
+  std::vector<sim::Pid> out_;
+  std::vector<sim::Pid> in_;
+  std::uint64_t next_id_ = 0;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_;  // (src, id)
+};
+
+}  // namespace bsr::msg

@@ -1,0 +1,198 @@
+// Coroutine plumbing for simulated processes.
+//
+// A process is a C++20 coroutine of type `Proc`. It performs atomic steps by
+// `co_await`-ing an OpAwaiter (obtained from Env, see sim.h); the coroutine
+// suspends with the request stored in its per-process control block
+// (ProcCtl), the scheduler executes the request, and resumes the coroutine
+// with the result. Protocol code can be factored into sub-coroutines of type
+// `Task<T>`: awaiting a Task transfers control into the child, whose own op
+// awaits suspend the whole stack back to the scheduler (the control block
+// tracks the innermost resume point).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/op.h"
+#include "util/errors.h"
+#include "util/value.h"
+
+namespace bsr::sim {
+
+/// Per-process control block shared between the scheduler and the process's
+/// (possibly nested) coroutines.
+struct ProcCtl {
+  Pid pid = -1;
+  OpRequest pending;                    ///< Next atomic step to execute.
+  OpResult result;                      ///< Result of the last executed step.
+  std::coroutine_handle<> resume_point; ///< Innermost coroutine awaiting `pending`.
+  bool terminated = false;              ///< Top-level coroutine returned.
+  bool crashed = false;                 ///< Crash-stopped by the adversary.
+  Value decision;                       ///< Output (meaningful once terminated).
+  std::exception_ptr exc;               ///< Unhandled protocol exception.
+  long steps = 0;                       ///< Executed atomic steps.
+};
+
+/// Common base of all process-side coroutine promises: carries the pointer
+/// to the owning process's control block.
+struct PromiseBase {
+  ProcCtl* ctl = nullptr;
+};
+
+/// Awaitable for one atomic step. Produced by Env; not used directly.
+class OpAwaiter {
+ public:
+  explicit OpAwaiter(ProcCtl* ctl, OpRequest req) noexcept
+      : ctl_(ctl), req_(std::move(req)) {}
+
+  bool await_ready() const noexcept { return false; }
+
+  template <class P>
+  void await_suspend(std::coroutine_handle<P> h) {
+    static_assert(std::is_base_of_v<PromiseBase, P>,
+                  "ops may only be awaited inside Proc/Task coroutines");
+    usage_check(ctl_ != nullptr, "op awaited outside a running process");
+    usage_check(h.promise().ctl == nullptr || h.promise().ctl == ctl_,
+                "op awaited from a coroutine bound to another process");
+    ctl_->pending = std::move(req_);
+    ctl_->resume_point = h;
+  }
+
+  OpResult await_resume() {
+    return std::move(ctl_->result);
+  }
+
+ private:
+  ProcCtl* ctl_;
+  OpRequest req_;
+};
+
+/// Top-level process coroutine. The co_returned Value is the process's
+/// decision (its task output).
+class Proc {
+ public:
+  struct promise_type : PromiseBase {
+    Proc get_return_object() {
+      return Proc(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_value(Value v) {
+      ctl->decision = std::move(v);
+      ctl->terminated = true;
+    }
+    void unhandled_exception() {
+      ctl->exc = std::current_exception();
+    }
+  };
+
+  Proc() = default;
+  Proc(Proc&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Proc& operator=(Proc&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { destroy(); }
+
+  /// Binds this coroutine to its control block; called once by the Sim.
+  void bind(ProcCtl* ctl) {
+    usage_check(h_ && !h_.promise().ctl, "Proc::bind: already bound or empty");
+    h_.promise().ctl = ctl;
+    ctl->resume_point = h_;
+    ctl->pending = OpRequest{};  // Start
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(h_); }
+
+ private:
+  explicit Proc(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+namespace detail {
+
+template <class T>
+struct TaskStorage {
+  std::optional<T> value;
+  void return_value(T v) { value.emplace(std::move(v)); }
+  T take() { return std::move(*value); }
+};
+
+template <>
+struct TaskStorage<void> {
+  void return_void() noexcept {}
+  void take() noexcept {}
+};
+
+}  // namespace detail
+
+/// Sub-coroutine used to structure protocol code. Awaiting a Task runs it to
+/// completion (across any number of atomic steps) and yields its result.
+template <class T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : PromiseBase, detail::TaskStorage<T> {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exc;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        return h.promise().continuation;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() { exc = std::current_exception(); }
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+
+  template <class P>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<P> parent) {
+    static_assert(std::is_base_of_v<PromiseBase, P>,
+                  "Tasks may only be awaited inside Proc/Task coroutines");
+    h_.promise().ctl = parent.promise().ctl;
+    h_.promise().continuation = parent;
+    return h_;  // symmetric transfer into the child
+  }
+
+  T await_resume() {
+    if (h_.promise().exc) std::rethrow_exception(h_.promise().exc);
+    return h_.promise().take();
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace bsr::sim

@@ -1,0 +1,99 @@
+#include "sim/explore.h"
+
+#include "util/errors.h"
+
+namespace bsr::sim {
+
+std::vector<Choice> Explorer::choices_at(const Sim& sim,
+                                         int crashes_so_far) const {
+  std::vector<Choice> out;
+  for (Pid p = 0; p < sim.n(); ++p) {
+    if (!sim.enabled(p)) continue;
+    const std::vector<Pid> sources = sim.recv_choices(p);
+    if (sources.empty()) {
+      out.push_back(Choice{Choice::Kind::Step, p, -1});
+    } else if (opts_.explore_recv_choices) {
+      for (Pid from : sources) {
+        out.push_back(Choice{Choice::Kind::Step, p, from});
+      }
+    } else {
+      out.push_back(Choice{Choice::Kind::Step, p, sources.front()});
+    }
+  }
+  if (crashes_so_far < opts_.max_crashes) {
+    for (Pid p = 0; p < sim.n(); ++p) {
+      if (sim.alive(p)) out.push_back(Choice{Choice::Kind::Crash, p, -1});
+    }
+  }
+  return out;
+}
+
+long Explorer::explore(const Factory& make, const Visitor& visit) const {
+  return explore_until(make, [&](Sim& sim, const std::vector<Choice>& sched) {
+    visit(sim, sched);
+    return false;
+  });
+}
+
+long Explorer::explore_until(const Factory& make,
+                             const StoppingVisitor& visit) const {
+  std::vector<std::size_t> path;    // chosen index at each depth
+  std::vector<std::size_t> widths;  // number of choices at each depth
+  long visited = 0;
+
+  while (true) {
+    std::unique_ptr<Sim> sim = make();
+    usage_check(sim != nullptr, "Explorer: factory returned null");
+    std::vector<Choice> schedule;
+    int crashes = 0;
+    long steps = 0;
+
+    const auto apply = [&](const Choice& c) {
+      if (c.kind == Choice::Kind::Step) {
+        sim->step(c.pid, c.recv_from);
+        ++steps;
+      } else {
+        sim->crash(c.pid);
+        ++crashes;
+      }
+      schedule.push_back(c);
+    };
+
+    // Replay the committed prefix.
+    for (std::size_t depth = 0; depth < path.size(); ++depth) {
+      const std::vector<Choice> cs = choices_at(*sim, crashes);
+      usage_check(path[depth] < cs.size(),
+                  "Explorer: nondeterministic factory (choice set changed)");
+      apply(cs[path[depth]]);
+    }
+
+    // Extend greedily with first choices until no process is enabled.
+    while (true) {
+      const std::vector<Choice> cs = choices_at(*sim, crashes);
+      if (cs.empty()) break;
+      usage_check(steps < opts_.max_steps,
+                  "Explorer: execution exceeded max_steps; "
+                  "protocol may not terminate");
+      path.push_back(0);
+      widths.push_back(cs.size());
+      apply(cs[0]);
+    }
+
+    const bool stop = visit(*sim, schedule);
+    ++visited;
+    if (stop ||
+        (opts_.max_executions >= 0 && visited >= opts_.max_executions)) {
+      return visited;
+    }
+
+    // Backtrack to the deepest depth with an unexplored alternative.
+    while (!path.empty() && path.back() + 1 >= widths.back()) {
+      path.pop_back();
+      widths.pop_back();
+    }
+    if (path.empty()) return visited;
+    ++path.back();
+  }
+}
+
+}  // namespace bsr::sim

@@ -1,0 +1,40 @@
+#include "sim/shrink.h"
+
+#include "util/errors.h"
+
+namespace bsr::sim {
+
+std::vector<Choice> shrink_schedule(
+    const std::function<bool(const std::vector<Choice>&)>& failing,
+    std::vector<Choice> schedule) {
+  usage_check(failing(schedule),
+              "shrink_schedule: the initial schedule does not fail");
+  std::size_t chunk = schedule.size() / 2;
+  if (chunk == 0) chunk = 1;
+  while (true) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < schedule.size()) {
+      const std::size_t len = std::min(chunk, schedule.size() - start);
+      std::vector<Choice> candidate;
+      candidate.reserve(schedule.size() - len);
+      candidate.insert(candidate.end(), schedule.begin(),
+                       schedule.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(
+          candidate.end(),
+          schedule.begin() + static_cast<std::ptrdiff_t>(start + len),
+          schedule.end());
+      if (!candidate.empty() && failing(candidate)) {
+        schedule = std::move(candidate);
+        removed_any = true;
+        // retry the same position (new content slid into it)
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1 && !removed_any) return schedule;
+    if (!removed_any) chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+}
+
+}  // namespace bsr::sim

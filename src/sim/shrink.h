@@ -1,0 +1,27 @@
+// Counterexample shrinking (delta debugging over schedules).
+//
+// The explorer hands back violating schedules in the order it found them,
+// which is rarely the *smallest* demonstration. shrink_schedule greedily
+// removes chunks of scheduling choices while the caller-supplied predicate
+// still reports the violation, converging to a 1-minimal schedule (no
+// single remaining choice can be dropped). Because protocols are
+// deterministic and run_schedule skips inapplicable choices, any
+// subsequence of a schedule is itself a valid schedule to try.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/sched.h"
+
+namespace bsr::sim {
+
+/// Returns a 1-minimal sub-schedule on which `failing` still returns true.
+/// `failing` must rebuild the world from scratch each call (it receives the
+/// candidate schedule and reports whether the bug still shows).
+/// Requires failing(schedule) to hold initially.
+[[nodiscard]] std::vector<Choice> shrink_schedule(
+    const std::function<bool(const std::vector<Choice>&)>& failing,
+    std::vector<Choice> schedule);
+
+}  // namespace bsr::sim

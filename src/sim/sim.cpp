@@ -1,0 +1,365 @@
+#include "sim/sim.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bsr::sim {
+
+std::string to_string(OpKind k) {
+  switch (k) {
+    case OpKind::Start: return "start";
+    case OpKind::Read: return "read";
+    case OpKind::Write: return "write";
+    case OpKind::Snapshot: return "snapshot";
+    case OpKind::WriteSnap: return "write_snapshot";
+    case OpKind::Send: return "send";
+    case OpKind::Recv: return "recv";
+  }
+  return "?";
+}
+
+int Env::n() const noexcept { return sim_->n(); }
+
+Sim::Sim(SimOptions opts) : opts_(std::move(opts)) {
+  usage_check(opts_.n >= 1, "Sim: need at least one process");
+  usage_check(opts_.edges.empty() ||
+                  static_cast<int>(opts_.edges.size()) == opts_.n,
+              "Sim: topology must list out-neighbours for every process");
+  ctls_.resize(static_cast<std::size_t>(opts_.n));
+  for (int i = 0; i < opts_.n; ++i) ctls_[static_cast<std::size_t>(i)].ctl.pid = i;
+  chan_.resize(static_cast<std::size_t>(opts_.n) * static_cast<std::size_t>(opts_.n));
+}
+
+int Sim::add_register(std::string name, Pid writer, int width_bits, Value init) {
+  usage_check(writer == -1 || (writer >= 0 && writer < n()),
+              "add_register: bad writer pid");
+  if (opts_.single_register_per_process && writer != -1 &&
+      !adding_input_register_) {
+    for (const Register& r : regs_) {
+      model_check(r.writer != writer || r.write_once, [&] {
+        return "single-register mode: process " + std::to_string(writer) +
+               " already owns register '" + r.name + "'";
+      });
+    }
+  }
+  if (width_bits != kUnbounded) {
+    usage_check(width_bits >= 1 && width_bits <= 63,
+                "add_register: width must be in [1,63] or kUnbounded");
+    model_check(init.is_u64() && init.bit_width() <= width_bits,
+                "add_register '" + name + "': initial value " + init.str() +
+                    " does not fit in " + std::to_string(width_bits) + " bits");
+  }
+  Register r;
+  r.name = std::move(name);
+  r.writer = writer;
+  r.width_bits = width_bits;
+  r.value = std::move(init);
+  regs_.push_back(std::move(r));
+  return static_cast<int>(regs_.size()) - 1;
+}
+
+int Sim::add_input_register(std::string name, Pid writer) {
+  adding_input_register_ = true;
+  const int idx = add_register(std::move(name), writer, kUnbounded, Value());
+  adding_input_register_ = false;
+  regs_.back().write_once = true;
+  return idx;
+}
+
+int Sim::add_bottom_register(std::string name, Pid writer, int width_bits,
+                             bool write_once) {
+  usage_check(width_bits >= 1 && width_bits <= 63,
+              "add_bottom_register: width must be in [1,63]");
+  // Register the slot as unbounded (its initial content is ⊥), then flip on
+  // the bounded-with-bottom enforcement flags.
+  const int idx = add_register(std::move(name), writer, kUnbounded, Value());
+  Register& r = regs_.back();
+  r.width_bits = width_bits;
+  r.allows_bottom = true;
+  r.write_once = write_once;
+  return idx;
+}
+
+void Sim::spawn(Pid pid, const std::function<Proc(Env&)>& body) {
+  check_pid(pid);
+  auto& slot = ctls_[static_cast<std::size_t>(pid)];
+  usage_check(!slot.spawned, "spawn: process already spawned");
+  slot.env = std::unique_ptr<Env>(new Env(this, &slot.ctl));
+  slot.body = body;  // keep the closure alive for the coroutine's lifetime
+  slot.coro = slot.body(*slot.env);
+  usage_check(slot.coro.valid(), "spawn: body did not return a coroutine");
+  slot.coro.bind(&slot.ctl);
+  slot.spawned = true;
+}
+
+bool Sim::alive(Pid pid) const {
+  check_pid(pid);
+  const auto& s = ctls_[static_cast<std::size_t>(pid)];
+  return s.spawned && !s.ctl.terminated && !s.ctl.crashed;
+}
+
+bool Sim::enabled(Pid pid) const {
+  if (!alive(pid)) return false;
+  const auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
+  if (ctl.pending.kind != OpKind::Recv) return true;
+  return !recv_choices(pid).empty();
+}
+
+std::vector<Pid> Sim::recv_choices(Pid pid) const {
+  check_pid(pid);
+  const auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
+  std::vector<Pid> out;
+  if (!alive(pid) || ctl.pending.kind != OpKind::Recv) return out;
+  const Pid filter = ctl.pending.peer;
+  for (Pid from = 0; from < n(); ++from) {
+    if (filter != -1 && from != filter) continue;
+    if (!chan_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n()) +
+               static_cast<std::size_t>(pid)]
+             .empty()) {
+      out.push_back(from);
+    }
+  }
+  return out;
+}
+
+void Sim::step(Pid pid, Pid recv_from) {
+  usage_check(enabled(pid), [&] {
+    return "step: process " + std::to_string(pid) + " is not enabled";
+  });
+  auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
+  try {
+    execute(ctl, recv_from);
+  } catch (...) {
+    ctl.crashed = true;  // a model-violating process takes no further steps
+    throw;
+  }
+  if (opts_.record_trace) {
+    trace_.push_back(TraceEvent{pid, ctl.pending, ctl.result});
+  }
+  ctl.steps += 1;
+  total_steps_ += 1;
+  resume(ctl);
+}
+
+void Sim::step_block(const std::vector<Pid>& pids) {
+  usage_check(!pids.empty(), "step_block: empty block");
+  const std::vector<int>* regset = nullptr;
+  for (Pid pid : pids) {
+    usage_check(enabled(pid), "step_block: process not enabled");
+    const auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
+    usage_check(ctl.pending.kind == OpKind::WriteSnap,
+                "step_block: pending op is not an immediate snapshot");
+    if (regset == nullptr) {
+      regset = &ctl.pending.regs;
+    } else {
+      usage_check(ctl.pending.regs == *regset,
+                  "step_block: mismatched snapshot register sets");
+    }
+  }
+  // All writes first...
+  for (Pid pid : pids) {
+    auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
+    do_write(pid, ctl.pending.reg, ctl.pending.value);
+  }
+  // ...then one common snapshot for everyone.
+  const Value snap = do_snapshot(*regset);
+  for (Pid pid : pids) {
+    auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
+    ctl.result = OpResult{snap, -1};
+    if (opts_.record_trace) {
+      trace_.push_back(TraceEvent{pid, ctl.pending, ctl.result});
+    }
+    ctl.steps += 1;
+    total_steps_ += 1;
+  }
+  for (Pid pid : pids) resume(ctls_[static_cast<std::size_t>(pid)].ctl);
+}
+
+void Sim::crash(Pid pid) {
+  check_pid(pid);
+  auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
+  usage_check(!ctl.terminated, "crash: process already terminated");
+  ctl.crashed = true;
+}
+
+bool Sim::terminated(Pid pid) const {
+  check_pid(pid);
+  return ctls_[static_cast<std::size_t>(pid)].ctl.terminated;
+}
+
+bool Sim::crashed(Pid pid) const {
+  check_pid(pid);
+  return ctls_[static_cast<std::size_t>(pid)].ctl.crashed;
+}
+
+const Value& Sim::decision(Pid pid) const {
+  check_pid(pid);
+  const auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
+  usage_check(ctl.terminated, "decision: process has not terminated");
+  return ctl.decision;
+}
+
+long Sim::steps(Pid pid) const {
+  check_pid(pid);
+  return ctls_[static_cast<std::size_t>(pid)].ctl.steps;
+}
+
+const Value& Sim::peek(int reg) const { return reg_at(reg).value; }
+
+const Register& Sim::register_info(int reg) const { return reg_at(reg); }
+
+std::string Sim::register_word(const std::vector<int>& regs) const {
+  std::ostringstream os;
+  for (int r : regs) os << reg_at(r).value << '|';
+  return os.str();
+}
+
+int Sim::max_bounded_bits_used() const {
+  int w = 0;
+  for (const Register& r : regs_) {
+    if (r.width_bits != kUnbounded) w = std::max(w, r.max_bits_written);
+  }
+  return w;
+}
+
+std::size_t Sim::channel_size(Pid from, Pid to) const {
+  check_pid(from);
+  check_pid(to);
+  return chan_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n()) +
+               static_cast<std::size_t>(to)]
+      .size();
+}
+
+Register& Sim::reg_at(int reg) {
+  usage_check(reg >= 0 && reg < static_cast<int>(regs_.size()),
+              [&] { return "bad register index " + std::to_string(reg); });
+  return regs_[static_cast<std::size_t>(reg)];
+}
+
+const Register& Sim::reg_at(int reg) const {
+  usage_check(reg >= 0 && reg < static_cast<int>(regs_.size()),
+              [&] { return "bad register index " + std::to_string(reg); });
+  return regs_[static_cast<std::size_t>(reg)];
+}
+
+void Sim::check_pid(Pid pid) const {
+  usage_check(pid >= 0 && pid < n(),
+              [&] { return "bad pid " + std::to_string(pid); });
+}
+
+bool Sim::may_send(Pid from, Pid to) const {
+  if (opts_.edges.empty()) return from != to;
+  const auto& out = opts_.edges[static_cast<std::size_t>(from)];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+void Sim::do_write(Pid pid, int reg, const Value& v) {
+  Register& r = reg_at(reg);
+  model_check(r.writer == -1 || r.writer == pid, [&] {
+    return "process " + std::to_string(pid) + " wrote to register '" + r.name +
+           "' owned by process " + std::to_string(r.writer);
+  });
+  model_check(!r.write_once || r.writes == 0, [&] {
+    return "second write to write-once register '" + r.name + "'";
+  });
+  if (r.width_bits != kUnbounded) {
+    model_check(v.is_u64(), [&] {
+      return "non-integer value " + v.str() +
+             " written to bounded register '" + r.name + "'";
+    });
+    const int w = v.bit_width();
+    // A register with a ⊥ state spends one of its 2^b codes on ⊥, leaving
+    // integers 0 … 2^b − 2; a plain bounded register holds 0 … 2^b − 1.
+    const std::uint64_t limit = (std::uint64_t{1} << r.width_bits) -
+                                (r.allows_bottom ? 2 : 1);
+    model_check(w <= r.width_bits && v.as_u64() <= limit, [&] {
+      return "value " + v.str() + " (" + std::to_string(w) +
+             " bits) overflows register '" + r.name + "' of width " +
+             std::to_string(r.width_bits) +
+             (r.allows_bottom ? " (one state reserved for ⊥)" : "");
+    });
+    r.max_bits_written = std::max(r.max_bits_written, w);
+  }
+  r.value = v;
+  r.writes += 1;
+}
+
+Value Sim::do_snapshot(const std::vector<int>& regs) {
+  std::vector<Value> out;
+  out.reserve(regs.size());
+  for (int idx : regs) {
+    Register& r = reg_at(idx);
+    r.reads += 1;
+    out.push_back(r.value);
+  }
+  return Value(std::move(out));
+}
+
+void Sim::execute(ProcCtl& ctl, Pid recv_from) {
+  const OpRequest& req = ctl.pending;
+  switch (req.kind) {
+    case OpKind::Start:
+      ctl.result = OpResult{};
+      break;
+    case OpKind::Read: {
+      Register& r = reg_at(req.reg);
+      r.reads += 1;
+      ctl.result = OpResult{r.value, -1};
+      break;
+    }
+    case OpKind::Write:
+      do_write(ctl.pid, req.reg, req.value);
+      ctl.result = OpResult{};
+      break;
+    case OpKind::Snapshot:
+      ctl.result = OpResult{do_snapshot(req.regs), -1};
+      break;
+    case OpKind::WriteSnap:
+      do_write(ctl.pid, req.reg, req.value);
+      ctl.result = OpResult{do_snapshot(req.regs), -1};
+      break;
+    case OpKind::Send: {
+      usage_check(req.peer >= 0 && req.peer < n(), "send: bad destination");
+      model_check(may_send(ctl.pid, req.peer), [&] {
+        return "process " + std::to_string(ctl.pid) +
+               " sent on a non-existent link to " + std::to_string(req.peer);
+      });
+      chan_[static_cast<std::size_t>(ctl.pid) * static_cast<std::size_t>(n()) +
+            static_cast<std::size_t>(req.peer)]
+          .push_back(req.value);
+      total_sends_ += 1;
+      ctl.result = OpResult{};
+      break;
+    }
+    case OpKind::Recv: {
+      std::vector<Pid> choices = recv_choices(ctl.pid);
+      usage_check(!choices.empty(), "recv stepped with no queued message");
+      Pid from = choices.front();
+      if (recv_from != -1) {
+        usage_check(std::find(choices.begin(), choices.end(), recv_from) !=
+                        choices.end(),
+                    "recv: chosen sender has no queued message");
+        from = recv_from;
+      }
+      auto& q = chan_[static_cast<std::size_t>(from) *
+                          static_cast<std::size_t>(n()) +
+                      static_cast<std::size_t>(ctl.pid)];
+      ctl.result = OpResult{std::move(q.front()), from};
+      q.pop_front();
+      break;
+    }
+  }
+}
+
+void Sim::resume(ProcCtl& ctl) {
+  usage_check(static_cast<bool>(ctl.resume_point), "resume: no resume point");
+  ctl.resume_point.resume();
+  if (ctl.exc) {
+    auto exc = ctl.exc;
+    ctl.exc = nullptr;
+    ctl.crashed = true;  // a throwing process takes no further steps
+    std::rethrow_exception(exc);
+  }
+}
+
+}  // namespace bsr::sim

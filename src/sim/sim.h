@@ -1,0 +1,263 @@
+// The simulation world: registers, channels, processes.
+//
+// `Sim` owns the shared state of one simulated system and the process
+// coroutines. It exposes step-level control (which process executes its next
+// atomic operation) to schedulers; it performs *no* scheduling policy itself.
+//
+// Model enforcement happens here: SWMR ownership, declared register bit
+// widths, write-once registers, and channel topology are all checked on
+// every executed operation, and violations throw ModelError. An algorithm
+// therefore cannot accidentally use more communication power than the model
+// variant it claims to run in.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/coro.h"
+#include "sim/op.h"
+#include "util/errors.h"
+#include "util/value.h"
+
+namespace bsr::sim {
+
+/// Width of an unbounded register.
+inline constexpr int kUnbounded = -1;
+
+/// A single-writer multi-reader shared register.
+struct Register {
+  std::string name;
+  Pid writer = -1;        ///< Owning writer; -1 allows any writer (MWMR, for tests).
+  int width_bits = kUnbounded;
+  bool write_once = false;  ///< Input registers I_i: one write, ever.
+  /// Bounded register that reserves one of its 2^b states for ⊥ (so the
+  /// writable integers are 0 … 2^b − 2, and the initial value may be ⊥).
+  bool allows_bottom = false;
+  Value value;
+
+  // Accounting (for benches reporting actual register usage).
+  long writes = 0;
+  long reads = 0;
+  int max_bits_written = 0;
+};
+
+/// Configuration for spawning a Sim.
+struct SimOptions {
+  int n = 0;                 ///< Number of processes.
+  bool record_trace = false; ///< Keep a full TraceEvent log.
+  /// Channel topology: edges[i] lists the pids i may send to. Empty means
+  /// the complete graph (every process may send to every other).
+  std::vector<std::vector<Pid>> edges;
+  /// Enforce the paper's base model literally: at most one register owned
+  /// by each process (§2 grants one SWMR register per process; several
+  /// registers are a convenience justified by constant-factor emulation).
+  /// Write-once input registers are exempt (the model adds them separately).
+  bool single_register_per_process = false;
+};
+
+class Sim;
+
+/// Per-process handle given to protocol coroutines; produces op awaitables.
+///
+/// Env objects are owned by the Sim and remain valid for the lifetime of the
+/// process coroutine.
+class Env {
+ public:
+  [[nodiscard]] Pid pid() const noexcept { return ctl_->pid; }
+  [[nodiscard]] int n() const noexcept;
+  [[nodiscard]] long steps() const noexcept { return ctl_->steps; }
+
+  /// Atomic read of register `reg`.
+  [[nodiscard]] OpAwaiter read(int reg) const {
+    OpRequest r;
+    r.kind = OpKind::Read;
+    r.reg = reg;
+    return OpAwaiter(ctl_, std::move(r));
+  }
+
+  /// Atomic write of `v` to register `reg`.
+  [[nodiscard]] OpAwaiter write(int reg, Value v) const {
+    OpRequest r;
+    r.kind = OpKind::Write;
+    r.reg = reg;
+    r.value = std::move(v);
+    return OpAwaiter(ctl_, std::move(r));
+  }
+
+  /// Atomic snapshot of the registers in `regs` (result: vector of contents).
+  [[nodiscard]] OpAwaiter snapshot(std::vector<int> regs) const {
+    OpRequest r;
+    r.kind = OpKind::Snapshot;
+    r.regs = std::move(regs);
+    return OpAwaiter(ctl_, std::move(r));
+  }
+
+  /// Immediate snapshot: atomically write `v` into `own` then snapshot
+  /// `regs`. Concurrent WriteSnaps may be executed as one block by the
+  /// scheduler, in which case all block members see each other's writes.
+  [[nodiscard]] OpAwaiter write_snapshot(int own, Value v,
+                                         std::vector<int> regs) const {
+    OpRequest r;
+    r.kind = OpKind::WriteSnap;
+    r.reg = own;
+    r.value = std::move(v);
+    r.regs = std::move(regs);
+    return OpAwaiter(ctl_, std::move(r));
+  }
+
+  /// Asynchronous FIFO send to process `to`.
+  [[nodiscard]] OpAwaiter send(Pid to, Value v) const {
+    OpRequest r;
+    r.kind = OpKind::Send;
+    r.peer = to;
+    r.value = std::move(v);
+    return OpAwaiter(ctl_, std::move(r));
+  }
+
+  /// Blocking receive. `from` = -1 receives from any sender (the scheduler
+  /// picks the channel); otherwise only from that sender. The result's
+  /// `from` field names the actual sender.
+  [[nodiscard]] OpAwaiter recv(Pid from = -1) const {
+    OpRequest r;
+    r.kind = OpKind::Recv;
+    r.peer = from;
+    return OpAwaiter(ctl_, std::move(r));
+  }
+
+ private:
+  friend class Sim;
+  Env(Sim* sim, ProcCtl* ctl) noexcept : sim_(sim), ctl_(ctl) {}
+  Sim* sim_;
+  ProcCtl* ctl_;
+};
+
+/// The simulated world. See file comment.
+class Sim {
+ public:
+  explicit Sim(SimOptions opts);
+  explicit Sim(int n) : Sim(SimOptions{.n = n}) {}
+
+  Sim(const Sim&) = delete;
+  Sim& operator=(const Sim&) = delete;
+
+  [[nodiscard]] int n() const noexcept { return static_cast<int>(ctls_.size()); }
+
+  // --- World construction -------------------------------------------------
+
+  /// Declares a register; returns its index. `writer` = -1 permits any
+  /// writer. `width_bits` = kUnbounded permits any Value; otherwise only
+  /// u64 values of at most that many bits are accepted, and `init` must fit.
+  int add_register(std::string name, Pid writer, int width_bits, Value init);
+
+  /// Declares a write-once unbounded input register I_{writer} (initially ⊥).
+  int add_input_register(std::string name, Pid writer);
+
+  /// Declares a bounded register of `width_bits` bits one of whose 2^b
+  /// states encodes ⊥: initial content is ⊥ and writable integers are
+  /// 0 … 2^b − 2. This models the paper's 3-state (⊥/0/1) registers, which
+  /// occupy 2 bits. `write_once` restricts it to a single write.
+  int add_bottom_register(std::string name, Pid writer, int width_bits,
+                          bool write_once = false);
+
+  /// Installs the coroutine body for process `pid`. Must be called exactly
+  /// once per pid before stepping. The body receives this process's Env.
+  void spawn(Pid pid, const std::function<Proc(Env&)>& body);
+
+  // --- Step-level control (used by schedulers) ------------------------------
+
+  /// True if `pid` is alive (spawned, not crashed, not terminated).
+  [[nodiscard]] bool alive(Pid pid) const;
+
+  /// True if `pid` is alive and its pending op can execute now. Register ops
+  /// are always executable; Recv needs a matching queued message.
+  [[nodiscard]] bool enabled(Pid pid) const;
+
+  /// For a pid blocked on Recv: the senders with queued matching messages.
+  [[nodiscard]] std::vector<Pid> recv_choices(Pid pid) const;
+
+  /// Executes `pid`'s pending op and resumes it until its next op (or
+  /// termination). For Recv with multiple available senders, `recv_from`
+  /// picks the channel (-1 = lowest pid). Throws if not enabled, and
+  /// rethrows any unhandled protocol exception.
+  void step(Pid pid, Pid recv_from = -1);
+
+  /// Executes the pending WriteSnap ops of all of `pids` as one concurrency
+  /// block: all writes apply first, then every member receives the same
+  /// snapshot. All members must have pending WriteSnap ops over the same
+  /// register set.
+  void step_block(const std::vector<Pid>& pids);
+
+  /// Crash-stops a process: it takes no further steps, ever.
+  void crash(Pid pid);
+
+  // --- Inspection -----------------------------------------------------------
+
+  [[nodiscard]] bool terminated(Pid pid) const;
+  [[nodiscard]] bool crashed(Pid pid) const;
+  /// Decision (co_returned value) of a terminated process.
+  [[nodiscard]] const Value& decision(Pid pid) const;
+  [[nodiscard]] long steps(Pid pid) const;
+  [[nodiscard]] long total_steps() const noexcept { return total_steps_; }
+
+  /// Direct (non-step) inspection of a register's content.
+  [[nodiscard]] const Value& peek(int reg) const;
+  [[nodiscard]] const Register& register_info(int reg) const;
+  [[nodiscard]] int num_registers() const noexcept {
+    return static_cast<int>(regs_.size());
+  }
+
+  /// Concatenated rendering of the given registers' contents: the "word"
+  /// w_ℓ from the §4 pigeonhole argument.
+  [[nodiscard]] std::string register_word(const std::vector<int>& regs) const;
+
+  /// Largest bit width actually written to any bounded register.
+  [[nodiscard]] int max_bounded_bits_used() const;
+
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept {
+    return trace_;
+  }
+
+  /// Number of undelivered messages queued from `from` to `to`.
+  [[nodiscard]] std::size_t channel_size(Pid from, Pid to) const;
+
+  /// Total messages ever sent (delivered or still queued).
+  [[nodiscard]] long total_sends() const noexcept { return total_sends_; }
+
+ private:
+  struct ProcSlot {
+    ProcCtl ctl;
+    std::unique_ptr<Env> env;
+    // The body is stored before being invoked: a lambda coroutine keeps
+    // referring to its closure object, so the callable must outlive the
+    // coroutine frame.
+    std::function<Proc(Env&)> body;
+    Proc coro;
+    bool spawned = false;
+  };
+
+  [[nodiscard]] Register& reg_at(int reg);
+  [[nodiscard]] const Register& reg_at(int reg) const;
+  void check_pid(Pid pid) const;
+  [[nodiscard]] bool may_send(Pid from, Pid to) const;
+  /// Executes the pending request of `pid` into its result slot.
+  void execute(ProcCtl& ctl, Pid recv_from);
+  void do_write(Pid pid, int reg, const Value& v);
+  [[nodiscard]] Value do_snapshot(const std::vector<int>& regs);
+  void resume(ProcCtl& ctl);
+
+  SimOptions opts_;
+  std::vector<ProcSlot> ctls_;
+  std::vector<Register> regs_;
+  // chan_[from * n + to]
+  std::vector<std::deque<Value>> chan_;
+  std::vector<TraceEvent> trace_;
+  long total_steps_ = 0;
+  long total_sends_ = 0;
+  bool adding_input_register_ = false;
+};
+
+}  // namespace bsr::sim

@@ -1,0 +1,62 @@
+#include "sim/trace_fmt.h"
+
+#include <sstream>
+
+namespace bsr::sim {
+
+std::string format_event(const Sim& sim, const TraceEvent& ev) {
+  std::ostringstream os;
+  os << 'p' << ev.pid << ' ';
+  const auto reg_name = [&](int reg) { return sim.register_info(reg).name; };
+  switch (ev.request.kind) {
+    case OpKind::Start:
+      os << "start";
+      break;
+    case OpKind::Read:
+      os << "read " << reg_name(ev.request.reg) << " -> " << ev.result.value;
+      break;
+    case OpKind::Write:
+      os << "write " << reg_name(ev.request.reg) << " := " << ev.request.value;
+      break;
+    case OpKind::Snapshot:
+      os << "snapshot -> " << ev.result.value;
+      break;
+    case OpKind::WriteSnap:
+      os << "write_snapshot " << reg_name(ev.request.reg)
+         << " := " << ev.request.value << " -> " << ev.result.value;
+      break;
+    case OpKind::Send:
+      os << "send -> p" << ev.request.peer << ": " << ev.request.value;
+      break;
+    case OpKind::Recv:
+      os << "recv <- p" << ev.result.from << ": " << ev.result.value;
+      break;
+  }
+  return os.str();
+}
+
+std::string format_trace(const Sim& sim) {
+  std::ostringstream os;
+  long step = 0;
+  for (const TraceEvent& ev : sim.trace()) {
+    os << step++ << ": " << format_event(sim, ev) << '\n';
+  }
+  return os.str();
+}
+
+std::string format_schedule(const std::vector<Choice>& sched) {
+  std::ostringstream os;
+  bool first = true;
+  for (const Choice& c : sched) {
+    if (!first) os << ' ';
+    first = false;
+    if (c.kind == Choice::Kind::Crash) os << "†";
+    os << 'p' << c.pid;
+    if (c.kind == Choice::Kind::Step && c.recv_from != -1) {
+      os << "<-p" << c.recv_from;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bsr::sim

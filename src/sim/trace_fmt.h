@@ -1,0 +1,25 @@
+// Human-readable rendering of executions: trace events, schedules, and a
+// compact per-process timeline — the debugging companion to record_trace
+// and the schedule shrinker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/sched.h"
+#include "sim/sim.h"
+
+namespace bsr::sim {
+
+/// "p0 write R1 := 1", "p1 read alg1.R2 -> 0", "p2 recv <- p0: [...]", ...
+[[nodiscard]] std::string format_event(const Sim& sim, const TraceEvent& ev);
+
+/// The whole recorded trace, one event per line (record_trace must have
+/// been enabled).
+[[nodiscard]] std::string format_trace(const Sim& sim);
+
+/// A schedule as a compact one-line string: "p0 p1 p1 †p0 p1" where †
+/// marks a crash choice and recv source choices appear as "p2<-p0".
+[[nodiscard]] std::string format_schedule(const std::vector<Choice>& sched);
+
+}  // namespace bsr::sim

@@ -1,0 +1,116 @@
+#include "tasks/approx.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace bsr::tasks {
+
+namespace {
+
+/// Returns true and fills {lo, hi} with the min/max numerators decided; if
+/// nothing was decided the partial output is trivially legal.
+bool decided_range(const Config& out, std::uint64_t max_numerator,
+                   std::uint64_t& lo, std::uint64_t& hi, bool& any) {
+  any = false;
+  for (const Value& v : out) {
+    if (v.is_bottom()) continue;
+    if (!v.is_u64() || v.as_u64() > max_numerator) return false;
+    const std::uint64_t m = v.as_u64();
+    if (!any) {
+      lo = hi = m;
+      any = true;
+    } else {
+      lo = std::min(lo, m);
+      hi = std::max(hi, m);
+    }
+  }
+  return true;
+}
+
+bool binary_inputs_ok(const Config& in, int n) {
+  if (static_cast<int>(in.size()) != n) return false;
+  for (const Value& v : in) {
+    if (!v.is_u64() || v.as_u64() > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ApproxAgreement::ApproxAgreement(int n, std::uint64_t k) : n_(n), k_(k) {
+  usage_check(n >= 2, "ApproxAgreement: need n >= 2");
+  usage_check(k >= 1, "ApproxAgreement: need k >= 1");
+}
+
+std::string ApproxAgreement::name() const {
+  return "approx-agreement(1/" + std::to_string(k_) + ")";
+}
+
+bool ApproxAgreement::input_ok(const Config& in) const {
+  return binary_inputs_ok(in, n_);
+}
+
+bool ApproxAgreement::output_ok(const Config& in,
+                                const Config& partial_out) const {
+  if (!input_ok(in) || static_cast<int>(partial_out.size()) != n_) return false;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool any = false;
+  if (!decided_range(partial_out, k_, lo, hi, any)) return false;
+  if (!any) return true;
+  if (hi - lo > 1) return false;  // agreement: within ε = 1/k
+  // Validity: outputs lie within the interval spanned by the inputs.
+  bool has0 = false;
+  bool has1 = false;
+  for (const Value& v : in) (v.as_u64() == 0 ? has0 : has1) = true;
+  if (!has1 && hi != 0) return false;          // all inputs 0 → decide 0
+  if (!has0 && lo != k_) return false;         // all inputs 1 → decide 1
+  return true;
+}
+
+std::vector<Config> ApproxAgreement::all_inputs() const {
+  return all_binary_configs(n_);
+}
+
+Consensus::Consensus(int n) : n_(n) {
+  usage_check(n >= 2, "Consensus: need n >= 2");
+}
+
+bool Consensus::input_ok(const Config& in) const {
+  return binary_inputs_ok(in, n_);
+}
+
+bool Consensus::output_ok(const Config& in, const Config& partial_out) const {
+  if (!input_ok(in) || static_cast<int>(partial_out.size()) != n_) return false;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool any = false;
+  if (!decided_range(partial_out, 1, lo, hi, any)) return false;
+  if (!any) return true;
+  if (lo != hi) return false;  // agreement
+  // Validity: the decided value is some process's input.
+  for (const Value& v : in) {
+    if (v.as_u64() == lo) return true;
+  }
+  return false;
+}
+
+std::vector<Config> Consensus::all_inputs() const {
+  return all_binary_configs(n_);
+}
+
+std::vector<Config> all_binary_configs(int n) {
+  usage_check(n >= 1 && n < 63, "all_binary_configs: bad n");
+  std::vector<Config> out;
+  out.reserve(1u << n);
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Config c;
+    c.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) c.emplace_back((mask >> i) & 1);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace bsr::tasks

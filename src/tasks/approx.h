@@ -1,0 +1,57 @@
+// Discretized binary ε-agreement (§2 "Approximate Agreement").
+//
+// Inputs are in {0, 1}. With ε = 1/k, outputs are grid points m/k for
+// m ∈ {0, …, k}, represented by their numerator m. Legality:
+//   validity  — if every input is x ∈ {0,1}, every output is x (numerator
+//               0 or k); in general every output lies in the interval
+//               spanned by the inputs;
+//   agreement — decided numerators differ by at most 1 (≤ ε apart).
+#pragma once
+
+#include <cstdint>
+
+#include "tasks/task.h"
+
+namespace bsr::tasks {
+
+class ApproxAgreement final : public Task {
+ public:
+  /// n processes, precision ε = 1/k (k ≥ 1).
+  ApproxAgreement(int n, std::uint64_t k);
+
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] std::uint64_t k() const { return k_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool input_ok(const Config& in) const override;
+  [[nodiscard]] bool output_ok(const Config& in,
+                               const Config& partial_out) const override;
+  [[nodiscard]] std::vector<Config> all_inputs() const override;
+
+ private:
+  int n_;
+  std::uint64_t k_;
+};
+
+/// Binary consensus: inputs in {0,1}; all decided values equal and equal to
+/// some process's input. (Unsolvable 1-resiliently — Lemma 2.1; used by the
+/// §4 reduction and by negative tests.)
+class Consensus final : public Task {
+ public:
+  explicit Consensus(int n);
+
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return "consensus"; }
+  [[nodiscard]] bool input_ok(const Config& in) const override;
+  [[nodiscard]] bool output_ok(const Config& in,
+                               const Config& partial_out) const override;
+  [[nodiscard]] std::vector<Config> all_inputs() const override;
+
+ private:
+  int n_;
+};
+
+/// All 2^n binary configurations over n processes (helper for tasks with
+/// binary inputs).
+[[nodiscard]] std::vector<Config> all_binary_configs(int n);
+
+}  // namespace bsr::tasks

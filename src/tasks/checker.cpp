@@ -1,0 +1,24 @@
+#include "tasks/checker.h"
+
+namespace bsr::tasks {
+
+Config decisions_of(const sim::Sim& sim) {
+  Config out;
+  out.reserve(static_cast<std::size_t>(sim.n()));
+  for (sim::Pid p = 0; p < sim.n(); ++p) {
+    out.push_back(sim.terminated(p) ? sim.decision(p) : Value());
+  }
+  return out;
+}
+
+CheckResult check_outputs(const Task& task, const Config& in,
+                          const Config& out) {
+  if (!task.input_ok(in)) {
+    return {false, task.name() + ": invalid input " + config_str(in)};
+  }
+  if (task.output_ok(in, out)) return {true, ""};
+  return {false, task.name() + ": illegal output " + config_str(out) +
+                     " for input " + config_str(in)};
+}
+
+}  // namespace bsr::tasks

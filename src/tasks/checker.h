@@ -1,0 +1,26 @@
+// Bridges simulator executions and task specifications.
+#pragma once
+
+#include <string>
+
+#include "sim/sim.h"
+#include "tasks/task.h"
+
+namespace bsr::tasks {
+
+/// Collects the decisions of a finished run: entry i is process i's decision
+/// or ⊥ if it did not terminate.
+[[nodiscard]] Config decisions_of(const sim::Sim& sim);
+
+struct CheckResult {
+  bool ok = false;
+  std::string detail;
+};
+
+/// Checks a run's outputs against a task: legality of the partial output for
+/// the given full input configuration, with a human-readable explanation on
+/// failure.
+[[nodiscard]] CheckResult check_outputs(const Task& task, const Config& in,
+                                        const Config& out);
+
+}  // namespace bsr::tasks

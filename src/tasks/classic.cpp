@@ -1,0 +1,83 @@
+#include "tasks/classic.h"
+
+#include <set>
+
+#include "tasks/approx.h"
+#include "util/errors.h"
+
+namespace bsr::tasks {
+
+Renaming::Renaming(int n, std::uint64_t name_space)
+    : n_(n), name_space_(name_space) {
+  usage_check(n >= 2, "Renaming: need n >= 2");
+  usage_check(name_space >= static_cast<std::uint64_t>(n),
+              "Renaming: name space smaller than n is unsatisfiable");
+}
+
+std::string Renaming::name() const {
+  return "renaming(" + std::to_string(name_space_) + ")";
+}
+
+bool Renaming::input_ok(const Config& in) const {
+  if (static_cast<int>(in.size()) != n_) return false;
+  for (const Value& v : in) {
+    if (!v.is_u64() || v.as_u64() > 1) return false;
+  }
+  return true;
+}
+
+bool Renaming::output_ok(const Config& in, const Config& partial_out) const {
+  if (!input_ok(in) || static_cast<int>(partial_out.size()) != n_) return false;
+  std::set<std::uint64_t> taken;
+  for (const Value& v : partial_out) {
+    if (v.is_bottom()) continue;
+    if (!v.is_u64()) return false;
+    const std::uint64_t name = v.as_u64();
+    if (name < 1 || name > name_space_) return false;
+    if (!taken.insert(name).second) return false;  // duplicate name
+  }
+  // Any partial assignment of distinct in-range names extends to a full one
+  // because name_space_ >= n.
+  return true;
+}
+
+std::vector<Config> Renaming::all_inputs() const {
+  return all_binary_configs(n_);
+}
+
+SetAgreement::SetAgreement(int n, int k) : n_(n), k_(k) {
+  usage_check(n >= 2, "SetAgreement: need n >= 2");
+  usage_check(k >= 1 && k < n, "SetAgreement: need 1 <= k < n");
+}
+
+std::string SetAgreement::name() const {
+  return std::to_string(k_) + "-set-agreement";
+}
+
+bool SetAgreement::input_ok(const Config& in) const {
+  if (static_cast<int>(in.size()) != n_) return false;
+  for (const Value& v : in) {
+    if (!v.is_u64() || v.as_u64() > 1) return false;
+  }
+  return true;
+}
+
+bool SetAgreement::output_ok(const Config& in,
+                             const Config& partial_out) const {
+  if (!input_ok(in) || static_cast<int>(partial_out.size()) != n_) return false;
+  std::set<std::uint64_t> inputs;
+  for (const Value& v : in) inputs.insert(v.as_u64());
+  std::set<std::uint64_t> decided;
+  for (const Value& v : partial_out) {
+    if (v.is_bottom()) continue;
+    if (!v.is_u64() || !inputs.contains(v.as_u64())) return false;  // validity
+    decided.insert(v.as_u64());
+  }
+  return static_cast<int>(decided.size()) <= k_;
+}
+
+std::vector<Config> SetAgreement::all_inputs() const {
+  return all_binary_configs(n_);
+}
+
+}  // namespace bsr::tasks

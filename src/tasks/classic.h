@@ -1,0 +1,50 @@
+// Further classic tasks from the paper's surrounding literature (§1.3):
+// renaming and k-set agreement. They broaden the task library the BMZ
+// machinery and the verifier can be pointed at.
+#pragma once
+
+#include "tasks/task.h"
+
+namespace bsr::tasks {
+
+/// Renaming: n processes must decide pairwise-distinct names from
+/// {1, …, name_space}. Inputs are binary and irrelevant to legality (the
+/// classic task gives processes distinct ids, which our fixed pids already
+/// provide); the interesting name space is 2n−1, the wait-free tight bound.
+class Renaming final : public Task {
+ public:
+  Renaming(int n, std::uint64_t name_space);
+
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool input_ok(const Config& in) const override;
+  [[nodiscard]] bool output_ok(const Config& in,
+                               const Config& partial_out) const override;
+  [[nodiscard]] std::vector<Config> all_inputs() const override;
+
+ private:
+  int n_;
+  std::uint64_t name_space_;
+};
+
+/// k-set agreement: every decided value is some process's input and at most
+/// k distinct values are decided. k = 1 is consensus; k = n−1 ("set
+/// agreement") is the classic wait-free-unsolvable frontier (§1.3).
+class SetAgreement final : public Task {
+ public:
+  SetAgreement(int n, int k);
+
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool input_ok(const Config& in) const override;
+  [[nodiscard]] bool output_ok(const Config& in,
+                               const Config& partial_out) const override;
+  [[nodiscard]] std::vector<Config> all_inputs() const override;
+
+ private:
+  int n_;
+  int k_;
+};
+
+}  // namespace bsr::tasks

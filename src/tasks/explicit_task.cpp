@@ -1,0 +1,92 @@
+#include "tasks/explicit_task.h"
+
+#include <set>
+
+#include "util/errors.h"
+
+namespace bsr::tasks {
+
+ExplicitTask::ExplicitTask(std::string name, int n, Delta delta)
+    : name_(std::move(name)), n_(n), delta_(std::move(delta)) {
+  usage_check(n_ >= 1, "ExplicitTask: bad n");
+  usage_check(!delta_.empty(), "ExplicitTask: empty input set");
+  for (const auto& [in, outs] : delta_) {
+    usage_check(static_cast<int>(in.size()) == n_ && is_full(in),
+                "ExplicitTask: malformed input " + config_str(in));
+    usage_check(!outs.empty(),
+                "ExplicitTask: input " + config_str(in) + " has empty Δ");
+    for (const Config& out : outs) {
+      usage_check(static_cast<int>(out.size()) == n_ && is_full(out),
+                  "ExplicitTask: malformed output " + config_str(out));
+    }
+  }
+}
+
+bool ExplicitTask::input_ok(const Config& in) const {
+  return delta_.contains(in);
+}
+
+bool ExplicitTask::output_ok(const Config& in,
+                             const Config& partial_out) const {
+  const auto it = delta_.find(in);
+  if (it == delta_.end()) return false;
+  if (static_cast<int>(partial_out.size()) != n_) return false;
+  for (const Config& full : it->second) {
+    if (extends(full, partial_out)) return true;
+  }
+  return false;
+}
+
+std::vector<Config> ExplicitTask::all_inputs() const {
+  std::vector<Config> out;
+  out.reserve(delta_.size());
+  for (const auto& [in, _] : delta_) out.push_back(in);
+  return out;
+}
+
+const std::vector<Config>& ExplicitTask::delta(const Config& in) const {
+  const auto it = delta_.find(in);
+  usage_check(it != delta_.end(),
+              "ExplicitTask::delta: not an input: " + config_str(in));
+  return it->second;
+}
+
+std::vector<Config> ExplicitTask::all_outputs() const {
+  std::set<Config> uniq;
+  for (const auto& [_, outs] : delta_) uniq.insert(outs.begin(), outs.end());
+  return {uniq.begin(), uniq.end()};
+}
+
+ExplicitTask materialize(const Task& task,
+                         const std::vector<Value>& output_domain) {
+  usage_check(!output_domain.empty(), "materialize: empty output domain");
+  const int n = task.n();
+  ExplicitTask::Delta delta;
+  for (const Config& in : task.all_inputs()) {
+    std::vector<Config> outs;
+    Config cur(static_cast<std::size_t>(n), output_domain.front());
+    std::vector<std::size_t> idx(static_cast<std::size_t>(n), 0);
+    for (;;) {
+      for (int i = 0; i < n; ++i) {
+        cur[static_cast<std::size_t>(i)] =
+            output_domain[idx[static_cast<std::size_t>(i)]];
+      }
+      if (task.output_ok(in, cur)) outs.push_back(cur);
+      // Odometer over domain^n.
+      int pos = 0;
+      while (pos < n) {
+        auto& d = idx[static_cast<std::size_t>(pos)];
+        if (++d < output_domain.size()) break;
+        d = 0;
+        ++pos;
+      }
+      if (pos == n) break;
+    }
+    usage_check(!outs.empty(), "materialize: input " + config_str(in) +
+                                   " has no legal output over the domain");
+    delta[in] = std::move(outs);
+  }
+  return ExplicitTask(task.name() + " (materialized)", n, std::move(delta));
+}
+
+}  // namespace bsr::tasks

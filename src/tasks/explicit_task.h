@@ -1,0 +1,47 @@
+// Table-driven task: Δ given by explicit enumeration.
+//
+// This is the form used by the Biran–Moran–Zaks machinery (§5.2): small
+// finite tasks whose legality we can only express by listing Δ. Partial
+// outputs are checked by extension search over Δ(in).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tasks/task.h"
+
+namespace bsr::tasks {
+
+class ExplicitTask final : public Task {
+ public:
+  using Delta = std::map<Config, std::vector<Config>>;
+
+  ExplicitTask(std::string name, int n, Delta delta);
+
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool input_ok(const Config& in) const override;
+  [[nodiscard]] bool output_ok(const Config& in,
+                               const Config& partial_out) const override;
+  [[nodiscard]] std::vector<Config> all_inputs() const override;
+
+  /// The legal full outputs for input `in` (empty if `in` is not an input).
+  [[nodiscard]] const std::vector<Config>& delta(const Config& in) const;
+
+  /// The union of all legal outputs over all inputs (the output complex O).
+  [[nodiscard]] std::vector<Config> all_outputs() const;
+
+ private:
+  std::string name_;
+  int n_;
+  Delta delta_;
+};
+
+/// Materializes any finite task as an ExplicitTask by enumerating, for every
+/// input, the full outputs over `output_domain`^n accepted by the task.
+/// Exponential in n — intended for the small tasks fed to the BMZ machinery.
+[[nodiscard]] ExplicitTask materialize(const Task& task,
+                                       const std::vector<Value>& output_domain);
+
+}  // namespace bsr::tasks

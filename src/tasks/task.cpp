@@ -1,0 +1,33 @@
+#include "tasks/task.h"
+
+#include <sstream>
+
+namespace bsr::tasks {
+
+std::string config_str(const Config& c) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i) os << ", ";
+    os << c[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+bool is_full(const Config& c) {
+  for (const Value& v : c) {
+    if (v.is_bottom()) return false;
+  }
+  return true;
+}
+
+bool extends(const Config& full, const Config& partial) {
+  if (full.size() != partial.size()) return false;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (!partial[i].is_bottom() && !(partial[i] == full[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace bsr::tasks

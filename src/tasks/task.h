@@ -1,0 +1,54 @@
+// Distributed tasks Π = (I, O, Δ).
+//
+// A task assigns to every (full) input configuration the set of legal output
+// configurations. Crash-prone executions produce *partial* outputs (⊥ for
+// processes that crashed or never decided); a partial output is legal iff it
+// can be extended to a legal full output — this is the standard task
+// solvability convention (only non-crashing processes must decide, and what
+// they decide must be completable).
+//
+// The primitive operation we need everywhere is the legality check, so the
+// interface exposes `output_ok(in, partial_out)` directly rather than an
+// enumerated Δ; enumeration-backed tasks (ExplicitTask) implement the check
+// by extension search.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/value.h"
+
+namespace bsr::tasks {
+
+/// One configuration: entry i is process i's value, ⊥ meaning "absent"
+/// (crashed before providing an input / never decided an output).
+using Config = std::vector<Value>;
+
+[[nodiscard]] std::string config_str(const Config& c);
+
+/// True if every entry of `c` is non-⊥.
+[[nodiscard]] bool is_full(const Config& c);
+
+/// True if `partial` agrees with `full` on all non-⊥ entries of `partial`.
+[[nodiscard]] bool extends(const Config& full, const Config& partial);
+
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  [[nodiscard]] virtual int n() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Is `in` a valid *full* input configuration of the task?
+  [[nodiscard]] virtual bool input_ok(const Config& in) const = 0;
+
+  /// Is the (possibly partial) output configuration legal for full input
+  /// `in`, i.e. extendable to some τ ∈ Δ(in)?
+  [[nodiscard]] virtual bool output_ok(const Config& in,
+                                       const Config& partial_out) const = 0;
+
+  /// Enumerates all full input configurations (finite by the task model).
+  [[nodiscard]] virtual std::vector<Config> all_inputs() const = 0;
+};
+
+}  // namespace bsr::tasks

@@ -1,0 +1,41 @@
+#include "tasks/verify.h"
+
+#include "sim/shrink.h"
+
+namespace bsr::tasks {
+
+VerifyResult verify_protocol(const sim::Explorer::Factory& make,
+                             const Task& task, const Config& input,
+                             VerifyOptions opts) {
+  VerifyResult result;
+  const sim::Explorer ex(opts.explore);
+  result.executions = ex.explore_until(
+      make, [&](sim::Sim& sim, const std::vector<sim::Choice>& sched) {
+        const Config out = decisions_of(sim);
+        if (task.output_ok(input, out)) return false;
+        result.ok = false;
+        result.violation = sched;
+        result.outputs = out;
+        return true;  // stop at the first violation
+      });
+  if (result.ok || !opts.shrink) return result;
+
+  // Shrink under "replay then finish round-robin" semantics: a subsequence
+  // of a schedule re-converges to a complete execution deterministically.
+  const auto still_fails = [&](const std::vector<sim::Choice>& sched) {
+    std::unique_ptr<sim::Sim> sim = make();
+    run_schedule(*sim, sched);
+    run_round_robin(*sim);
+    return !task.output_ok(input, decisions_of(*sim));
+  };
+  if (still_fails(result.violation)) {
+    result.violation = sim::shrink_schedule(still_fails, result.violation);
+    std::unique_ptr<sim::Sim> sim = make();
+    run_schedule(*sim, result.violation);
+    run_round_robin(*sim);
+    result.outputs = decisions_of(*sim);
+  }
+  return result;
+}
+
+}  // namespace bsr::tasks

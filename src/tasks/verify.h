@@ -1,0 +1,42 @@
+// One-call bounded verification of a protocol against a task: exhaustively
+// explore the schedule space (optionally with crash adversaries), stop at
+// the first task violation, and shrink the violating schedule to a
+// 1-minimal reproduction.
+//
+// This packages the workflow used throughout the test suite — explorer →
+// legality check → delta debugging — behind a single function, the
+// "model-check my protocol" entry point of the library.
+#pragma once
+
+#include "sim/explore.h"
+#include "tasks/checker.h"
+#include "tasks/task.h"
+
+namespace bsr::tasks {
+
+struct VerifyOptions {
+  sim::ExploreOptions explore;
+  /// Shrink the violating schedule with ddmin before returning it.
+  bool shrink = true;
+};
+
+struct VerifyResult {
+  /// True if every explored execution produced a legal (partial) output.
+  bool ok = true;
+  /// Executions examined (all of them when ok).
+  long executions = 0;
+  /// When !ok: a violating schedule. If shrunk, replay it with
+  /// run_schedule and finish stragglers with run_round_robin to reproduce.
+  std::vector<sim::Choice> violation;
+  /// The outputs of the (possibly shrunk) violating execution.
+  Config outputs;
+};
+
+/// Explores every execution of the protocol built by `make` and checks the
+/// decisions against `task` for the given full input configuration.
+[[nodiscard]] VerifyResult verify_protocol(const sim::Explorer::Factory& make,
+                                           const Task& task,
+                                           const Config& input,
+                                           VerifyOptions opts = {});
+
+}  // namespace bsr::tasks

@@ -1,0 +1,271 @@
+#include "topo/bmz.h"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <set>
+
+#include "util/errors.h"
+
+namespace bsr::topo {
+
+using tasks::Config;
+using tasks::config_str;
+
+bool differ_in_one(const Config& a, const Config& b) {
+  if (a.size() != b.size()) return false;
+  int diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) ++diff;
+  }
+  return diff == 1;
+}
+
+bool path_adjacent(const Config& a, const Config& b) {
+  if (a.size() != b.size()) return false;
+  int diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) ++diff;
+  }
+  return diff <= 1;
+}
+
+const std::vector<Config>& Bmz2Plan::path_for(const Config& full,
+                                              const Config& partial) const {
+  const auto it = paths.find({full, partial});
+  usage_check(it != paths.end(),
+              [&] {
+                return "Bmz2Plan: no path for input " + config_str(full) +
+                       " / partial " + config_str(partial);
+              });
+  return it->second;
+}
+
+namespace {
+
+/// The partial configuration obtained by erasing coordinate i.
+Config erase_at(Config c, int i) {
+  c[static_cast<std::size_t>(i)] = Value();
+  return c;
+}
+
+/// BFS path (inclusive endpoints) between two nodes of G(S); empty if
+/// disconnected. Nodes of S are joined when they differ in exactly one
+/// coordinate.
+std::vector<Config> bfs_path(const std::vector<Config>& s, const Config& from,
+                             const Config& to) {
+  if (from == to) return {from};
+  std::map<Config, Config> parent;
+  std::deque<Config> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    const Config cur = queue.front();
+    queue.pop_front();
+    for (const Config& next : s) {
+      if (parent.contains(next) || !differ_in_one(cur, next)) continue;
+      parent[next] = cur;
+      if (next == to) {
+        std::vector<Config> path{to};
+        for (Config at = to; !(at == from);) {
+          at = parent.at(at);
+          path.push_back(at);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Bmz2::Bmz2(const tasks::ExplicitTask& task,
+           std::vector<Config> restricted_outputs)
+    : outputs_(std::move(restricted_outputs)) {
+  usage_check(task.n() == 2, "Bmz2: the characterization is for 2 processes");
+  if (outputs_.empty()) outputs_ = task.all_outputs();
+  analyze(task);
+}
+
+const Bmz2Plan& Bmz2::plan() const {
+  usage_check(solvable(), "Bmz2::plan: task is not 1-resilient solvable: " +
+                              failure_);
+  return plan_;
+}
+
+void Bmz2::analyze(const tasks::ExplicitTask& task) {
+  const std::vector<Config> inputs = task.all_inputs();
+  const std::set<Config> oprime(outputs_.begin(), outputs_.end());
+
+  // Δ(X) ∩ O', per input, in a deterministic order.
+  std::map<Config, std::vector<Config>> legal;
+  for (const Config& in : inputs) {
+    std::vector<Config> outs;
+    for (const Config& out : task.delta(in)) {
+      if (oprime.contains(out)) outs.push_back(out);
+    }
+    std::sort(outs.begin(), outs.end());
+    outs.erase(std::unique(outs.begin(), outs.end()), outs.end());
+    if (outs.empty()) {
+      failure_ = "input " + config_str(in) + " has no legal output in O'";
+      return;
+    }
+    legal[in] = std::move(outs);
+  }
+
+  // --- Connectivity: G(Δ(X) ∩ O') connected for every input X. ---
+  for (const Config& in : inputs) {
+    const std::vector<Config>& s = legal.at(in);
+    for (const Config& target : s) {
+      if (bfs_path(s, s.front(), target).empty()) {
+        failure_ = "G(Δ(" + config_str(in) + ") ∩ O') is disconnected";
+        return;
+      }
+    }
+  }
+
+  // --- Covering: for each partial input X^i, a partial output Y^i whose
+  // j-coordinate can be completed for every extension of X^i. ---
+  // For 2 processes a partial input fixes only the other process's value.
+  struct PartialChoice {
+    Config partial_in;   // ⊥ at i
+    int missing = 0;     // i
+    Config y_l;          // δ(X^i): an O' extension of Y^i
+    Value y_j;           // the fixed coordinate of Y^i (at j = 1 - i)
+  };
+  std::vector<PartialChoice> partials;
+  std::set<Config> seen_partial;
+  for (const Config& in : inputs) {
+    for (int i = 0; i < 2; ++i) {
+      const Config pin = erase_at(in, i);
+      if (!seen_partial.insert(pin).second) continue;
+      const int j = 1 - i;
+      // Extensions of X^i among the inputs.
+      std::vector<Config> exts;
+      for (const Config& x : inputs) {
+        if (x[static_cast<std::size_t>(j)] == pin[static_cast<std::size_t>(j)]) {
+          exts.push_back(x);
+        }
+      }
+      // Try every candidate j-value from O'.
+      std::optional<PartialChoice> chosen;
+      for (const Config& cand : outputs_) {
+        const Value& yj = cand[static_cast<std::size_t>(j)];
+        const bool covers = std::all_of(
+            exts.begin(), exts.end(), [&](const Config& x) {
+              const auto& lx = legal.at(x);
+              return std::any_of(lx.begin(), lx.end(), [&](const Config& y) {
+                return y[static_cast<std::size_t>(j)] == yj;
+              });
+            });
+        if (covers) {
+          chosen = PartialChoice{pin, i, cand, yj};
+          break;
+        }
+      }
+      if (!chosen) {
+        failure_ = "no covering partial output for partial input " +
+                   config_str(pin);
+        return;
+      }
+      partials.push_back(*chosen);
+    }
+  }
+
+  // --- Build the plan: δ and the raw (unpadded) paths. ---
+  for (const Config& in : inputs) plan_.delta_full[in] = legal.at(in).front();
+  for (const PartialChoice& pc : partials) {
+    plan_.delta_partial[pc.partial_in] = pc.y_l;
+  }
+
+  std::map<std::pair<Config, Config>, std::vector<Config>> raw;
+  std::size_t max_len = 0;  // number of edges
+  for (const Config& in : inputs) {
+    for (const PartialChoice& pc : partials) {
+      const int j = 1 - pc.missing;
+      if (!(in[static_cast<std::size_t>(j)] ==
+            pc.partial_in[static_cast<std::size_t>(j)])) {
+        continue;  // X does not extend X^i
+      }
+      // Y_{L-1}: a legal output for X extending Y^i.
+      const auto& lx = legal.at(in);
+      const auto it = std::find_if(lx.begin(), lx.end(), [&](const Config& y) {
+        return y[static_cast<std::size_t>(j)] == pc.y_j;
+      });
+      usage_check(it != lx.end(), "covering invariant broken");
+      std::vector<Config> path =
+          bfs_path(lx, plan_.delta_full.at(in), *it);
+      usage_check(!path.empty(), "connectivity invariant broken");
+      path.push_back(pc.y_l);  // Y_L = δ(X^i); agrees with Y_{L-1} at j
+      raw[{in, pc.partial_in}] = std::move(path);
+      max_len = std::max(max_len, raw[{in, pc.partial_in}].size() - 1);
+    }
+  }
+
+  // --- Pad every path (repeating Y_0 at the front) to one odd L ≥ 3. ---
+  std::size_t L = std::max<std::size_t>(max_len, 3);
+  if (L % 2 == 0) ++L;
+  plan_.L = static_cast<int>(L);
+  for (auto& [key, path] : raw) {
+    std::vector<Config> padded(L + 1 - path.size(), path.front());
+    padded.insert(padded.end(), path.begin(), path.end());
+    plan_.paths[key] = std::move(padded);
+  }
+}
+
+std::optional<Bmz2> find_solvable_restriction(const tasks::ExplicitTask& task) {
+  const std::vector<Config> outputs = task.all_outputs();
+  const std::size_t m = outputs.size();
+  usage_check(m <= 16, "find_solvable_restriction: too many outputs (> 16)");
+  // Enumerate subsets smallest-first.
+  std::vector<std::uint32_t> masks;
+  masks.reserve((1u << m) - 1);
+  for (std::uint32_t mask = 1; mask < (1u << m); ++mask) masks.push_back(mask);
+  std::sort(masks.begin(), masks.end(), [](std::uint32_t a, std::uint32_t b) {
+    const int pa = std::popcount(a);
+    const int pb = std::popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  for (std::uint32_t mask : masks) {
+    std::vector<Config> subset;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) subset.push_back(outputs[i]);
+    }
+    Bmz2 analysis(task, std::move(subset));
+    if (analysis.solvable()) return analysis;
+  }
+  return std::nullopt;
+}
+
+std::string output_graph_dot(const tasks::ExplicitTask& task,
+                             const Config& input,
+                             const std::vector<Config>& restricted) {
+  const std::vector<Config> oprime =
+      restricted.empty() ? task.all_outputs() : restricted;
+  std::set<Config> allowed(oprime.begin(), oprime.end());
+  std::vector<Config> nodes;
+  for (const Config& out : task.delta(input)) {
+    if (allowed.contains(out)) nodes.push_back(out);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::string dot = "graph G {\n  label=\"G(Δ(" + config_str(input) +
+                    ") ∩ O')\";\n";
+  for (const Config& v : nodes) {
+    dot += "  \"" + config_str(v) + "\";\n";
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (differ_in_one(nodes[i], nodes[j])) {
+        dot += "  \"" + config_str(nodes[i]) + "\" -- \"" +
+               config_str(nodes[j]) + "\";\n";
+      }
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace bsr::topo

@@ -1,0 +1,98 @@
+// Biran–Moran–Zaks characterization of 1-resilient solvability for
+// 2-process tasks (§5.2, Lemma 5.7), and the path construction underlying
+// the universal protocol (§5.2.2).
+//
+// Given a task Π = (I, O, Δ) for two processes, Π is 1-resilient solvable
+// iff there is a subset O' ⊆ O satisfying
+//   Connectivity: for every input X, G(Δ(X) ∩ O') is connected, and
+//   Covering: for every partial input X^i there is a partial output Y^i
+//     such that every extension X of X^i has an extension of Y^i in
+//     Δ(X) ∩ O';
+// where G(S) joins outputs differing in exactly one coordinate.
+//
+// This module checks the two conditions (for a caller-supplied O',
+// defaulting to all of O) and, when they hold, builds the deterministic
+// plan used by Algorithm 2: a map δ on full and partial inputs and, for
+// every pair (X, X^i), a path (Y_0, …, Y_L) in G(O') with
+//   Y_0 = δ(X),   Y_j ∈ Δ(X) for j < L,   Y_L = δ(X^i),
+//   and Y_{L-1}, Y_L agreeing outside coordinate i.
+// All paths share one odd length L (so Algorithm 1 with k = (L-1)/2
+// produces decisions on exactly the grid {0, …, L}).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tasks/explicit_task.h"
+
+namespace bsr::topo {
+
+/// True iff the two full configurations differ in exactly one coordinate.
+[[nodiscard]] bool differ_in_one(const tasks::Config& a,
+                                 const tasks::Config& b);
+
+/// True iff they differ in at most one coordinate (path-adjacency,
+/// duplicates allowed — used for padded paths).
+[[nodiscard]] bool path_adjacent(const tasks::Config& a,
+                                 const tasks::Config& b);
+
+/// The deterministic data both processes of Algorithm 2 precompute.
+struct Bmz2Plan {
+  /// Common path length (odd, ≥ 3): every path has L+1 entries.
+  int L = 0;
+  /// δ on full inputs: X ↦ Y_0 ∈ Δ(X) ∩ O'.
+  std::map<tasks::Config, tasks::Config> delta_full;
+  /// δ on partial inputs (⊥ at the missing process): X^i ↦ Y_L ∈ O'.
+  std::map<tasks::Config, tasks::Config> delta_partial;
+  /// (X, X^i) ↦ (Y_0, …, Y_L).
+  std::map<std::pair<tasks::Config, tasks::Config>,
+           std::vector<tasks::Config>>
+      paths;
+
+  [[nodiscard]] const std::vector<tasks::Config>& path_for(
+      const tasks::Config& full, const tasks::Config& partial) const;
+};
+
+/// Runs the BMZ analysis on a 2-process task.
+class Bmz2 {
+ public:
+  /// Analyzes `task` with O' = `restricted_outputs` (all outputs if empty).
+  /// The task reference must stay valid while this object is used.
+  explicit Bmz2(const tasks::ExplicitTask& task,
+                std::vector<tasks::Config> restricted_outputs = {});
+
+  /// Did the Connectivity and Covering conditions hold (for this O')?
+  [[nodiscard]] bool solvable() const noexcept { return failure_.empty(); }
+  /// Human-readable reason when not solvable.
+  [[nodiscard]] const std::string& failure_reason() const noexcept {
+    return failure_;
+  }
+  /// The Algorithm 2 plan; throws UsageError when !solvable().
+  [[nodiscard]] const Bmz2Plan& plan() const;
+
+ private:
+  void analyze(const tasks::ExplicitTask& task);
+
+  std::vector<tasks::Config> outputs_;  // O'
+  std::string failure_;
+  Bmz2Plan plan_;
+};
+
+/// The full existential form of Lemma 5.7: searches all output subsets O'
+/// (|O| ≤ 16) for one satisfying Connectivity and Covering; returns a
+/// solvable analysis, or nullopt if no subset works (the task is not
+/// 1-resilient solvable at all). Subsets are tried smallest-first, so the
+/// returned O' is minimal.
+[[nodiscard]] std::optional<Bmz2> find_solvable_restriction(
+    const tasks::ExplicitTask& task);
+
+/// Graphviz rendering of G(Δ(input) ∩ O') — the output graph Algorithm 2's
+/// paths live in (O' = all outputs when `restricted` is empty).
+[[nodiscard]] std::string output_graph_dot(
+    const tasks::ExplicitTask& task, const tasks::Config& input,
+    const std::vector<tasks::Config>& restricted = {});
+
+}  // namespace bsr::topo

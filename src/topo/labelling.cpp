@@ -1,0 +1,22 @@
+#include "topo/labelling.h"
+
+namespace bsr::topo {
+
+std::uint64_t label_next_pos(std::uint64_t pos, std::optional<int> obs,
+                             std::uint64_t edges) {
+  usage_check(pos <= edges, "label_next_pos: position beyond the path");
+  if (!obs.has_value()) return 3 * pos;  // solo round
+  const int b = *obs;
+  usage_check(b == 0 || b == 1, "label_next_pos: observation must be a bit");
+  const bool has_right = pos < edges;
+  const bool has_left = pos > 0;
+  // Distance-2 bit alternation: when both neighbours exist their bits
+  // differ, so the observation picks out exactly one of them.
+  if (has_right && label_write_bit(pos + 1) == b) return 3 * pos + 2;
+  if (has_left && label_write_bit(pos - 1) == b) return 3 * pos - 2;
+  detail::throw_model(
+      "label_next_pos: observed bit matches no path neighbour (invalid IS "
+      "execution)");
+}
+
+}  // namespace bsr::topo

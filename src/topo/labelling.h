@@ -1,0 +1,75 @@
+// The 2-process 1-bit-per-round IS labelling protocol (Lemma 8.1, after
+// Delporte-Gallet, Fauconnier & Rajsbaum [14]).
+//
+// Invariant maintained: after r rounds, the reachable local states of the
+// two processes are exactly the vertices of a chromatic path of 3^r edges,
+// with process i occupying positions ≡ i (mod 2). Each process knows its
+// position pos on the current path and in the next round writes the single
+// bit b(pos) = ⌊pos/2⌋ mod 2. This choice makes vertices at distance two on
+// the path (the two path-neighbours of any vertex) write different bits, so
+// seeing the other's bit identifies *which* neighbour was seen and the path
+// subdivides without folding:
+//
+//   edge (j, j+1)  ⟶  (u_j,⊥)=3j, (u_{j+1},b_j)=3j+1, (u_j,b_{j+1})=3j+2,
+//                       (u_{j+1},⊥)=3(j+1)
+//
+// so:  solo ⟶ 3·pos;  saw right neighbour's bit ⟶ 3·pos + 2;
+//      saw left neighbour's bit ⟶ 3·pos − 2.
+//
+// The label after r rounds is (i, r, pos) with pos ∈ {0, …, 3^r}; the
+// associated ε-agreement value (Fig. 5) is f(label) = pos / 3^r.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/errors.h"
+
+namespace bsr::topo {
+
+/// The bit a process writes when at position `pos`.
+[[nodiscard]] constexpr int label_write_bit(std::uint64_t pos) noexcept {
+  return static_cast<int>((pos / 2) % 2);
+}
+
+/// Position update after one IS round. `pos` is the current position on a
+/// path of `edges` edges (positions 0…edges); `obs` is the other process's
+/// observed bit, or nullopt when the round was solo. Throws ModelError if
+/// the observation is impossible for this position (cannot happen in a
+/// valid IS execution).
+[[nodiscard]] std::uint64_t label_next_pos(std::uint64_t pos,
+                                           std::optional<int> obs,
+                                           std::uint64_t edges);
+
+/// Convenience wrapper tracking one process's labelling state.
+class LabellingProcess {
+ public:
+  /// Process i ∈ {0, 1} starts at position i on the path of one edge.
+  explicit LabellingProcess(int pid)
+      : pos_(static_cast<std::uint64_t>(pid)) {
+    usage_check(pid == 0 || pid == 1, "LabellingProcess: pid must be 0 or 1");
+  }
+
+  /// The bit to write in the next round.
+  [[nodiscard]] int write_bit() const noexcept { return label_write_bit(pos_); }
+
+  /// Consumes the round's observation (other's bit, or nullopt if solo) and
+  /// advances one round.
+  void observe(std::optional<int> other_bit) {
+    pos_ = label_next_pos(pos_, other_bit, edges_);
+    edges_ *= 3;
+    ++round_;
+  }
+
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  [[nodiscard]] int round() const noexcept { return round_; }
+  /// Path length (number of edges, 3^round) at the current round.
+  [[nodiscard]] std::uint64_t edges() const noexcept { return edges_; }
+
+ private:
+  std::uint64_t pos_;
+  std::uint64_t edges_ = 1;
+  int round_ = 0;
+};
+
+}  // namespace bsr::topo

@@ -1,0 +1,79 @@
+#include "topo/protocol_graph.h"
+
+#include <deque>
+
+#include "util/errors.h"
+
+namespace bsr::topo {
+
+void DecisionGraph::add_edge(const DecisionVertex& a, const DecisionVertex& b) {
+  usage_check(a.pid != b.pid, "DecisionGraph: edges join distinct processes");
+  adj_[a].insert(b);
+  adj_[b].insert(a);
+}
+
+std::size_t DecisionGraph::edge_count() const {
+  std::size_t deg = 0;
+  for (const auto& [_, nbrs] : adj_) deg += nbrs.size();
+  return deg / 2;
+}
+
+bool DecisionGraph::connected() const {
+  if (adj_.empty()) return true;
+  std::set<DecisionVertex> seen;
+  std::deque<DecisionVertex> queue{adj_.begin()->first};
+  seen.insert(adj_.begin()->first);
+  while (!queue.empty()) {
+    const DecisionVertex v = queue.front();
+    queue.pop_front();
+    for (const DecisionVertex& w : adj_.at(v)) {
+      if (seen.insert(w).second) queue.push_back(w);
+    }
+  }
+  return seen.size() == adj_.size();
+}
+
+bool DecisionGraph::is_path() const {
+  if (!connected()) return false;
+  int endpoints = 0;
+  for (const auto& [v, nbrs] : adj_) {
+    if (nbrs.size() > 2) return false;
+    if (nbrs.size() <= 1) ++endpoints;
+  }
+  // A path has exactly two degree-1 endpoints (or is a single vertex).
+  return adj_.size() <= 1 || endpoints == 2;
+}
+
+long DecisionGraph::distance(const DecisionVertex& a,
+                             const DecisionVertex& b) const {
+  if (!adj_.contains(a) || !adj_.contains(b)) return -1;
+  std::map<DecisionVertex, long> dist{{a, 0}};
+  std::deque<DecisionVertex> queue{a};
+  while (!queue.empty()) {
+    const DecisionVertex v = queue.front();
+    queue.pop_front();
+    if (v == b) return dist.at(v);
+    for (const DecisionVertex& w : adj_.at(v)) {
+      if (!dist.contains(w)) {
+        dist[w] = dist.at(v) + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return -1;
+}
+
+DecisionGraph build_decision_graph(const sim::Explorer::Factory& make,
+                                   sim::ExploreOptions opts) {
+  DecisionGraph g;
+  const sim::Explorer ex(opts);
+  ex.explore(make, [&](sim::Sim& sim, const std::vector<sim::Choice>&) {
+    usage_check(sim.n() == 2, "build_decision_graph: 2-process protocols");
+    if (!sim.terminated(0) || !sim.terminated(1)) return;
+    g.add_edge(DecisionVertex{0, sim.decision(0)},
+               DecisionVertex{1, sim.decision(1)});
+  });
+  return g;
+}
+
+}  // namespace bsr::topo

@@ -1,0 +1,69 @@
+// The decision graph of a 2-process protocol (§3.1).
+//
+// Vertices are pairs (process, decision); two vertices of different
+// processes are adjacent when some execution ends with those two decisions.
+// §3.1's argument rests on two facts made checkable here:
+//   1. the graph restricted to a fixed input pair is connected — otherwise
+//      the components could be used to solve consensus (Lemma 2.1);
+//   2. for ε-agreement the two solo decisions are the extremities, so any
+//      path between them has length ≥ 1/ε — the lever the pigeonhole of
+//      §4 pushes against bounded registers.
+//
+// build_decision_graph enumerates executions with the explorer; decisions
+// stand in for final local states (they are the observable quotient of the
+// state graph — enough for both facts above).
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "sim/explore.h"
+#include "util/value.h"
+
+namespace bsr::topo {
+
+struct DecisionVertex {
+  int pid = 0;
+  Value decision;
+  auto operator<=>(const DecisionVertex&) const = default;
+};
+
+class DecisionGraph {
+ public:
+  void add_edge(const DecisionVertex& a, const DecisionVertex& b);
+
+  [[nodiscard]] std::size_t vertex_count() const { return adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] bool contains(const DecisionVertex& v) const {
+    return adj_.contains(v);
+  }
+
+  /// True if the whole graph is one connected component.
+  [[nodiscard]] bool connected() const;
+
+  /// True if the graph is a simple path (all degrees ≤ 2, exactly two
+  /// degree-1 endpoints — or a single edge), and connected.
+  [[nodiscard]] bool is_path() const;
+
+  /// Length (edge count) of the shortest path between two vertices;
+  /// -1 if disconnected.
+  [[nodiscard]] long distance(const DecisionVertex& a,
+                              const DecisionVertex& b) const;
+
+  [[nodiscard]] const std::map<DecisionVertex, std::set<DecisionVertex>>&
+  adjacency() const {
+    return adj_;
+  }
+
+ private:
+  std::map<DecisionVertex, std::set<DecisionVertex>> adj_;
+};
+
+/// Enumerates every execution of a 2-process protocol and collects the
+/// decision graph. Executions where either process is undecided (crash
+/// runs) contribute no edge; pass max_crashes = 0 for the crash-free graph.
+[[nodiscard]] DecisionGraph build_decision_graph(
+    const sim::Explorer::Factory& make, sim::ExploreOptions opts = {});
+
+}  // namespace bsr::topo

@@ -1,0 +1,102 @@
+#include "util/codec.h"
+
+#include "util/errors.h"
+
+namespace bsr {
+
+namespace {
+
+void put_uint(BitVec& out, std::uint64_t v, int bits) {
+  for (int i = 0; i < bits; ++i) out.push_back(static_cast<int>((v >> i) & 1));
+}
+
+std::uint64_t get_uint(const BitVec& bits, std::size_t& pos, int nbits) {
+  usage_check(pos + static_cast<std::size_t>(nbits) <= bits.size(),
+              "decode_bits: truncated input");
+  std::uint64_t v = 0;
+  for (int i = 0; i < nbits; ++i) {
+    v |= static_cast<std::uint64_t>(bits[pos + static_cast<std::size_t>(i)] & 1)
+         << i;
+  }
+  pos += static_cast<std::size_t>(nbits);
+  return v;
+}
+
+void encode_into(const Value& v, BitVec& out) {
+  switch (v.kind()) {
+    case Value::Kind::Bottom:
+      put_uint(out, 0, 2);
+      break;
+    case Value::Kind::U64: {
+      put_uint(out, 1, 2);
+      const int w = v.bit_width();
+      put_uint(out, static_cast<std::uint64_t>(w), 7);
+      put_uint(out, v.as_u64(), w);
+      break;
+    }
+    case Value::Kind::Bytes: {
+      put_uint(out, 2, 2);
+      const std::string& s = v.as_bytes();
+      usage_check(s.size() < (1u << 16), "encode_bits: bytes too long");
+      put_uint(out, s.size(), 16);
+      for (char c : s) put_uint(out, static_cast<unsigned char>(c), 8);
+      break;
+    }
+    case Value::Kind::Vec: {
+      put_uint(out, 3, 2);
+      const auto& vec = v.as_vec();
+      usage_check(vec.size() < (1u << 16), "encode_bits: vector too long");
+      put_uint(out, vec.size(), 16);
+      for (const Value& x : vec) encode_into(x, out);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+BitVec encode_bits(const Value& v) {
+  BitVec out;
+  encode_into(v, out);
+  return out;
+}
+
+Value decode_bits(const BitVec& bits, std::size_t& pos) {
+  const std::uint64_t tag = get_uint(bits, pos, 2);
+  switch (tag) {
+    case 0:
+      return Value();
+    case 1: {
+      const int w = static_cast<int>(get_uint(bits, pos, 7));
+      usage_check(w <= 64, "decode_bits: bad u64 width");
+      return Value(get_uint(bits, pos, w));
+    }
+    case 2: {
+      const std::size_t len = get_uint(bits, pos, 16);
+      std::string s;
+      s.reserve(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(get_uint(bits, pos, 8)));
+      }
+      return Value(std::move(s));
+    }
+    default: {
+      const std::size_t count = get_uint(bits, pos, 16);
+      std::vector<Value> vec;
+      vec.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        vec.push_back(decode_bits(bits, pos));
+      }
+      return Value(std::move(vec));
+    }
+  }
+}
+
+Value decode_bits(const BitVec& bits) {
+  std::size_t pos = 0;
+  Value v = decode_bits(bits, pos);
+  usage_check(pos == bits.size(), "decode_bits: trailing garbage");
+  return v;
+}
+
+}  // namespace bsr

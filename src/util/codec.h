@@ -1,0 +1,30 @@
+// Bit-level serialization of Values, for transports that move single bits
+// (the alternating-bit links of §6).
+//
+// Encoding (self-delimiting):
+//   2-bit tag: 00 ⊥ · 01 u64 · 10 bytes · 11 vec
+//   u64:   7-bit bit-length ℓ, then ℓ value bits (LSB first)
+//   bytes: 16-bit length, then 8 bits per byte
+//   vec:   16-bit element count, then the encoded elements
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/value.h"
+
+namespace bsr {
+
+using BitVec = std::vector<int>;  // entries 0/1
+
+/// Serializes a Value to bits.
+[[nodiscard]] BitVec encode_bits(const Value& v);
+
+/// Deserializes a Value from bits starting at `pos`; advances `pos`.
+/// Throws UsageError on malformed input.
+[[nodiscard]] Value decode_bits(const BitVec& bits, std::size_t& pos);
+
+/// Whole-buffer convenience; requires all bits consumed.
+[[nodiscard]] Value decode_bits(const BitVec& bits);
+
+}  // namespace bsr

@@ -1,0 +1,73 @@
+// Error hierarchy for the bounded-registers library.
+//
+// Contract violations by *protocol code* (writing to a register one does not
+// own, exceeding a declared register width, deciding twice, ...) throw
+// ModelError: they indicate that an algorithm does not fit the computing
+// model it claims to run in. Misuse of the library API itself throws
+// UsageError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace bsr {
+
+/// Base class of all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A protocol violated the rules of the computing model (e.g. wrote a value
+/// that does not fit in a bounded register, or wrote to a register owned by
+/// another process).
+class ModelError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The library API was misused (bad index, wrong lifecycle, ...).
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_model(const std::string& msg) {
+  throw ModelError(msg);
+}
+[[noreturn]] inline void throw_usage(const std::string& msg) {
+  throw UsageError(msg);
+}
+}  // namespace detail
+
+/// Checks a model-level contract; throws ModelError when violated.
+/// `msg` may be a string or a nullary callable returning one; callables are
+/// only invoked on failure, so message construction stays off the hot path.
+template <class M>
+void model_check(bool ok, M&& msg) {
+  if (!ok) [[unlikely]] {
+    if constexpr (std::is_invocable_v<M>) {
+      detail::throw_model(std::forward<M>(msg)());
+    } else {
+      detail::throw_model(std::forward<M>(msg));
+    }
+  }
+}
+
+/// Checks an API-level contract; throws UsageError when violated. Lazy
+/// messages as for model_check.
+template <class M>
+void usage_check(bool ok, M&& msg) {
+  if (!ok) [[unlikely]] {
+    if constexpr (std::is_invocable_v<M>) {
+      detail::throw_usage(std::forward<M>(msg)());
+    } else {
+      detail::throw_usage(std::forward<M>(msg));
+    }
+  }
+}
+
+}  // namespace bsr

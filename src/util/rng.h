@@ -1,0 +1,73 @@
+// Deterministic pseudo-random generator for schedulers and workloads.
+//
+// We use our own splitmix64/xoshiro combination rather than std::mt19937 so
+// that random schedules are reproducible bit-for-bit across platforms and
+// standard-library versions: a bench or test failure can always be replayed
+// from its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/errors.h"
+
+namespace bsr {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept {
+    auto rotl = [](std::uint64_t v, int k) {
+      return (v << k) | (v >> (64 - k));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be positive.
+  std::uint64_t below(std::uint64_t bound) {
+    usage_check(bound > 0, "Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = bound * (UINT64_MAX / bound);
+    std::uint64_t v;
+    do {
+      v = next();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int range(int lo, int hi) {
+    usage_check(lo <= hi, "Rng::range: empty range");
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace bsr

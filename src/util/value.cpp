@@ -1,0 +1,136 @@
+#include "util/value.h"
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+#include "util/errors.h"
+
+namespace bsr {
+
+Value Value::vec_of(std::size_t n, const Value& fill) {
+  return Value(std::vector<Value>(n, fill));
+}
+
+std::uint64_t Value::as_u64() const {
+  usage_check(kind_ == Kind::U64,
+              [&] { return "Value::as_u64 on non-integer value " + str(); });
+  return u64_;
+}
+
+const std::string& Value::as_bytes() const {
+  usage_check(kind_ == Kind::Bytes,
+              [&] { return "Value::as_bytes on non-bytes value " + str(); });
+  return bytes_;
+}
+
+const std::vector<Value>& Value::as_vec() const {
+  usage_check(kind_ == Kind::Vec,
+              [&] { return "Value::as_vec on non-vector value " + str(); });
+  return vec_;
+}
+
+std::vector<Value>& Value::as_vec() {
+  usage_check(kind_ == Kind::Vec,
+              [&] { return "Value::as_vec on non-vector value " + str(); });
+  return vec_;
+}
+
+const Value& Value::at(std::size_t i) const {
+  const auto& v = as_vec();
+  usage_check(i < v.size(), "Value::at index out of range");
+  return v[i];
+}
+
+Value& Value::at(std::size_t i) {
+  auto& v = as_vec();
+  usage_check(i < v.size(), "Value::at index out of range");
+  return v[i];
+}
+
+int Value::bit_width() const {
+  usage_check(kind_ == Kind::U64, [&] {
+    return "Value::bit_width: only integers fit in bounded registers, got " +
+           str();
+  });
+  int w = 0;
+  for (std::uint64_t x = u64_; x != 0; x >>= 1) ++w;
+  return w;
+}
+
+void Value::usage_nonnegative(int v) {
+  usage_check(v >= 0, "Value(int): negative values are not representable");
+}
+
+bool operator==(const Value& a, const Value& b) noexcept {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::Bottom: return true;
+    case Value::Kind::U64: return a.u64_ == b.u64_;
+    case Value::Kind::Bytes: return a.bytes_ == b.bytes_;
+    case Value::Kind::Vec: return a.vec_ == b.vec_;
+  }
+  return false;
+}
+
+std::strong_ordering operator<=>(const Value& a, const Value& b) noexcept {
+  if (auto c = a.kind_ <=> b.kind_; c != 0) return c;
+  switch (a.kind_) {
+    case Value::Kind::Bottom: return std::strong_ordering::equal;
+    case Value::Kind::U64: return a.u64_ <=> b.u64_;
+    case Value::Kind::Bytes: return a.bytes_ <=> b.bytes_;
+    case Value::Kind::Vec: {
+      const std::size_t m = std::min(a.vec_.size(), b.vec_.size());
+      for (std::size_t i = 0; i < m; ++i) {
+        if (auto c = a.vec_[i] <=> b.vec_[i]; c != 0) return c;
+      }
+      return a.vec_.size() <=> b.vec_.size();
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+std::size_t Value::hash() const noexcept {
+  // FNV-style structural combine.
+  auto mix = [](std::size_t h, std::size_t x) {
+    return (h ^ x) * 0x100000001b3ULL;
+  };
+  std::size_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, static_cast<std::size_t>(kind_));
+  switch (kind_) {
+    case Kind::Bottom: break;
+    case Kind::U64: h = mix(h, static_cast<std::size_t>(u64_)); break;
+    case Kind::Bytes: h = mix(h, std::hash<std::string>{}(bytes_)); break;
+    case Kind::Vec:
+      for (const Value& v : vec_) h = mix(h, v.hash());
+      break;
+  }
+  return h;
+}
+
+std::string Value::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::Bottom: return os << "⊥";
+    case Value::Kind::U64: return os << v.as_u64();
+    case Value::Kind::Bytes: return os << '"' << v.as_bytes() << '"';
+    case Value::Kind::Vec: {
+      os << '[';
+      bool first = true;
+      for (const Value& x : v.as_vec()) {
+        if (!first) os << ", ";
+        first = false;
+        os << x;
+      }
+      return os << ']';
+    }
+  }
+  return os;
+}
+
+}  // namespace bsr

@@ -1,0 +1,109 @@
+// Tests of the alternating-bit link state machines (§6, phase 3).
+#include "msg/abp.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bsr::msg {
+namespace {
+
+/// Drives a sender/receiver pair to quiescence, collecting messages.
+/// `drop_polls` simulates arbitrary scheduling: with probability p the
+/// poll delivers stale state (re-reads), which ABP must tolerate.
+std::vector<BitVec> pump_until_quiet(AbpSender& s, AbpReceiver& r,
+                                     Rng* rng = nullptr) {
+  std::vector<BitVec> out;
+  for (int guard = 0; guard < 100000; ++guard) {
+    if (rng == nullptr || rng->chance(1, 2)) {
+      s.poll(r.ack_bit());
+    }
+    if (rng == nullptr || rng->chance(1, 2)) {
+      for (BitVec& m : r.poll(s.wire_data(), s.wire_alt())) {
+        out.push_back(std::move(m));
+      }
+    }
+    // s.idle() implies the last bit was acknowledged, i.e. the receiver has
+    // consumed the whole stream and emitted every message.
+    if (s.idle()) return out;
+  }
+  ADD_FAILURE() << "link did not quiesce";
+  return out;
+}
+
+TEST(Abp, SingleMessageRoundTrip) {
+  AbpSender s;
+  AbpReceiver r;
+  const BitVec msg{1, 0, 1, 1, 0};
+  s.enqueue(msg);
+  const auto got = pump_until_quiet(s, r);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], msg);
+}
+
+TEST(Abp, FramingMatchesThePaper) {
+  // m = b1 b2 b3 is transmitted as b1 0 b2 0 b3 1 (§6): 2 wire bits per
+  // payload bit, final marker 1.
+  AbpSender s;
+  s.enqueue({1, 1, 0});
+  std::vector<std::pair<int, int>> wire;  // (data, alt) deliveries observed
+  AbpReceiver r;
+  int last_ack = r.ack_bit();
+  for (int guard = 0; guard < 100 && !(s.idle()); ++guard) {
+    s.poll(r.ack_bit());
+    const int alt_before = s.wire_alt();
+    (void)r.poll(s.wire_data(), s.wire_alt());
+    if (r.ack_bit() != last_ack) {
+      wire.emplace_back(s.wire_data(), alt_before);
+      last_ack = r.ack_bit();
+    }
+  }
+  std::vector<int> stream;
+  for (auto& [d, _] : wire) stream.push_back(d);
+  EXPECT_EQ(stream, (std::vector<int>{1, 0, 1, 0, 0, 1}));
+}
+
+TEST(Abp, BackToBackMessagesStayOrdered) {
+  AbpSender s;
+  AbpReceiver r;
+  const std::vector<BitVec> msgs{{1}, {0, 1}, {1, 1, 1}, {0}};
+  for (const BitVec& m : msgs) s.enqueue(m);
+  const auto got = pump_until_quiet(s, r);
+  EXPECT_EQ(got, msgs);
+}
+
+TEST(Abp, ToleratesArbitraryInterleavingAndRereads) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    AbpSender s;
+    AbpReceiver r;
+    std::vector<BitVec> msgs;
+    for (int m = 0; m < 5; ++m) {
+      BitVec bits;
+      for (int i = rng.range(1, 12); i > 0; --i) bits.push_back(rng.range(0, 1));
+      msgs.push_back(bits);
+      s.enqueue(bits);
+    }
+    const auto got = pump_until_quiet(s, r, &rng);
+    EXPECT_EQ(got, msgs) << "seed " << seed;
+  }
+}
+
+TEST(Abp, NoSpuriousDeliveryFromInitialState) {
+  // The all-zero initial register contents must not be mistaken for data.
+  AbpSender s;
+  AbpReceiver r;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(r.poll(s.wire_data(), s.wire_alt()).empty());
+    s.poll(r.ack_bit());
+    EXPECT_TRUE(s.idle());
+  }
+}
+
+TEST(Abp, RejectsEmptyMessage) {
+  AbpSender s;
+  EXPECT_THROW(s.enqueue({}), UsageError);
+}
+
+}  // namespace
+}  // namespace bsr::msg

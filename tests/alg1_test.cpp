@@ -1,0 +1,221 @@
+// Verification of Algorithm 1 (§5.1): exhaustive checking of every
+// execution for small k (including crash executions), validating
+// Proposition 5.1 and Lemmas 5.1–5.6, plus randomized sweeps for larger k.
+#include "core/alg1.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+
+#include "sim/explore.h"
+#include "sim/sched.h"
+#include "tasks/approx.h"
+#include "tasks/checker.h"
+
+namespace bsr::core {
+namespace {
+
+using sim::Choice;
+using sim::Explorer;
+using sim::ExploreOptions;
+using sim::Sim;
+
+struct Params {
+  std::uint64_t k;
+  std::uint64_t x0;
+  std::uint64_t x1;
+  int max_crashes;
+};
+
+class Alg1Exhaustive : public ::testing::TestWithParam<Params> {};
+
+TEST_P(Alg1Exhaustive, EveryExecutionSatisfiesTheLemmas) {
+  const Params p = GetParam();
+  const std::uint64_t denom = alg1_denominator(p.k);
+  const tasks::ApproxAgreement task(2, denom);
+  const tasks::Config input{Value(p.x0), Value(p.x1)};
+
+  auto diag = std::make_shared<Alg1Diag>();
+  auto make = [&, diag]() {
+    *diag = Alg1Diag{};
+    auto sim = std::make_unique<Sim>(2);
+    install_alg1(*sim, p.k, {p.x0, p.x1}, diag.get());
+    return sim;
+  };
+
+  ExploreOptions opts;
+  opts.max_crashes = p.max_crashes;
+  opts.max_steps = 200;
+  long executions = 0;
+  Explorer ex(opts);
+  ex.explore(make, [&](Sim& sim, const std::vector<Choice>& sched) {
+    ++executions;
+    const tasks::Config out = tasks::decisions_of(sim);
+    const auto check = tasks::check_outputs(task, input, out);
+    EXPECT_TRUE(check.ok) << check.detail << " (schedule length "
+                          << sched.size() << ")";
+
+    // Proposition 5.1: wait-free, O(k) steps. Each process performs at most
+    // 2k + 3 shared-memory operations plus the artificial start step.
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_LE(sim.steps(i), static_cast<long>(2 * p.k + 3) + 1);
+    }
+
+    const bool both = sim.terminated(0) && sim.terminated(1);
+    if (both) {
+      const std::uint64_t y0 = out[0].as_u64();
+      const std::uint64_t y1 = out[1].as_u64();
+      // Lemma 5.5 directly: |y1 - y2| <= 1/(2k+1) on the grid.
+      EXPECT_LE(y0 > y1 ? y0 - y1 : y1 - y0, 1u);
+
+      // Lemma 5.1: |r1 - r2| <= 1.
+      const int r0 = diag->iterations[0];
+      const int r1 = diag->iterations[1];
+      EXPECT_LE(std::abs(r0 - r1), 1);
+
+      // Lemma 5.2 / 5.3: both break early in the same iteration only at
+      // r = k; if r1 == r2 then both ran the full k iterations.
+      if (r0 == r1 && diag->line[0] == Alg1DecideLine::EarlyBreak &&
+          diag->line[1] == Alg1DecideLine::EarlyBreak) {
+        ADD_FAILURE() << "both processes broke early in iteration " << r0;
+      }
+      if (r0 == r1 && diag->line[0] != Alg1DecideLine::SameInputs &&
+          diag->line[1] != Alg1DecideLine::SameInputs) {
+        EXPECT_EQ(r0, static_cast<int>(p.k));
+      }
+
+      // Lemma 5.4: if {r1, r2} = {k-1, k}, no process decides at line 14.
+      if (p.x0 != p.x1 &&
+          std::min(r0, r1) == static_cast<int>(p.k) - 1 &&
+          std::max(r0, r1) == static_cast<int>(p.k)) {
+        EXPECT_NE(diag->line[0], Alg1DecideLine::LoopEnd);
+        EXPECT_NE(diag->line[1], Alg1DecideLine::LoopEnd);
+      }
+    }
+
+    // Lemma 5.6: a process deciding an endpoint of the grid has that input.
+    for (int i = 0; i < 2; ++i) {
+      if (!sim.terminated(i)) continue;
+      const std::uint64_t y = sim.decision(i).as_u64();
+      const std::uint64_t x = (i == 0 ? p.x0 : p.x1);
+      if (y == 0) EXPECT_EQ(x, 0u);
+      if (y == denom) EXPECT_EQ(x, 1u);
+    }
+
+    // The 1-bit width of R1/R2 is enforced by the simulator on every write;
+    // additionally confirm nothing wider was ever stored.
+    EXPECT_LE(sim.max_bounded_bits_used(), 1);
+  });
+  EXPECT_GT(executions, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FailureFree, Alg1Exhaustive,
+    ::testing::Values(Params{1, 0, 1, 0}, Params{1, 1, 0, 0},
+                      Params{1, 0, 0, 0}, Params{1, 1, 1, 0},
+                      Params{2, 0, 1, 0}, Params{2, 1, 0, 0},
+                      Params{2, 0, 0, 0}, Params{2, 1, 1, 0},
+                      Params{3, 0, 1, 0}, Params{3, 1, 0, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    OneCrash, Alg1Exhaustive,
+    ::testing::Values(Params{1, 0, 1, 1}, Params{1, 1, 0, 1},
+                      Params{2, 0, 1, 1}, Params{2, 1, 1, 1}));
+
+struct RandomParams {
+  std::uint64_t k;
+  std::uint64_t x0;
+  std::uint64_t x1;
+};
+
+class Alg1Random : public ::testing::TestWithParam<RandomParams> {};
+
+TEST_P(Alg1Random, RandomSchedulesWithCrashes) {
+  const RandomParams p = GetParam();
+  const std::uint64_t denom = alg1_denominator(p.k);
+  const tasks::ApproxAgreement task(2, denom);
+  const tasks::Config input{Value(p.x0), Value(p.x1)};
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Sim sim(2);
+    install_alg1(sim, p.k, {p.x0, p.x1});
+    sim::RandomRunOptions opts;
+    opts.seed = seed;
+    opts.max_crashes = 1;  // wait-free for n=2 ⇔ 1-resilient
+    const sim::RunReport rep = run_random(sim, opts);
+    EXPECT_FALSE(rep.hit_step_limit);
+    const auto check = tasks::check_outputs(task, input, tasks::decisions_of(sim));
+    EXPECT_TRUE(check.ok) << check.detail << " seed=" << seed;
+    for (int i = 0; i < 2; ++i) {
+      if (!sim.crashed(i)) {
+        EXPECT_TRUE(sim.terminated(i)) << "wait-freedom violated, seed=" << seed;
+        EXPECT_LE(sim.steps(i), static_cast<long>(2 * p.k + 3) + 1);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Alg1Random,
+    ::testing::Values(RandomParams{5, 0, 1}, RandomParams{5, 1, 1},
+                      RandomParams{20, 0, 1}, RandomParams{20, 1, 0},
+                      RandomParams{100, 0, 1}, RandomParams{100, 0, 0},
+                      RandomParams{250, 1, 0}));
+
+TEST(Alg1, LockstepExecutionRunsAllKIterations) {
+  // In a fully synchronous round-robin execution the processes never
+  // desynchronize: both run k iterations and decide at line 14, with
+  // outputs (x_who + k)/(2k+1) — the middle of the grid.
+  const std::uint64_t k = 6;
+  Alg1Diag diag;
+  Sim sim(2);
+  install_alg1(sim, k, {0, 1}, &diag);
+  run_round_robin(sim);
+  EXPECT_EQ(diag.iterations[0], static_cast<int>(k));
+  EXPECT_EQ(diag.iterations[1], static_cast<int>(k));
+  EXPECT_EQ(diag.line[0], Alg1DecideLine::LoopEnd);
+  EXPECT_EQ(diag.line[1], Alg1DecideLine::LoopEnd);
+  const std::uint64_t y0 = sim.decision(0).as_u64();
+  const std::uint64_t y1 = sim.decision(1).as_u64();
+  EXPECT_LE(y0 > y1 ? y0 - y1 : y1 - y0, 1u);
+  EXPECT_GE(y0, k);
+  EXPECT_LE(y0, k + 1);
+}
+
+TEST(Alg1, SoloExecutionDecidesOwnInput) {
+  // p0 runs alone (p1 crashed initially): it must decide its own input.
+  for (std::uint64_t x : {0ull, 1ull}) {
+    Sim sim(2);
+    install_alg1(sim, 4, {x, 1 - x});
+    sim.crash(1);
+    run_round_robin(sim);
+    ASSERT_TRUE(sim.terminated(0));
+    EXPECT_EQ(sim.decision(0).as_u64(), x * alg1_denominator(4));
+  }
+}
+
+TEST(Alg1, StepComplexityGrowsLinearlyInK) {
+  // Θ(1/ε) steps: the lockstep schedule realizes the worst case.
+  long prev = 0;
+  for (std::uint64_t k : {8ull, 16ull, 32ull, 64ull}) {
+    Sim sim(2);
+    install_alg1(sim, k, {0, 1});
+    run_round_robin(sim);
+    const long steps = sim.steps(0);
+    EXPECT_GT(steps, prev);
+    EXPECT_GE(steps, static_cast<long>(2 * k));  // 2 ops per iteration
+    prev = steps;
+  }
+}
+
+TEST(Alg1, RejectsBadArguments) {
+  Sim sim(2);
+  EXPECT_THROW(install_alg1(sim, 0, {0, 1}), UsageError);
+  EXPECT_THROW(install_alg1(sim, 3, {0, 2}), UsageError);
+  Sim sim3(3);
+  EXPECT_THROW(install_alg1(sim3, 3, {0, 1}), UsageError);
+}
+
+}  // namespace
+}  // namespace bsr::core

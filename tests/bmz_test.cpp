@@ -1,0 +1,137 @@
+// Tests of the Biran–Moran–Zaks machinery (§5.2.1–5.2.2, Lemma 5.7).
+#include "topo/bmz.h"
+
+#include <gtest/gtest.h>
+
+#include "tasks/approx.h"
+#include "util/errors.h"
+
+namespace bsr::topo {
+namespace {
+
+using tasks::Config;
+using tasks::ExplicitTask;
+
+Config cfg(std::initializer_list<Value> vs) { return Config(vs); }
+
+TEST(Adjacency, DifferInOne) {
+  EXPECT_TRUE(differ_in_one(cfg({Value(0), Value(1)}), cfg({Value(0), Value(2)})));
+  EXPECT_FALSE(differ_in_one(cfg({Value(0), Value(1)}), cfg({Value(0), Value(1)})));
+  EXPECT_FALSE(differ_in_one(cfg({Value(0), Value(1)}), cfg({Value(1), Value(2)})));
+  EXPECT_TRUE(path_adjacent(cfg({Value(0), Value(1)}), cfg({Value(0), Value(1)})));
+  EXPECT_FALSE(path_adjacent(cfg({Value(0), Value(1)}), cfg({Value(1), Value(0)})));
+}
+
+TEST(Bmz2, ConsensusIsNotSolvable) {
+  // Lemma 2.1 through the BMZ lens: for input (0,1), Δ = {(0,0), (1,1)},
+  // which is disconnected in G.
+  const tasks::Consensus consensus(2);
+  const ExplicitTask task = tasks::materialize(consensus, {Value(0), Value(1)});
+  const Bmz2 bmz(task);
+  EXPECT_FALSE(bmz.solvable());
+  EXPECT_NE(bmz.failure_reason().find("disconnected"), std::string::npos);
+  EXPECT_THROW((void)bmz.plan(), UsageError);
+}
+
+TEST(Bmz2, ApproxAgreementIsSolvable) {
+  const tasks::ApproxAgreement aa(2, 5);
+  std::vector<Value> domain;
+  for (std::uint64_t m = 0; m <= 5; ++m) domain.emplace_back(m);
+  const ExplicitTask task = tasks::materialize(aa, domain);
+  const Bmz2 bmz(task);
+  ASSERT_TRUE(bmz.solvable()) << bmz.failure_reason();
+  const Bmz2Plan& plan = bmz.plan();
+  EXPECT_GE(plan.L, 3);
+  EXPECT_EQ(plan.L % 2, 1);
+}
+
+TEST(Bmz2, PlanPathsSatisfyTheConstructionInvariants) {
+  const tasks::ApproxAgreement aa(2, 3);
+  std::vector<Value> domain;
+  for (std::uint64_t m = 0; m <= 3; ++m) domain.emplace_back(m);
+  const ExplicitTask task = tasks::materialize(aa, domain);
+  const Bmz2 bmz(task);
+  ASSERT_TRUE(bmz.solvable()) << bmz.failure_reason();
+  const Bmz2Plan& plan = bmz.plan();
+
+  for (const auto& [key, path] : plan.paths) {
+    const auto& [full, partial] = key;
+    ASSERT_EQ(path.size(), static_cast<std::size_t>(plan.L) + 1);
+    // Y_0 = δ(X).
+    EXPECT_EQ(path.front(), plan.delta_full.at(full));
+    // Y_L = δ(X^i).
+    EXPECT_EQ(path.back(), plan.delta_partial.at(partial));
+    // Consecutive entries differ in at most one coordinate.
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      EXPECT_TRUE(path_adjacent(path[j], path[j + 1]))
+          << tasks::config_str(path[j]) << " !~ "
+          << tasks::config_str(path[j + 1]);
+    }
+    // Every Y_j with j < L is a legal output for X.
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      EXPECT_TRUE(task.output_ok(full, path[j]))
+          << tasks::config_str(path[j]) << " illegal for "
+          << tasks::config_str(full);
+    }
+    // Y_{L-1} and Y_L agree outside the missing coordinate.
+    int missing = -1;
+    for (int i = 0; i < 2; ++i) {
+      if (partial[static_cast<std::size_t>(i)].is_bottom()) missing = i;
+    }
+    ASSERT_NE(missing, -1);
+    const int j = 1 - missing;
+    EXPECT_EQ(path[path.size() - 2][static_cast<std::size_t>(j)],
+              path.back()[static_cast<std::size_t>(j)]);
+  }
+
+  // Every (input, partial-of-that-input) pair has a path.
+  for (const Config& in : task.all_inputs()) {
+    for (int i = 0; i < 2; ++i) {
+      Config partial = in;
+      partial[static_cast<std::size_t>(i)] = Value();
+      EXPECT_NO_THROW((void)plan.path_for(in, partial));
+    }
+  }
+}
+
+TEST(Bmz2, TrivialTaskHasShortPaths) {
+  // A task whose only output is (7, 7) regardless of inputs.
+  ExplicitTask::Delta delta;
+  for (std::uint64_t a = 0; a <= 1; ++a) {
+    for (std::uint64_t b = 0; b <= 1; ++b) {
+      delta[cfg({Value(a), Value(b)})] = {cfg({Value(7), Value(7)})};
+    }
+  }
+  const ExplicitTask task("const7", 2, delta);
+  const Bmz2 bmz(task);
+  ASSERT_TRUE(bmz.solvable()) << bmz.failure_reason();
+  // All paths are constant sequences of (7,7), padded to length L.
+  for (const auto& [_, path] : bmz.plan().paths) {
+    for (const Config& y : path) EXPECT_EQ(y, cfg({Value(7), Value(7)}));
+  }
+}
+
+TEST(Bmz2, RestrictedOutputSubsetCanEnableSolvability) {
+  // A task whose full output set is disconnected for some input, but a
+  // subset O' is connected: Δ(0,0) = {(0,0)}, Δ(1,1) = {(0,0), (5,5)}.
+  // With O' = {(0,0)} both conditions hold.
+  ExplicitTask::Delta delta;
+  delta[cfg({Value(0), Value(0)})] = {cfg({Value(0), Value(0)})};
+  delta[cfg({Value(1), Value(1)})] = {cfg({Value(0), Value(0)}),
+                                      cfg({Value(5), Value(5)})};
+  const ExplicitTask task("subset", 2, delta);
+  const Bmz2 all(task);
+  EXPECT_FALSE(all.solvable());
+  const Bmz2 restricted(task, {cfg({Value(0), Value(0)})});
+  EXPECT_TRUE(restricted.solvable()) << restricted.failure_reason();
+}
+
+TEST(Bmz2, RejectsNon2ProcessTasks) {
+  const tasks::ApproxAgreement aa(3, 2);
+  std::vector<Value> domain{Value(0), Value(1), Value(2)};
+  const ExplicitTask task = tasks::materialize(aa, domain);
+  EXPECT_THROW(Bmz2{task}, UsageError);
+}
+
+}  // namespace
+}  // namespace bsr::topo

@@ -1,0 +1,147 @@
+// Tests of the extended task library (renaming, k-set agreement) and of the
+// one-call protocol verifier.
+#include "tasks/classic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/alg1.h"
+#include "core/alg2.h"
+#include "tasks/approx.h"
+#include "tasks/verify.h"
+#include "topo/bmz.h"
+
+namespace bsr::tasks {
+namespace {
+
+Config cfg(std::initializer_list<Value> vs) { return Config(vs); }
+
+TEST(Renaming, LegalityRules) {
+  const Renaming task(3, 5);
+  const Config in = cfg({Value(0), Value(1), Value(0)});
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(1), Value(3), Value(5)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(1), Value(1), Value(5)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(0), Value(3), Value(5)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(1), Value(3), Value(6)})));
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(2), Value(), Value()})));
+  EXPECT_THROW(Renaming(3, 2), UsageError);  // name space too small
+}
+
+TEST(SetAgreement, LegalityRules) {
+  const SetAgreement task(3, 2);
+  const Config in = cfg({Value(0), Value(1), Value(1)});
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(0), Value(1), Value(1)})));
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(1), Value(1), Value(1)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(0), Value(1), Value(2)})));
+  // k = 1 coincides with consensus legality.
+  const SetAgreement cons(3, 1);
+  const Consensus consensus(3);
+  for (const Config& input : cons.all_inputs()) {
+    for (std::uint64_t a = 0; a <= 1; ++a) {
+      for (std::uint64_t b = 0; b <= 1; ++b) {
+        for (std::uint64_t c = 0; c <= 1; ++c) {
+          const Config out = cfg({Value(a), Value(b), Value(c)});
+          EXPECT_EQ(cons.output_ok(input, out),
+                    consensus.output_ok(input, out));
+        }
+      }
+    }
+  }
+  EXPECT_THROW(SetAgreement(3, 3), UsageError);
+  EXPECT_THROW(SetAgreement(3, 0), UsageError);
+}
+
+TEST(SetAgreement, TwoProcessOneSetIsUnsolvableByBmz) {
+  const SetAgreement cons(2, 1);
+  const ExplicitTask t = materialize(cons, {Value(0), Value(1)});
+  EXPECT_FALSE(topo::find_solvable_restriction(t).has_value());
+}
+
+TEST(Renaming, TwoProcessRenamingSolvableAndSolved) {
+  const Renaming task(2, 3);
+  const ExplicitTask t =
+      materialize(task, {Value(1), Value(2), Value(3)});
+  const topo::Bmz2 bmz(t);
+  ASSERT_TRUE(bmz.solvable()) << bmz.failure_reason();
+  const Config input = cfg({Value(0), Value(0)});
+  const VerifyResult r = verify_protocol(
+      [&]() {
+        auto sim = std::make_unique<sim::Sim>(2);
+        core::install_alg2(*sim, bmz.plan(), input);
+        return sim;
+      },
+      task, input,
+      VerifyOptions{.explore = {.max_steps = 400, .max_crashes = 1}});
+  EXPECT_TRUE(r.ok) << config_str(r.outputs);
+  EXPECT_GT(r.executions, 0);
+}
+
+TEST(Verifier, PassesAlgorithm1) {
+  const ApproxAgreement task(2, 5);
+  const Config input = cfg({Value(0), Value(1)});
+  const VerifyResult r = verify_protocol(
+      [&]() {
+        auto sim = std::make_unique<sim::Sim>(2);
+        core::install_alg1(*sim, 2, {0, 1});
+        return sim;
+      },
+      task, input,
+      VerifyOptions{.explore = {.max_steps = 100, .max_crashes = 1}});
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(r.executions, 1000);
+  EXPECT_TRUE(r.violation.empty());
+}
+
+TEST(Verifier, CatchesAndShrinksAConsensusAttempt) {
+  // The broken min-consensus from the examples, through the one-call API.
+  auto make = []() {
+    auto sim = std::make_unique<sim::Sim>(2);
+    const int r0 = sim->add_register("R0", 0, 2, Value(0));
+    const int r1 = sim->add_register("R1", 1, 2, Value(0));
+    for (int i = 0; i < 2; ++i) {
+      sim->spawn(i, [i, r0, r1](sim::Env& env) -> sim::Proc {
+        const std::uint64_t input = (i == 0) ? 0 : 1;
+        const int mine = i == 0 ? r0 : r1;
+        const int theirs = i == 0 ? r1 : r0;
+        co_await env.write(mine, Value(input + 1));
+        const sim::OpResult got = co_await env.read(theirs);
+        if (got.value.as_u64() == 0) co_return Value(input);
+        co_return Value(std::min(input, got.value.as_u64() - 1));
+      });
+    }
+    return sim;
+  };
+  const Consensus task(2);
+  const Config input = cfg({Value(0), Value(1)});
+  const VerifyResult r = verify_protocol(make, task, input);
+  ASSERT_FALSE(r.ok);
+  ASSERT_FALSE(r.violation.empty());
+  // The shrunk repro still fails when replayed.
+  auto sim = make();
+  run_schedule(*sim, r.violation);
+  run_round_robin(*sim);
+  EXPECT_FALSE(task.output_ok(input, decisions_of(*sim)));
+  EXPECT_EQ(decisions_of(*sim), r.outputs);
+  // Minimality: the shrunk schedule is no longer than the protocol's
+  // total step count.
+  EXPECT_LE(r.violation.size(), 6u);
+}
+
+TEST(Verifier, RespectsShrinkOptOut) {
+  auto make = []() {
+    auto sim = std::make_unique<sim::Sim>(1);
+    sim->spawn(0, [](sim::Env&) -> sim::Proc { co_return Value(9); });
+    return sim;
+  };
+  // A "task" this trivially violates: outputs must be 0.
+  const ApproxAgreement task(2, 1);  // wrong n: every output illegal
+  Config input = cfg({Value(0), Value(0)});
+  VerifyOptions opts;
+  opts.shrink = false;
+  const VerifyResult r = verify_protocol(make, task, input, opts);
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace bsr::tasks

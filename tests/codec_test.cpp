@@ -1,0 +1,86 @@
+// Tests of the bit-level Value codec (§6 transport framing).
+#include "util/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace bsr {
+namespace {
+
+void round_trip(const Value& v) {
+  const BitVec bits = encode_bits(v);
+  EXPECT_EQ(decode_bits(bits), v) << v.str();
+}
+
+TEST(Codec, ScalarRoundTrips) {
+  round_trip(Value());
+  round_trip(Value(0));
+  round_trip(Value(1));
+  round_trip(Value(std::uint64_t{0xffffffffffffffffULL}));
+  round_trip(Value("hello"));
+  round_trip(Value(""));
+}
+
+TEST(Codec, StructuredRoundTrips) {
+  round_trip(Value(std::vector<Value>{}));
+  round_trip(make_vec(Value(1), Value(), Value("x")));
+  round_trip(make_vec(make_vec(Value(3), Value(4)), Value("deep"),
+                      make_vec(Value())));
+}
+
+TEST(Codec, BottomIsTwoBits) {
+  EXPECT_EQ(encode_bits(Value()).size(), 2u);
+  // Small integers are compact: tag(2) + width(7) + bits.
+  EXPECT_EQ(encode_bits(Value(0)).size(), 9u);
+  EXPECT_EQ(encode_bits(Value(1)).size(), 10u);
+}
+
+TEST(Codec, RandomizedDeepValues) {
+  Rng rng(2024);
+  std::function<Value(int)> gen = [&](int depth) -> Value {
+    const int kind = depth == 0 ? rng.range(0, 1) : rng.range(0, 3);
+    switch (kind) {
+      case 0: return Value(rng.next() >> rng.range(0, 63));
+      case 1: return Value();
+      case 2: {
+        std::string s;
+        for (int i = rng.range(0, 6); i > 0; --i) {
+          s.push_back(static_cast<char>(rng.range(32, 126)));
+        }
+        return Value(std::move(s));
+      }
+      default: {
+        std::vector<Value> vec;
+        for (int i = rng.range(0, 4); i > 0; --i) vec.push_back(gen(depth - 1));
+        return Value(std::move(vec));
+      }
+    }
+  };
+  for (int i = 0; i < 300; ++i) round_trip(gen(3));
+}
+
+TEST(Codec, StreamedDecodingConsumesExactly) {
+  const Value a = make_vec(Value(5), Value("ab"));
+  const Value b = Value(7);
+  BitVec bits = encode_bits(a);
+  const BitVec more = encode_bits(b);
+  bits.insert(bits.end(), more.begin(), more.end());
+  std::size_t pos = 0;
+  EXPECT_EQ(decode_bits(bits, pos), a);
+  EXPECT_EQ(decode_bits(bits, pos), b);
+  EXPECT_EQ(pos, bits.size());
+}
+
+TEST(Codec, MalformedInputThrows) {
+  EXPECT_THROW((void)decode_bits(BitVec{}), UsageError);
+  EXPECT_THROW((void)decode_bits(BitVec{1}), UsageError);          // truncated tag
+  EXPECT_THROW((void)decode_bits(BitVec{1, 0, 1}), UsageError);    // truncated u64
+  BitVec good = encode_bits(Value(3));
+  good.push_back(0);  // trailing garbage
+  EXPECT_THROW((void)decode_bits(good), UsageError);
+}
+
+}  // namespace
+}  // namespace bsr

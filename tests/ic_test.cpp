@@ -1,0 +1,138 @@
+// Tests of the round-level Iterated Collect model (§7 preliminaries).
+#include "memory/ic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "memory/iis.h"
+#include "util/errors.h"
+
+namespace bsr::memory {
+namespace {
+
+/// Converts an ordered partition round into the equivalent view-mask tuple.
+IcOutcome masks_of_partition(const OrderedPartition& part, int n) {
+  IcOutcome out(static_cast<std::size_t>(n), 0);
+  std::uint32_t seen = 0;
+  for (const Block& b : part) {
+    for (sim::Pid p : b) seen |= 1u << p;
+    for (sim::Pid p : b) out[static_cast<std::size_t>(p)] = seen;
+  }
+  return out;
+}
+
+TEST(IcOutcomes, TwoProcessesHaveExactlyThreeOutcomes) {
+  const auto ocs = all_ic_outcomes(2);
+  EXPECT_EQ(ocs.size(), 3u);
+  // Same as the IS outcomes: for n = 2 collect and snapshot coincide.
+  std::set<IcOutcome> expect;
+  for (const OrderedPartition& p : all_ordered_partitions({0, 1})) {
+    expect.insert(masks_of_partition(p, 2));
+  }
+  EXPECT_EQ(std::set<IcOutcome>(ocs.begin(), ocs.end()), expect);
+}
+
+TEST(IcOutcomes, EnumerationMatchesValidityChecker) {
+  for (int n : {2, 3}) {
+    const auto ocs = all_ic_outcomes(n);
+    const std::set<IcOutcome> valid(ocs.begin(), ocs.end());
+    // Cross-check against brute force over all self-containing mask tuples.
+    std::vector<std::uint32_t> cur(static_cast<std::size_t>(n));
+    long total = 1;
+    for (int i = 0; i < n; ++i) total *= 1 << n;
+    long checked = 0;
+    for (long code = 0; code < total; ++code) {
+      long c = code;
+      bool self = true;
+      for (int i = 0; i < n; ++i) {
+        cur[static_cast<std::size_t>(i)] =
+            static_cast<std::uint32_t>(c % (1 << n));
+        c /= 1 << n;
+        self &= (cur[static_cast<std::size_t>(i)] & (1u << i)) != 0;
+      }
+      if (!self) {
+        EXPECT_FALSE(is_valid_ic_outcome(cur, n));
+        continue;
+      }
+      ++checked;
+      EXPECT_EQ(is_valid_ic_outcome(cur, n), valid.contains(cur))
+          << "n=" << n << " code=" << code;
+    }
+    EXPECT_GT(checked, 0);
+  }
+}
+
+TEST(IcOutcomes, EveryISOutcomeIsAnICOutcome) {
+  const auto ocs = all_ic_outcomes(3);
+  const std::set<IcOutcome> valid(ocs.begin(), ocs.end());
+  std::vector<sim::Pid> pids{0, 1, 2};
+  for (const OrderedPartition& p : all_ordered_partitions(pids)) {
+    EXPECT_TRUE(valid.contains(masks_of_partition(p, 3)));
+  }
+}
+
+TEST(IcOutcomes, CollectIsStrictlyWeakerThanSnapshotForThreeProcesses) {
+  // An IC outcome violating the Inclusion property (§7): p0 sees {0,1},
+  // p1 sees {1,2}, p2 sees {0,1,2} — valid for write order 1 < 0,2? No:
+  // write order must put some process first, seen by all others. Take
+  // order 1, 0, 2: p0 ⊇ {1,0} ✓, p2 ⊇ {1,0,2} ✓, p1 ⊇ {1} and also saw 2
+  // (a later writer) ✓. Views {0,1} and {1,2} are incomparable.
+  const IcOutcome oc{0b011, 0b110, 0b111};
+  EXPECT_TRUE(is_valid_ic_outcome(oc, 3));
+  std::set<IcOutcome> is_outcomes;
+  for (const OrderedPartition& p : all_ordered_partitions({0, 1, 2})) {
+    is_outcomes.insert(masks_of_partition(p, 3));
+  }
+  EXPECT_FALSE(is_outcomes.contains(oc));
+  EXPECT_LT(is_outcomes.size(), all_ic_outcomes(3).size());
+}
+
+TEST(IcOutcomes, WriteOrderConsistencyRejectsMutualMisses) {
+  // Both processes missing each other is impossible (someone wrote first).
+  EXPECT_FALSE(is_valid_ic_outcome({0b01, 0b10}, 2));
+  // Cycles of misses are impossible too.
+  EXPECT_FALSE(is_valid_ic_outcome({0b001 | 0b010, 0b010 | 0b100,
+                                    0b100 | 0b001},
+                                   3));
+}
+
+TEST(FullInfo, InitialConfigPlacesInputsOnTheDiagonal) {
+  const tasks::Config c =
+      initial_full_info_config({Value(5), Value(7)});
+  EXPECT_EQ(c[0].at(0).as_u64(), 5u);
+  EXPECT_TRUE(c[0].at(1).is_bottom());
+  EXPECT_EQ(c[1].at(1).as_u64(), 7u);
+  EXPECT_TRUE(c[1].at(0).is_bottom());
+}
+
+TEST(FullInfo, ConfigurationCountsForTwoProcesses) {
+  // Binary inputs: |C^0| = 4; each round multiplies by the 3 outcomes and
+  // all results are distinct for a full-information protocol.
+  std::vector<tasks::Config> inputs;
+  for (std::uint64_t a = 0; a <= 1; ++a) {
+    for (std::uint64_t b = 0; b <= 1; ++b) {
+      inputs.push_back(initial_full_info_config({Value(a), Value(b)}));
+    }
+  }
+  const FullInfoConfigs cfgs = enumerate_full_info_configs(inputs, 2, 2);
+  EXPECT_EQ(cfgs.per_round[0].size(), 4u);
+  EXPECT_EQ(cfgs.per_round[1].size(), 12u);
+  EXPECT_EQ(cfgs.per_round[2].size(), 36u);
+  EXPECT_EQ(cfgs.flat.size(), 16u);
+  EXPECT_EQ(cfgs.round_range(0), (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(cfgs.round_range(1), (std::pair<std::size_t, std::size_t>{4, 16}));
+}
+
+TEST(FullInfo, ApplyRoundProducesExpectedViews) {
+  const tasks::Config c = initial_full_info_config({Value(1), Value(0)});
+  // p0 writes first: p0 sees only itself, p1 sees both.
+  const tasks::Config next = apply_full_info_round(c, {0b01, 0b11});
+  EXPECT_EQ(next[0].at(0), c[0]);
+  EXPECT_TRUE(next[0].at(1).is_bottom());
+  EXPECT_EQ(next[1].at(0), c[0]);
+  EXPECT_EQ(next[1].at(1), c[1]);
+}
+
+}  // namespace
+}  // namespace bsr::memory

@@ -1,0 +1,115 @@
+// Tests of the round-level IIS model (ordered partitions, §2 / §7).
+#include "memory/iis.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/errors.h"
+
+namespace bsr::memory {
+namespace {
+
+TEST(OrderedPartitions, CountsMatchFubiniNumbers) {
+  EXPECT_EQ(all_ordered_partitions({0}).size(), 1u);
+  EXPECT_EQ(all_ordered_partitions({0, 1}).size(), 3u);
+  EXPECT_EQ(all_ordered_partitions({0, 1, 2}).size(), 13u);
+  EXPECT_EQ(all_ordered_partitions({0, 1, 2, 3}).size(), 75u);
+  EXPECT_EQ(ordered_partition_count(0), 1ull);
+  EXPECT_EQ(ordered_partition_count(1), 1ull);
+  EXPECT_EQ(ordered_partition_count(2), 3ull);
+  EXPECT_EQ(ordered_partition_count(3), 13ull);
+  EXPECT_EQ(ordered_partition_count(4), 75ull);
+  EXPECT_EQ(ordered_partition_count(5), 541ull);
+}
+
+TEST(OrderedPartitions, AreActuallyPartitions) {
+  const std::vector<sim::Pid> pids{0, 1, 2};
+  std::set<std::vector<Block>> uniq;
+  for (const OrderedPartition& part : all_ordered_partitions(pids)) {
+    std::set<sim::Pid> covered;
+    for (const Block& b : part) {
+      EXPECT_FALSE(b.empty());
+      for (sim::Pid p : b) EXPECT_TRUE(covered.insert(p).second);
+    }
+    EXPECT_EQ(covered.size(), pids.size());
+    EXPECT_TRUE(uniq.insert(part).second) << "duplicate partition";
+  }
+}
+
+TEST(IsRoundViews, TwoProcessOutcomes) {
+  const std::vector<Value> written{Value(10), Value(20)};
+  // p0 before p1: p0 solo, p1 sees both.
+  {
+    const auto v = is_round_views(written, {{0}, {1}}, 2);
+    EXPECT_EQ(v[0][0].as_u64(), 10u);
+    EXPECT_TRUE(v[0][1].is_bottom());
+    EXPECT_EQ(v[1][0].as_u64(), 10u);
+    EXPECT_EQ(v[1][1].as_u64(), 20u);
+  }
+  // Simultaneous block: both see both.
+  {
+    const auto v = is_round_views(written, {{0, 1}}, 2);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(v[static_cast<std::size_t>(i)][0].as_u64(), 10u);
+      EXPECT_EQ(v[static_cast<std::size_t>(i)][1].as_u64(), 20u);
+    }
+  }
+}
+
+TEST(IsRoundViews, PropertiesHoldForEveryPartition) {
+  const int n = 4;
+  const std::vector<Value> written{Value(1), Value(2), Value(3), Value(4)};
+  const std::vector<sim::Pid> pids{0, 1, 2, 3};
+  for (const OrderedPartition& part : all_ordered_partitions(pids)) {
+    const auto views = is_round_views(written, part, n);
+    EXPECT_TRUE(check_is_properties(written, views, pids));
+  }
+}
+
+TEST(IsRoundViews, PropertiesDetectViolations) {
+  const int n = 2;
+  const std::vector<Value> written{Value(1), Value(2)};
+  // Self-containment violation: p0 does not see itself.
+  {
+    std::vector<std::vector<Value>> views{{Value(), Value(2)},
+                                          {Value(1), Value(2)}};
+    EXPECT_FALSE(check_is_properties(written, views, {0, 1}));
+  }
+  // Validity violation: p0 sees a value p1 never wrote.
+  {
+    std::vector<std::vector<Value>> views{{Value(1), Value(7)},
+                                          {Value(1), Value(2)}};
+    EXPECT_FALSE(check_is_properties(written, views, {0, 1}));
+  }
+  // Inclusion violation: two incomparable views.
+  {
+    std::vector<std::vector<Value>> views{{Value(1), Value()},
+                                          {Value(), Value(2)}};
+    EXPECT_FALSE(check_is_properties(written, views, {0, 1}));
+  }
+}
+
+TEST(IsRoundViews, AtLeastOneProcessSeesEveryone) {
+  // The last block's members always see all participants — the pigeonhole
+  // fact used throughout §7.
+  const int n = 3;
+  const std::vector<Value> written{Value(1), Value(2), Value(3)};
+  const std::vector<sim::Pid> pids{0, 1, 2};
+  for (const OrderedPartition& part : all_ordered_partitions(pids)) {
+    const auto views = is_round_views(written, part, n);
+    bool someone_sees_all = false;
+    for (sim::Pid p : pids) {
+      bool all = true;
+      for (int j = 0; j < n; ++j) {
+        all &= !views[static_cast<std::size_t>(p)][static_cast<std::size_t>(j)]
+                    .is_bottom();
+      }
+      someone_sees_all |= all;
+    }
+    EXPECT_TRUE(someone_sees_all);
+  }
+}
+
+}  // namespace
+}  // namespace bsr::memory

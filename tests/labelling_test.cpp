@@ -1,0 +1,154 @@
+// Verification of the 1-bit labelling protocol (Lemma 8.1): over *all* IIS
+// executions of r rounds, the protocol produces exactly 3^r + 1 distinct
+// labels forming a chromatic path, with the solo executions at the
+// extremities — the full content of the lemma.
+#include "topo/labelling.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "memory/iis.h"
+#include "util/errors.h"
+
+namespace bsr::topo {
+namespace {
+
+/// The three one-round outcomes for two processes, as (obs0, obs1) where
+/// nullopt = solo. Derived from the ordered partitions of {0, 1}.
+struct RoundOutcome {
+  std::optional<int> obs0;
+  std::optional<int> obs1;
+};
+
+std::vector<RoundOutcome> outcomes(int bit0, int bit1) {
+  return {
+      {std::nullopt, bit0},  // p0's block first: p0 solo, p1 sees p0
+      {bit1, std::nullopt},  // p1's block first
+      {bit1, bit0},          // one simultaneous block
+  };
+}
+
+/// Runs `visit` on the final (pos0, pos1) of every r-round IIS execution.
+void for_all_executions(
+    int rounds,
+    const std::function<void(const LabellingProcess&, const LabellingProcess&)>&
+        visit) {
+  std::function<void(LabellingProcess, LabellingProcess, int)> rec =
+      [&](LabellingProcess a, LabellingProcess b, int r) {
+        if (r == rounds) {
+          visit(a, b);
+          return;
+        }
+        for (const RoundOutcome& oc : outcomes(a.write_bit(), b.write_bit())) {
+          LabellingProcess a2 = a;
+          LabellingProcess b2 = b;
+          a2.observe(oc.obs0);
+          b2.observe(oc.obs1);
+          rec(a2, b2, r + 1);
+        }
+      };
+  rec(LabellingProcess(0), LabellingProcess(1), 0);
+}
+
+std::uint64_t pow3(int r) {
+  std::uint64_t p = 1;
+  for (int i = 0; i < r; ++i) p *= 3;
+  return p;
+}
+
+class LabellingLemma81 : public ::testing::TestWithParam<int> {};
+
+TEST_P(LabellingLemma81, ExactlyThreeToTheRPlusOneLabels) {
+  const int r = GetParam();
+  std::set<std::uint64_t> positions;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> finals;
+  long executions = 0;
+  for_all_executions(r, [&](const LabellingProcess& a,
+                            const LabellingProcess& b) {
+    ++executions;
+    positions.insert(a.pos());
+    positions.insert(b.pos());
+    finals.insert({a.pos(), b.pos()});
+
+    // Co-existing labels are path-adjacent (distance exactly 1): this is
+    // what makes f(λ) = pos/3^r an ε-agreement assignment (Fig. 5).
+    const std::uint64_t lo = std::min(a.pos(), b.pos());
+    const std::uint64_t hi = std::max(a.pos(), b.pos());
+    EXPECT_EQ(hi - lo, 1u);
+
+    // Chromatic colouring: process i occupies positions ≡ i (mod 2).
+    EXPECT_EQ(a.pos() % 2, 0u);
+    EXPECT_EQ(b.pos() % 2, 1u);
+    EXPECT_LE(hi, pow3(r));
+  });
+  EXPECT_EQ(executions, static_cast<long>(pow3(r)));
+  // Lemma 8.1: the number of distinct labels is exactly 3^r + 1, and every
+  // final configuration is distinct (no two executions merge).
+  EXPECT_EQ(positions.size(), pow3(r) + 1);
+  EXPECT_EQ(finals.size(), pow3(r));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, LabellingLemma81,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(Labelling, SoloExecutionsSitAtTheExtremities) {
+  for (int r = 1; r <= 10; ++r) {
+    LabellingProcess p0(0);
+    LabellingProcess p1(1);
+    for (int i = 0; i < r; ++i) {
+      p0.observe(std::nullopt);
+      p1.observe(std::nullopt);
+    }
+    EXPECT_EQ(p0.pos(), 0u);          // f = 0
+    EXPECT_EQ(p1.pos(), pow3(r));     // f = 1
+  }
+}
+
+TEST(Labelling, WriteBitAlternatesAtDistanceTwo) {
+  for (std::uint64_t pos = 0; pos < 1000; ++pos) {
+    EXPECT_NE(label_write_bit(pos), label_write_bit(pos + 2));
+  }
+}
+
+TEST(Labelling, NeighbourBitsDisambiguate) {
+  // For every interior position, the two neighbours write different bits —
+  // the property that prevents the path from folding.
+  for (std::uint64_t pos = 1; pos < 1000; ++pos) {
+    EXPECT_NE(label_write_bit(pos - 1), label_write_bit(pos + 1));
+  }
+}
+
+TEST(Labelling, UpdateRejectsImpossibleObservation) {
+  // Position 0 on a path of 1 edge: the only neighbour is 1, which writes
+  // bit 0; observing 1 is impossible.
+  EXPECT_EQ(label_next_pos(0, std::nullopt, 1), 0u);
+  EXPECT_EQ(label_next_pos(0, 0, 1), 2u);
+  EXPECT_THROW((void)label_next_pos(0, 1, 1), ModelError);
+  EXPECT_THROW((void)label_next_pos(5, 0, 4), UsageError);  // beyond path
+}
+
+TEST(Labelling, PositionsFollowTheSubdivisionMap) {
+  // Direct check of the subdivision arithmetic on a worked example, r = 2,
+  // execution: round 1 both see both; round 2 p0 solo.
+  LabellingProcess p0(0);
+  LabellingProcess p1(1);
+  // Round 1: both see both (bits: p0 writes b(0)=0, p1 writes b(1)=0).
+  p0.observe(label_write_bit(1));
+  p1.observe(label_write_bit(0));
+  EXPECT_EQ(p0.pos(), 2u);  // 3·0+2
+  EXPECT_EQ(p1.pos(), 1u);  // 3·1-2
+  // Round 2: p0 solo; p1 sees p0's bit b(2)=1.
+  const int bit0 = p0.write_bit();
+  EXPECT_EQ(bit0, 1);
+  p0.observe(std::nullopt);
+  p1.observe(bit0);
+  EXPECT_EQ(p0.pos(), 6u);  // 3·2
+  EXPECT_EQ(p1.pos(), 5u);  // 3·1+2
+}
+
+}  // namespace
+}  // namespace bsr::topo

@@ -1,0 +1,239 @@
+// Verification of the packed single-register variants (§5.2.3 literally):
+// Theorem 1.2 with exactly ONE 3-bit register per process (plus free
+// write-once task-input registers for Algorithm 2).
+#include "core/packed.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "sim/explore.h"
+#include "sim/sched.h"
+#include "tasks/approx.h"
+#include "tasks/checker.h"
+
+namespace bsr::core {
+namespace {
+
+using sim::Choice;
+using sim::Explorer;
+using sim::ExploreOptions;
+using sim::Sim;
+using tasks::Config;
+
+TEST(PackedWord, FieldAccessors) {
+  PackedWord w;
+  EXPECT_EQ(w.r_bit(), 0);
+  EXPECT_FALSE(w.input_present());
+  w.set_input(1);
+  EXPECT_TRUE(w.input_present());
+  EXPECT_EQ(w.input(), 1u);
+  EXPECT_EQ(w.r_bit(), 0);
+  w.set_r_bit(1);
+  EXPECT_EQ(w.r_bit(), 1);
+  EXPECT_EQ(w.input(), 1u);  // fields are independent
+  w.set_input(0);
+  EXPECT_EQ(w.input(), 0u);
+  EXPECT_EQ(w.r_bit(), 1);
+  EXPECT_LE(w.raw, 7u);  // fits in 3 bits
+}
+
+struct PackedParams {
+  std::uint64_t k;
+  std::uint64_t x0;
+  std::uint64_t x1;
+  int max_crashes;
+};
+
+class PackedAlg1Exhaustive : public ::testing::TestWithParam<PackedParams> {};
+
+TEST_P(PackedAlg1Exhaustive, MatchesTheLemmasWithOneRegisterPerProcess) {
+  const auto p = GetParam();
+  const std::uint64_t denom = alg1_denominator(p.k);
+  const tasks::ApproxAgreement task(2, denom);
+  const Config input{Value(p.x0), Value(p.x1)};
+  auto diag = std::make_shared<Alg1Diag>();
+  auto make = [&, diag]() {
+    *diag = Alg1Diag{};
+    auto sim = std::make_unique<Sim>(2);
+    install_packed_alg1(*sim, p.k, {p.x0, p.x1}, diag.get());
+    return sim;
+  };
+  ExploreOptions opts;
+  opts.max_crashes = p.max_crashes;
+  opts.max_steps = 200;
+  long count = 0;
+  Explorer ex(opts);
+  ex.explore(make, [&](Sim& sim, const std::vector<Choice>&) {
+    ++count;
+    // Resource claim: exactly two registers in the world, 3 bits each.
+    ASSERT_EQ(sim.num_registers(), 2);
+    EXPECT_EQ(sim.register_info(0).width_bits, 3);
+    EXPECT_EQ(sim.register_info(1).width_bits, 3);
+    const auto check =
+        tasks::check_outputs(task, input, tasks::decisions_of(sim));
+    EXPECT_TRUE(check.ok) << check.detail;
+    if (sim.terminated(0) && sim.terminated(1)) {
+      EXPECT_LE(std::abs(diag->iterations[0] - diag->iterations[1]), 1);
+    }
+  });
+  EXPECT_GT(count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PackedAlg1Exhaustive,
+    ::testing::Values(PackedParams{1, 0, 1, 0}, PackedParams{2, 0, 1, 0},
+                      PackedParams{2, 1, 0, 0}, PackedParams{2, 1, 1, 0},
+                      PackedParams{3, 0, 1, 0}, PackedParams{2, 0, 1, 1},
+                      PackedParams{1, 1, 0, 1}));
+
+TEST(PackedAlg1, AgreesWithUnpackedOnLockstep) {
+  // The packed and unpacked variants make the same decisions under the
+  // lockstep schedule for a sweep of k and inputs.
+  for (std::uint64_t k : {1ull, 2ull, 5ull, 17ull, 64ull}) {
+    for (std::uint64_t x0 : {0ull, 1ull}) {
+      for (std::uint64_t x1 : {0ull, 1ull}) {
+        Sim a(2);
+        install_alg1(a, k, {x0, x1});
+        run_round_robin(a);
+        Sim b(2);
+        install_packed_alg1(b, k, {x0, x1});
+        run_round_robin(b);
+        EXPECT_EQ(a.decision(0), b.decision(0))
+            << "k=" << k << " x=(" << x0 << "," << x1 << ")";
+        EXPECT_EQ(a.decision(1), b.decision(1));
+      }
+    }
+  }
+}
+
+TEST(PackedAlg2, SolvesApproxAgreementExhaustively) {
+  const tasks::ApproxAgreement aa(2, 3);
+  std::vector<Value> domain{Value(0), Value(1), Value(2), Value(3)};
+  const tasks::ExplicitTask task = tasks::materialize(aa, domain);
+  const topo::Bmz2 bmz(task);
+  ASSERT_TRUE(bmz.solvable()) << bmz.failure_reason();
+  for (std::uint64_t x0 : {0ull, 1ull}) {
+    for (std::uint64_t x1 : {0ull, 1ull}) {
+      const Config input{Value(x0), Value(x1)};
+      Explorer ex(ExploreOptions{.max_steps = 400, .max_crashes = 1});
+      long count = 0;
+      ex.explore(
+          [&]() {
+            auto sim = std::make_unique<Sim>(2);
+            install_packed_alg2(*sim, bmz.plan(), input);
+            return sim;
+          },
+          [&](Sim& sim, const std::vector<Choice>&) {
+            ++count;
+            // 2 free input registers + 2 packed 3-bit registers, nothing else.
+            ASSERT_EQ(sim.num_registers(), 4);
+            EXPECT_EQ(sim.register_info(2).width_bits, 3);
+            EXPECT_EQ(sim.register_info(3).width_bits, 3);
+            const auto check =
+                tasks::check_outputs(task, input, tasks::decisions_of(sim));
+            EXPECT_TRUE(check.ok) << check.detail;
+          });
+      EXPECT_GT(count, 0);
+    }
+  }
+}
+
+TEST(PackedAlg2, SolvesTwoProcessRenaming) {
+  // Renaming (§1.3's task menagerie): two processes must pick distinct
+  // names from {1, 2, 3}, whatever their binary inputs. BMZ-solvable, so
+  // the packed universal construction handles it with one 3-bit register
+  // per process.
+  auto c2 = [](std::uint64_t a, std::uint64_t b) {
+    return Config{Value(a), Value(b)};
+  };
+  std::vector<Config> outs;
+  for (std::uint64_t a = 1; a <= 3; ++a) {
+    for (std::uint64_t b = 1; b <= 3; ++b) {
+      if (a != b) outs.push_back(c2(a, b));
+    }
+  }
+  tasks::ExplicitTask::Delta delta;
+  for (std::uint64_t a = 0; a <= 1; ++a) {
+    for (std::uint64_t b = 0; b <= 1; ++b) delta[c2(a, b)] = outs;
+  }
+  const tasks::ExplicitTask renaming("2-renaming", 2, delta);
+  const topo::Bmz2 bmz(renaming);
+  ASSERT_TRUE(bmz.solvable()) << bmz.failure_reason();
+
+  for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    const Config input = c2(seed % 2, (seed / 2) % 2);
+    Sim sim(2);
+    install_packed_alg2(sim, bmz.plan(), input);
+    sim::RandomRunOptions opts;
+    opts.seed = seed;
+    opts.max_crashes = 1;
+    run_random(sim, opts);
+    const Config out = tasks::decisions_of(sim);
+    const auto check = tasks::check_outputs(renaming, input, out);
+    EXPECT_TRUE(check.ok) << check.detail << " seed=" << seed;
+    if (sim.terminated(0) && sim.terminated(1)) {
+      EXPECT_NE(out[0], out[1]) << "same name! seed=" << seed;
+    }
+  }
+}
+
+TEST(PackedAlg2, HandlesArbitrarilyLargeInputs) {
+  // Theorem 1.2 holds for tasks with arbitrarily large inputs: the inputs
+  // travel through the write-once input registers, while coordination stays
+  // within the two 3-bit registers. A "pick a common document" task over
+  // string inputs: on equal inputs both output that string; on different
+  // inputs any agreed-upon string of the two (or the merged one) works.
+  const std::string big_a(500, 'a');
+  const std::string big_b(500, 'b');
+  auto c2 = [](Value a, Value b) { return Config{std::move(a), std::move(b)}; };
+  tasks::ExplicitTask::Delta delta;
+  delta[c2(Value(big_a), Value(big_a))] = {c2(Value(big_a), Value(big_a))};
+  delta[c2(Value(big_b), Value(big_b))] = {c2(Value(big_b), Value(big_b))};
+  delta[c2(Value(big_a), Value(big_b))] = {c2(Value(big_a), Value(big_a)),
+                                           c2(Value(big_a), Value(big_b)),
+                                           c2(Value(big_b), Value(big_b))};
+  delta[c2(Value(big_b), Value(big_a))] = delta[c2(Value(big_a), Value(big_b))];
+  const tasks::ExplicitTask task("pick-document", 2, delta);
+  const topo::Bmz2 bmz(task);
+  ASSERT_TRUE(bmz.solvable()) << bmz.failure_reason();
+
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Config input = c2(Value(seed % 2 ? big_a : big_b),
+                            Value((seed / 2) % 2 ? big_a : big_b));
+    Sim sim(2);
+    const PackedAlg2Handles h = install_packed_alg2(sim, bmz.plan(), input);
+    sim::RandomRunOptions opts;
+    opts.seed = seed;
+    opts.max_crashes = 1;
+    run_random(sim, opts);
+    const auto check =
+        tasks::check_outputs(task, input, tasks::decisions_of(sim));
+    EXPECT_TRUE(check.ok) << check.detail << " seed=" << seed;
+    // Coordination registers never carried more than 3 bits; the 500-byte
+    // strings lived only in the write-once input registers.
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(sim.register_info(h.packed[static_cast<std::size_t>(i)])
+                    .width_bits,
+                3);
+      EXPECT_TRUE(
+          sim.register_info(h.task_input[static_cast<std::size_t>(i)])
+              .write_once);
+    }
+  }
+}
+
+TEST(PackedAlg1, StepComplexityStillLinear) {
+  long prev = 0;
+  for (std::uint64_t k : {8ull, 16ull, 32ull}) {
+    Sim sim(2);
+    install_packed_alg1(sim, k, {0, 1});
+    run_round_robin(sim);
+    EXPECT_GT(sim.steps(0), prev);
+    prev = sim.steps(0);
+  }
+}
+
+}  // namespace
+}  // namespace bsr::core

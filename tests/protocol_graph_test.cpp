@@ -1,0 +1,106 @@
+// Verification of the §3.1 decision-graph facts: Algorithm 1's decision
+// graph is a chromatic path from the p0-solo decision to the p1-solo
+// decision, of length ≥ 1/ε — and the graph machinery itself.
+#include "topo/protocol_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/alg1.h"
+#include "core/alg6.h"
+#include "sim/sched.h"
+
+namespace bsr::topo {
+namespace {
+
+using sim::Sim;
+
+TEST(DecisionGraph, BasicsAndPathShape) {
+  DecisionGraph g;
+  const DecisionVertex a{0, Value(0)};
+  const DecisionVertex b{1, Value(1)};
+  const DecisionVertex c{0, Value(2)};
+  g.add_edge(a, b);
+  EXPECT_TRUE(g.is_path());
+  g.add_edge(b, c);
+  EXPECT_TRUE(g.is_path());
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.distance(a, c), 2);
+  EXPECT_TRUE(g.connected());
+  // Branch: a third neighbour for b breaks the path property.
+  g.add_edge(b, DecisionVertex{0, Value(3)});
+  EXPECT_FALSE(g.is_path());
+  EXPECT_TRUE(g.connected());
+  EXPECT_THROW(g.add_edge(a, c), UsageError);  // same-process edge
+  EXPECT_EQ(g.distance(a, DecisionVertex{0, Value(9)}), -1);
+}
+
+TEST(DecisionGraph, DisconnectedComponentsDetected) {
+  DecisionGraph g;
+  g.add_edge(DecisionVertex{0, Value(0)}, DecisionVertex{1, Value(0)});
+  g.add_edge(DecisionVertex{0, Value(5)}, DecisionVertex{1, Value(5)});
+  EXPECT_FALSE(g.connected());
+  EXPECT_FALSE(g.is_path());
+  EXPECT_EQ(g.distance(DecisionVertex{0, Value(0)},
+                       DecisionVertex{1, Value(5)}),
+            -1);
+}
+
+class Alg1Graph : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Alg1Graph, IsAPathOfLengthAtLeastOneOverEps) {
+  const std::uint64_t k = GetParam();
+  const std::uint64_t denom = core::alg1_denominator(k);
+  const DecisionGraph g = build_decision_graph(
+      [k]() {
+        auto sim = std::make_unique<Sim>(2);
+        core::install_alg1(*sim, k, {0, 1});
+        return sim;
+      },
+      sim::ExploreOptions{.max_steps = 200});
+
+  // §3.1: the graph is a path between the two solo decisions...
+  EXPECT_TRUE(g.is_path());
+  const DecisionVertex solo0{0, Value(0)};
+  const DecisionVertex solo1{1, Value(denom)};
+  ASSERT_TRUE(g.contains(solo0));
+  ASSERT_TRUE(g.contains(solo1));
+  // ...whose length is at least 1/ε = 2k+1 (outputs move by ≤ ε per edge).
+  EXPECT_GE(g.distance(solo0, solo1), static_cast<long>(denom));
+  // Chromatic path: vertex count = edges + 1.
+  EXPECT_EQ(g.vertex_count(), g.edge_count() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, Alg1Graph, ::testing::Values(1, 2, 3));
+
+TEST(Alg1Graph, ConnectivityIsWhatBlocksConsensus) {
+  // §3.1's reduction: were the solo vertices disconnected, the components
+  // could decide consensus. The graph machinery confirms they never are.
+  for (std::uint64_t k : {1ull, 2ull}) {
+    const DecisionGraph g = build_decision_graph([k]() {
+      auto sim = std::make_unique<Sim>(2);
+      core::install_alg1(*sim, k, {0, 1});
+      return sim;
+    });
+    EXPECT_TRUE(g.connected());
+  }
+}
+
+TEST(Alg6Graph, SimulationGraphMatchesFastAgreementPlan) {
+  // The decision graph of the Algorithm 6 label simulation is a path of
+  // exactly the plan's length (decisions are [r, pos] vectors = labels).
+  const core::FastAgreementPlan plan({3, 2});
+  const DecisionGraph g = build_decision_graph([&]() {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_alg6_labelling(*sim, {3, 2});
+    return sim;
+  });
+  EXPECT_TRUE(g.is_path());
+  EXPECT_EQ(g.edge_count(), plan.path_length());
+  EXPECT_EQ(g.vertex_count(), plan.label_count());
+}
+
+}  // namespace
+}  // namespace bsr::topo

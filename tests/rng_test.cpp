@@ -1,0 +1,82 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/errors.h"
+
+namespace bsr {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng r(7);
+  EXPECT_THROW(r.below(0), UsageError);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeEmptyThrows) {
+  Rng r(9);
+  EXPECT_THROW(r.range(2, 1), UsageError);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(42);
+  std::vector<int> buckets(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    buckets[static_cast<std::size_t>(r.below(10))] += 1;
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, trials / 10 - trials / 50);
+    EXPECT_LT(b, trials / 10 + trials / 50);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0, 100));
+    EXPECT_TRUE(r.chance(100, 100));
+  }
+}
+
+}  // namespace
+}  // namespace bsr

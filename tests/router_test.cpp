@@ -1,0 +1,146 @@
+// Tests of the t-augmented ring (Figure 3) and the flooding router.
+#include "msg/router.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+#include "util/errors.h"
+
+namespace bsr::msg {
+namespace {
+
+TEST(Ring, Figure3Topology) {
+  // The paper's example: the 2-augmented 7-node ring. Every node has
+  // out-neighbours i+1, i+2, i+3.
+  const auto edges = t_augmented_ring(7, 2);
+  ASSERT_EQ(edges.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(edges[static_cast<std::size_t>(i)],
+              (std::vector<sim::Pid>{(i + 1) % 7, (i + 2) % 7, (i + 3) % 7}));
+  }
+}
+
+TEST(Ring, IsTPlusOneConnected) {
+  // Removing any set of ≤ t nodes keeps the ring strongly connected —
+  // exhaustively over all removal sets for several (n, t).
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{
+           {5, 1}, {7, 2}, {9, 3}, {6, 2}}) {
+    const auto edges = t_augmented_ring(n, t);
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<sim::Pid> removed;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) removed.push_back(i);
+      }
+      if (static_cast<int>(removed.size()) > t) continue;
+      EXPECT_TRUE(strongly_connected_after_removal(edges, removed))
+          << "n=" << n << " t=" << t << " mask=" << mask;
+    }
+  }
+}
+
+TEST(Ring, RemovingTPlusOneConsecutiveNodesDisconnects) {
+  // Tightness: t+1 consecutive removals cut the ring (for n large enough
+  // that someone remains on each side).
+  const auto edges = t_augmented_ring(8, 2);
+  EXPECT_FALSE(strongly_connected_after_removal(edges, {1, 2, 3}));
+}
+
+TEST(Router, DirectSendToNeighbour) {
+  FloodRouter r(0, 7, 2);
+  const auto sends = r.send(2, Value(42));
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0].to, 2);
+}
+
+TEST(Router, FloodToNonNeighbour) {
+  FloodRouter r(0, 7, 2);
+  const auto sends = r.send(5, Value(42));
+  ASSERT_EQ(sends.size(), 3u);  // all t+1 successors
+  std::set<sim::Pid> tos;
+  for (const auto& s : sends) tos.insert(s.to);
+  EXPECT_EQ(tos, (std::set<sim::Pid>{1, 2, 3}));
+}
+
+TEST(Router, EndToEndDeliveryAcrossTheRing) {
+  // Simulate the whole ring in-memory: routers at every node, message from
+  // 0 to 5; push envelopes until quiescent; exactly one delivery.
+  const int n = 7;
+  const int t = 2;
+  std::vector<FloodRouter> nodes;
+  for (int i = 0; i < n; ++i) nodes.emplace_back(i, n, t);
+  std::deque<std::pair<sim::Pid, Value>> wire;  // (to, envelope)
+  for (const LinkSend& s : nodes[0].send(5, Value(99))) {
+    wire.emplace_back(s.to, s.envelope);
+  }
+  int deliveries = 0;
+  while (!wire.empty()) {
+    auto [to, env] = std::move(wire.front());
+    wire.pop_front();
+    auto rx = nodes[static_cast<std::size_t>(to)].on_receive(env);
+    for (const LinkSend& s : rx.forwards) wire.emplace_back(s.to, s.envelope);
+    for (const auto& [src, payload] : rx.deliveries) {
+      ++deliveries;
+      EXPECT_EQ(src, 0);
+      EXPECT_EQ(payload.as_u64(), 99u);
+    }
+  }
+  EXPECT_EQ(deliveries, 1);  // duplicate suppression
+}
+
+TEST(Router, DeliveryUnderEveryCrashSet) {
+  // For every set of ≤ t crashed intermediate nodes, a message between two
+  // alive nodes still gets through (crashed nodes drop everything).
+  const int n = 7;
+  const int t = 2;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<bool> dead(n, false);
+    int crashes = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        dead[static_cast<std::size_t>(i)] = true;
+        ++crashes;
+      }
+    }
+    if (crashes > t) continue;
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < n; ++dst) {
+        if (src == dst || dead[static_cast<std::size_t>(src)] ||
+            dead[static_cast<std::size_t>(dst)]) {
+          continue;
+        }
+        std::vector<FloodRouter> nodes;
+        for (int i = 0; i < n; ++i) nodes.emplace_back(i, n, t);
+        std::deque<std::pair<sim::Pid, Value>> wire;
+        for (const LinkSend& s :
+             nodes[static_cast<std::size_t>(src)].send(dst, Value(7))) {
+          wire.emplace_back(s.to, s.envelope);
+        }
+        int deliveries = 0;
+        while (!wire.empty()) {
+          auto [to, env] = std::move(wire.front());
+          wire.pop_front();
+          if (dead[static_cast<std::size_t>(to)]) continue;
+          auto rx = nodes[static_cast<std::size_t>(to)].on_receive(env);
+          for (const LinkSend& s : rx.forwards) {
+            wire.emplace_back(s.to, s.envelope);
+          }
+          deliveries += static_cast<int>(rx.deliveries.size());
+        }
+        EXPECT_EQ(deliveries, 1)
+            << "src=" << src << " dst=" << dst << " mask=" << mask;
+      }
+    }
+  }
+}
+
+TEST(Router, RejectsBadArguments) {
+  EXPECT_THROW((void)t_augmented_ring(3, 2), UsageError);  // t+1 = n
+  FloodRouter r(0, 7, 2);
+  EXPECT_THROW((void)r.send(0, Value(1)), UsageError);  // to self
+  EXPECT_THROW((void)r.on_receive(Value(3)), UsageError);  // malformed
+}
+
+}  // namespace
+}  // namespace bsr::msg

@@ -1,0 +1,160 @@
+// Verification of the §4 impossibility mechanism (Theorem 1.1 /
+// Proposition 4.1): footprint collisions exist once the agreement grid is
+// finer than the register-footprint space, and *no* completion rule for a
+// late process can survive one.
+#include "core/sec4.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "tasks/approx.h"
+#include "tasks/checker.h"
+
+namespace bsr::core {
+namespace {
+
+TEST(Threshold, FormulaMatchesTheProof) {
+  // k(n, t, s) = 2 (2^s)^{n-t+1} + 1.
+  EXPECT_EQ(impossibility_threshold(3, 2, 1), 2 * 4 + 1u);
+  EXPECT_EQ(impossibility_threshold(4, 3, 1), 2 * 4 + 1u);
+  EXPECT_EQ(impossibility_threshold(4, 3, 2), 2 * 16 + 1u);
+  EXPECT_EQ(impossibility_threshold(5, 3, 1), 2 * 8 + 1u);
+  EXPECT_EQ(impossibility_threshold(6, 4, 3), 2 * (1ull << 9) + 1u);
+  EXPECT_THROW((void)impossibility_threshold(4, 2, 1), UsageError);  // t = n/2
+  EXPECT_THROW((void)impossibility_threshold(2, 1, 1), UsageError);  // n = 2
+}
+
+TEST(FootprintCollision, ExistsOnceGridOutpacesFootprints) {
+  // Algorithm 1's early group leaves ≤ 4 distinct (R1, R2) footprints; once
+  // the output grid is fine enough the pigeonhole forces a collision with
+  // spread ≥ 3.
+  const auto c = find_footprint_collision(5);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->k, 5u);
+  const std::uint64_t lo =
+      std::min({c->outputs_a[0], c->outputs_a[1], c->outputs_b[0],
+                c->outputs_b[1]});
+  const std::uint64_t hi =
+      std::max({c->outputs_a[0], c->outputs_a[1], c->outputs_b[0],
+                c->outputs_b[1]});
+  EXPECT_GE(hi - lo, 3u);
+  EXPECT_GT(c->executions_searched, 0);
+}
+
+TEST(FootprintCollision, CollisionsAppearEvenAtTheCoarsestGrid) {
+  // The threshold k(n,t,s) guarantees a collision for *any* protocol; for
+  // this particular one (Algorithm 1's word barely encodes the round
+  // parity) they appear already at k = 1: running p0 solo-first vs p1
+  // solo-first leaves the identical footprint with outputs {0,1} vs {2,3}.
+  const auto c = find_footprint_collision(1);
+  ASSERT_TRUE(c.has_value());
+  for (std::uint64_t d = 0; d <= 3; ++d) {
+    const RuleRefutation r =
+        refute_completion_rule(*c, [d](const std::string&) { return d; });
+    EXPECT_TRUE(r.violates_a || r.violates_b);
+  }
+}
+
+TEST(FootprintCollision, NoCompletionRuleSurvives) {
+  // The universal quantification of the proof, made finite: for the
+  // collision footprint, *every* possible late-process output is ≥ 2 grid
+  // steps from some early output in at least one of the two executions.
+  const auto c = find_footprint_collision(5);
+  ASSERT_TRUE(c.has_value());
+  for (std::uint64_t d = 0; d <= 2 * c->k + 1; ++d) {
+    const RuleRefutation r = refute_completion_rule(
+        *c, [d](const std::string&) { return d; });
+    EXPECT_EQ(r.rule_output, d);
+    EXPECT_TRUE(r.violates_a || r.violates_b) << "rule output " << d;
+  }
+}
+
+TEST(FootprintCollision, EndToEndViolationExecution) {
+  const auto c = find_footprint_collision(5);
+  ASSERT_TRUE(c.has_value());
+  const std::uint64_t denom = 2 * c->k + 1;
+  const tasks::ApproxAgreement task(3, denom);
+
+  // A natural completion rule: decide the midpoint of the grid.
+  const CompletionRule mid = [denom](const std::string&) {
+    return denom / 2;
+  };
+  const RuleRefutation r = refute_completion_rule(*c, mid);
+  ASSERT_TRUE(r.violates_a || r.violates_b);
+
+  // Run the losing scenario as a real 3-process execution and check that
+  // the resulting outputs are illegal for the ε-agreement task.
+  const tasks::Config out = run_violation(*c, /*use_execution_a=*/r.violates_a,
+                                          mid);
+  ASSERT_TRUE(tasks::is_full(out));
+  const tasks::Config input{Value(0), Value(1), Value(0)};
+  const auto check = tasks::check_outputs(task, input, out);
+  EXPECT_FALSE(check.ok) << "expected an ε-agreement violation, got legal "
+                         << tasks::config_str(out);
+}
+
+TEST(FootprintCollision, BothExecutionsReplayToTheSameFootprint) {
+  // Indistinguishability, verified operationally: replaying either
+  // execution leaves the registers in the identical state, so the late
+  // process's decision is the same in both (here: the grid midpoint).
+  const auto c = find_footprint_collision(4);
+  ASSERT_TRUE(c.has_value());
+  const std::uint64_t denom = 2 * c->k + 1;
+  const CompletionRule mid = [denom](const std::string&) {
+    return denom / 2;
+  };
+  const tasks::Config out_a = run_violation(*c, true, mid);
+  const tasks::Config out_b = run_violation(*c, false, mid);
+  EXPECT_EQ(out_a[2], out_b[2]);  // same footprint ⇒ same late decision
+  // And the early outputs differ across the two executions.
+  EXPECT_NE(std::minmax(out_a[0].as_u64(), out_a[1].as_u64()),
+            std::minmax(out_b[0].as_u64(), out_b[1].as_u64()));
+}
+
+TEST(GenericAdversary, DefeatsQuantizedAveragingToo) {
+  // Theorem 1.1 quantifies over all protocols; the generic harness defeats
+  // a completely different early group — s-bit quantized midpoint
+  // averaging — the same way it defeats Algorithm 1.
+  const int s = 3;
+  std::optional<core::FootprintCollision> c;
+  for (int rounds : {2, 3}) {
+    c = core::find_collision_for(
+        [s, rounds]() { return core::make_quantized_early_group(s, rounds); });
+    if (c) break;
+  }
+  ASSERT_TRUE(c.has_value());
+  const std::uint64_t grid_max = (1u << s) - 1;
+  for (std::uint64_t d = 0; d <= grid_max; ++d) {
+    const core::RuleRefutation r = core::refute_completion_rule(
+        *c, [d](const std::string&) { return d; });
+    EXPECT_TRUE(r.violates_a || r.violates_b) << "rule output " << d;
+  }
+}
+
+TEST(GenericAdversary, RejectsNonTwoProcessFactories) {
+  EXPECT_THROW((void)core::find_collision_for([]() {
+                 core::EarlySetup s;
+                 s.sim = std::make_unique<sim::Sim>(3);
+                 return s;
+               }),
+               UsageError);
+}
+
+TEST(FootprintCollision, SweepOverK) {
+  // The finer the grid, the earlier (and more often) collisions appear.
+  bool seen = false;
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    const auto c = find_footprint_collision(k);
+    if (c.has_value()) {
+      seen = true;
+      // Once present, they stay present for finer grids.
+      EXPECT_TRUE(find_footprint_collision(k + 1).has_value());
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+}  // namespace
+}  // namespace bsr::core

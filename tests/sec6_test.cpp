@@ -1,0 +1,144 @@
+// Verification of the full Theorem 1.3 stack: t-resilient ε-agreement where
+// the *only* shared objects are n registers of 3(t+1) bits, carrying
+// ABD-over-flooding-over-alternating-bit traffic.
+#include "core/sec6.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tasks/approx.h"
+#include "tasks/checker.h"
+
+namespace bsr::core {
+namespace {
+
+using sim::Sim;
+
+void check_result(const Sim& sim, const Sec6Result& result,
+                  const std::vector<std::uint64_t>& inputs, int rounds,
+                  const std::string& ctx) {
+  const int n = sim.n();
+  tasks::Config cfg;
+  tasks::Config out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cfg.emplace_back(inputs[static_cast<std::size_t>(i)]);
+    if (result.decision[static_cast<std::size_t>(i)]) {
+      out[static_cast<std::size_t>(i)] =
+          Value(*result.decision[static_cast<std::size_t>(i)]);
+    }
+    if (!sim.crashed(i)) {
+      EXPECT_TRUE(result.decision[static_cast<std::size_t>(i)].has_value())
+          << ctx << ": process " << i << " undecided";
+    }
+  }
+  const tasks::ApproxAgreement task(n, std::uint64_t{1} << rounds);
+  const auto check = tasks::check_outputs(task, cfg, out);
+  EXPECT_TRUE(check.ok) << ctx << ": " << check.detail;
+}
+
+TEST(RegisterStack, WidthIsThreeTimesTPlusOne) {
+  EXPECT_EQ(sec6_register_bits(1), 6);
+  EXPECT_EQ(sec6_register_bits(2), 9);
+  EXPECT_EQ(sec6_register_bits(3), 12);
+}
+
+TEST(RegisterStack, SolvesEpsAgreementRoundRobin) {
+  const int n = 5;
+  const int t = 2;
+  const int rounds = 2;
+  const std::vector<std::uint64_t> inputs{0, 1, 1, 0, 1};
+  Sim sim(n);
+  auto result = std::make_shared<Sec6Result>(n);
+  const std::vector<int> regs =
+      install_register_stack(sim, Sec6Options{t, rounds}, inputs, result);
+  // Theorem 1.3's resource claim, enforced by the kernel on every write.
+  for (int r : regs) {
+    EXPECT_EQ(sim.register_info(r).width_bits, sec6_register_bits(t));
+  }
+  const sim::RunReport rep = run_round_robin_until(
+      sim, Sec6Result::done_predicate(result), 20'000'000);
+  ASSERT_FALSE(rep.hit_step_limit);
+  check_result(sim, *result, inputs, rounds, "round-robin");
+  // No other shared objects exist: n bounded registers, nothing else.
+  EXPECT_EQ(sim.num_registers(), n);
+}
+
+TEST(RegisterStack, SolvesEpsAgreementUnderRandomSchedules) {
+  const int n = 5;
+  const int t = 2;
+  const int rounds = 1;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const std::vector<std::uint64_t> inputs{1, 0, 0, 1, 0};
+    Sim sim(n);
+    auto result = std::make_shared<Sec6Result>(n);
+    install_register_stack(sim, Sec6Options{t, rounds}, inputs, result);
+    sim::RandomRunOptions opts;
+    opts.seed = seed;
+    opts.max_steps = 40'000'000;
+    opts.done = Sec6Result::done_predicate(result);
+    const sim::RunReport rep = run_random(sim, opts);
+    ASSERT_FALSE(rep.hit_step_limit) << "seed " << seed;
+    check_result(sim, *result, inputs, rounds, "random seed " +
+                                                   std::to_string(seed));
+  }
+}
+
+TEST(RegisterStack, ToleratesTCrashes) {
+  // Crash t processes at fixed points early in the run; the remaining
+  // n − t must still decide (t-resilience of the full stack).
+  const int n = 5;
+  const int t = 2;
+  const int rounds = 1;
+  const std::vector<std::uint64_t> inputs{0, 1, 0, 1, 1};
+  Sim sim(n);
+  auto result = std::make_shared<Sec6Result>(n);
+  install_register_stack(sim, Sec6Options{t, rounds}, inputs, result);
+  // Let everyone start, then crash p1 and p3.
+  for (int i = 0; i < n; ++i) sim.step(i);
+  for (int k = 0; k < 200; ++k) {
+    for (int i = 0; i < n; ++i) {
+      if (sim.enabled(i)) sim.step(i);
+    }
+  }
+  sim.crash(1);
+  sim.crash(3);
+  const sim::RunReport rep = run_round_robin_until(
+      sim, Sec6Result::done_predicate(result), 20'000'000);
+  ASSERT_FALSE(rep.hit_step_limit);
+  check_result(sim, *result, inputs, rounds, "t crashes");
+}
+
+TEST(RegisterStack, AllSameInputsDecideThatInput) {
+  const int n = 5;
+  const int t = 1;
+  const int rounds = 2;
+  const std::vector<std::uint64_t> inputs(5, 1);
+  Sim sim(n);
+  auto result = std::make_shared<Sec6Result>(n);
+  install_register_stack(sim, Sec6Options{t, rounds}, inputs, result);
+  const sim::RunReport rep = run_round_robin_until(
+      sim, Sec6Result::done_predicate(result), 20'000'000);
+  ASSERT_FALSE(rep.hit_step_limit);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(result->decision[static_cast<std::size_t>(i)].has_value());
+    EXPECT_EQ(*result->decision[static_cast<std::size_t>(i)],
+              std::uint64_t{1} << rounds);  // numerator of 1
+  }
+}
+
+TEST(RegisterStack, RejectsBadParameters) {
+  Sim sim(4);
+  auto result = std::make_shared<Sec6Result>(4);
+  EXPECT_THROW(
+      install_register_stack(sim, Sec6Options{2, 2}, {0, 1, 0, 1}, result),
+      UsageError);  // t = n/2
+  Sim sim2(5);
+  auto result2 = std::make_shared<Sec6Result>(5);
+  EXPECT_THROW(
+      install_register_stack(sim2, Sec6Options{1, 2}, {0, 1}, result2),
+      UsageError);  // wrong input count
+}
+
+}  // namespace
+}  // namespace bsr::core

@@ -1,0 +1,128 @@
+#include "tasks/approx.h"
+
+#include <gtest/gtest.h>
+
+#include "tasks/checker.h"
+#include "tasks/explicit_task.h"
+#include "util/errors.h"
+
+namespace bsr::tasks {
+namespace {
+
+Config cfg(std::initializer_list<Value> vs) { return Config(vs); }
+
+TEST(ApproxAgreement, InputValidation) {
+  ApproxAgreement task(3, 10);
+  EXPECT_TRUE(task.input_ok(cfg({Value(0), Value(1), Value(0)})));
+  EXPECT_FALSE(task.input_ok(cfg({Value(0), Value(2), Value(0)})));
+  EXPECT_FALSE(task.input_ok(cfg({Value(0), Value(1)})));
+  EXPECT_FALSE(task.input_ok(cfg({Value(0), Value(), Value(0)})));
+}
+
+TEST(ApproxAgreement, ValidityAllZeros) {
+  ApproxAgreement task(2, 5);
+  const Config in = cfg({Value(0), Value(0)});
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(0), Value(0)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(0), Value(1)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(1), Value(1)})));
+}
+
+TEST(ApproxAgreement, ValidityAllOnes) {
+  ApproxAgreement task(2, 5);
+  const Config in = cfg({Value(1), Value(1)});
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(5), Value(5)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(4), Value(5)})));
+}
+
+TEST(ApproxAgreement, AgreementWithinOneGridStep) {
+  ApproxAgreement task(2, 5);
+  const Config in = cfg({Value(0), Value(1)});
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(2), Value(3)})));
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(3), Value(3)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(2), Value(4)})));
+}
+
+TEST(ApproxAgreement, OutputsAboveKRejected) {
+  ApproxAgreement task(2, 5);
+  const Config in = cfg({Value(0), Value(1)});
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(6), Value(6)})));
+}
+
+TEST(ApproxAgreement, PartialOutputsExtendable) {
+  ApproxAgreement task(3, 5);
+  const Config in = cfg({Value(0), Value(1), Value(1)});
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(), Value(), Value()})));
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(2), Value(), Value(3)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(2), Value(), Value(4)})));
+  // All inputs 0: a lone decided 1 is already a violation.
+  const Config zeros = cfg({Value(0), Value(0), Value(0)});
+  EXPECT_FALSE(task.output_ok(zeros, cfg({Value(1), Value(), Value()})));
+  EXPECT_TRUE(task.output_ok(zeros, cfg({Value(0), Value(), Value()})));
+}
+
+TEST(ApproxAgreement, AllInputsEnumeration) {
+  ApproxAgreement task(3, 2);
+  EXPECT_EQ(task.all_inputs().size(), 8u);
+  for (const Config& in : task.all_inputs()) {
+    EXPECT_TRUE(task.input_ok(in));
+  }
+}
+
+TEST(Consensus, AgreementAndValidity) {
+  Consensus task(3);
+  const Config in = cfg({Value(0), Value(1), Value(1)});
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(1), Value(1), Value(1)})));
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(0), Value(0), Value(0)})));
+  EXPECT_FALSE(task.output_ok(in, cfg({Value(0), Value(1), Value(0)})));
+  const Config ones = cfg({Value(1), Value(1), Value(1)});
+  EXPECT_FALSE(task.output_ok(ones, cfg({Value(0), Value(0), Value(0)})));
+  EXPECT_TRUE(task.output_ok(in, cfg({Value(), Value(1), Value()})));
+}
+
+TEST(ExplicitTask, DeltaLookupAndLegality) {
+  // A toy 2-process task: inputs (0,0) -> output (0,0); inputs (1,1) ->
+  // outputs (1,1) or (1,2).
+  ExplicitTask::Delta delta;
+  delta[cfg({Value(0), Value(0)})] = {cfg({Value(0), Value(0)})};
+  delta[cfg({Value(1), Value(1)})] = {cfg({Value(1), Value(1)}),
+                                      cfg({Value(1), Value(2)})};
+  ExplicitTask task("toy", 2, delta);
+
+  EXPECT_TRUE(task.input_ok(cfg({Value(1), Value(1)})));
+  EXPECT_FALSE(task.input_ok(cfg({Value(0), Value(1)})));
+  EXPECT_TRUE(task.output_ok(cfg({Value(1), Value(1)}),
+                             cfg({Value(1), Value(2)})));
+  EXPECT_TRUE(task.output_ok(cfg({Value(1), Value(1)}),
+                             cfg({Value(), Value(2)})));
+  EXPECT_FALSE(task.output_ok(cfg({Value(1), Value(1)}),
+                              cfg({Value(2), Value(2)})));
+  EXPECT_FALSE(task.output_ok(cfg({Value(0), Value(0)}),
+                              cfg({Value(1), Value()})));
+  EXPECT_EQ(task.all_inputs().size(), 2u);
+  EXPECT_EQ(task.all_outputs().size(), 3u);
+  EXPECT_EQ(task.delta(cfg({Value(1), Value(1)})).size(), 2u);
+  EXPECT_THROW(task.delta(cfg({Value(0), Value(1)})), UsageError);
+}
+
+TEST(ExplicitTask, RejectsMalformedConstruction) {
+  ExplicitTask::Delta empty;
+  EXPECT_THROW(ExplicitTask("bad", 2, empty), UsageError);
+  ExplicitTask::Delta partial_input;
+  partial_input[cfg({Value(), Value(0)})] = {cfg({Value(0), Value(0)})};
+  EXPECT_THROW(ExplicitTask("bad", 2, partial_input), UsageError);
+  ExplicitTask::Delta empty_delta;
+  empty_delta[cfg({Value(0), Value(0)})] = {};
+  EXPECT_THROW(ExplicitTask("bad", 2, empty_delta), UsageError);
+}
+
+TEST(ConfigHelpers, ExtendsAndFullness) {
+  EXPECT_TRUE(is_full(cfg({Value(1), Value(0)})));
+  EXPECT_FALSE(is_full(cfg({Value(1), Value()})));
+  EXPECT_TRUE(extends(cfg({Value(1), Value(0)}), cfg({Value(), Value(0)})));
+  EXPECT_FALSE(extends(cfg({Value(1), Value(0)}), cfg({Value(0), Value()})));
+  EXPECT_FALSE(extends(cfg({Value(1)}), cfg({Value(1), Value(0)})));
+  EXPECT_EQ(config_str(cfg({Value(1), Value()})), "(1, ⊥)");
+}
+
+}  // namespace
+}  // namespace bsr::tasks

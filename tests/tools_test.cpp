@@ -1,0 +1,150 @@
+// Tests of the developer tooling: schedule shrinking (delta debugging),
+// the complete Lemma 5.7 subset search, and Graphviz exports.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sec4.h"
+#include "sim/explore.h"
+#include "sim/shrink.h"
+#include "tasks/approx.h"
+#include "tasks/checker.h"
+#include "topo/bmz.h"
+
+namespace bsr {
+namespace {
+
+using sim::Choice;
+using sim::Sim;
+using tasks::Config;
+
+/// The broken min-consensus protocol from examples/model_checking.cpp.
+std::unique_ptr<Sim> make_buggy_consensus() {
+  auto sim = std::make_unique<Sim>(2);
+  const int r0 = sim->add_register("R0", 0, 2, Value(0));
+  const int r1 = sim->add_register("R1", 1, 2, Value(0));
+  for (int i = 0; i < 2; ++i) {
+    sim->spawn(i, [i, r0, r1](sim::Env& env) -> sim::Proc {
+      const std::uint64_t input = (i == 0) ? 0 : 1;
+      const int mine = i == 0 ? r0 : r1;
+      const int theirs = i == 0 ? r1 : r0;
+      co_await env.write(mine, Value(input + 1));
+      const sim::OpResult got = co_await env.read(theirs);
+      if (got.value.as_u64() == 0) co_return Value(input);
+      co_return Value(std::min(input, got.value.as_u64() - 1));
+    });
+  }
+  return sim;
+}
+
+TEST(Shrink, MinimizesAViolatingSchedule) {
+  const tasks::Consensus consensus(2);
+  const Config input{Value(0), Value(1)};
+  const auto fails = [&](const std::vector<Choice>& sched) {
+    auto sim = make_buggy_consensus();
+    run_schedule(*sim, sched);
+    // Finish any stragglers deterministically so decisions exist.
+    run_round_robin(*sim);
+    return !consensus.output_ok(input, tasks::decisions_of(*sim));
+  };
+
+  // Find some violating schedule with the explorer.
+  std::vector<Choice> found;
+  sim::Explorer ex(sim::ExploreOptions{.max_steps = 50});
+  ex.explore(make_buggy_consensus, [&](Sim& sim, const std::vector<Choice>& s) {
+    if (found.empty() &&
+        !consensus.output_ok(input, tasks::decisions_of(sim))) {
+      found = s;
+    }
+  });
+  ASSERT_FALSE(found.empty());
+  ASSERT_TRUE(fails(found));
+
+  const std::vector<Choice> minimal = sim::shrink_schedule(fails, found);
+  EXPECT_TRUE(fails(minimal));
+  EXPECT_LE(minimal.size(), found.size());
+  // 1-minimality: removing any single remaining choice breaks the repro.
+  for (std::size_t i = 0; i < minimal.size(); ++i) {
+    std::vector<Choice> without = minimal;
+    without.erase(without.begin() + static_cast<std::ptrdiff_t>(i));
+    if (!without.empty()) {
+      EXPECT_FALSE(fails(without)) << "choice " << i << " was removable";
+    }
+  }
+}
+
+TEST(Shrink, RejectsNonFailingInput) {
+  const auto never_fails = [](const std::vector<Choice>&) { return false; };
+  EXPECT_THROW(
+      (void)sim::shrink_schedule(never_fails,
+                                 {Choice{Choice::Kind::Step, 0, -1}}),
+      UsageError);
+}
+
+TEST(SubsetSearch, FindsARestrictionWhenTheFullSetFails) {
+  auto c2 = [](std::uint64_t a, std::uint64_t b) {
+    return Config{Value(a), Value(b)};
+  };
+  // Full output set disconnected for input (1,1); the singleton {(0,0)}
+  // satisfies both conditions.
+  tasks::ExplicitTask::Delta delta;
+  delta[c2(0, 0)] = {c2(0, 0)};
+  delta[c2(1, 1)] = {c2(0, 0), c2(5, 5)};
+  const tasks::ExplicitTask task("subset", 2, delta);
+  EXPECT_FALSE(topo::Bmz2(task).solvable());
+  const auto found = topo::find_solvable_restriction(task);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(found->solvable());
+  EXPECT_GE(found->plan().L, 3);
+}
+
+TEST(SubsetSearch, ConsensusHasNoSolvableRestriction) {
+  const tasks::Consensus consensus(2);
+  const tasks::ExplicitTask task =
+      tasks::materialize(consensus, {Value(0), Value(1)});
+  EXPECT_FALSE(topo::find_solvable_restriction(task).has_value());
+}
+
+TEST(SubsetSearch, AgreementTaskSolvableViaSearchToo) {
+  const tasks::ApproxAgreement aa(2, 2);
+  std::vector<Value> domain{Value(0), Value(1), Value(2)};
+  const tasks::ExplicitTask task = tasks::materialize(aa, domain);
+  const auto found = topo::find_solvable_restriction(task);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(found->solvable());
+}
+
+TEST(Dot, OutputGraphRendersNodesAndEdges) {
+  const tasks::ApproxAgreement aa(2, 2);
+  std::vector<Value> domain{Value(0), Value(1), Value(2)};
+  const tasks::ExplicitTask task = tasks::materialize(aa, domain);
+  const Config input{Value(0), Value(1)};
+  const std::string dot = topo::output_graph_dot(task, input);
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("\"(0, 0)\""), std::string::npos);
+  EXPECT_NE(dot.find("\"(0, 0)\" -- \"(0, 1)\""), std::string::npos);
+  // Non-adjacent pair never appears as an edge.
+  EXPECT_EQ(dot.find("\"(0, 0)\" -- \"(1, 1)\""), std::string::npos);
+}
+
+TEST(Sec4, ViolationGeneralizesToMoreLateProcesses) {
+  // n = 5, t = 4 (wait-free): early group {p0, p1}, three late processes.
+  const auto c = core::find_footprint_collision(5);
+  ASSERT_TRUE(c.has_value());
+  const std::uint64_t denom = 2 * c->k + 1;
+  const core::CompletionRule mid = [denom](const std::string&) {
+    return denom / 2;
+  };
+  const auto r = core::refute_completion_rule(*c, mid);
+  const Config out = core::run_violation(*c, r.violates_a, mid, /*n_total=*/5);
+  ASSERT_EQ(out.size(), 5u);
+  // All late processes read the same footprint: identical decisions.
+  EXPECT_EQ(out[2], out[3]);
+  EXPECT_EQ(out[3], out[4]);
+  const tasks::ApproxAgreement task(5, denom);
+  const Config input{Value(0), Value(1), Value(0), Value(0), Value(0)};
+  EXPECT_FALSE(task.output_ok(input, out));
+}
+
+}  // namespace
+}  // namespace bsr

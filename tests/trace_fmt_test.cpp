@@ -1,0 +1,65 @@
+// Tests of the trace/schedule formatters.
+#include "sim/trace_fmt.h"
+
+#include <gtest/gtest.h>
+
+namespace bsr::sim {
+namespace {
+
+TEST(TraceFmt, FormatsRegisterOps) {
+  SimOptions opts;
+  opts.n = 2;
+  opts.record_trace = true;
+  Sim sim(std::move(opts));
+  const int r0 = sim.add_register("R0", 0, kUnbounded, Value(0));
+  const int r1 = sim.add_register("R1", 1, kUnbounded, Value(0));
+  sim.spawn(0, [r0, r1](Env& env) -> Proc {
+    co_await env.write(r0, Value(7));
+    co_await env.read(r1);
+    co_return Value(0);
+  });
+  sim.spawn(1, [r1](Env& env) -> Proc {
+    std::vector<int> g{r1};
+    co_await env.write_snapshot(r1, Value(3), g);
+    co_return Value(0);
+  });
+  run_round_robin(sim);
+  const std::string trace = format_trace(sim);
+  EXPECT_NE(trace.find("p0 start"), std::string::npos);
+  EXPECT_NE(trace.find("p0 write R0 := 7"), std::string::npos);
+  EXPECT_NE(trace.find("p0 read R1 -> 3"), std::string::npos);
+  EXPECT_NE(trace.find("p1 write_snapshot R1 := 3 -> [3]"), std::string::npos);
+}
+
+TEST(TraceFmt, FormatsMessagingOps) {
+  SimOptions opts;
+  opts.n = 2;
+  opts.record_trace = true;
+  Sim sim(std::move(opts));
+  sim.spawn(0, [](Env& env) -> Proc {
+    co_await env.send(1, Value("hi"));
+    co_return Value(0);
+  });
+  sim.spawn(1, [](Env& env) -> Proc {
+    co_await env.recv();
+    co_return Value(0);
+  });
+  run_round_robin(sim);
+  const std::string trace = format_trace(sim);
+  EXPECT_NE(trace.find("p0 send -> p1: \"hi\""), std::string::npos);
+  EXPECT_NE(trace.find("p1 recv <- p0: \"hi\""), std::string::npos);
+}
+
+TEST(TraceFmt, FormatsSchedules) {
+  const std::vector<Choice> sched{
+      {Choice::Kind::Step, 0, -1},
+      {Choice::Kind::Step, 1, -1},
+      {Choice::Kind::Crash, 0, -1},
+      {Choice::Kind::Step, 1, 0},
+  };
+  EXPECT_EQ(format_schedule(sched), "p0 p1 †p0 p1<-p0");
+  EXPECT_EQ(format_schedule({}), "");
+}
+
+}  // namespace
+}  // namespace bsr::sim

@@ -1,0 +1,114 @@
+#include "util/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/errors.h"
+
+namespace bsr {
+namespace {
+
+TEST(Value, DefaultIsBottom) {
+  const Value v;
+  EXPECT_TRUE(v.is_bottom());
+  EXPECT_EQ(v, Value::bottom());
+  EXPECT_EQ(v.str(), "⊥");
+}
+
+TEST(Value, U64RoundTrip) {
+  const Value v(std::uint64_t{42});
+  EXPECT_TRUE(v.is_u64());
+  EXPECT_EQ(v.as_u64(), 42u);
+  EXPECT_EQ(v.str(), "42");
+}
+
+TEST(Value, IntConstructorRejectsNegative) {
+  EXPECT_THROW(Value(-1), UsageError);
+}
+
+TEST(Value, BytesRoundTrip) {
+  const Value v("hello");
+  EXPECT_TRUE(v.is_bytes());
+  EXPECT_EQ(v.as_bytes(), "hello");
+  EXPECT_EQ(v.str(), "\"hello\"");
+}
+
+TEST(Value, VecRoundTrip) {
+  const Value v{Value(1), Value(), Value("x")};
+  ASSERT_TRUE(v.is_vec());
+  EXPECT_EQ(v.as_vec().size(), 3u);
+  EXPECT_EQ(v.at(0).as_u64(), 1u);
+  EXPECT_TRUE(v.at(1).is_bottom());
+  EXPECT_EQ(v.str(), "[1, ⊥, \"x\"]");
+}
+
+TEST(Value, VecOf) {
+  const Value v = Value::vec_of(4);
+  ASSERT_TRUE(v.is_vec());
+  EXPECT_EQ(v.as_vec().size(), 4u);
+  for (const Value& x : v.as_vec()) EXPECT_TRUE(x.is_bottom());
+}
+
+TEST(Value, AtOutOfRangeThrows) {
+  Value v{Value(1)};
+  EXPECT_THROW((void)v.at(1), UsageError);
+  EXPECT_THROW((void)Value(3).at(0), UsageError);
+}
+
+TEST(Value, WrongKindAccessThrows) {
+  EXPECT_THROW((void)Value("x").as_u64(), UsageError);
+  EXPECT_THROW((void)Value(1).as_bytes(), UsageError);
+  EXPECT_THROW((void)Value(1).as_vec(), UsageError);
+}
+
+TEST(Value, BitWidth) {
+  EXPECT_EQ(Value(0).bit_width(), 0);
+  EXPECT_EQ(Value(1).bit_width(), 1);
+  EXPECT_EQ(Value(2).bit_width(), 2);
+  EXPECT_EQ(Value(3).bit_width(), 2);
+  EXPECT_EQ(Value(4).bit_width(), 3);
+  EXPECT_EQ(Value(255).bit_width(), 8);
+  EXPECT_EQ(Value(256).bit_width(), 9);
+  EXPECT_THROW((void)Value().bit_width(), UsageError);
+  EXPECT_THROW((void)Value("b").bit_width(), UsageError);
+}
+
+TEST(Value, EqualityAcrossKinds) {
+  EXPECT_NE(Value(), Value(0));
+  EXPECT_NE(Value(0), Value("0"));
+  EXPECT_NE(Value{Value(0)}, Value(0));
+  EXPECT_EQ(Value{Value(0)}, Value{Value(0)});
+}
+
+TEST(Value, OrderingIsTotalAndLexicographic) {
+  const Value a{Value(1), Value(2)};
+  const Value b{Value(1), Value(3)};
+  const Value c{Value(1)};
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, a);  // shorter prefix sorts first
+  std::set<Value> s{b, a, c, Value(), Value(7)};
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Value, HashIsStructural) {
+  const Value a{Value(1), Value("x"), Value{Value()}};
+  const Value b{Value(1), Value("x"), Value{Value()}};
+  EXPECT_EQ(a.hash(), b.hash());
+  std::unordered_set<Value, ValueHash> s;
+  s.insert(a);
+  s.insert(b);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Value, NestedDeepStructures) {
+  Value v = Value(0);
+  for (int i = 0; i < 50; ++i) v = Value{v, Value(i)};
+  const Value w = v;  // deep copy
+  EXPECT_EQ(v, w);
+  EXPECT_EQ(v.hash(), w.hash());
+}
+
+}  // namespace
+}  // namespace bsr

@@ -1,0 +1,230 @@
+// bsr — command-line driver for the bounded-size-registers library.
+//
+// Subcommands:
+//   bsr agree   --k K [--x0 0 --x1 1] [--seed S] [--crashes C] [--packed]
+//       Run Algorithm 1 (1-bit registers; --packed: one 3-bit register per
+//       process) and print decisions and step counts.
+//   bsr fast    --rounds R [--x0 0 --x1 1]
+//       Run the Theorem 8.1 fast ε-agreement (6-bit registers).
+//   bsr stack   --n N --t T [--rounds R] [--seed S] [--crashes C]
+//       Run the Theorem 1.3 register stack (3(t+1)-bit registers).
+//   bsr adversary [--k K]
+//       Run the §4 pigeonhole adversary against Algorithm 1's early group.
+//   bsr iis     --rounds R [--x0 0 --x1 1] [--seed S]
+//       Run the Lemma 8.2 IIS labelling agreement (ε = 3^-R).
+//   bsr trace   --k K --schedule "p0 p1 p0 ..."
+//       Replay a schedule of Algorithm 1 and dump the formatted trace.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/alg1.h"
+#include "core/alg6.h"
+#include "core/lemma82.h"
+#include "core/packed.h"
+#include "core/sec4.h"
+#include "core/sec6.h"
+#include "sim/trace_fmt.h"
+#include "tasks/approx.h"
+#include "tasks/checker.h"
+
+namespace {
+
+using namespace bsr;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] std::uint64_t u64(const std::string& key,
+                                  std::uint64_t def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : std::stoull(it->second);
+  }
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return kv.contains(key);
+  }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "";
+    }
+  }
+  return a;
+}
+
+void print_outcome(const sim::Sim& sim, std::uint64_t denom) {
+  for (int i = 0; i < sim.n(); ++i) {
+    std::cout << "p" << i << ": ";
+    if (sim.crashed(i)) {
+      std::cout << "crashed";
+    } else if (sim.terminated(i)) {
+      std::cout << sim.decision(i).as_u64() << "/" << denom << " in "
+                << sim.steps(i) - 1 << " ops";
+    } else {
+      std::cout << "blocked";
+    }
+    std::cout << "\n";
+  }
+}
+
+int cmd_agree(const Args& a) {
+  const std::uint64_t k = a.u64("k", 10);
+  const std::array<std::uint64_t, 2> xs{a.u64("x0", 0), a.u64("x1", 1)};
+  sim::Sim sim(2);
+  if (a.flag("packed")) {
+    core::install_packed_alg1(sim, k, xs);
+  } else {
+    core::install_alg1(sim, k, xs);
+  }
+  if (a.kv.contains("seed")) {
+    sim::RandomRunOptions opts;
+    opts.seed = a.u64("seed", 1);
+    opts.max_crashes = static_cast<int>(a.u64("crashes", 0));
+    run_random(sim, opts);
+  } else {
+    run_round_robin(sim);
+  }
+  std::cout << "Algorithm 1" << (a.flag("packed") ? " (packed, 3-bit)" : "")
+            << ", ε = 1/" << core::alg1_denominator(k) << "\n";
+  print_outcome(sim, core::alg1_denominator(k));
+  return 0;
+}
+
+int cmd_fast(const Args& a) {
+  const int rounds = static_cast<int>(a.u64("rounds", 4));
+  const core::FastAgreementPlan plan({rounds, 2});
+  sim::Sim sim(2);
+  core::install_fast_agreement(sim, plan, {a.u64("x0", 0), a.u64("x1", 1)});
+  run_round_robin(sim);
+  std::cout << "Theorem 8.1 fast agreement, ε = 1/" << plan.path_length()
+            << " (6-bit registers)\n";
+  print_outcome(sim, plan.path_length());
+  return 0;
+}
+
+int cmd_stack(const Args& a) {
+  const int n = static_cast<int>(a.u64("n", 5));
+  const int t = static_cast<int>(a.u64("t", 2));
+  const int rounds = static_cast<int>(a.u64("rounds", 1));
+  std::vector<std::uint64_t> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(static_cast<std::uint64_t>(i % 2));
+  sim::Sim sim(n);
+  auto result = std::make_shared<core::Sec6Result>(n);
+  core::install_register_stack(sim, core::Sec6Options{t, rounds}, inputs,
+                               result);
+  const auto rep = run_round_robin_until(
+      sim, core::Sec6Result::done_predicate(result), 500'000'000);
+  std::cout << "Theorem 1.3 stack: n=" << n << " t=" << t << " width="
+            << core::sec6_register_bits(t) << " bits, " << rep.steps
+            << " steps\n";
+  for (int i = 0; i < n; ++i) {
+    std::cout << "p" << i << ": ";
+    if (result->decision[static_cast<std::size_t>(i)]) {
+      std::cout << *result->decision[static_cast<std::size_t>(i)] << "/"
+                << (1 << rounds);
+    } else {
+      std::cout << "undecided";
+    }
+    std::cout << "\n";
+  }
+  return rep.hit_step_limit ? 1 : 0;
+}
+
+int cmd_adversary(const Args& a) {
+  const std::uint64_t k = a.u64("k", 5);
+  const auto c = core::find_footprint_collision(k);
+  if (!c) {
+    std::cout << "no collision at k=" << k << "\n";
+    return 1;
+  }
+  std::cout << "collision after " << c->executions_searched
+            << " executions: footprint '" << c->word << "' outputs {"
+            << c->outputs_a[0] << "," << c->outputs_a[1] << "} vs {"
+            << c->outputs_b[0] << "," << c->outputs_b[1] << "} over "
+            << 2 * k + 1 << "\n";
+  std::cout << "schedule A: " << sim::format_schedule(c->sched_a) << "\n";
+  std::cout << "schedule B: " << sim::format_schedule(c->sched_b) << "\n";
+  return 0;
+}
+
+int cmd_iis(const Args& a) {
+  const int rounds = static_cast<int>(a.u64("rounds", 4));
+  sim::Sim sim(2);
+  core::install_labelling_agreement(sim, rounds,
+                                    {a.u64("x0", 0), a.u64("x1", 1)});
+  if (a.kv.contains("seed")) {
+    sim::RandomRunOptions opts;
+    opts.seed = a.u64("seed", 1);
+    opts.max_crashes = 1;
+    run_random(sim, opts);
+  } else {
+    run_round_robin(sim);
+  }
+  std::cout << "Lemma 8.2 IIS agreement, ε = 1/" << core::pow3(rounds) << "\n";
+  print_outcome(sim, core::pow3(rounds));
+  return 0;
+}
+
+int cmd_trace(const Args& a) {
+  const std::uint64_t k = a.u64("k", 2);
+  sim::SimOptions opts;
+  opts.n = 2;
+  opts.record_trace = true;
+  sim::Sim sim(std::move(opts));
+  core::install_alg1(sim, k, {0, 1});
+  std::vector<sim::Choice> sched;
+  std::istringstream is(a.str("schedule", ""));
+  std::string tok;
+  while (is >> tok) {
+    if (tok.size() >= 2 && tok[0] == 'p') {
+      sched.push_back(
+          sim::Choice{sim::Choice::Kind::Step, tok[1] - '0', -1});
+    }
+  }
+  run_schedule(sim, sched);
+  run_round_robin(sim);
+  std::cout << format_trace(sim);
+  print_outcome(sim, core::alg1_denominator(k));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cout << "usage: bsr <agree|fast|stack|adversary|iis|trace> [--flags]\n"
+                 "see the header comment of tools/bsr_cli.cpp\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  try {
+    if (cmd == "agree") return cmd_agree(args);
+    if (cmd == "fast") return cmd_fast(args);
+    if (cmd == "stack") return cmd_stack(args);
+    if (cmd == "adversary") return cmd_adversary(args);
+    if (cmd == "iis") return cmd_iis(args);
+    if (cmd == "trace") return cmd_trace(args);
+  } catch (const bsr::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command '" << cmd << "'\n";
+  return 2;
+}
