@@ -30,19 +30,27 @@ void print_figure2() {
   std::map<std::tuple<std::uint64_t, std::uint64_t, int, int, std::string>,
            Profile>
       profiles;
-  auto diag = std::make_shared<core::Alg1Diag>();
+  // Honors BSR_EXPLORE_THREADS (threads = 0 → resolve from the environment).
+  // The diag travels inside each Sim (set_user_data): the parallel engine
+  // builds one world per subtree job, so a diag shared across factory calls
+  // would be raced on. The visitor mutates the shared maps, so it stays
+  // behind the explorer's serialized-visitor adapter.
   sim::Explorer ex(sim::ExploreOptions{.max_steps = 100});
+  std::cout << "  explorer threads: "
+            << sim::resolve_explore_threads(0) << "\n";
   long total = 0;
   std::uint64_t max_gap = 0;
   ex.explore(
       [&]() {
-        *diag = core::Alg1Diag{};
+        auto diag = std::make_shared<core::Alg1Diag>();
         auto sim = std::make_unique<sim::Sim>(2);
         core::install_alg1(*sim, k, {0, 1}, diag.get());
+        sim->set_user_data(std::move(diag));
         return sim;
       },
       [&](sim::Sim& sim, const std::vector<sim::Choice>&) {
         ++total;
+        const auto* diag = sim.user_data<core::Alg1Diag>();
         const std::uint64_t y0 = sim.decision(0).as_u64();
         const std::uint64_t y1 = sim.decision(1).as_u64();
         max_gap = std::max(max_gap, y0 > y1 ? y0 - y1 : y1 - y0);

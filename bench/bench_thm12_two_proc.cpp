@@ -39,6 +39,11 @@ void print_alg2_demo() {
   bench::banner("Theorem 1.2 — Algorithm 2 universality (3-bit registers)",
                 "any BMZ-solvable 2-process task is solved with 3 bits of "
                 "coordination state per process");
+  // The exhaustive check below honors BSR_EXPLORE_THREADS (threads = 0 →
+  // resolve from the environment); the legality visitor only flips a flag,
+  // and the serialized-visitor adapter keeps it safe either way.
+  std::cout << "  explorer threads: " << sim::resolve_explore_threads(0)
+            << "\n";
   bench::Table table({"task", "path length L", "inputs", "executions checked",
                       "all legal"});
   for (std::uint64_t m : {3ull, 5ull}) {

@@ -63,6 +63,13 @@ Task<std::pair<int, std::uint64_t>> alg6_simulate(Env& env, Alg6Handles h,
   const std::uint64_t ring = static_cast<std::uint64_t>(2 * delta + 1);
   const int rbits = ring_bits(delta);
 
+  // The trace accumulates by appending, so it must start empty on every run
+  // of this body — including the incremental explorer's coroutine rebuilds,
+  // which re-execute local code after a rewind (see docs/MODEL.md).
+  if (diag != nullptr) {
+    diag->proc[static_cast<std::size_t>(me)] = Alg6ProcTrace{};
+  }
+
   topo::LabellingProcess lab(me);
   std::uint64_t estr = 0;     // estimate of the other's simulated round
   std::uint64_t xprec = 0;    // other's last known ring position

@@ -1,18 +1,46 @@
 #include "sim/explore.h"
 
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "sim/explore_parallel.h"
 #include "util/errors.h"
 
 namespace bsr::sim {
 
-std::vector<Choice> Explorer::choices_at(const Sim& sim,
-                                         int crashes_so_far) const {
+int resolve_explore_threads(int requested) {
+  if (requested > 0) return requested;
+  const char* env = std::getenv(kExploreThreadsEnv);
+  if (env == nullptr || *env == '\0') return 1;
+  const std::string s(env);
+  unsigned hw = 0;
+  if (s == "auto" || s == "0") {
+    hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    usage_check(pos == s.size() && v > 0, "");
+    return v;
+  } catch (...) {
+    throw UsageError(std::string(kExploreThreadsEnv) + "='" + s +
+                     "': expected a positive integer, 0, or 'auto'");
+  }
+}
+
+namespace detail {
+
+std::vector<Choice> legal_choices(const Sim& sim, int crashes_so_far,
+                                  const ExploreOptions& opts) {
   std::vector<Choice> out;
   for (Pid p = 0; p < sim.n(); ++p) {
     if (!sim.enabled(p)) continue;
     const std::vector<Pid> sources = sim.recv_choices(p);
     if (sources.empty()) {
       out.push_back(Choice{Choice::Kind::Step, p, -1});
-    } else if (opts_.explore_recv_choices) {
+    } else if (opts.explore_recv_choices) {
       for (Pid from : sources) {
         out.push_back(Choice{Choice::Kind::Step, p, from});
       }
@@ -20,13 +48,80 @@ std::vector<Choice> Explorer::choices_at(const Sim& sim,
       out.push_back(Choice{Choice::Kind::Step, p, sources.front()});
     }
   }
-  if (crashes_so_far < opts_.max_crashes) {
+  if (crashes_so_far < opts.max_crashes) {
     for (Pid p = 0; p < sim.n(); ++p) {
       if (sim.alive(p)) out.push_back(Choice{Choice::Kind::Crash, p, -1});
     }
   }
   return out;
 }
+
+long incremental_dfs(Sim& sim, const ExploreOptions& opts, long depth_limit,
+                     DfsCursor& cursor, const DfsLeafFn& leaf) {
+  usage_check(sim.checkpointing(),
+              "incremental_dfs: Sim checkpointing must be enabled");
+
+  struct Frame {
+    std::vector<Choice> cs;  ///< Choices at this depth.
+    std::size_t next;        ///< Next untried index.
+    int crashes_before;      ///< cursor.crashes before any choice here.
+    long steps_before;       ///< cursor.steps before any choice here.
+  };
+  std::vector<Frame> stack;
+  std::vector<std::size_t> idx;  // chosen index per depth since the root
+  long visited = 0;
+
+  const auto apply = [&](const Choice& c) {
+    if (c.kind == Choice::Kind::Step) {
+      sim.step(c.pid, c.recv_from);
+      cursor.steps += 1;
+    } else {
+      sim.crash(c.pid);
+      cursor.crashes += 1;
+    }
+    cursor.schedule.push_back(c);
+  };
+
+  while (true) {
+    // Descend greedily along first choices until a leaf: either a complete
+    // state (no legal choices) or the depth limit.
+    while (depth_limit < 0 || static_cast<long>(stack.size()) < depth_limit) {
+      std::vector<Choice> cs = legal_choices(sim, cursor.crashes, opts);
+      if (cs.empty()) break;
+      usage_check(cursor.steps < opts.max_steps,
+                  "Explorer: execution exceeded max_steps; "
+                  "protocol may not terminate");
+      stack.push_back(Frame{std::move(cs), 1, cursor.crashes, cursor.steps});
+      idx.push_back(0);
+      apply(stack.back().cs[0]);
+    }
+
+    ++visited;
+    if (leaf(sim, cursor.schedule, idx)) return visited;
+
+    // Backtrack: the deepest frame with an untried sibling.
+    std::size_t t = stack.size();
+    while (t > 0 && stack[t - 1].next >= stack[t - 1].cs.size()) --t;
+    if (t == 0) return visited;
+
+    // Rewind the world from the current depth to that frame's state, then
+    // take the sibling. This is the incremental-backtracking core: only the
+    // undone suffix is paid for, never the whole prefix.
+    const std::size_t base = cursor.schedule.size() - stack.size();
+    sim.rewind(cursor.schedule.size() - (base + t - 1));
+    cursor.schedule.resize(base + t - 1);
+    stack.resize(t);
+    idx.resize(t);
+    Frame& f = stack.back();
+    cursor.crashes = f.crashes_before;
+    cursor.steps = f.steps_before;
+    idx.back() = f.next;
+    apply(f.cs[f.next]);
+    f.next += 1;
+  }
+}
+
+}  // namespace detail
 
 long Explorer::explore(const Factory& make, const Visitor& visit) const {
   return explore_until(make, [&](Sim& sim, const std::vector<Choice>& sched) {
@@ -37,6 +132,47 @@ long Explorer::explore(const Factory& make, const Visitor& visit) const {
 
 long Explorer::explore_until(const Factory& make,
                              const StoppingVisitor& visit) const {
+  const int threads = resolve_explore_threads(opts_.threads);
+  if (threads > 1) {
+    return ParallelExplorer(opts_, threads).explore_until(make, visit);
+  }
+  return explore_serial(make, visit);
+}
+
+long Explorer::explore_serial(const Factory& make,
+                              const StoppingVisitor& visit) const {
+  std::unique_ptr<Sim> sim = make();
+  usage_check(sim != nullptr, "Explorer: factory returned null");
+  if (sim->total_steps() > 0) {
+    // The factory pre-stepped the Sim, so its coroutines cannot be rebuilt
+    // from recorded results alone; explore by rebuild-and-replay instead.
+    return ReplayExplorer(opts_).explore_until(make, visit);
+  }
+  sim->set_checkpointing(true);
+  long visited = 0;
+  detail::DfsCursor cursor;
+  detail::incremental_dfs(
+      *sim, opts_, -1, cursor,
+      [&](Sim& s, const std::vector<Choice>& schedule,
+          const std::vector<std::size_t>&) {
+        ++visited;
+        if (visit(s, schedule)) return true;
+        return opts_.max_executions >= 0 && visited >= opts_.max_executions;
+      });
+  return visited;
+}
+
+// --- ReplayExplorer: the original rebuild-and-replay DFS -------------------
+
+long ReplayExplorer::explore(const Factory& make, const Visitor& visit) const {
+  return explore_until(make, [&](Sim& sim, const std::vector<Choice>& sched) {
+    visit(sim, sched);
+    return false;
+  });
+}
+
+long ReplayExplorer::explore_until(const Factory& make,
+                                   const StoppingVisitor& visit) const {
   std::vector<std::size_t> path;    // chosen index at each depth
   std::vector<std::size_t> widths;  // number of choices at each depth
   long visited = 0;
@@ -61,7 +197,8 @@ long Explorer::explore_until(const Factory& make,
 
     // Replay the committed prefix.
     for (std::size_t depth = 0; depth < path.size(); ++depth) {
-      const std::vector<Choice> cs = choices_at(*sim, crashes);
+      const std::vector<Choice> cs =
+          detail::legal_choices(*sim, crashes, opts_);
       usage_check(path[depth] < cs.size(),
                   "Explorer: nondeterministic factory (choice set changed)");
       apply(cs[path[depth]]);
@@ -69,7 +206,8 @@ long Explorer::explore_until(const Factory& make,
 
     // Extend greedily with first choices until no process is enabled.
     while (true) {
-      const std::vector<Choice> cs = choices_at(*sim, crashes);
+      const std::vector<Choice> cs =
+          detail::legal_choices(*sim, crashes, opts_);
       if (cs.empty()) break;
       usage_check(steps < opts_.max_steps,
                   "Explorer: execution exceeded max_steps; "

@@ -127,6 +127,8 @@ void Sim::step(Pid pid, Pid recv_from) {
     return "step: process " + std::to_string(pid) + " is not enabled";
   });
   auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
+  UndoRecord undo;
+  if (checkpointing_) undo = capture_undo(ctl);
   try {
     execute(ctl, recv_from);
   } catch (...) {
@@ -136,6 +138,15 @@ void Sim::step(Pid pid, Pid recv_from) {
   if (opts_.record_trace) {
     trace_.push_back(TraceEvent{pid, ctl.pending, ctl.result});
   }
+  if (checkpointing_) {
+    if (undo.op == OpKind::Recv) {
+      undo.recv_value = ctl.result.value;  // payload to re-queue on rewind
+      undo.peer = ctl.result.from;
+    }
+    undo.traced = opts_.record_trace;
+    undo_.push_back(std::move(undo));
+    result_log_[static_cast<std::size_t>(pid)].push_back(ctl.result);
+  }
   ctl.steps += 1;
   total_steps_ += 1;
   resume(ctl);
@@ -143,6 +154,8 @@ void Sim::step(Pid pid, Pid recv_from) {
 
 void Sim::step_block(const std::vector<Pid>& pids) {
   usage_check(!pids.empty(), "step_block: empty block");
+  usage_check(!checkpointing_,
+              "step_block: not supported while checkpointing is enabled");
   const std::vector<int>* regset = nullptr;
   for (Pid pid : pids) {
     usage_check(enabled(pid), "step_block: process not enabled");
@@ -179,7 +192,145 @@ void Sim::crash(Pid pid) {
   check_pid(pid);
   auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
   usage_check(!ctl.terminated, "crash: process already terminated");
+  if (checkpointing_ && !ctl.crashed) {
+    UndoRecord u;
+    u.kind = UndoRecord::Kind::Crash;
+    u.pid = pid;
+    undo_.push_back(std::move(u));
+  }
   ctl.crashed = true;
+}
+
+void Sim::set_checkpointing(bool on) {
+  if (on == checkpointing_) return;
+  if (on) {
+    usage_check(total_steps_ == 0,
+                "set_checkpointing: must be enabled before the first step "
+                "(the undo log must cover the whole history)");
+    result_log_.assign(ctls_.size(), {});
+  } else {
+    undo_.clear();
+    result_log_.clear();
+  }
+  checkpointing_ = on;
+}
+
+Sim::UndoRecord Sim::capture_undo(const ProcCtl& ctl) const {
+  UndoRecord u;
+  u.kind = UndoRecord::Kind::Step;
+  u.pid = ctl.pid;
+  u.op = ctl.pending.kind;
+  switch (ctl.pending.kind) {
+    case OpKind::Start:
+      break;
+    case OpKind::Read:
+      u.read_regs = {ctl.pending.reg};
+      break;
+    case OpKind::Write:
+      u.reg = ctl.pending.reg;
+      u.old_value = reg_at(u.reg).value;
+      u.old_max_bits = reg_at(u.reg).max_bits_written;
+      break;
+    case OpKind::Snapshot:
+      u.read_regs = ctl.pending.regs;
+      break;
+    case OpKind::WriteSnap:
+      u.reg = ctl.pending.reg;
+      u.old_value = reg_at(u.reg).value;
+      u.old_max_bits = reg_at(u.reg).max_bits_written;
+      u.read_regs = ctl.pending.regs;
+      break;
+    case OpKind::Send:
+      u.peer = ctl.pending.peer;
+      break;
+    case OpKind::Recv:
+      // The delivered payload and actual sender are filled in after
+      // execution (step() copies them out of the result).
+      break;
+  }
+  return u;
+}
+
+void Sim::undo_shared(const UndoRecord& u) {
+  switch (u.op) {
+    case OpKind::Start:
+      break;
+    case OpKind::Read:
+    case OpKind::Snapshot:
+      break;  // only read counters, handled below
+    case OpKind::Write:
+    case OpKind::WriteSnap: {
+      Register& r = reg_at(u.reg);
+      r.value = u.old_value;
+      r.max_bits_written = u.old_max_bits;
+      r.writes -= 1;
+      break;
+    }
+    case OpKind::Send: {
+      auto& q = chan_[static_cast<std::size_t>(u.pid) *
+                          static_cast<std::size_t>(n()) +
+                      static_cast<std::size_t>(u.peer)];
+      q.pop_back();
+      total_sends_ -= 1;
+      break;
+    }
+    case OpKind::Recv: {
+      auto& q = chan_[static_cast<std::size_t>(u.peer) *
+                          static_cast<std::size_t>(n()) +
+                      static_cast<std::size_t>(u.pid)];
+      q.push_front(u.recv_value);
+      break;
+    }
+  }
+  for (int reg : u.read_regs) reg_at(reg).reads -= 1;
+}
+
+void Sim::rewind(std::size_t k) {
+  usage_check(checkpointing_, "rewind: checkpointing is not enabled");
+  usage_check(k <= undo_.size(), "rewind: fewer recorded actions than k");
+  std::vector<long> unwound(ctls_.size(), 0);
+  for (; k > 0; --k) {
+    const UndoRecord& u = undo_.back();
+    auto& ctl = ctls_[static_cast<std::size_t>(u.pid)].ctl;
+    if (u.kind == UndoRecord::Kind::Crash) {
+      ctl.crashed = false;
+    } else {
+      undo_shared(u);
+      if (u.traced) trace_.pop_back();
+      ctl.steps -= 1;
+      total_steps_ -= 1;
+      result_log_[static_cast<std::size_t>(u.pid)].pop_back();
+      unwound[static_cast<std::size_t>(u.pid)] += 1;
+    }
+    undo_.pop_back();
+  }
+  for (Pid p = 0; p < n(); ++p) {
+    if (unwound[static_cast<std::size_t>(p)] > 0) rebuild_coroutine(p);
+  }
+}
+
+void Sim::rebuild_coroutine(Pid pid) {
+  auto& slot = ctls_[static_cast<std::size_t>(pid)];
+  ProcCtl& ctl = slot.ctl;
+  const auto& log = result_log_[static_cast<std::size_t>(pid)];
+  usage_check(static_cast<long>(log.size()) == ctl.steps,
+              "rewind: result log out of sync with step count");
+  const bool was_crashed = ctl.crashed;
+  ctl.terminated = false;
+  ctl.crashed = false;
+  ctl.decision = Value();
+  ctl.exc = nullptr;
+  slot.coro = slot.body(*slot.env);  // destroys the stale coroutine frame
+  usage_check(slot.coro.valid(), "rewind: body did not return a coroutine");
+  slot.coro.bind(&ctl);
+  for (const OpResult& r : log) {
+    ctl.result = r;  // copy: the coroutine moves it out on resume
+    ctl.resume_point.resume();
+    usage_check(ctl.exc == nullptr,
+                "rewind: protocol threw during fast-forward "
+                "(process bodies must be deterministic)");
+  }
+  ctl.crashed = was_crashed;
 }
 
 bool Sim::terminated(Pid pid) const {

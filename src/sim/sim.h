@@ -167,6 +167,20 @@ class Sim {
   /// once per pid before stepping. The body receives this process's Env.
   void spawn(Pid pid, const std::function<Proc(Env&)>& body);
 
+  /// Attaches caller-owned context (e.g. a white-box diagnostic the
+  /// protocol bodies write into) to THIS world, keeping it alive as long as
+  /// the Sim. Explorer factories must use this instead of capturing a
+  /// shared object: the parallel engine builds one Sim per subtree job and
+  /// runs them concurrently, so anything shared across factory calls would
+  /// be raced on. Visitors read it back via `user_data<T>()`.
+  void set_user_data(std::shared_ptr<void> data) noexcept {
+    user_data_ = std::move(data);
+  }
+  template <class T>
+  [[nodiscard]] T* user_data() const noexcept {
+    return static_cast<T*>(user_data_.get());
+  }
+
   // --- Step-level control (used by schedulers) ------------------------------
 
   /// True if `pid` is alive (spawned, not crashed, not terminated).
@@ -193,6 +207,32 @@ class Sim {
 
   /// Crash-stops a process: it takes no further steps, ever.
   void crash(Pid pid);
+
+  // --- Checkpointing (incremental backtracking for the explorer) -----------
+
+  /// Starts recording an undo log so that `rewind` can step the world
+  /// backwards. Must be enabled before the first step/crash (the log must
+  /// cover every action since the initial state, because rewinding a process
+  /// rebuilds its coroutine from the start and fast-forwards it through its
+  /// recorded step results). Disabling clears the log.
+  ///
+  /// Checkpointing is incompatible with `step_block` (no undo support).
+  void set_checkpointing(bool on);
+  [[nodiscard]] bool checkpointing() const noexcept { return checkpointing_; }
+
+  /// Number of recorded actions (steps + crashes) that `rewind` can undo.
+  [[nodiscard]] std::size_t history_size() const noexcept {
+    return undo_.size();
+  }
+
+  /// Undoes the last `k` recorded actions (steps and crashes), restoring
+  /// registers, channels, traces, accounting, and process control state.
+  /// Process coroutines that stepped within the undone suffix are rebuilt
+  /// from their body and fast-forwarded through their surviving recorded
+  /// results — protocols are deterministic state machines, so feeding the
+  /// same results reproduces the same coroutine state without re-executing
+  /// (or re-validating) any shared-memory operation.
+  void rewind(std::size_t k);
 
   // --- Inspection -----------------------------------------------------------
 
@@ -239,6 +279,21 @@ class Sim {
     bool spawned = false;
   };
 
+  /// One undoable action, recorded while checkpointing.
+  struct UndoRecord {
+    enum class Kind { Step, Crash };
+    Kind kind = Kind::Step;
+    Pid pid = -1;
+    OpKind op = OpKind::Start;
+    int reg = -1;               ///< Write/WriteSnap target register.
+    Value old_value;            ///< Previous content of `reg`.
+    int old_max_bits = 0;       ///< Previous max_bits_written of `reg`.
+    std::vector<int> read_regs; ///< Registers whose read count to decrement.
+    Pid peer = -1;              ///< Send destination / Recv actual sender.
+    Value recv_value;           ///< Recv: delivered payload, to re-queue.
+    bool traced = false;        ///< A TraceEvent was recorded for this step.
+  };
+
   [[nodiscard]] Register& reg_at(int reg);
   [[nodiscard]] const Register& reg_at(int reg) const;
   void check_pid(Pid pid) const;
@@ -248,6 +303,13 @@ class Sim {
   void do_write(Pid pid, int reg, const Value& v);
   [[nodiscard]] Value do_snapshot(const std::vector<int>& regs);
   void resume(ProcCtl& ctl);
+  /// Fills an UndoRecord from the op about to be executed (pre-state).
+  [[nodiscard]] UndoRecord capture_undo(const ProcCtl& ctl) const;
+  /// Reverts the shared-state effects of one executed step.
+  void undo_shared(const UndoRecord& u);
+  /// Recreates `pid`'s coroutine and fast-forwards it through its recorded
+  /// step results (see `rewind`).
+  void rebuild_coroutine(Pid pid);
 
   SimOptions opts_;
   std::vector<ProcSlot> ctls_;
@@ -258,6 +320,11 @@ class Sim {
   long total_steps_ = 0;
   long total_sends_ = 0;
   bool adding_input_register_ = false;
+  bool checkpointing_ = false;
+  std::vector<UndoRecord> undo_;
+  /// result_log_[pid][j] = result delivered to pid's j-th executed step.
+  std::vector<std::vector<OpResult>> result_log_;
+  std::shared_ptr<void> user_data_;  ///< Caller context; see set_user_data.
 };
 
 }  // namespace bsr::sim

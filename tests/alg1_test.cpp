@@ -37,11 +37,13 @@ TEST_P(Alg1Exhaustive, EveryExecutionSatisfiesTheLemmas) {
   const tasks::ApproxAgreement task(2, denom);
   const tasks::Config input{Value(p.x0), Value(p.x1)};
 
-  auto diag = std::make_shared<Alg1Diag>();
-  auto make = [&, diag]() {
-    *diag = Alg1Diag{};
+  // The diag travels inside each Sim so the factory stays safe under the
+  // parallel explorer (one world per subtree job; see Sim::set_user_data).
+  auto make = [&]() {
+    auto diag = std::make_shared<Alg1Diag>();
     auto sim = std::make_unique<Sim>(2);
     install_alg1(*sim, p.k, {p.x0, p.x1}, diag.get());
+    sim->set_user_data(std::move(diag));
     return sim;
   };
 
@@ -63,6 +65,7 @@ TEST_P(Alg1Exhaustive, EveryExecutionSatisfiesTheLemmas) {
       EXPECT_LE(sim.steps(i), static_cast<long>(2 * p.k + 3) + 1);
     }
 
+    const auto* diag = sim.user_data<Alg1Diag>();
     const bool both = sim.terminated(0) && sim.terminated(1);
     if (both) {
       const std::uint64_t y0 = out[0].as_u64();
@@ -100,8 +103,12 @@ TEST_P(Alg1Exhaustive, EveryExecutionSatisfiesTheLemmas) {
       if (!sim.terminated(i)) continue;
       const std::uint64_t y = sim.decision(i).as_u64();
       const std::uint64_t x = (i == 0 ? p.x0 : p.x1);
-      if (y == 0) EXPECT_EQ(x, 0u);
-      if (y == denom) EXPECT_EQ(x, 1u);
+      if (y == 0) {
+        EXPECT_EQ(x, 0u);
+      }
+      if (y == denom) {
+        EXPECT_EQ(x, 1u);
+      }
     }
 
     // The 1-bit width of R1/R2 is enforced by the simulator on every write;

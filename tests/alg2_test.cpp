@@ -148,7 +148,9 @@ TEST(Alg2, RandomizedLargerPrecision) {
         tasks::check_outputs(task, input, tasks::decisions_of(sim));
     EXPECT_TRUE(check.ok) << check.detail << " seed=" << seed;
     for (int i = 0; i < 2; ++i) {
-      if (!sim.crashed(i)) EXPECT_TRUE(sim.terminated(i));
+      if (!sim.crashed(i)) {
+        EXPECT_TRUE(sim.terminated(i));
+      }
     }
   }
 }

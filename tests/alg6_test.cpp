@@ -40,11 +40,13 @@ class Alg6Exhaustive : public ::testing::TestWithParam<ExhaustiveParams> {};
 
 TEST_P(Alg6Exhaustive, SimulatedExecutionsAreValidISExecutions) {
   const auto p = GetParam();
-  auto diag = std::make_shared<Alg6Diag>();
-  auto make = [&, diag]() {
-    *diag = Alg6Diag{};
+  // The diag travels inside each Sim so the factory stays safe under the
+  // parallel explorer (one world per subtree job; see Sim::set_user_data).
+  auto make = [&]() {
+    auto diag = std::make_shared<Alg6Diag>();
     auto sim = std::make_unique<Sim>(2);
     install_alg6_labelling(*sim, {p.rounds, p.delta}, diag.get());
+    sim->set_user_data(std::move(diag));
     return sim;
   };
   ExploreOptions opts;
@@ -63,6 +65,7 @@ TEST_P(Alg6Exhaustive, SimulatedExecutionsAreValidISExecutions) {
     }
     if (sim.crashed(0) || sim.crashed(1)) return;
 
+    const auto* diag = sim.user_data<Alg6Diag>();
     const auto& t0 = diag->proc[0];
     const auto& t1 = diag->proc[1];
     // Lemma 8.3 consequence: the processes' simulated round counts differ
@@ -73,8 +76,12 @@ TEST_P(Alg6Exhaustive, SimulatedExecutionsAreValidISExecutions) {
     for (int r = 0; r < common; ++r) {
       const auto i = static_cast<std::size_t>(r);
       // Lemma 8.6 (validity): an observation equals the other's round-r bit.
-      if (t0.obs[i].has_value()) EXPECT_EQ(*t0.obs[i], t1.bits[i]);
-      if (t1.obs[i].has_value()) EXPECT_EQ(*t1.obs[i], t0.bits[i]);
+      if (t0.obs[i].has_value()) {
+        EXPECT_EQ(*t0.obs[i], t1.bits[i]);
+      }
+      if (t1.obs[i].has_value()) {
+        EXPECT_EQ(*t1.obs[i], t0.bits[i]);
+      }
       // Lemma 8.6: a simulated round is solo for at most one process.
       EXPECT_TRUE(t0.obs[i].has_value() || t1.obs[i].has_value())
           << "round " << (r + 1) << " solo for both";

@@ -54,7 +54,9 @@ TEST_P(BaselineExhaustive, EveryExecutionAgrees) {
         tasks::check_outputs(task, input_cfg, tasks::decisions_of(sim));
     EXPECT_TRUE(check.ok) << check.detail;
     for (int i = 0; i < p.n; ++i) {
-      if (!sim.crashed(i)) EXPECT_TRUE(sim.terminated(i));
+      if (!sim.crashed(i)) {
+        EXPECT_TRUE(sim.terminated(i));
+      }
     }
   });
   EXPECT_GT(count, 0);
@@ -183,7 +185,9 @@ TEST(BaselineFromRegisters, AgreesWithoutSnapshotPrimitives) {
         tasks::check_outputs(task, cfg, tasks::decisions_of(sim));
     EXPECT_TRUE(check.ok) << check.detail << " seed=" << seed;
     for (int i = 0; i < n; ++i) {
-      if (!sim.crashed(i)) EXPECT_TRUE(sim.terminated(i));
+      if (!sim.crashed(i)) {
+        EXPECT_TRUE(sim.terminated(i));
+      }
     }
     // Only plain read/write steps were used: the trace-free evidence is
     // that every register is an ordinary SWMR register (no snapshot

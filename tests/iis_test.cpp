@@ -68,7 +68,6 @@ TEST(IsRoundViews, PropertiesHoldForEveryPartition) {
 }
 
 TEST(IsRoundViews, PropertiesDetectViolations) {
-  const int n = 2;
   const std::vector<Value> written{Value(1), Value(2)};
   // Self-containment violation: p0 does not see itself.
   {

@@ -53,11 +53,13 @@ TEST_P(PackedAlg1Exhaustive, MatchesTheLemmasWithOneRegisterPerProcess) {
   const std::uint64_t denom = alg1_denominator(p.k);
   const tasks::ApproxAgreement task(2, denom);
   const Config input{Value(p.x0), Value(p.x1)};
-  auto diag = std::make_shared<Alg1Diag>();
-  auto make = [&, diag]() {
-    *diag = Alg1Diag{};
+  // The diag travels inside each Sim so the factory stays safe under the
+  // parallel explorer (one world per subtree job; see Sim::set_user_data).
+  auto make = [&]() {
+    auto diag = std::make_shared<Alg1Diag>();
     auto sim = std::make_unique<Sim>(2);
     install_packed_alg1(*sim, p.k, {p.x0, p.x1}, diag.get());
+    sim->set_user_data(std::move(diag));
     return sim;
   };
   ExploreOptions opts;
@@ -75,6 +77,7 @@ TEST_P(PackedAlg1Exhaustive, MatchesTheLemmasWithOneRegisterPerProcess) {
         tasks::check_outputs(task, input, tasks::decisions_of(sim));
     EXPECT_TRUE(check.ok) << check.detail;
     if (sim.terminated(0) && sim.terminated(1)) {
+      const auto* diag = sim.user_data<Alg1Diag>();
       EXPECT_LE(std::abs(diag->iterations[0] - diag->iterations[1]), 1);
     }
   });

@@ -239,7 +239,9 @@ TEST(Alg4, ExhaustiveTwoProcessOneRound) {
           EXPECT_EQ(sim.register_info(r).width_bits, 1);
         }
         for (int i = 0; i < 2; ++i) {
-          if (!sim.crashed(i)) EXPECT_TRUE(sim.terminated(i));
+          if (!sim.crashed(i)) {
+            EXPECT_TRUE(sim.terminated(i));
+          }
         }
       });
       EXPECT_GT(count, 0);

@@ -242,9 +242,11 @@ TEST(ErrorsExtra, LazyMessagesOnlyEvaluateOnFailure) {
 
 TEST(ExplorerExtra, DetectsNondeterministicFactories) {
   // The first build offers two runnable processes; every later build
-  // crashes p1 up front, shrinking the choice sets. Replaying the
-  // backtracked prefix then references a choice index that no longer
-  // exists, which the explorer reports as factory nondeterminism.
+  // crashes p1 up front, shrinking the choice sets. Replaying a recorded
+  // prefix then references a choice that no longer exists, which the
+  // replaying engines report as factory nondeterminism. (The serial
+  // incremental engine builds the Sim exactly once, so it neither needs
+  // nor checks factory determinism.)
   int calls = 0;
   auto make = [&]() {
     auto sim = std::make_unique<Sim>(2);
@@ -259,10 +261,18 @@ TEST(ExplorerExtra, DetectsNondeterministicFactories) {
     if (calls++ > 0) sim->crash(1);
     return sim;
   };
-  Explorer ex(ExploreOptions{.max_steps = 100});
-  EXPECT_THROW(
-      ex.explore(make, [](Sim&, const std::vector<Choice>&) {}),
-      UsageError);
+  const auto ignore = [](Sim&, const std::vector<Choice>&) {};
+  {
+    ReplayExplorer ex(ExploreOptions{.max_steps = 100});
+    EXPECT_THROW(ex.explore(make, ignore), UsageError);
+  }
+  calls = 0;
+  {
+    // The parallel engine replays each subtree job's prefix into a fresh
+    // Sim and must flag the mismatch the same way.
+    Explorer ex(ExploreOptions{.max_steps = 100, .threads = 2});
+    EXPECT_THROW(ex.explore(make, ignore), UsageError);
+  }
 }
 
 }  // namespace

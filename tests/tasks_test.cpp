@@ -101,7 +101,7 @@ TEST(ExplicitTask, DeltaLookupAndLegality) {
   EXPECT_EQ(task.all_inputs().size(), 2u);
   EXPECT_EQ(task.all_outputs().size(), 3u);
   EXPECT_EQ(task.delta(cfg({Value(1), Value(1)})).size(), 2u);
-  EXPECT_THROW(task.delta(cfg({Value(0), Value(1)})), UsageError);
+  EXPECT_THROW((void)task.delta(cfg({Value(0), Value(1)})), UsageError);
 }
 
 TEST(ExplicitTask, RejectsMalformedConstruction) {

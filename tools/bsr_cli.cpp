@@ -14,12 +14,19 @@
 //       Run the Lemma 8.2 IIS labelling agreement (ε = 3^-R).
 //   bsr trace   --k K --schedule "p0 p1 p0 ..."
 //       Replay a schedule of Algorithm 1 and dump the formatted trace.
+//   bsr explore --k K [--crashes C] [--threads T] [--max-steps S]
+//       Exhaustively enumerate Algorithm 1's executions and print the count
+//       and decision spread. --threads 0 (the default) honors
+//       BSR_EXPLORE_THREADS; "auto" uses every hardware thread.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/alg1.h"
 #include "core/alg6.h"
@@ -27,7 +34,9 @@
 #include "core/packed.h"
 #include "core/sec4.h"
 #include "core/sec6.h"
+#include "sim/explore.h"
 #include "sim/trace_fmt.h"
+#include "util/errors.h"
 #include "tasks/approx.h"
 #include "tasks/checker.h"
 
@@ -204,11 +213,69 @@ int cmd_trace(const Args& a) {
   return 0;
 }
 
+int cmd_explore(const Args& a) {
+  const std::uint64_t k = a.u64("k", 2);
+  sim::ExploreOptions opts;
+  opts.max_steps = static_cast<long>(a.u64("max-steps", 1000));
+  opts.max_crashes = static_cast<int>(a.u64("crashes", 0));
+  const std::string t = a.str("threads", "0");
+  if (t == "auto") {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts.threads = hw == 0 ? 1 : static_cast<int>(hw);
+  } else {
+    try {
+      std::size_t pos = 0;
+      opts.threads = std::stoi(t, &pos);
+      usage_check(pos == t.size() && opts.threads >= 0, "");
+    } catch (...) {
+      throw UsageError("--threads '" + t +
+                       "': expected a non-negative integer or 'auto'");
+    }
+  }
+  // threads = 0 falls through to BSR_EXPLORE_THREADS (or 1 if unset).
+  const int resolved = sim::resolve_explore_threads(opts.threads);
+
+  std::uint64_t min_y = ~0ull;
+  std::uint64_t max_y = 0;
+  std::uint64_t max_gap = 0;
+  std::mutex mu;
+  sim::Explorer ex(opts);
+  const long execs = ex.explore(
+      [k]() {
+        auto sim = std::make_unique<sim::Sim>(2);
+        core::install_alg1(*sim, k, {0, 1});
+        return sim;
+      },
+      [&](sim::Sim& sim, const std::vector<sim::Choice>&) {
+        const std::lock_guard<std::mutex> lk(mu);
+        for (int p = 0; p < 2; ++p) {
+          if (!sim.terminated(p)) continue;
+          const std::uint64_t y = sim.decision(p).as_u64();
+          min_y = std::min(min_y, y);
+          max_y = std::max(max_y, y);
+        }
+        if (sim.terminated(0) && sim.terminated(1)) {
+          const std::uint64_t y0 = sim.decision(0).as_u64();
+          const std::uint64_t y1 = sim.decision(1).as_u64();
+          max_gap = std::max(max_gap, y0 > y1 ? y0 - y1 : y1 - y0);
+        }
+      });
+  std::cout << "Algorithm 1 exploration: k=" << k << " crashes<="
+            << opts.max_crashes << " threads=" << resolved << "\n"
+            << "executions: " << execs << "\n"
+            << "decisions: [" << min_y << ", " << max_y << "]/"
+            << core::alg1_denominator(k)
+            << ", max |y1-y2| (grid steps): " << max_gap
+            << " (paper: <= 1)\n";
+  return max_gap <= 1 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cout << "usage: bsr <agree|fast|stack|adversary|iis|trace> [--flags]\n"
+    std::cout << "usage: bsr <agree|fast|stack|adversary|iis|trace|explore>"
+                 " [--flags]\n"
                  "see the header comment of tools/bsr_cli.cpp\n";
     return 2;
   }
@@ -221,6 +288,7 @@ int main(int argc, char** argv) {
     if (cmd == "adversary") return cmd_adversary(args);
     if (cmd == "iis") return cmd_iis(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "explore") return cmd_explore(args);
   } catch (const bsr::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
