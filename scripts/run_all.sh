@@ -5,6 +5,8 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+# Model-conformance lint: every built-in protocol against its paper claim.
+ctest --test-dir build --output-on-failure -L lint 2>&1 | tee lint_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   "$b"

@@ -1,0 +1,37 @@
+// The model-conformance analyzer.
+//
+// `analyze_protocol` runs one registered protocol through the full rule set
+// and returns a ProtocolReport. Checks come in three layers:
+//
+//  1. Static — the register table of a freshly-built Sim is audited against
+//     the spec's WidthClaim: no bounded register may declare more bits than
+//     the paper grants (`claim-width`), and per-process bounded widths must
+//     sum within the per-process budget when one is claimed.
+//
+//  2. Dynamic — every execution within the spec's exploration bounds is run
+//     with Sim violation collecting enabled (Sim::set_violation_collecting),
+//     so SWMR-ownership, width, write-once, ⊥-domain, topology, and
+//     step-atomicity violations surface as diagnostics carrying the exact
+//     step index and a replayable schedule fingerprint instead of aborting
+//     the search. Protocols with a `sample_runner` (non-terminating server
+//     stacks) are audited over seeded random runs instead.
+//
+//  3. Aggregate — facts that only exist across executions: the observed
+//     `max_bits_written` of each bounded register must stay within the
+//     claimed budget (`claim-usage`), registers never read on any explored
+//     schedule are flagged (`dead-register`), and declared widths no
+//     explored execution comes close to using are flagged (`width-unused`).
+//
+// Rule ids, severities, and their paper grounding: docs/ANALYSIS.md.
+#pragma once
+
+#include "analysis/claims.h"
+#include "analysis/diag.h"
+
+namespace bsr::analysis {
+
+/// Runs every analyzer rule over `spec`. Throws UsageError if the spec's
+/// exploration bounds are exceeded (a registry bug, not a protocol finding).
+[[nodiscard]] ProtocolReport analyze_protocol(const ProtocolSpec& spec);
+
+}  // namespace bsr::analysis

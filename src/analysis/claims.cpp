@@ -1,0 +1,284 @@
+#include "analysis/claims.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/alg1.h"
+#include "core/alg2.h"
+#include "core/alg6.h"
+#include "core/baseline.h"
+#include "core/lemma82.h"
+#include "core/packed.h"
+#include "core/sec6.h"
+#include "core/sec7.h"
+#include "sim/sched.h"
+#include "tasks/approx.h"
+#include "tasks/explicit_task.h"
+#include "topo/bmz.h"
+
+namespace bsr::analysis {
+namespace {
+
+using sim::Sim;
+
+/// ApproxAgreement(2, m) materialized for the BMZ machinery (Algorithm 2's
+/// precomputation input).
+tasks::ExplicitTask approx_task(std::uint64_t m) {
+  const tasks::ApproxAgreement aa(2, m);
+  std::vector<Value> domain;
+  for (std::uint64_t v = 0; v <= m; ++v) domain.emplace_back(v);
+  return tasks::materialize(aa, domain);
+}
+
+ProtocolSpec alg1_spec() {
+  ProtocolSpec s;
+  s.name = "alg1";
+  s.description = "Algorithm 1: 2-process eps-agreement, 1-bit registers";
+  s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/3,
+             "Theorem 1.2 / §5.1 (1-bit R_i, 2-bit ⊥/0/1 I_i; 3 bits per "
+             "process, §5.2.3)"};
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_alg1(*sim, /*k=*/2, {0, 1});
+    return sim;
+  };
+  s.explore.max_crashes = 1;
+  s.explore.max_steps = 200;
+  return s;
+}
+
+ProtocolSpec packed_alg1_spec() {
+  ProtocolSpec s;
+  s.name = "alg1-packed";
+  s.description =
+      "Algorithm 1 over one packed 3-bit register per process";
+  s.claim = {/*max_register_bits=*/3, /*per_process_bits=*/3,
+             "§5.2.3 (b1+b2-bit register emulates b1- and b2-bit registers)"};
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_packed_alg1(*sim, /*k=*/2, {0, 1});
+    return sim;
+  };
+  s.explore.max_crashes = 1;
+  s.explore.max_steps = 200;
+  return s;
+}
+
+ProtocolSpec alg2_spec() {
+  ProtocolSpec s;
+  s.name = "alg2";
+  s.description =
+      "Algorithm 2: universal 2-process construction, 3-bit coordination";
+  s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/3,
+             "Theorem 1.2 / §5.2.3 (3 coordination bits per process; task "
+             "inputs through write-once input registers)"};
+  const auto task = std::make_shared<tasks::ExplicitTask>(approx_task(2));
+  const auto bmz = std::make_shared<topo::Bmz2>(*task);
+  const auto plan = std::make_shared<topo::Bmz2Plan>(bmz->plan());
+  s.factory = [plan] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_alg2(*sim, *plan, {Value(0), Value(1)});
+    return sim;
+  };
+  s.explore.max_steps = 500;
+  return s;
+}
+
+ProtocolSpec lemma82_spec() {
+  ProtocolSpec s;
+  s.name = "lemma82";
+  s.description =
+      "Lemma 8.2: IIS eps-agreement from the 1-bit labelling protocol";
+  s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/std::nullopt,
+             "Lemma 8.2 / §8.1 (1 data bit + ⊥ per iterated register)"};
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_labelling_agreement(*sim, /*rounds=*/2, {0, 1});
+    return sim;
+  };
+  s.explore.max_crashes = 1;
+  s.explore.max_steps = 200;
+  return s;
+}
+
+ProtocolSpec alg6_spec() {
+  ProtocolSpec s;
+  const core::Alg6Options opts{/*rounds=*/2, /*delta=*/2};
+  s.name = "alg6-labelling";
+  s.description =
+      "Algorithm 6: IS-labelling simulation on two constant-size registers";
+  s.claim = {/*max_register_bits=*/core::alg6_register_bits(opts.delta),
+             /*per_process_bits=*/core::alg6_register_bits(opts.delta),
+             "Theorem 8.1 / §8.2 (⌈log₂(2Δ+1)⌉ + Δ+1 = 6 bits at Δ = 2)"};
+  s.factory = [opts] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_alg6_labelling(*sim, opts);
+    return sim;
+  };
+  s.explore.max_steps = 400;
+  return s;
+}
+
+ProtocolSpec fast_agreement_spec() {
+  ProtocolSpec s;
+  const core::Alg6Options opts{/*rounds=*/2, /*delta=*/2};
+  s.name = "fast-agreement";
+  s.description =
+      "Theorem 8.1: fast eps-agreement (Algorithm 6 + value assignment)";
+  s.claim = {/*max_register_bits=*/core::alg6_register_bits(opts.delta),
+             /*per_process_bits=*/core::alg6_register_bits(opts.delta),
+             "Theorem 8.1 (6-bit registers, O(log 1/ε) steps)"};
+  const auto plan = std::make_shared<core::FastAgreementPlan>(opts);
+  s.factory = [plan] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_fast_agreement(*sim, *plan, {0, 1});
+    return sim;
+  };
+  s.explore.max_steps = 400;
+  return s;
+}
+
+ProtocolSpec alg4_spec() {
+  ProtocolSpec s;
+  s.name = "alg4-agreement";
+  s.description =
+      "Algorithm 4: IIS universality with 1-bit registers (eps-agreement)";
+  s.claim = {/*max_register_bits=*/1, /*per_process_bits=*/std::nullopt,
+             "Theorem 1.4 / §7 (every iterated register is 1 bit)"};
+  const auto plan = std::make_shared<core::Alg4AgreementPlan>(/*k=*/1);
+  s.factory = [plan] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_alg4_agreement(*sim, *plan, {0, 1});
+    return sim;
+  };
+  s.explore.max_steps = 500;
+  return s;
+}
+
+ProtocolSpec baseline_spec() {
+  ProtocolSpec s;
+  s.name = "baseline-unbounded";
+  s.description =
+      "Lemma 2.2 baseline: eps-agreement with unbounded registers";
+  s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
+             "Lemma 2.2 (unbounded model: no bounded register may appear)"};
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_unbounded_agreement(*sim, /*rounds=*/2, {0, 1});
+    return sim;
+  };
+  s.explore.max_steps = 200;
+  return s;
+}
+
+ProtocolSpec sec6_spec() {
+  ProtocolSpec s;
+  const int n = 3;
+  const int t = 1;
+  s.name = "sec6-stack";
+  s.description =
+      "Theorem 1.3 register stack: ABD + ring router + ABP links";
+  s.claim = {/*max_register_bits=*/core::sec6_register_bits(t),
+             /*per_process_bits=*/core::sec6_register_bits(t),
+             "Theorem 1.3 / §6 (one register of 3(t+1) bits per process)"};
+  s.factory = [n, t] {
+    auto sim = std::make_unique<Sim>(n);
+    auto result = std::make_shared<core::Sec6Result>(n);
+    core::install_register_stack(*sim, core::Sec6Options{t, /*rounds=*/1},
+                                 {0, 1, 1}, result);
+    sim->set_user_data(result);
+    return sim;
+  };
+  // Stack processes serve forever (a decided process keeps answering quorum
+  // requests), so exhaustive exploration never reaches a complete state:
+  // audit seeded random runs instead, stopping once every process decided.
+  s.sample_runner = [](Sim& sim, std::uint64_t seed) {
+    auto* result = sim.user_data<core::Sec6Result>();
+    sim::RandomRunOptions opts;
+    opts.seed = seed;
+    opts.max_steps = 40'000'000;
+    opts.done = [result](const Sim& s) {
+      for (int i = 0; i < s.n(); ++i) {
+        if (!s.crashed(i) &&
+            !result->decision[static_cast<std::size_t>(i)].has_value()) {
+          return false;
+        }
+      }
+      return true;
+    };
+    run_random(sim, opts);
+  };
+  s.sample_seeds = 3;
+  return s;
+}
+
+/// The linter's own canary: a protocol whose declarations and behavior
+/// violate every rule the analyzer knows — claims 2-bit registers but
+/// declares an 8-bit one, writes a 5-bit value, writes a write-once
+/// register twice, writes the other process's register, escapes into a ⊥
+/// code point, and declares a register nobody ever reads.
+ProtocolSpec misdeclared_demo_spec() {
+  ProtocolSpec s;
+  s.name = "demo-misdeclared";
+  s.description =
+      "intentionally misdeclared protocol (linter self-test; always fails)";
+  s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/3,
+             "none — a deliberately false claim the linter must refute"};
+  s.demo = true;
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    const int wide = sim->add_register("demo.wide", 0, 8, Value(0));
+    const int once =
+        sim->add_bottom_register("demo.once", 0, 2, /*write_once=*/true);
+    const int peer = sim->add_register("demo.peer", 1, 2, Value(0));
+    const int bot = sim->add_bottom_register("demo.bottom", 1, 2);
+    const int dead = sim->add_register("demo.dead", 1, 1, Value(0));
+    sim->spawn(0, [=](sim::Env& env) -> sim::Proc {
+      co_await env.write(wide, Value(21));  // 5 bits: breaks the 2-bit claim
+      co_await env.write(once, Value(1));
+      co_await env.write(once, Value(2));   // write-once violation
+      co_await env.write(peer, Value(1));   // SWMR violation
+      co_return Value(0);
+    });
+    sim->spawn(1, [=](sim::Env& env) -> sim::Proc {
+      (void)co_await env.read(wide);
+      co_await env.write(bot, Value(3));    // ⊥ code point of a 2-bit reg
+      co_await env.write(dead, Value(5));   // 3 bits into a 1-bit register
+      (void)co_await env.read(once);
+      (void)co_await env.read(bot);
+      co_return Value(1);
+    });
+    return sim;
+  };
+  s.explore.max_steps = 50;
+  return s;
+}
+
+}  // namespace
+
+const std::vector<ProtocolSpec>& builtin_protocols() {
+  static const std::vector<ProtocolSpec> specs = [] {
+    std::vector<ProtocolSpec> v;
+    v.push_back(alg1_spec());
+    v.push_back(packed_alg1_spec());
+    v.push_back(alg2_spec());
+    v.push_back(lemma82_spec());
+    v.push_back(alg6_spec());
+    v.push_back(fast_agreement_spec());
+    v.push_back(alg4_spec());
+    v.push_back(baseline_spec());
+    v.push_back(sec6_spec());
+    v.push_back(misdeclared_demo_spec());
+    return v;
+  }();
+  return specs;
+}
+
+const ProtocolSpec* find_protocol(const std::string& name) {
+  for (const ProtocolSpec& s : builtin_protocols()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace bsr::analysis

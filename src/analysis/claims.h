@@ -1,0 +1,69 @@
+// The paper-claims table: per-algorithm register-width budgets, executable.
+//
+// Every theorem reproduced by this library is a *quantitative* claim about
+// register width — "1-bit registers" (Theorems 1.2, 1.4), "3 bits per
+// process" (§5.2.3), "3(t+1) bits" (Theorem 1.3), "6-bit registers"
+// (Theorem 8.1). This module encodes those budgets as WidthClaims attached
+// to runnable ProtocolSpecs, so the analyzer (analyzer.h) can fail when an
+// implementation declares or actually uses more bits than its theorem
+// grants. The registry is what `bsr lint` iterates over.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/explore.h"
+
+namespace bsr::analysis {
+
+/// The width budget a paper result grants an algorithm.
+struct WidthClaim {
+  /// Maximum declared (and observed) width of any bounded register.
+  /// 0 means "uses no bounded registers at all" (the unbounded baseline).
+  int max_register_bits = 0;
+  /// Total bounded bits per process (sum of the declared widths of the
+  /// bounded registers each process owns), when the paper states a
+  /// per-process budget (e.g. §5.2.3's "3 bits per process"). Write-once
+  /// *unbounded* input registers are outside the budget by the model's own
+  /// accounting (§2) and are naturally excluded: only bounded widths sum.
+  std::optional<int> per_process_bits;
+  /// Paper grounding, e.g. "Theorem 1.2 / §5.2.3".
+  std::string source;
+};
+
+/// A runnable, auditable protocol: how to build it, how to run it, and what
+/// the paper claims about it.
+struct ProtocolSpec {
+  std::string name;         ///< Registry key (`bsr lint --protocol <name>`).
+  std::string description;
+  WidthClaim claim;
+  /// Builds a fresh fully-spawned Sim. Must be deterministic — the analyzer
+  /// may call it several times (and, under the parallel explorer, from
+  /// several threads), and cross-run aggregation assumes identical register
+  /// tables.
+  sim::Explorer::Factory factory;
+  /// Exploration bounds (used when sample_runner is empty).
+  sim::ExploreOptions explore;
+  /// Non-empty for protocols whose processes serve forever (the §6 stack):
+  /// instead of exhaustive exploration, the analyzer runs this once per
+  /// seed; it must drive the Sim until the protocol's notion of "done".
+  std::function<void(sim::Sim&, std::uint64_t seed)> sample_runner;
+  int sample_seeds = 3;     ///< Seeds 1..sample_seeds when sampling.
+  /// Demo specs are intentionally non-conforming (linter self-tests); they
+  /// are excluded from `bsr lint`'s default "all protocols" sweep and only
+  /// run when named explicitly.
+  bool demo = false;
+};
+
+/// The built-in registry: every implemented algorithm with a width theorem,
+/// plus the intentionally-misdeclared "demo-misdeclared" spec the linter
+/// must flag. Built once, on first use.
+[[nodiscard]] const std::vector<ProtocolSpec>& builtin_protocols();
+
+/// Looks up a spec by name (demos included); nullptr if unknown.
+[[nodiscard]] const ProtocolSpec* find_protocol(const std::string& name);
+
+}  // namespace bsr::analysis

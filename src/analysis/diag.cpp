@@ -1,0 +1,130 @@
+#include "analysis/diag.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace bsr::analysis {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string schedule_fingerprint(const std::vector<sim::Choice>& schedule) {
+  // FNV-1a over the choice triples; stable across platforms by construction.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ull;
+  };
+  for (const sim::Choice& c : schedule) {
+    mix(c.kind == sim::Choice::Kind::Step ? 1u : 2u);
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(c.pid)) + 1);
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(c.recv_from)) +
+        2);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+int ProtocolReport::errors() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Error) ++n;
+  }
+  return n;
+}
+
+int ProtocolReport::warnings() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Warning) ++n;
+  }
+  return n;
+}
+
+void TextSink::report(const ProtocolReport& r) {
+  os_ << r.name << ": " << r.executions
+      << (r.sampled ? " sampled runs" : " executions explored")
+      << ", max bounded bits used " << r.max_bounded_bits_used << "/"
+      << r.claimed_register_bits << " claimed [" << r.claim_source << "]";
+  if (r.diagnostics.empty()) {
+    os_ << ": clean\n";
+    return;
+  }
+  os_ << "\n";
+  for (const Diagnostic& d : r.diagnostics) {
+    os_ << "  " << to_string(d.severity) << "[" << d.rule << "]";
+    if (d.pid != -1) os_ << " p" << d.pid;
+    if (d.reg != -1) os_ << " register '" << d.reg_name << "'";
+    if (d.step != -1) os_ << " step " << d.step;
+    if (!d.fingerprint.empty()) os_ << " sched " << d.fingerprint;
+    os_ << ": " << d.message << "\n";
+  }
+}
+
+void TextSink::close(int errors, int warnings) {
+  os_ << "lint: " << errors << " error(s), " << warnings << " warning(s)\n";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonSink::report(const ProtocolReport& r) { reports_.push_back(r); }
+
+void JsonSink::close(int errors, int warnings) {
+  std::ostringstream os;
+  os << "{\"protocols\":[";
+  for (std::size_t i = 0; i < reports_.size(); ++i) {
+    const ProtocolReport& r = reports_[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << json_escape(r.name) << "\",\"claim_source\":\""
+       << json_escape(r.claim_source) << "\",\"sampled\":"
+       << (r.sampled ? "true" : "false") << ",\"executions\":" << r.executions
+       << ",\"max_bounded_bits_used\":" << r.max_bounded_bits_used
+       << ",\"claimed_register_bits\":" << r.claimed_register_bits
+       << ",\"diagnostics\":[";
+    for (std::size_t j = 0; j < r.diagnostics.size(); ++j) {
+      const Diagnostic& d = r.diagnostics[j];
+      if (j > 0) os << ",";
+      os << "{\"rule\":\"" << json_escape(d.rule) << "\",\"severity\":\""
+         << to_string(d.severity) << "\",\"pid\":" << d.pid
+         << ",\"register\":" << d.reg << ",\"register_name\":\""
+         << json_escape(d.reg_name) << "\",\"step\":" << d.step
+         << ",\"fingerprint\":\"" << json_escape(d.fingerprint)
+         << "\",\"message\":\"" << json_escape(d.message) << "\"}";
+    }
+    os << "]}";
+  }
+  os << "],\"errors\":" << errors << ",\"warnings\":" << warnings << "}";
+  os_ << os.str() << "\n";
+}
+
+}  // namespace bsr::analysis

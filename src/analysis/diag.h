@@ -1,0 +1,102 @@
+// Structured diagnostics for the model-conformance analyzer.
+//
+// A Diagnostic is one finding of the analyzer: a stable rule id (the full
+// catalogue, with the paper result grounding each rule, is documented in
+// docs/ANALYSIS.md), a severity, and enough context to reproduce the
+// finding — the process, the register, the step index within the schedule,
+// and a fingerprint of the schedule itself. Diagnostics flow through
+// pluggable sinks: TextSink for humans, JsonSink for machines (`bsr lint
+// --json`, CI annotations).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/sched.h"
+
+namespace bsr::analysis {
+
+enum class Severity {
+  Warning,  ///< Suspicious but conforming (dead register, unused width).
+  Error,    ///< A model or paper-claim violation; fails `bsr lint`.
+};
+
+[[nodiscard]] std::string to_string(Severity s);
+
+/// One analyzer finding. Fields that do not apply are left at their
+/// defaults: aggregate findings (claim checks, dead registers) have no
+/// step/fingerprint; step-level findings on channels have reg = -1.
+struct Diagnostic {
+  std::string rule;            ///< Stable rule id, e.g. "swmr-ownership".
+  Severity severity = Severity::Error;
+  std::string protocol;        ///< Registry name of the analyzed protocol.
+  sim::Pid pid = -1;           ///< Offending process (-1: not process-local).
+  int reg = -1;                ///< Register index (-1: not register-local).
+  std::string reg_name;        ///< Declared register name, if reg != -1.
+  long step = -1;              ///< Step index within the execution (-1: n/a).
+  /// Fingerprint of the schedule exhibiting the finding ("" for aggregate
+  /// findings). For sampled protocols this is "seed:<n>".
+  std::string fingerprint;
+  std::string message;
+};
+
+/// FNV-1a fingerprint of a schedule, for cross-referencing diagnostics with
+/// replayable executions (stable across runs and engines).
+[[nodiscard]] std::string schedule_fingerprint(
+    const std::vector<sim::Choice>& schedule);
+
+/// Everything the analyzer learned about one protocol.
+struct ProtocolReport {
+  std::string name;
+  std::string claim_source;      ///< Paper grounding of the width claim.
+  bool sampled = false;          ///< True: seeded sampling, not exhaustive.
+  long executions = 0;           ///< Explored leaves / sampled runs.
+  int max_bounded_bits_used = 0; ///< Max over every explored execution.
+  int claimed_register_bits = 0; ///< The paper's per-register budget.
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] int errors() const;
+  [[nodiscard]] int warnings() const;
+};
+
+/// Consumer of analyzer output. `report` is called once per analyzed
+/// protocol; `close` once at the end with the totals.
+class DiagnosticSink {
+ public:
+  virtual ~DiagnosticSink() = default;
+  virtual void report(const ProtocolReport& r) = 0;
+  virtual void close(int errors, int warnings) = 0;
+};
+
+/// Human-readable sink: one header line per protocol, one line per finding.
+class TextSink : public DiagnosticSink {
+ public:
+  explicit TextSink(std::ostream& os) : os_(os) {}
+  void report(const ProtocolReport& r) override;
+  void close(int errors, int warnings) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Machine-readable sink: buffers every report and emits one JSON document
+/// `{"protocols": [...], "errors": N, "warnings": N}` on close.
+class JsonSink : public DiagnosticSink {
+ public:
+  explicit JsonSink(std::ostream& os) : os_(os) {}
+  void report(const ProtocolReport& r) override;
+  void close(int errors, int warnings) override;
+
+ private:
+  std::ostream& os_;
+  std::vector<ProtocolReport> reports_;
+};
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters; non-ASCII bytes pass through, so UTF-8
+/// register names such as ⊥ stay readable).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace bsr::analysis

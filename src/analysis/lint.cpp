@@ -1,0 +1,82 @@
+#include "analysis/lint.h"
+
+#include <exception>
+#include <memory>
+#include <ostream>
+
+#include "analysis/analyzer.h"
+#include "analysis/claims.h"
+#include "analysis/diag.h"
+
+namespace bsr::analysis {
+
+namespace {
+
+int run_lint_impl(const LintOptions& opts, std::ostream& out,
+                  std::ostream& err) {
+  if (opts.list) {
+    for (const ProtocolSpec& s : builtin_protocols()) {
+      out << s.name << (s.demo ? " (demo)" : "") << ": " << s.description
+          << " [" << s.claim.source << "]\n";
+    }
+    return 0;
+  }
+
+  std::vector<const ProtocolSpec*> specs;
+  if (opts.protocols.empty()) {
+    for (const ProtocolSpec& s : builtin_protocols()) {
+      if (!s.demo) specs.push_back(&s);
+    }
+  } else {
+    for (const std::string& name : opts.protocols) {
+      const ProtocolSpec* s = find_protocol(name);
+      if (s == nullptr) {
+        err << "bsr lint: unknown protocol '" << name
+            << "' (see `bsr lint --list`)\n";
+        return 2;
+      }
+      specs.push_back(s);
+    }
+  }
+
+  std::unique_ptr<DiagnosticSink> sink;
+  if (opts.json) {
+    sink = std::make_unique<JsonSink>(out);
+  } else {
+    sink = std::make_unique<TextSink>(out);
+  }
+
+  int errors = 0;
+  int warnings = 0;
+  for (const ProtocolSpec* spec : specs) {
+    try {
+      const ProtocolReport rep = analyze_protocol(*spec);
+      errors += rep.errors();
+      warnings += rep.warnings();
+      sink->report(rep);
+    } catch (const std::exception& e) {
+      err << "bsr lint: " << spec->name << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+  sink->close(errors, warnings);
+  return errors > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int run_lint(const LintOptions& opts, std::ostream& out, std::ostream& err) {
+  // Registry construction itself runs precomputation (BMZ plans, Algorithm
+  // 6 path materialization) through the explorer, so even resolving a
+  // protocol name can throw (e.g. a malformed BSR_EXPLORE_THREADS): treat
+  // anything escaping the driver as an operational failure, not a lint
+  // verdict.
+  try {
+    return run_lint_impl(opts, out, err);
+  } catch (const std::exception& e) {
+    err << "bsr lint: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace bsr::analysis

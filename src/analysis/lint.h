@@ -1,0 +1,24 @@
+// The `bsr lint` driver: analyze registered protocols, print diagnostics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsr::analysis {
+
+struct LintOptions {
+  /// Protocols to analyze by registry name. Empty = every built-in protocol
+  /// except intentionally-misdeclared demos (which only run when named).
+  std::vector<std::string> protocols;
+  bool json = false;  ///< Emit one JSON document instead of text.
+  bool list = false;  ///< Just list the registry; analyze nothing.
+};
+
+/// Runs the conformance analyzer per LintOptions, writing findings to `out`
+/// and operational errors to `err`. Exit status: 0 = no errors (warnings
+/// allowed), 1 = at least one error-severity diagnostic, 2 = usage or
+/// internal failure (unknown protocol, exploration bound exceeded).
+int run_lint(const LintOptions& opts, std::ostream& out, std::ostream& err);
+
+}  // namespace bsr::analysis

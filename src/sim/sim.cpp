@@ -18,6 +18,18 @@ std::string to_string(OpKind k) {
   return "?";
 }
 
+std::string to_string(ModelEvent::Kind k) {
+  switch (k) {
+    case ModelEvent::Kind::Swmr: return "swmr";
+    case ModelEvent::Kind::Width: return "width";
+    case ModelEvent::Kind::WriteOnce: return "write_once";
+    case ModelEvent::Kind::Bottom: return "bottom";
+    case ModelEvent::Kind::Topology: return "topology";
+    case ModelEvent::Kind::Atomicity: return "atomicity";
+  }
+  return "?";
+}
+
 int Env::n() const noexcept { return sim_->n(); }
 
 Sim::Sim(SimOptions opts) : opts_(std::move(opts)) {
@@ -129,11 +141,26 @@ void Sim::step(Pid pid, Pid recv_from) {
   auto& ctl = ctls_[static_cast<std::size_t>(pid)].ctl;
   UndoRecord undo;
   if (checkpointing_) undo = capture_undo(ctl);
+  reg_ops_in_step_ = 0;
   try {
     execute(ctl, recv_from);
   } catch (...) {
     ctl.crashed = true;  // a model-violating process takes no further steps
     throw;
+  }
+  // Step atomicity: one register primitive per step (two for the immediate
+  // snapshot, which is write-then-snapshot by definition). The op kinds
+  // above guarantee this today; the counter keeps it an *enforced*
+  // invariant if execute() ever grows composite paths.
+  if (collect_violations_) {
+    const int allowed = ctl.pending.kind == OpKind::WriteSnap ? 2 : 1;
+    if (reg_ops_in_step_ > allowed) {
+      violate(ModelEvent::Kind::Atomicity, pid, -1,
+              "step of process " + std::to_string(pid) + " performed " +
+                  std::to_string(reg_ops_in_step_) +
+                  " register primitives (atomic steps allow " +
+                  std::to_string(allowed) + ")");
+    }
   }
   if (opts_.record_trace) {
     trace_.push_back(TraceEvent{pid, ctl.pending, ctl.result});
@@ -220,6 +247,7 @@ Sim::UndoRecord Sim::capture_undo(const ProcCtl& ctl) const {
   u.kind = UndoRecord::Kind::Step;
   u.pid = ctl.pid;
   u.op = ctl.pending.kind;
+  u.old_violations = violations_.size();
   switch (ctl.pending.kind) {
     case OpKind::Start:
       break;
@@ -296,6 +324,9 @@ void Sim::rewind(std::size_t k) {
       ctl.crashed = false;
     } else {
       undo_shared(u);
+      if (violations_.size() > u.old_violations) {
+        violations_.resize(u.old_violations);
+      }
       if (u.traced) trace_.pop_back();
       ctl.steps -= 1;
       total_steps_ -= 1;
@@ -404,38 +435,56 @@ bool Sim::may_send(Pid from, Pid to) const {
   return std::find(out.begin(), out.end(), to) != out.end();
 }
 
+void Sim::violate(ModelEvent::Kind kind, Pid pid, int reg, std::string msg) {
+  if (!collect_violations_) bsr::detail::throw_model(msg);
+  violations_.push_back(ModelEvent{kind, pid, reg, total_steps_,
+                                   std::move(msg)});
+}
+
 void Sim::do_write(Pid pid, int reg, const Value& v) {
   Register& r = reg_at(reg);
-  model_check(r.writer == -1 || r.writer == pid, [&] {
-    return "process " + std::to_string(pid) + " wrote to register '" + r.name +
-           "' owned by process " + std::to_string(r.writer);
-  });
-  model_check(!r.write_once || r.writes == 0, [&] {
-    return "second write to write-once register '" + r.name + "'";
-  });
+  reg_ops_in_step_ += 1;
+  if (r.writer != -1 && r.writer != pid) {
+    violate(ModelEvent::Kind::Swmr, pid, reg,
+            "process " + std::to_string(pid) + " wrote to register '" +
+                r.name + "' owned by process " + std::to_string(r.writer));
+  }
+  if (r.write_once && r.writes != 0) {
+    violate(ModelEvent::Kind::WriteOnce, pid, reg,
+            "second write to write-once register '" + r.name + "'");
+  }
   if (r.width_bits != kUnbounded) {
-    model_check(v.is_u64(), [&] {
-      return "non-integer value " + v.str() +
-             " written to bounded register '" + r.name + "'";
-    });
-    const int w = v.bit_width();
-    // A register with a ⊥ state spends one of its 2^b codes on ⊥, leaving
-    // integers 0 … 2^b − 2; a plain bounded register holds 0 … 2^b − 1.
-    const std::uint64_t limit = (std::uint64_t{1} << r.width_bits) -
-                                (r.allows_bottom ? 2 : 1);
-    model_check(w <= r.width_bits && v.as_u64() <= limit, [&] {
-      return "value " + v.str() + " (" + std::to_string(w) +
-             " bits) overflows register '" + r.name + "' of width " +
-             std::to_string(r.width_bits) +
-             (r.allows_bottom ? " (one state reserved for ⊥)" : "");
-    });
-    r.max_bits_written = std::max(r.max_bits_written, w);
+    if (!v.is_u64()) {
+      violate(ModelEvent::Kind::Width, pid, reg,
+              "non-integer value " + v.str() +
+                  " written to bounded register '" + r.name + "'");
+    } else {
+      const int w = v.bit_width();
+      // A register with a ⊥ state spends one of its 2^b codes on ⊥, leaving
+      // integers 0 … 2^b − 2; a plain bounded register holds 0 … 2^b − 1.
+      const std::uint64_t limit = (std::uint64_t{1} << r.width_bits) -
+                                  (r.allows_bottom ? 2 : 1);
+      if (w > r.width_bits) {
+        violate(ModelEvent::Kind::Width, pid, reg,
+                "value " + v.str() + " (" + std::to_string(w) +
+                    " bits) overflows register '" + r.name + "' of width " +
+                    std::to_string(r.width_bits));
+      } else if (v.as_u64() > limit) {
+        violate(ModelEvent::Kind::Bottom, pid, reg,
+                "value " + v.str() + " escapes into the ⊥ code point of "
+                    "register '" + r.name + "' of width " +
+                    std::to_string(r.width_bits) +
+                    " (one state reserved for ⊥)");
+      }
+      r.max_bits_written = std::max(r.max_bits_written, w);
+    }
   }
   r.value = v;
   r.writes += 1;
 }
 
 Value Sim::do_snapshot(const std::vector<int>& regs) {
+  reg_ops_in_step_ += 1;
   std::vector<Value> out;
   out.reserve(regs.size());
   for (int idx : regs) {
@@ -454,6 +503,7 @@ void Sim::execute(ProcCtl& ctl, Pid recv_from) {
       break;
     case OpKind::Read: {
       Register& r = reg_at(req.reg);
+      reg_ops_in_step_ += 1;
       r.reads += 1;
       ctl.result = OpResult{r.value, -1};
       break;
@@ -471,10 +521,12 @@ void Sim::execute(ProcCtl& ctl, Pid recv_from) {
       break;
     case OpKind::Send: {
       usage_check(req.peer >= 0 && req.peer < n(), "send: bad destination");
-      model_check(may_send(ctl.pid, req.peer), [&] {
-        return "process " + std::to_string(ctl.pid) +
-               " sent on a non-existent link to " + std::to_string(req.peer);
-      });
+      if (!may_send(ctl.pid, req.peer)) {
+        violate(ModelEvent::Kind::Topology, ctl.pid, -1,
+                "process " + std::to_string(ctl.pid) +
+                    " sent on a non-existent link to " +
+                    std::to_string(req.peer));
+      }
       chan_[static_cast<std::size_t>(ctl.pid) * static_cast<std::size_t>(n()) +
             static_cast<std::size_t>(req.peer)]
           .push_back(req.value);

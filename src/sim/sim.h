@@ -8,7 +8,10 @@
 // widths, write-once registers, and channel topology are all checked on
 // every executed operation, and violations throw ModelError. An algorithm
 // therefore cannot accidentally use more communication power than the model
-// variant it claims to run in.
+// variant it claims to run in. Alternatively, `set_violation_collecting`
+// switches enforcement to collect-and-continue: violations become
+// ModelEvents (consumed by the src/analysis conformance analyzer) and the
+// run proceeds, so one exploration can report every violation per schedule.
 #pragma once
 
 #include <deque>
@@ -44,6 +47,31 @@ struct Register {
   long reads = 0;
   int max_bits_written = 0;
 };
+
+/// A recorded model-rule violation. Produced instead of a ModelError throw
+/// when violation collecting is enabled (see Sim::set_violation_collecting):
+/// the violating operation still takes effect, the event is logged, and the
+/// process keeps running, so exhaustive exploration can gather every
+/// violation along a schedule instead of aborting on the first. The
+/// analysis layer (src/analysis) maps these onto stable diagnostic rule ids
+/// (docs/ANALYSIS.md).
+struct ModelEvent {
+  enum class Kind {
+    Swmr,       ///< Write to a register owned by another process.
+    Width,      ///< Write exceeding a bounded register's declared bit width.
+    WriteOnce,  ///< Second write to a write-once register.
+    Bottom,     ///< Write into the code point reserved for ⊥.
+    Topology,   ///< Send on a link absent from the channel topology.
+    Atomicity,  ///< More than one register primitive in a single step.
+  };
+  Kind kind = Kind::Swmr;
+  Pid pid = -1;
+  int reg = -1;      ///< Register index (-1 for channel/step-level events).
+  long step_index = 0;  ///< total_steps() when the violating op executed.
+  std::string message;
+};
+
+[[nodiscard]] std::string to_string(ModelEvent::Kind k);
 
 /// Configuration for spawning a Sim.
 struct SimOptions {
@@ -225,6 +253,29 @@ class Sim {
     return undo_.size();
   }
 
+  // --- Model conformance (instrumentation for src/analysis) ----------------
+
+  /// Switches model-rule enforcement from throw-on-first-violation to
+  /// collect-and-continue: violations of SWMR ownership, declared widths,
+  /// write-once discipline, the ⊥ code point, channel topology, and
+  /// step-atomicity are appended to `model_violations()` (and the operation
+  /// is applied anyway) instead of throwing ModelError and crash-stopping
+  /// the process. Enable before the first step; the event log participates
+  /// in `rewind`, so each point of an exploration sees exactly the
+  /// violations on its own path.
+  void set_violation_collecting(bool on) noexcept {
+    collect_violations_ = on;
+  }
+  [[nodiscard]] bool violation_collecting() const noexcept {
+    return collect_violations_;
+  }
+
+  /// The violations recorded on the current execution path (collect mode).
+  [[nodiscard]] const std::vector<ModelEvent>& model_violations()
+      const noexcept {
+    return violations_;
+  }
+
   /// Undoes the last `k` recorded actions (steps and crashes), restoring
   /// registers, channels, traces, accounting, and process control state.
   /// Process coroutines that stepped within the undone suffix are rebuilt
@@ -292,11 +343,17 @@ class Sim {
     Pid peer = -1;              ///< Send destination / Recv actual sender.
     Value recv_value;           ///< Recv: delivered payload, to re-queue.
     bool traced = false;        ///< A TraceEvent was recorded for this step.
+    /// Size of the violation log when this action started (collect mode):
+    /// rewinding truncates the log back to exactly this count.
+    std::size_t old_violations = 0;
   };
 
   [[nodiscard]] Register& reg_at(int reg);
   [[nodiscard]] const Register& reg_at(int reg) const;
   void check_pid(Pid pid) const;
+  /// Reports a model-rule violation: records a ModelEvent in collect mode,
+  /// throws ModelError otherwise.
+  void violate(ModelEvent::Kind kind, Pid pid, int reg, std::string msg);
   [[nodiscard]] bool may_send(Pid from, Pid to) const;
   /// Executes the pending request of `pid` into its result slot.
   void execute(ProcCtl& ctl, Pid recv_from);
@@ -320,6 +377,13 @@ class Sim {
   long total_steps_ = 0;
   long total_sends_ = 0;
   bool adding_input_register_ = false;
+  bool collect_violations_ = false;
+  std::vector<ModelEvent> violations_;
+  /// Register primitives executed by the step in flight — the
+  /// step-atomicity counter: a step may perform at most one (two for the
+  /// immediate-snapshot primitive), and the kernel asserts it stays that
+  /// way under future changes.
+  int reg_ops_in_step_ = 0;
   bool checkpointing_ = false;
   std::vector<UndoRecord> undo_;
   /// result_log_[pid][j] = result delivered to pid's j-th executed step.

@@ -275,5 +275,34 @@ TEST(ExplorerExtra, DetectsNondeterministicFactories) {
   }
 }
 
+// Register accounting is part of the checkpointed state: rewinding past a
+// wide write must restore the register's max_bits_written watermark, or
+// width audits over an exploration would smear the widest branch's usage
+// onto every sibling schedule.
+TEST(SimExtra, RewindRestoresMaxBitsWritten) {
+  Sim sim(1);
+  const int r = sim.add_register("R", 0, 4, Value(0));
+  sim.set_checkpointing(true);
+  sim.spawn(0, [r](Env& env) -> Proc {
+    co_await env.write(r, Value(1));
+    co_await env.write(r, Value(9));
+    co_return Value(0);
+  });
+  sim.step(0);  // Start: run to the first write.
+  sim.step(0);  // write 1 (1 bit)
+  EXPECT_EQ(sim.register_info(r).max_bits_written, 1);
+  sim.step(0);  // write 9 (4 bits)
+  EXPECT_EQ(sim.register_info(r).max_bits_written, 4);
+  sim.rewind(1);
+  EXPECT_EQ(sim.register_info(r).max_bits_written, 1);
+  sim.rewind(1);
+  EXPECT_EQ(sim.register_info(r).max_bits_written, 0);
+  // Re-taking the undone steps reproduces the same accounting.
+  sim.step(0);
+  sim.step(0);
+  EXPECT_EQ(sim.register_info(r).max_bits_written, 4);
+  EXPECT_EQ(sim.register_info(r).writes, 2);
+}
+
 }  // namespace
 }  // namespace bsr::sim

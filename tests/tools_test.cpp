@@ -1,9 +1,12 @@
 // Tests of the developer tooling: schedule shrinking (delta debugging),
-// the complete Lemma 5.7 subset search, and Graphviz exports.
+// the complete Lemma 5.7 subset search, Graphviz exports, and the
+// `bsr lint` conformance driver.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
+#include "analysis/lint.h"
 #include "core/sec4.h"
 #include "sim/explore.h"
 #include "sim/shrink.h"
@@ -144,6 +147,72 @@ TEST(Sec4, ViolationGeneralizesToMoreLateProcesses) {
   const tasks::ApproxAgreement task(5, denom);
   const Config input{Value(0), Value(1), Value(0), Value(0), Value(0)};
   EXPECT_FALSE(task.output_ok(input, out));
+}
+
+TEST(Lint, CleanProtocolExitsZero) {
+  analysis::LintOptions opts;
+  opts.protocols = {"alg1"};
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 0);
+  EXPECT_NE(out.str().find("alg1:"), std::string::npos);
+  EXPECT_NE(out.str().find("lint: 0 error(s)"), std::string::npos);
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(Lint, MisdeclaredProtocolExitsOne) {
+  analysis::LintOptions opts;
+  opts.protocols = {"demo-misdeclared"};
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 1);
+  EXPECT_NE(out.str().find("error[claim-width]"), std::string::npos);
+  EXPECT_NE(out.str().find("error[swmr-ownership]"), std::string::npos);
+}
+
+TEST(Lint, UnknownProtocolExitsTwo) {
+  analysis::LintOptions opts;
+  opts.protocols = {"no-such-protocol"};
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 2);
+  EXPECT_NE(err.str().find("unknown protocol 'no-such-protocol'"),
+            std::string::npos);
+}
+
+TEST(Lint, JsonOutputShape) {
+  analysis::LintOptions opts;
+  opts.protocols = {"alg1"};
+  opts.json = true;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 0);
+  const std::string json = out.str();
+  EXPECT_EQ(json.rfind("{\"protocols\":[{\"name\":\"alg1\"", 0), 0u);
+  EXPECT_NE(json.find("\"claimed_register_bits\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":0"), std::string::npos);
+}
+
+TEST(Lint, ListShowsRegistryWithoutAnalyzing) {
+  analysis::LintOptions opts;
+  opts.list = true;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 0);
+  EXPECT_NE(out.str().find("alg1:"), std::string::npos);
+  EXPECT_NE(out.str().find("demo-misdeclared (demo):"), std::string::npos);
+}
+
+TEST(Lint, DemoProtocolsOnlyRunWhenNamed) {
+  // The default sweep must stay green: intentionally-misdeclared demo specs
+  // are excluded unless requested explicitly.
+  analysis::LintOptions opts;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 0);
+  EXPECT_EQ(out.str().find("demo-misdeclared"), std::string::npos);
+  EXPECT_NE(out.str().find("sec6-stack"), std::string::npos);
 }
 
 }  // namespace

@@ -18,6 +18,11 @@
 //       Exhaustively enumerate Algorithm 1's executions and print the count
 //       and decision spread. --threads 0 (the default) honors
 //       BSR_EXPLORE_THREADS; "auto" uses every hardware thread.
+//   bsr lint [--protocol NAME[,NAME...]] [--json] [--list]
+//       Run the model-conformance analyzer (docs/ANALYSIS.md) over the
+//       built-in protocols: register-width claims, SWMR/write-once/⊥
+//       discipline, dead registers. Exits 0 clean, 1 on violations, 2 on
+//       usage errors.
 #include <algorithm>
 #include <cstring>
 #include <iostream>
@@ -28,6 +33,7 @@
 #include <string>
 #include <thread>
 
+#include "analysis/lint.h"
 #include "core/alg1.h"
 #include "core/alg6.h"
 #include "core/lemma82.h"
@@ -270,12 +276,24 @@ int cmd_explore(const Args& a) {
   return max_gap <= 1 ? 0 : 1;
 }
 
+int cmd_lint(const Args& a) {
+  analysis::LintOptions opts;
+  opts.json = a.flag("json");
+  opts.list = a.flag("list");
+  std::istringstream names(a.str("protocol", ""));
+  std::string name;
+  while (std::getline(names, name, ',')) {
+    if (!name.empty()) opts.protocols.push_back(name);
+  }
+  return run_lint(opts, std::cout, std::cerr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cout << "usage: bsr <agree|fast|stack|adversary|iis|trace|explore>"
-                 " [--flags]\n"
+    std::cout << "usage: bsr <agree|fast|stack|adversary|iis|trace|explore"
+                 "|lint> [--flags]\n"
                  "see the header comment of tools/bsr_cli.cpp\n";
     return 2;
   }
@@ -289,6 +307,7 @@ int main(int argc, char** argv) {
     if (cmd == "iis") return cmd_iis(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "explore") return cmd_explore(args);
+    if (cmd == "lint") return cmd_lint(args);
   } catch (const bsr::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
