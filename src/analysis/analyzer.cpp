@@ -30,6 +30,7 @@ const char* rule_for(sim::ModelEvent::Kind k) {
 struct RegAgg {
   bool read_ever = false;  ///< Read on at least one explored schedule.
   int max_bits = 0;        ///< Max max_bits_written over all schedules.
+  long max_writes = 0;     ///< Max writes within one execution.
 };
 
 }  // namespace
@@ -134,6 +135,7 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
       RegAgg& a = agg[static_cast<std::size_t>(r)];
       a.read_ever = a.read_ever || reg.reads > 0;
       a.max_bits = std::max(a.max_bits, reg.max_bits_written);
+      a.max_writes = std::max(a.max_writes, reg.writes);
     }
     max_used = std::max(max_used, sim.max_bounded_bits_used());
   };
@@ -159,6 +161,24 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
         });
   }
   rep.max_bounded_bits_used = max_used;
+
+  // The audit table the cross-validator compares against the static tier's:
+  // declarations from the probe Sim, usage from the exploration aggregate.
+  for (int r = 0; r < nregs; ++r) {
+    const sim::Register& reg = decls[static_cast<std::size_t>(r)];
+    const RegAgg& a = agg[static_cast<std::size_t>(r)];
+    RegisterAudit row;
+    row.reg = r;
+    row.name = reg.name;
+    row.writer = reg.writer;
+    row.declared_bits = reg.width_bits;
+    row.write_once = reg.write_once;
+    row.allows_bottom = reg.allows_bottom;
+    row.max_bits = a.max_bits;
+    row.max_writes = a.max_writes;
+    row.read = a.read_ever;
+    rep.registers.push_back(std::move(row));
+  }
 
   // --- Aggregate layer: facts only visible across the whole exploration.
   for (int r = 0; r < nregs; ++r) {

@@ -42,6 +42,7 @@ ProtocolSpec alg1_spec() {
     core::install_alg1(*sim, /*k=*/2, {0, 1});
     return sim;
   };
+  s.describe = [] { return core::describe_alg1(/*k=*/2); };
   s.explore.max_crashes = 1;
   s.explore.max_steps = 200;
   return s;
@@ -59,6 +60,7 @@ ProtocolSpec packed_alg1_spec() {
     core::install_packed_alg1(*sim, /*k=*/2, {0, 1});
     return sim;
   };
+  s.describe = [] { return core::describe_packed_alg1(/*k=*/2); };
   s.explore.max_crashes = 1;
   s.explore.max_steps = 200;
   return s;
@@ -80,6 +82,9 @@ ProtocolSpec alg2_spec() {
     core::install_alg2(*sim, *plan, {Value(0), Value(1)});
     return sim;
   };
+  s.describe = [plan] {
+    return core::describe_alg2(static_cast<std::uint64_t>(plan->L));
+  };
   s.explore.max_steps = 500;
   return s;
 }
@@ -96,6 +101,7 @@ ProtocolSpec lemma82_spec() {
     core::install_labelling_agreement(*sim, /*rounds=*/2, {0, 1});
     return sim;
   };
+  s.describe = [] { return core::describe_labelling_agreement(/*rounds=*/2); };
   s.explore.max_crashes = 1;
   s.explore.max_steps = 200;
   return s;
@@ -115,6 +121,7 @@ ProtocolSpec alg6_spec() {
     core::install_alg6_labelling(*sim, opts);
     return sim;
   };
+  s.describe = [opts] { return core::describe_alg6_labelling(opts); };
   s.explore.max_steps = 400;
   return s;
 }
@@ -134,6 +141,7 @@ ProtocolSpec fast_agreement_spec() {
     core::install_fast_agreement(*sim, *plan, {0, 1});
     return sim;
   };
+  s.describe = [opts] { return core::describe_fast_agreement(opts); };
   s.explore.max_steps = 400;
   return s;
 }
@@ -151,6 +159,9 @@ ProtocolSpec alg4_spec() {
     core::install_alg4_agreement(*sim, *plan, {0, 1});
     return sim;
   };
+  s.describe = [plan] {
+    return core::describe_alg4_agreement(plan->configs().flat.size());
+  };
   s.explore.max_steps = 500;
   return s;
 }
@@ -166,6 +177,9 @@ ProtocolSpec baseline_spec() {
     auto sim = std::make_unique<Sim>(2);
     core::install_unbounded_agreement(*sim, /*rounds=*/2, {0, 1});
     return sim;
+  };
+  s.describe = [] {
+    return core::describe_unbounded_agreement(/*n=*/2, /*rounds=*/2);
   };
   s.explore.max_steps = 200;
   return s;
@@ -208,6 +222,9 @@ ProtocolSpec sec6_spec() {
     };
     run_random(sim, opts);
   };
+  s.describe = [n, t] {
+    return core::describe_register_stack(n, core::Sec6Options{t, /*rounds=*/1});
+  };
   s.sample_seeds = 3;
   return s;
 }
@@ -249,6 +266,34 @@ ProtocolSpec misdeclared_demo_spec() {
       co_return Value(1);
     });
     return sim;
+  };
+  // The canary's IR mirrors its factory faithfully — including the
+  // violations — so the static tier must flag it through the same facts the
+  // dynamic tier observes (and `--mode both` must see no disagreement).
+  s.describe = [] {
+    namespace air = ir;
+    air::ProtocolIR p;
+    p.registers.push_back(air::RegisterDecl{"demo.wide", 0, 8, false, false});
+    p.registers.push_back(air::RegisterDecl{"demo.once", 0, 2, true, true});
+    p.registers.push_back(air::RegisterDecl{"demo.peer", 1, 2, false, false});
+    p.registers.push_back(air::RegisterDecl{"demo.bottom", 1, 2, false, true});
+    p.registers.push_back(air::RegisterDecl{"demo.dead", 1, 1, false, false});
+    air::ProcessIR p0;
+    p0.pid = 0;
+    p0.body.push_back(air::write(0, air::ValueExpr::constant(21)));
+    p0.body.push_back(air::write(1, air::ValueExpr::constant(1)));
+    p0.body.push_back(air::write(1, air::ValueExpr::constant(2)));
+    p0.body.push_back(air::write(2, air::ValueExpr::constant(1)));
+    air::ProcessIR p1;
+    p1.pid = 1;
+    p1.body.push_back(air::read(0));
+    p1.body.push_back(air::write(3, air::ValueExpr::constant(3)));
+    p1.body.push_back(air::write(4, air::ValueExpr::constant(5)));
+    p1.body.push_back(air::read(1));
+    p1.body.push_back(air::read(3));
+    p.processes.push_back(std::move(p0));
+    p.processes.push_back(std::move(p1));
+    return p;
   };
   s.explore.max_steps = 50;
   return s;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static/ir.h"
 #include "sim/explore.h"
 
 namespace bsr::analysis {
@@ -47,6 +48,12 @@ struct ProtocolSpec {
   sim::Explorer::Factory factory;
   /// Exploration bounds (used when sample_runner is empty).
   sim::ExploreOptions explore;
+  /// Static IR of the protocol this spec's factory builds, for the abstract
+  /// width checker (`bsr lint --static`). Must declare the same register
+  /// table as the factory's Sim — `bsr lint --mode both` cross-validates
+  /// the two and treats any disagreement as an internal error. Empty:
+  /// the static tier reports `ir-missing`.
+  std::function<ir::ProtocolIR()> describe;
   /// Non-empty for protocols whose processes serve forever (the §6 stack):
   /// instead of exhaustive exploration, the analyzer runs this once per
   /// seed; it must drive the Sim until the protocol's notion of "done".

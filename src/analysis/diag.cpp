@@ -14,6 +14,15 @@ std::string to_string(Severity s) {
   return "?";
 }
 
+std::string to_string(Mode m) {
+  switch (m) {
+    case Mode::Dynamic: return "dynamic";
+    case Mode::Static: return "static";
+    case Mode::Both: return "both";
+  }
+  return "?";
+}
+
 std::string schedule_fingerprint(const std::vector<sim::Choice>& schedule) {
   // FNV-1a over the choice triples; stable across platforms by construction.
   std::uint64_t h = 0xcbf29ce484222325ull;
@@ -50,10 +59,17 @@ int ProtocolReport::warnings() const {
 }
 
 void TextSink::report(const ProtocolReport& r) {
-  os_ << r.name << ": " << r.executions
-      << (r.sampled ? " sampled runs" : " executions explored")
-      << ", max bounded bits used " << r.max_bounded_bits_used << "/"
-      << r.claimed_register_bits << " claimed [" << r.claim_source << "]";
+  os_ << r.name << ": ";
+  if (r.mode == Mode::Static) {
+    os_ << "static IR audit (0 executions), max derivable bounded bits ";
+  } else {
+    os_ << r.executions
+        << (r.sampled ? " sampled runs" : " executions explored");
+    if (r.mode == Mode::Both) os_ << " + static IR audit";
+    os_ << ", max bounded bits used ";
+  }
+  os_ << r.max_bounded_bits_used << "/" << r.claimed_register_bits
+      << " claimed [" << r.claim_source << "]";
   if (r.diagnostics.empty()) {
     os_ << ": clean\n";
     return;
@@ -80,6 +96,8 @@ std::string json_escape(const std::string& s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
@@ -105,12 +123,26 @@ void JsonSink::close(int errors, int warnings) {
   for (std::size_t i = 0; i < reports_.size(); ++i) {
     const ProtocolReport& r = reports_[i];
     if (i > 0) os << ",";
-    os << "{\"name\":\"" << json_escape(r.name) << "\",\"claim_source\":\""
+    os << "{\"name\":\"" << json_escape(r.name) << "\",\"mode\":\""
+       << to_string(r.mode) << "\",\"claim_source\":\""
        << json_escape(r.claim_source) << "\",\"sampled\":"
        << (r.sampled ? "true" : "false") << ",\"executions\":" << r.executions
        << ",\"max_bounded_bits_used\":" << r.max_bounded_bits_used
        << ",\"claimed_register_bits\":" << r.claimed_register_bits
-       << ",\"diagnostics\":[";
+       << ",\"registers\":[";
+    for (std::size_t j = 0; j < r.registers.size(); ++j) {
+      const RegisterAudit& a = r.registers[j];
+      if (j > 0) os << ",";
+      os << "{\"index\":" << a.reg << ",\"name\":\"" << json_escape(a.name)
+         << "\",\"writer\":" << a.writer
+         << ",\"declared_bits\":" << a.declared_bits
+         << ",\"write_once\":" << (a.write_once ? "true" : "false")
+         << ",\"allows_bottom\":" << (a.allows_bottom ? "true" : "false")
+         << ",\"max_bits\":" << a.max_bits
+         << ",\"max_writes\":" << a.max_writes
+         << ",\"read\":" << (a.read ? "true" : "false") << "}";
+    }
+    os << "],\"diagnostics\":[";
     for (std::size_t j = 0; j < r.diagnostics.size(); ++j) {
       const Diagnostic& d = r.diagnostics[j];
       if (j > 0) os << ",";

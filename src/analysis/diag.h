@@ -25,6 +25,16 @@ enum class Severity {
 
 [[nodiscard]] std::string to_string(Severity s);
 
+/// Which analyzer tier produced a report: the dynamic explorer, the static
+/// IR checker, or both (cross-validated).
+enum class Mode {
+  Dynamic,
+  Static,
+  Both,
+};
+
+[[nodiscard]] std::string to_string(Mode m);
+
 /// One analyzer finding. Fields that do not apply are left at their
 /// defaults: aggregate findings (claim checks, dead registers) have no
 /// step/fingerprint; step-level findings on channels have reg = -1.
@@ -47,14 +57,31 @@ struct Diagnostic {
 [[nodiscard]] std::string schedule_fingerprint(
     const std::vector<sim::Choice>& schedule);
 
+/// Per-register facts a report carries: the declaration plus the tier's
+/// derived (static) or observed (dynamic) usage. The cross-validator
+/// compares a static and a dynamic row field by field.
+struct RegisterAudit {
+  int reg = -1;            ///< Index into the protocol's register table.
+  std::string name;
+  int writer = -1;
+  int declared_bits = -1;  ///< -1 = unbounded.
+  bool write_once = false;
+  bool allows_bottom = false;
+  int max_bits = 0;        ///< Bits used/derivable; -1 = no finite bound.
+  long max_writes = 0;     ///< Writes per execution; -1 = no finite bound.
+  bool read = false;       ///< Read on some execution / some abstract path.
+};
+
 /// Everything the analyzer learned about one protocol.
 struct ProtocolReport {
   std::string name;
   std::string claim_source;      ///< Paper grounding of the width claim.
+  Mode mode = Mode::Dynamic;     ///< Which tier produced this report.
   bool sampled = false;          ///< True: seeded sampling, not exhaustive.
-  long executions = 0;           ///< Explored leaves / sampled runs.
+  long executions = 0;           ///< Explored leaves / sampled runs (0: static).
   int max_bounded_bits_used = 0; ///< Max over every explored execution.
   int claimed_register_bits = 0; ///< The paper's per-register budget.
+  std::vector<RegisterAudit> registers;
   std::vector<Diagnostic> diagnostics;
 
   [[nodiscard]] int errors() const;

@@ -7,13 +7,46 @@
 #include "analysis/analyzer.h"
 #include "analysis/claims.h"
 #include "analysis/diag.h"
+#include "analysis/static/checker.h"
 
 namespace bsr::analysis {
 
 namespace {
 
+constexpr const char* kUsage =
+    R"(usage: bsr lint [options]
+
+Runs the model-conformance analyzer (docs/ANALYSIS.md) over the built-in
+protocol registry: register-width claims, SWMR/write-once/bottom discipline,
+dead registers.
+
+options:
+  --protocol NAME[,NAME...]   analyze only the named protocols; default is
+                              every built-in protocol except the
+                              intentionally-misdeclared demos
+  --mode dynamic|static|both  dynamic: explore executions and audit the
+                              observed behavior (default); static: abstract
+                              interpretation over each protocol's IR, zero
+                              simulator steps; both: run the two tiers and
+                              cross-validate them against each other
+  --static                    shorthand for --mode static
+  --json                      emit one JSON document instead of text
+  --list                      list the protocol registry and exit
+  --help                      print this help and exit
+
+exit codes:
+  0  no error-severity diagnostics (warnings allowed)
+  1  at least one error-severity diagnostic
+  2  usage or internal failure (unknown protocol, exploration bounds
+     exceeded, static/dynamic disagreement)
+)";
+
 int run_lint_impl(const LintOptions& opts, std::ostream& out,
                   std::ostream& err) {
+  if (opts.help) {
+    out << kUsage;
+    return 0;
+  }
   if (opts.list) {
     for (const ProtocolSpec& s : builtin_protocols()) {
       out << s.name << (s.demo ? " (demo)" : "") << ": " << s.description
@@ -48,9 +81,27 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
 
   int errors = 0;
   int warnings = 0;
+  long disagreements = 0;
   for (const ProtocolSpec* spec : specs) {
     try {
-      const ProtocolReport rep = analyze_protocol(*spec);
+      ProtocolReport rep;
+      if (opts.mode == LintMode::Static) {
+        rep = analyze_static(*spec);
+      } else if (opts.mode == LintMode::Dynamic) {
+        rep = analyze_protocol(*spec);
+      } else {
+        // Both: the dynamic report is the base; the static tier's findings
+        // and any cross-validation disagreements are appended to it.
+        const ProtocolReport stat = analyze_static(*spec);
+        rep = analyze_protocol(*spec);
+        rep.mode = Mode::Both;
+        std::vector<Diagnostic> dis = cross_validate(*spec, stat, rep);
+        disagreements += static_cast<long>(dis.size());
+        for (const Diagnostic& d : stat.diagnostics) {
+          rep.diagnostics.push_back(d);
+        }
+        for (Diagnostic& d : dis) rep.diagnostics.push_back(std::move(d));
+      }
       errors += rep.errors();
       warnings += rep.warnings();
       sink->report(rep);
@@ -60,6 +111,13 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
     }
   }
   sink->close(errors, warnings);
+  if (disagreements > 0) {
+    err << "bsr lint: " << disagreements
+        << " static/dynamic disagreement(s) — the two analyzers are each "
+           "other's oracle, so this is an internal error, not a protocol "
+           "finding\n";
+    return 2;
+  }
   return errors > 0 ? 1 : 0;
 }
 

@@ -7,18 +7,30 @@
 
 namespace bsr::analysis {
 
+/// Which analyzer tier(s) `bsr lint` runs.
+enum class LintMode {
+  Dynamic,  ///< Explore executions (the default).
+  Static,   ///< Abstract interpretation over protocol IR; zero sim steps.
+  Both,     ///< Run both tiers and cross-validate them; any disagreement is
+            ///< an internal error (exit 2), each tier being the other's
+            ///< oracle.
+};
+
 struct LintOptions {
   /// Protocols to analyze by registry name. Empty = every built-in protocol
   /// except intentionally-misdeclared demos (which only run when named).
   std::vector<std::string> protocols;
+  LintMode mode = LintMode::Dynamic;
   bool json = false;  ///< Emit one JSON document instead of text.
   bool list = false;  ///< Just list the registry; analyze nothing.
+  bool help = false;  ///< Print usage and exit 0.
 };
 
 /// Runs the conformance analyzer per LintOptions, writing findings to `out`
 /// and operational errors to `err`. Exit status: 0 = no errors (warnings
 /// allowed), 1 = at least one error-severity diagnostic, 2 = usage or
-/// internal failure (unknown protocol, exploration bound exceeded).
+/// internal failure (unknown protocol, exploration bound exceeded,
+/// static/dynamic disagreement).
 int run_lint(const LintOptions& opts, std::ostream& out, std::ostream& err);
 
 }  // namespace bsr::analysis

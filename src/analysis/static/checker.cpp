@@ -1,0 +1,299 @@
+#include "analysis/static/checker.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace bsr::analysis {
+namespace {
+
+/// Largest integer writable into a `bits`-wide register that reserves its
+/// top code point for ⊥.
+std::uint64_t bottom_limit(int bits) {
+  return (std::uint64_t{1} << bits) - 2;
+}
+
+/// Fills one audit row from a register's declaration and summary.
+RegisterAudit audit_row(int index, const ir::RegisterDecl& decl,
+                        const ir::RegisterSummary& sum) {
+  RegisterAudit a;
+  a.reg = index;
+  a.name = decl.name;
+  a.writer = decl.writer;
+  a.declared_bits = decl.width_bits;
+  a.write_once = decl.write_once;
+  a.allows_bottom = decl.allows_bottom;
+  a.max_bits = sum.written ? sum.values.max_bits() : 0;
+  a.max_writes = sum.writes.hi == ir::kMany ? -1 : sum.writes.hi;
+  a.read = sum.reads.hi != 0;
+  return a;
+}
+
+}  // namespace
+
+ProtocolReport analyze_static(const ProtocolSpec& spec) {
+  ProtocolReport rep;
+  rep.name = spec.name;
+  rep.claim_source = spec.claim.source;
+  rep.claimed_register_bits = spec.claim.max_register_bits;
+  rep.mode = Mode::Static;
+
+  const auto add = [&rep, &spec](Diagnostic d) {
+    d.protocol = spec.name;
+    rep.diagnostics.push_back(std::move(d));
+  };
+
+  if (!spec.describe) {
+    Diagnostic d;
+    d.rule = "ir-missing";
+    d.message = "protocol has no describe() hook; the static tier cannot "
+                "audit it (add one or exempt it in the claims registry)";
+    add(std::move(d));
+    return rep;
+  }
+
+  const ir::ProtocolIR p = spec.describe();
+  const std::vector<ir::RegisterSummary> sums = ir::summarize(p);
+
+  const auto reg_diag = [](const char* rule, int index,
+                           const ir::RegisterDecl& decl, std::string msg) {
+    Diagnostic d;
+    d.rule = rule;
+    d.pid = decl.writer;
+    d.reg = index;
+    d.reg_name = decl.name;
+    d.message = std::move(msg);
+    return d;
+  };
+
+  for (std::size_t i = 0; i < p.registers.size(); ++i) {
+    const ir::RegisterDecl& decl = p.registers[i];
+    const ir::RegisterSummary& sum = sums[i];
+    const int index = static_cast<int>(i);
+    rep.registers.push_back(audit_row(index, decl, sum));
+
+    // Declared width vs. the claim (the static mirror of `claim-width`).
+    if (decl.width_bits != ir::kUnboundedWidth) {
+      std::ostringstream msg;
+      if (spec.claim.max_register_bits == 0) {
+        msg << "claim [" << spec.claim.source
+            << "] admits no bounded registers, but '" << decl.name
+            << "' declares " << decl.width_bits << " bits";
+        add(reg_diag("static-width", index, decl, msg.str()));
+      } else if (decl.width_bits > spec.claim.max_register_bits) {
+        msg << "register '" << decl.name << "' declares " << decl.width_bits
+            << " bits; the claim [" << spec.claim.source
+            << "] grants at most " << spec.claim.max_register_bits;
+        add(reg_diag("static-width", index, decl, msg.str()));
+      }
+    }
+
+    // Derived SWMR ownership (the static mirror of `swmr-ownership`).
+    if (decl.writer >= 0) {
+      for (const int pid : sum.writers) {
+        if (pid == decl.writer) continue;
+        std::ostringstream msg;
+        msg << "IR of process " << pid << " writes register '" << decl.name
+            << "' owned by process " << decl.writer;
+        Diagnostic d = reg_diag("static-ownership", index, decl, msg.str());
+        d.pid = pid;
+        add(std::move(d));
+      }
+    }
+
+    // Derived write count vs. write-once (mirror of `write-once`).
+    if (decl.write_once &&
+        (sum.writes.hi == ir::kMany || sum.writes.hi > 1)) {
+      std::ostringstream msg;
+      msg << "write-once register '" << decl.name << "' may be written ";
+      if (sum.writes.hi == ir::kMany) {
+        msg << "unboundedly often";
+      } else {
+        msg << sum.writes.hi << " times";
+      }
+      msg << " in one execution";
+      add(reg_diag("static-write-once", index, decl, msg.str()));
+    }
+
+    // Derived value set vs. the declared width and the ⊥ code point
+    // (mirrors of `width-overflow` and `bottom-escape`).
+    if (decl.width_bits != ir::kUnboundedWidth && sum.written) {
+      if (sum.values.unbounded) {
+        std::ostringstream msg;
+        msg << "register '" << decl.name << "' declares " << decl.width_bits
+            << " bits but its IR writes values with no finite bound";
+        add(reg_diag("static-width", index, decl, msg.str()));
+      } else {
+        const int bits = sum.values.max_bits();
+        if (bits > decl.width_bits) {
+          std::ostringstream msg;
+          msg << "register '" << decl.name << "' declares " << decl.width_bits
+              << " bits but its IR may write " << bits << "-bit values";
+          add(reg_diag("static-width", index, decl, msg.str()));
+        } else if (decl.allows_bottom &&
+                   sum.values.hi > bottom_limit(decl.width_bits)) {
+          std::ostringstream msg;
+          msg << "register '" << decl.name << "' reserves "
+              << bottom_limit(decl.width_bits) + 1
+              << " for ⊥ but its IR may write values up to " << sum.values.hi;
+          add(reg_diag("static-bottom", index, decl, msg.str()));
+        }
+        // Derivable usage vs. the claimed budget (mirror of `claim-usage`).
+        if (spec.claim.max_register_bits > 0 &&
+            bits > spec.claim.max_register_bits) {
+          std::ostringstream msg;
+          msg << "register '" << decl.name << "' may hold " << bits
+              << "-bit values; the claim [" << spec.claim.source
+              << "] budgets " << spec.claim.max_register_bits << " bits";
+          add(reg_diag("static-width", index, decl, msg.str()));
+        }
+        rep.max_bounded_bits_used = std::max(rep.max_bounded_bits_used, bits);
+      }
+    }
+
+    // Registers no IR path reads (mirror of `dead-register`).
+    if (sum.reads.hi == 0) {
+      Diagnostic d = reg_diag(
+          "static-dead-register", index, decl,
+          "register '" + decl.name + "' is never read on any IR path");
+      d.severity = Severity::Warning;
+      add(std::move(d));
+    }
+  }
+
+  // Per-process declared bounded bits vs. the per-process budget.
+  if (spec.claim.per_process_bits.has_value()) {
+    std::map<int, int> per_pid;
+    for (const ir::RegisterDecl& decl : p.registers) {
+      if (decl.width_bits != ir::kUnboundedWidth && decl.writer >= 0) {
+        per_pid[decl.writer] += decl.width_bits;
+      }
+    }
+    for (const auto& [pid, bits] : per_pid) {
+      if (bits <= *spec.claim.per_process_bits) continue;
+      std::ostringstream msg;
+      msg << "process " << pid << " owns " << bits
+          << " bounded bits across its registers; the claim ["
+          << spec.claim.source << "] grants " << *spec.claim.per_process_bits
+          << " per process";
+      Diagnostic d;
+      d.rule = "static-width";
+      d.pid = pid;
+      d.message = msg.str();
+      add(std::move(d));
+    }
+  }
+
+  return rep;
+}
+
+namespace {
+
+/// Maps a dynamic error rule to the static rule that must accompany it.
+/// Rules absent from the table (topology, step-atomicity, warnings) have no
+/// static counterpart — the IR does not model channels or step structure.
+const char* static_rule_for(const std::string& dynamic_rule) {
+  if (dynamic_rule == "claim-width" || dynamic_rule == "claim-usage" ||
+      dynamic_rule == "width-overflow") {
+    return "static-width";
+  }
+  if (dynamic_rule == "write-once") return "static-write-once";
+  if (dynamic_rule == "swmr-ownership") return "static-ownership";
+  if (dynamic_rule == "bottom-escape") return "static-bottom";
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> cross_validate(const ProtocolSpec& spec,
+                                       const ProtocolReport& stat,
+                                       const ProtocolReport& dyn) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : stat.diagnostics) {
+    if (d.rule == "ir-missing") return out;  // nothing to compare against
+  }
+
+  const auto disagree = [&out, &spec](int reg, const std::string& reg_name,
+                                      std::string msg) {
+    Diagnostic d;
+    d.rule = "static-dynamic-disagreement";
+    d.protocol = spec.name;
+    d.reg = reg;
+    d.reg_name = reg_name;
+    d.message = std::move(msg);
+    out.push_back(std::move(d));
+  };
+
+  // The register tables must be identical — the IR mirrors the factory.
+  if (stat.registers.size() != dyn.registers.size()) {
+    std::ostringstream msg;
+    msg << "IR declares " << stat.registers.size()
+        << " registers but the factory's Sim has " << dyn.registers.size();
+    disagree(-1, "", msg.str());
+    return out;
+  }
+  for (std::size_t i = 0; i < stat.registers.size(); ++i) {
+    const RegisterAudit& s = stat.registers[i];
+    const RegisterAudit& d = dyn.registers[i];
+    if (s.name != d.name || s.writer != d.writer ||
+        s.declared_bits != d.declared_bits || s.write_once != d.write_once ||
+        s.allows_bottom != d.allows_bottom) {
+      std::ostringstream msg;
+      msg << "register " << i << " declaration differs: IR has ('" << s.name
+          << "', writer " << s.writer << ", " << s.declared_bits
+          << " bits, write_once=" << s.write_once
+          << ", allows_bottom=" << s.allows_bottom << "), Sim has ('"
+          << d.name << "', writer " << d.writer << ", " << d.declared_bits
+          << " bits, write_once=" << d.write_once
+          << ", allows_bottom=" << d.allows_bottom << ")";
+      disagree(static_cast<int>(i), d.name, msg.str());
+      continue;
+    }
+    // Static facts over-approximate every execution, so only the dynamic-
+    // exceeds-static direction is a disagreement; static slack is expected.
+    if (s.max_bits != -1 && d.max_bits > s.max_bits) {
+      std::ostringstream msg;
+      msg << "explorer observed " << d.max_bits << "-bit values in '"
+          << d.name << "' but the IR derives at most " << s.max_bits;
+      disagree(static_cast<int>(i), d.name, msg.str());
+    }
+    if (s.max_writes != -1 && d.max_writes > s.max_writes) {
+      std::ostringstream msg;
+      msg << "explorer observed " << d.max_writes << " writes to '" << d.name
+          << "' in one execution but the IR derives at most " << s.max_writes;
+      disagree(static_cast<int>(i), d.name, msg.str());
+    }
+    if (d.read && !s.read) {
+      disagree(static_cast<int>(i), d.name,
+               "explorer observed a read of '" + d.name +
+                   "' but no IR path reads it");
+    }
+  }
+
+  // Every dynamic model violation must have a static counterpart on the
+  // same register (same process for the register-free per-process checks).
+  for (const Diagnostic& d : dyn.diagnostics) {
+    if (d.severity != Severity::Error) continue;
+    const char* want = static_rule_for(d.rule);
+    if (want == nullptr) continue;
+    bool matched = false;
+    for (const Diagnostic& s : stat.diagnostics) {
+      if (s.rule != want || s.reg != d.reg) continue;
+      if (d.reg == -1 && s.pid != d.pid) continue;
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      std::ostringstream msg;
+      msg << "dynamic " << d.rule << " diagnostic (" << d.message
+          << ") has no matching " << want << " finding in the static tier";
+      disagree(d.reg, d.reg_name, msg.str());
+    }
+  }
+  return out;
+}
+
+}  // namespace bsr::analysis

@@ -1,0 +1,42 @@
+// The static tier of `bsr lint`: abstract-interpretation width checking
+// over protocol IR, plus cross-validation against the dynamic analyzer.
+//
+// `analyze_static` consumes a ProtocolSpec's `describe()` IR, derives
+// per-register facts with ir::summarize, and checks them against the spec's
+// WidthClaim — with zero simulator steps. Its rule ids mirror the dynamic
+// analyzer's: `static-width` (declared or derivable width exceeds the
+// declaration or the claim), `static-write-once`, `static-ownership`,
+// `static-bottom`, `static-dead-register` (warning), and `ir-missing` when
+// a spec has no describe hook.
+//
+// `cross_validate` makes each tier the other's oracle: the static facts are
+// a sound over-approximation of every execution, so any dynamic observation
+// exceeding them — or any dynamic model violation with no static
+// counterpart — is an internal error (`static-dynamic-disagreement`), not a
+// protocol finding. Static slack in the other direction (derived bounds the
+// explorer never reaches) is expected and never flagged.
+//
+// This lives in bsr_analysis (not bsr_ir): it needs the claims registry,
+// which sits above core in the layering.
+#pragma once
+
+#include <vector>
+
+#include "analysis/claims.h"
+#include "analysis/diag.h"
+
+namespace bsr::analysis {
+
+/// Runs the static rule set over `spec.describe()`. The returned report has
+/// mode = Mode::Static and executions = 0. A spec without a describe hook
+/// yields a single `ir-missing` error.
+[[nodiscard]] ProtocolReport analyze_static(const ProtocolSpec& spec);
+
+/// Compares a static and a dynamic report of the same spec and returns one
+/// `static-dynamic-disagreement` diagnostic per inconsistency (empty when
+/// the tiers agree, or when the static tier reported `ir-missing`).
+[[nodiscard]] std::vector<Diagnostic> cross_validate(
+    const ProtocolSpec& spec, const ProtocolReport& stat,
+    const ProtocolReport& dyn);
+
+}  // namespace bsr::analysis

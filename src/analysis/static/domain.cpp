@@ -1,0 +1,86 @@
+#include "analysis/static/domain.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/errors.h"
+
+namespace bsr::analysis::ir {
+
+namespace {
+
+/// Saturating add of non-negative counts (kMany handled by the callers).
+long sat_add(long a, long b) {
+  if (a > std::numeric_limits<long>::max() - b) {
+    return std::numeric_limits<long>::max();
+  }
+  return a + b;
+}
+
+/// Saturating multiply of non-negative counts.
+long sat_mul(long a, long b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<long>::max() / b) {
+    return std::numeric_limits<long>::max();
+  }
+  return a * b;
+}
+
+}  // namespace
+
+Count Count::seq(const Count& o) const {
+  Count r;
+  r.lo = sat_add(lo, o.lo);
+  r.hi = (hi == kMany || o.hi == kMany) ? kMany : sat_add(hi, o.hi);
+  return r;
+}
+
+Count Count::join(const Count& o) const {
+  Count r;
+  r.lo = std::min(lo, o.lo);
+  r.hi = (hi == kMany || o.hi == kMany) ? kMany : std::max(hi, o.hi);
+  return r;
+}
+
+Count Count::times(const Count& iters) const {
+  Count r;
+  r.lo = sat_mul(lo, iters.lo == kMany ? 0 : iters.lo);
+  if (hi == 0 || iters.hi == 0) {
+    r.hi = 0;
+  } else if (hi == kMany || iters.hi == kMany) {
+    r.hi = kMany;
+  } else {
+    r.hi = sat_mul(hi, iters.hi);
+  }
+  return r;
+}
+
+ValueExpr ValueExpr::range(std::uint64_t lo, std::uint64_t hi) {
+  usage_check(lo <= hi, "ValueExpr::range: lo must not exceed hi");
+  return {false, lo, hi};
+}
+
+ValueExpr ValueExpr::bits(int b) {
+  usage_check(b >= 1 && b <= 63, "ValueExpr::bits: width must be in [1,63]");
+  return {false, 0, (std::uint64_t{1} << b) - 1};
+}
+
+ValueExpr ValueExpr::join(const ValueExpr& o) const {
+  if (unbounded || o.unbounded) return any();
+  return {false, std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+int ValueExpr::max_bits() const {
+  return unbounded ? -1 : bit_width_u64(hi);
+}
+
+int bit_width_u64(std::uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+}  // namespace bsr::analysis::ir

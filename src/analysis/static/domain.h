@@ -1,0 +1,74 @@
+// Abstract domains for the static protocol checker (`bsr lint --static`).
+//
+// Two domains suffice for the paper's width theorems:
+//
+//   Count     — intervals [lo, hi] of execution counts with a saturating ∞
+//               (hi = kMany), tracking how often an operation may run across
+//               loop and branch structure. Sequencing adds, control-flow
+//               joins hull, loops multiply by the trip-count interval.
+//   ValueExpr — the set of values a write may store: a u64 interval, or
+//               "unbounded" for inputs and full-information views the model
+//               does not budget. No widening is needed: trip counts are
+//               explicit in the IR, so fixpoints are one multiplication.
+//
+// These are deliberately non-relational — every register budget in the
+// paper (Theorems 1.2–1.4, 8.1) is a per-register constant, so an interval
+// per register discharges it. Protocols whose widths depend on data would
+// need a richer domain (see ROADMAP.md).
+#pragma once
+
+#include <cstdint>
+
+namespace bsr::analysis::ir {
+
+/// Sentinel for "no finite bound" in counts and loop trip limits.
+inline constexpr long kMany = -1;
+
+/// An interval [lo, hi] of natural numbers; hi == kMany means unbounded.
+struct Count {
+  long lo = 0;
+  long hi = 0;
+
+  [[nodiscard]] static constexpr Count exactly(long n) { return {n, n}; }
+  [[nodiscard]] static constexpr Count between(long lo, long hi) {
+    return {lo, hi};
+  }
+
+  [[nodiscard]] bool unbounded() const { return hi == kMany; }
+
+  /// Sequential composition: both counts accrue.
+  [[nodiscard]] Count seq(const Count& o) const;
+  /// Control-flow join: either count may be the real one.
+  [[nodiscard]] Count join(const Count& o) const;
+  /// Repetition: this count accrues once per iteration, iterations ∈ iters.
+  [[nodiscard]] Count times(const Count& iters) const;
+
+  bool operator==(const Count&) const = default;
+};
+
+/// The set of values a write may store.
+struct ValueExpr {
+  bool unbounded = false;  ///< Any value (inputs, unbounded views).
+  std::uint64_t lo = 0;    ///< Inclusive; meaningful when !unbounded.
+  std::uint64_t hi = 0;
+
+  [[nodiscard]] static constexpr ValueExpr constant(std::uint64_t v) {
+    return {false, v, v};
+  }
+  [[nodiscard]] static ValueExpr range(std::uint64_t lo, std::uint64_t hi);
+  /// The full range of a b-bit word: [0, 2^b − 1].
+  [[nodiscard]] static ValueExpr bits(int b);
+  [[nodiscard]] static constexpr ValueExpr any() { return {true, 0, 0}; }
+
+  [[nodiscard]] ValueExpr join(const ValueExpr& o) const;
+  /// Bits needed for the largest value in the set (0 for the constant 0);
+  /// -1 when the set is unbounded.
+  [[nodiscard]] int max_bits() const;
+
+  bool operator==(const ValueExpr&) const = default;
+};
+
+/// Bits needed to represent v (0 for 0) — mirrors Value::bit_width().
+[[nodiscard]] int bit_width_u64(std::uint64_t v);
+
+}  // namespace bsr::analysis::ir

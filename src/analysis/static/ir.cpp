@@ -1,0 +1,165 @@
+#include "analysis/static/ir.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/errors.h"
+
+namespace bsr::analysis::ir {
+
+Instr read(int reg) {
+  Instr i;
+  i.kind = Instr::Kind::Read;
+  i.reg = reg;
+  return i;
+}
+
+Instr write(int reg, ValueExpr v) {
+  Instr i;
+  i.kind = Instr::Kind::Write;
+  i.reg = reg;
+  i.value = v;
+  return i;
+}
+
+Instr snapshot(std::vector<int> regs) {
+  Instr i;
+  i.kind = Instr::Kind::Snapshot;
+  i.regs = std::move(regs);
+  return i;
+}
+
+Instr write_snapshot(int reg, ValueExpr v, std::vector<int> regs) {
+  Instr i;
+  i.kind = Instr::Kind::WriteSnapshot;
+  i.reg = reg;
+  i.value = v;
+  i.regs = std::move(regs);
+  return i;
+}
+
+Instr loop(Count iters, std::vector<Instr> body) {
+  usage_check(iters.lo >= 0 && (iters.hi == kMany || iters.hi >= iters.lo),
+              "ir::loop: malformed trip-count interval");
+  Instr i;
+  i.kind = Instr::Kind::Loop;
+  i.iters = iters;
+  i.body = std::move(body);
+  return i;
+}
+
+Instr maybe(std::vector<Instr> body) {
+  return loop(Count::between(0, 1), std::move(body));
+}
+
+namespace {
+
+/// Count effects of one instruction sequence on every register.
+struct Effect {
+  std::vector<Count> writes;
+  std::vector<Count> reads;
+
+  explicit Effect(std::size_t nregs) : writes(nregs), reads(nregs) {}
+
+  void seq(const Effect& o) {
+    for (std::size_t r = 0; r < writes.size(); ++r) {
+      writes[r] = writes[r].seq(o.writes[r]);
+      reads[r] = reads[r].seq(o.reads[r]);
+    }
+  }
+  void times(const Count& iters) {
+    for (std::size_t r = 0; r < writes.size(); ++r) {
+      writes[r] = writes[r].times(iters);
+      reads[r] = reads[r].times(iters);
+    }
+  }
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ProtocolIR& p)
+      : p_(p), summaries_(p.registers.size()) {}
+
+  std::vector<RegisterSummary> run() {
+    for (const ProcessIR& proc : p_.processes) {
+      const Effect e = interpret(proc.body, proc.pid);
+      for (std::size_t r = 0; r < summaries_.size(); ++r) {
+        // Write/read totals add across processes: the write-once rule is a
+        // bound on a register's total writes, whoever performs them.
+        summaries_[r].writes = summaries_[r].writes.seq(e.writes[r]);
+        summaries_[r].reads = summaries_[r].reads.seq(e.reads[r]);
+      }
+    }
+    for (RegisterSummary& s : summaries_) {
+      std::sort(s.writers.begin(), s.writers.end());
+      s.writers.erase(std::unique(s.writers.begin(), s.writers.end()),
+                      s.writers.end());
+    }
+    return std::move(summaries_);
+  }
+
+ private:
+  std::size_t checked(int reg) const {
+    usage_check(reg >= 0 && reg < static_cast<int>(p_.registers.size()),
+                "ir::summarize: instruction targets a register outside the "
+                "declared table");
+    return static_cast<std::size_t>(reg);
+  }
+
+  /// Records a write's value set and writer, independent of trip counts: a
+  /// write under a [0, N] loop still constrains the register's value set.
+  void record_write(int reg, const ValueExpr& v, int pid) {
+    RegisterSummary& s = summaries_[checked(reg)];
+    s.values = s.written ? s.values.join(v) : v;
+    s.written = true;
+    s.writers.push_back(pid);
+  }
+
+  Effect interpret(const std::vector<Instr>& body, int pid) {
+    Effect acc(p_.registers.size());
+    for (const Instr& i : body) {
+      switch (i.kind) {
+        case Instr::Kind::Read:
+          acc.reads[checked(i.reg)] =
+              acc.reads[checked(i.reg)].seq(Count::exactly(1));
+          break;
+        case Instr::Kind::Write:
+          acc.writes[checked(i.reg)] =
+              acc.writes[checked(i.reg)].seq(Count::exactly(1));
+          record_write(i.reg, i.value, pid);
+          break;
+        case Instr::Kind::Snapshot:
+          for (const int r : i.regs) {
+            acc.reads[checked(r)] = acc.reads[checked(r)].seq(Count::exactly(1));
+          }
+          break;
+        case Instr::Kind::WriteSnapshot:
+          acc.writes[checked(i.reg)] =
+              acc.writes[checked(i.reg)].seq(Count::exactly(1));
+          record_write(i.reg, i.value, pid);
+          for (const int r : i.regs) {
+            acc.reads[checked(r)] = acc.reads[checked(r)].seq(Count::exactly(1));
+          }
+          break;
+        case Instr::Kind::Loop: {
+          Effect inner = interpret(i.body, pid);
+          inner.times(i.iters);
+          acc.seq(inner);
+          break;
+        }
+      }
+    }
+    return acc;
+  }
+
+  const ProtocolIR& p_;
+  std::vector<RegisterSummary> summaries_;
+};
+
+}  // namespace
+
+std::vector<RegisterSummary> summarize(const ProtocolIR& p) {
+  return Interpreter(p).run();
+}
+
+}  // namespace bsr::analysis::ir

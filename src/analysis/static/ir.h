@@ -1,0 +1,95 @@
+// A static intermediate representation of shared-memory protocols, and an
+// abstract interpreter deriving per-register facts from it.
+//
+// Every built-in protocol emits its IR through `ProtocolSpec::describe` (a
+// hand-written mirror of the coroutine body, kept honest by the
+// cross-validation in `bsr lint --mode both`): the register table it
+// declares, and per process a sequence of read/write/snapshot operations
+// with explicit loop structure. Branches are loops with trip count [0, 1];
+// data-dependent early exits widen a loop's trip count to an interval.
+//
+// `summarize` interprets the IR over the interval domains of domain.h and
+// returns, per register: how often it may be written and read in one
+// complete execution, the set of values writes may store, and which
+// processes write it. The checker (checker.h) turns those facts into
+// `static-*` diagnostics against the paper's width claims — once per
+// protocol, independent of any schedule, with zero simulator steps
+// (Bollig–Markey–Sankur-style parameterized verification, specialized to
+// the width bounds this library reproduces).
+//
+// This library is deliberately free of core/sim dependencies so protocol
+// modules can emit IR without a layering cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/static/domain.h"
+
+namespace bsr::analysis::ir {
+
+/// Mirror of sim::kUnbounded for register widths (no sim dependency).
+inline constexpr int kUnboundedWidth = -1;
+
+/// One register declaration, mirroring sim::Sim's register table.
+struct RegisterDecl {
+  std::string name;
+  int writer = -1;  ///< Owning pid; -1 = multi-writer.
+  int width_bits = kUnboundedWidth;
+  bool write_once = false;
+  bool allows_bottom = false;  ///< One code point (2^b − 1) reserved for ⊥.
+};
+
+/// One abstract operation. Loops carry their body and a trip-count
+/// interval; everything else targets registers by index into the
+/// ProtocolIR's register table.
+struct Instr {
+  enum class Kind { Read, Write, Snapshot, WriteSnapshot, Loop };
+  Kind kind = Kind::Read;
+  int reg = -1;             ///< Read / Write / WriteSnapshot target.
+  std::vector<int> regs;    ///< Snapshot / WriteSnapshot group.
+  ValueExpr value;          ///< Write / WriteSnapshot value set.
+  Count iters;              ///< Loop trip-count interval.
+  std::vector<Instr> body;  ///< Loop body.
+};
+
+[[nodiscard]] Instr read(int reg);
+[[nodiscard]] Instr write(int reg, ValueExpr v);
+[[nodiscard]] Instr snapshot(std::vector<int> regs);
+/// The immediate-snapshot primitive: one write plus a snapshot of `regs`,
+/// in a single step.
+[[nodiscard]] Instr write_snapshot(int reg, ValueExpr v,
+                                   std::vector<int> regs);
+[[nodiscard]] Instr loop(Count iters, std::vector<Instr> body);
+/// A conditional block: a loop executing 0 or 1 times.
+[[nodiscard]] Instr maybe(std::vector<Instr> body);
+
+struct ProcessIR {
+  int pid = 0;
+  std::vector<Instr> body;
+};
+
+/// A whole protocol: the register table plus one op sequence per process.
+struct ProtocolIR {
+  std::vector<RegisterDecl> registers;
+  std::vector<ProcessIR> processes;
+};
+
+/// Per-register facts derived by abstract interpretation.
+struct RegisterSummary {
+  Count writes;  ///< Total writes per complete execution, all processes.
+  Count reads;   ///< Total reads (each snapshot member counts once).
+  /// Join of every value a write instruction may store, regardless of how
+  /// often it executes (sound for width checks: a loop bound of [0, N]
+  /// still contributes its value set).
+  ValueExpr values;
+  bool written = false;      ///< Some write instruction targets it.
+  std::vector<int> writers;  ///< Pids with a write targeting it (sorted).
+};
+
+/// Interprets every process body over the count/value domains and combines
+/// them into per-register summaries (indexed like p.registers). Throws
+/// UsageError when an instruction targets a register outside the table.
+[[nodiscard]] std::vector<RegisterSummary> summarize(const ProtocolIR& p);
+
+}  // namespace bsr::analysis::ir

@@ -88,6 +88,48 @@ Proc alg1_body(Env& env, Alg1Handles h, std::uint64_t k, std::uint64_t input,
 
 }  // namespace
 
+void append_alg1_register_ir(std::vector<analysis::ir::RegisterDecl>& out) {
+  namespace air = analysis::ir;
+  out.push_back(air::RegisterDecl{"alg1.I1", 0, 2, /*write_once=*/true,
+                                  /*allows_bottom=*/true});
+  out.push_back(air::RegisterDecl{"alg1.I2", 1, 2, /*write_once=*/true,
+                                  /*allows_bottom=*/true});
+  out.push_back(air::RegisterDecl{"alg1.R1", 0, 1, false, false});
+  out.push_back(air::RegisterDecl{"alg1.R2", 1, 1, false, false});
+}
+
+void append_alg1_agree_ir(std::vector<analysis::ir::Instr>& out,
+                          const Alg1Handles& h, std::uint64_t k, int me) {
+  namespace air = analysis::ir;
+  const int other = 1 - me;
+  // Line 2: publish the binary input.
+  out.push_back(air::write(h.input[me], air::ValueExpr::range(0, 1)));
+  // Lines 3–7: up to k write/read iterations; the early break (same value
+  // read twice) fires only after a full iteration, so the trip count is
+  // [1, k]. The alternating bit r % 2 stays in {0, 1}.
+  out.push_back(air::loop(
+      air::Count::between(1, static_cast<long>(k)),
+      {air::write(h.comm[me], air::ValueExpr::range(0, 1)),
+       air::read(h.comm[other])}));
+  // Lines 8–10: re-read both inputs for the decision rule.
+  out.push_back(air::read(h.input[me]));
+  out.push_back(air::read(h.input[other]));
+}
+
+analysis::ir::ProtocolIR describe_alg1(std::uint64_t k) {
+  namespace air = analysis::ir;
+  air::ProtocolIR p;
+  append_alg1_register_ir(p.registers);
+  const Alg1Handles h{{0, 1}, {2, 3}};
+  for (int me = 0; me < 2; ++me) {
+    air::ProcessIR proc;
+    proc.pid = me;
+    append_alg1_agree_ir(proc.body, h, k, me);
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 Alg1Handles install_alg1(sim::Sim& sim, std::uint64_t k,
                          std::array<std::uint64_t, 2> inputs,
                          Alg1Diag* diag) {

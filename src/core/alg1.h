@@ -15,7 +15,9 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
+#include "analysis/static/ir.h"
 #include "sim/sim.h"
 
 namespace bsr::core {
@@ -66,5 +68,19 @@ Alg1Handles add_alg1_registers(sim::Sim& sim);
 sim::Task<std::uint64_t> alg1_agree(sim::Env& env, Alg1Handles h,
                                     std::uint64_t k, std::uint64_t input,
                                     Alg1Diag* diag = nullptr);
+
+/// Appends add_alg1_registers' table to `out` as IR declarations, in
+/// declaration order (I_1, I_2, R_1, R_2).
+void append_alg1_register_ir(std::vector<analysis::ir::RegisterDecl>& out);
+
+/// Appends alg1_agree's shared-memory access pattern for process `me` to
+/// `out` (registers addressed through `h`) — reused by protocols embedding
+/// the ε-agreement core, such as Algorithm 2.
+void append_alg1_agree_ir(std::vector<analysis::ir::Instr>& out,
+                          const Alg1Handles& h, std::uint64_t k, int me);
+
+/// Static IR of install_alg1 for the abstract width checker
+/// (`bsr lint --static`): same register table, same access pattern.
+[[nodiscard]] analysis::ir::ProtocolIR describe_alg1(std::uint64_t k);
 
 }  // namespace bsr::core

@@ -66,6 +66,37 @@ Proc alg2_body(Env& env, Alg2Handles h, const topo::Bmz2Plan* plan,
 
 }  // namespace
 
+analysis::ir::ProtocolIR describe_alg2(std::uint64_t L) {
+  namespace air = analysis::ir;
+  usage_check(L >= 3 && L % 2 == 1,
+              "describe_alg2: plan path length must be odd and >= 3");
+  const std::uint64_t k = (L - 1) / 2;
+  air::ProtocolIR p;
+  p.registers.push_back(air::RegisterDecl{"task.I1", 0, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  p.registers.push_back(air::RegisterDecl{"task.I2", 1, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  append_alg1_register_ir(p.registers);
+  const Alg2Handles h{{0, 1}, Alg1Handles{{2, 3}, {4, 5}}};
+  for (int me = 0; me < 2; ++me) {
+    const int other = 1 - me;
+    air::ProcessIR proc;
+    proc.pid = me;
+    // Line 2: task inputs are arbitrary values — the input registers are
+    // unbounded, so any() stays in bounds.
+    proc.body.push_back(air::write(h.task_input[me], air::ValueExpr::any()));
+    proc.body.push_back(air::read(h.task_input[other]));
+    // Lines 3–5: ε-agree on the binary view.
+    append_alg1_agree_ir(proc.body, h.agree, k, me);
+    // Line 11: re-read the other input only when 0 < d < L.
+    proc.body.push_back(air::maybe({air::read(h.task_input[other])}));
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 Alg2Handles install_alg2(sim::Sim& sim, const topo::Bmz2Plan& plan,
                          const Config& inputs) {
   usage_check(sim.n() == 2, "install_alg2: Algorithm 2 is a 2-process protocol");

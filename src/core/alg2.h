@@ -29,4 +29,8 @@ struct Alg2Handles {
 Alg2Handles install_alg2(sim::Sim& sim, const topo::Bmz2Plan& plan,
                          const tasks::Config& inputs);
 
+/// Static IR of install_alg2 for a plan with path length `L`: the two
+/// write-once task-input registers plus the embedded Algorithm 1 core.
+[[nodiscard]] analysis::ir::ProtocolIR describe_alg2(std::uint64_t L);
+
 }  // namespace bsr::core

@@ -156,6 +156,72 @@ Alg6Handles install_alg6_labelling(sim::Sim& sim, Alg6Options opts,
   return h;
 }
 
+namespace {
+
+/// Appends the simulation loop (lines 2–18) for process `me` over registers
+/// `regs`: each simulated round rewrites the whole (x, H) word and reads the
+/// other register. encode() packs a ring position < 2Δ+1 with Δ+1 history
+/// bits, so every written word fits the declared alg6_register_bits(Δ) width.
+void append_alg6_simulate_ir(std::vector<analysis::ir::Instr>& out,
+                             std::array<int, 2> regs, Alg6Options opts,
+                             int me) {
+  namespace air = analysis::ir;
+  const int width = alg6_register_bits(opts.delta);
+  out.push_back(air::loop(
+      air::Count::between(1, opts.rounds),
+      {air::write(regs[me], air::ValueExpr::bits(width)),
+       air::read(regs[1 - me])}));
+}
+
+}  // namespace
+
+analysis::ir::ProtocolIR describe_alg6_labelling(Alg6Options opts) {
+  namespace air = analysis::ir;
+  usage_check(opts.delta >= 2,
+              "describe_alg6_labelling: Algorithm 6 requires Δ >= 2");
+  usage_check(opts.rounds >= 1,
+              "describe_alg6_labelling: rounds must be positive");
+  const int width = alg6_register_bits(opts.delta);
+  air::ProtocolIR p;
+  p.registers.push_back(air::RegisterDecl{"alg6.R1", 0, width, false, false});
+  p.registers.push_back(air::RegisterDecl{"alg6.R2", 1, width, false, false});
+  for (int me = 0; me < 2; ++me) {
+    air::ProcessIR proc;
+    proc.pid = me;
+    append_alg6_simulate_ir(proc.body, {0, 1}, opts, me);
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
+analysis::ir::ProtocolIR describe_fast_agreement(Alg6Options opts) {
+  namespace air = analysis::ir;
+  usage_check(opts.delta >= 2,
+              "describe_fast_agreement: Algorithm 6 requires Δ >= 2");
+  usage_check(opts.rounds >= 1,
+              "describe_fast_agreement: rounds must be positive");
+  const int width = alg6_register_bits(opts.delta);
+  air::ProtocolIR p;
+  p.registers.push_back(air::RegisterDecl{"fast.I1", 0, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  p.registers.push_back(air::RegisterDecl{"fast.I2", 1, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  p.registers.push_back(air::RegisterDecl{"alg6.R1", 0, width, false, false});
+  p.registers.push_back(air::RegisterDecl{"alg6.R2", 1, width, false, false});
+  for (int me = 0; me < 2; ++me) {
+    const int other = 1 - me;
+    air::ProcessIR proc;
+    proc.pid = me;
+    proc.body.push_back(air::write(me, air::ValueExpr::range(0, 1)));
+    append_alg6_simulate_ir(proc.body, {2, 3}, opts, me);
+    proc.body.push_back(air::read(other));
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 FastAgreementPlan::FastAgreementPlan(Alg6Options opts) : opts_(opts) {
   usage_check(opts.rounds <= 7,
               "FastAgreementPlan: offline path construction enumerates all "

@@ -28,6 +28,7 @@
 #include <map>
 #include <vector>
 
+#include "analysis/static/ir.h"
 #include "sim/sim.h"
 #include "topo/labelling.h"
 
@@ -122,5 +123,15 @@ struct FastAgreementHandles {
 FastAgreementHandles install_fast_agreement(sim::Sim& sim,
                                             const FastAgreementPlan& plan,
                                             std::array<std::uint64_t, 2> inputs);
+
+/// Static IR of install_alg6_labelling: per simulated round one whole-word
+/// rewrite of the alg6_register_bits(Δ)-wide register and one read.
+[[nodiscard]] analysis::ir::ProtocolIR describe_alg6_labelling(
+    Alg6Options opts);
+
+/// Static IR of install_fast_agreement: the input exchange wrapped around
+/// the Algorithm 6 simulation.
+[[nodiscard]] analysis::ir::ProtocolIR describe_fast_agreement(
+    Alg6Options opts);
 
 }  // namespace bsr::core

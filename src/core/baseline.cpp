@@ -45,6 +45,35 @@ Proc baseline_body(Env& env, BaselineHandles h, std::uint64_t input) {
 
 }  // namespace
 
+analysis::ir::ProtocolIR describe_unbounded_agreement(int n, int rounds) {
+  namespace air = analysis::ir;
+  usage_check(n >= 2, "describe_unbounded_agreement: need two processes");
+  usage_check(rounds >= 1 && rounds <= 62,
+              "describe_unbounded_agreement: rounds out of range");
+  air::ProtocolIR p;
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < n; ++i) {
+      p.registers.push_back(air::RegisterDecl{
+          "M" + std::to_string(r) + "." + std::to_string(i), i,
+          air::kUnboundedWidth, /*write_once=*/false, /*allows_bottom=*/false});
+    }
+  }
+  for (int me = 0; me < n; ++me) {
+    air::ProcessIR proc;
+    proc.pid = me;
+    for (int r = 0; r < rounds; ++r) {
+      const int base = r * n;
+      std::vector<int> group;
+      for (int i = 0; i < n; ++i) group.push_back(base + i);
+      // Estimates input << T … are unbounded numerators: no finite interval.
+      proc.body.push_back(
+          air::write_snapshot(base + me, air::ValueExpr::any(), group));
+    }
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 BaselineHandles install_unbounded_agreement(
     sim::Sim& sim, int rounds, const std::vector<std::uint64_t>& inputs) {
   const int n = sim.n();

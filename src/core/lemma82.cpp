@@ -63,6 +63,43 @@ Proc label_agreement_body(Env& env, LabelAgreementHandles h, int rounds,
 
 }  // namespace
 
+analysis::ir::ProtocolIR describe_labelling_agreement(int rounds) {
+  namespace air = analysis::ir;
+  usage_check(rounds >= 1 && rounds <= 39,
+              "describe_labelling_agreement: rounds out of range");
+  air::ProtocolIR p;
+  p.registers.push_back(air::RegisterDecl{"I1", 0, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  p.registers.push_back(air::RegisterDecl{"I2", 1, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 2; ++i) {
+      p.registers.push_back(air::RegisterDecl{
+          "M" + std::to_string(r) + "." + std::to_string(i), i,
+          /*width_bits=*/2, /*write_once=*/true, /*allows_bottom=*/true});
+    }
+  }
+  for (int me = 0; me < 2; ++me) {
+    const int other = 1 - me;
+    air::ProcessIR proc;
+    proc.pid = me;
+    proc.body.push_back(air::write(me, air::ValueExpr::range(0, 1)));
+    for (int r = 0; r < rounds; ++r) {
+      const int base = 2 + r * 2;
+      // One IIS round: the labelling bit stays in {0, 1}, below the 2-bit
+      // register's ⊥ code point.
+      proc.body.push_back(air::write_snapshot(
+          base + me, air::ValueExpr::range(0, 1), {base, base + 1}));
+    }
+    // Decision rule reads only the other's input (mine is local).
+    proc.body.push_back(air::read(other));
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 LabelAgreementHandles install_labelling_agreement(
     sim::Sim& sim, int rounds, std::array<std::uint64_t, 2> inputs) {
   usage_check(sim.n() == 2, "install_labelling_agreement: 2 processes");

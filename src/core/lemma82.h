@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 
+#include "analysis/static/ir.h"
 #include "sim/sim.h"
 
 namespace bsr::core {
@@ -40,5 +41,9 @@ struct LabelAgreementHandles {
 /// numerators over 3^r.
 LabelAgreementHandles install_labelling_agreement(
     sim::Sim& sim, int rounds, std::array<std::uint64_t, 2> inputs);
+
+/// Static IR of install_labelling_agreement: one write-snapshot per round
+/// over that round's fresh write-once pair, plus the input exchange.
+[[nodiscard]] analysis::ir::ProtocolIR describe_labelling_agreement(int rounds);
 
 }  // namespace bsr::core

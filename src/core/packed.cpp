@@ -126,6 +126,29 @@ Proc packed_alg2_body(Env& env, PackedAlg2Handles h,
 
 }  // namespace
 
+analysis::ir::ProtocolIR describe_packed_alg1(std::uint64_t k) {
+  namespace air = analysis::ir;
+  air::ProtocolIR p;
+  p.registers.push_back(air::RegisterDecl{"packed.P1", 0, 3, false, false});
+  p.registers.push_back(air::RegisterDecl{"packed.P2", 1, 3, false, false});
+  for (int me = 0; me < 2; ++me) {
+    const int other = 1 - me;
+    air::ProcessIR proc;
+    proc.pid = me;
+    // Line 2: publish the input field — raw word (input+1) << 1 ∈ {2, 4}.
+    proc.body.push_back(air::write(me, air::ValueExpr::range(2, 4)));
+    // Lines 3–7: each iteration rewrites the whole word (input field plus
+    // the alternating bit), so values stay in [2, 5]; trip count [1, k].
+    proc.body.push_back(air::loop(
+        air::Count::between(1, static_cast<long>(k)),
+        {air::write(me, air::ValueExpr::range(2, 5)), air::read(other)}));
+    // Lines 8–10: the other's input field needs one more read.
+    proc.body.push_back(air::read(other));
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 std::array<int, 2> install_packed_alg1(sim::Sim& sim, std::uint64_t k,
                                        std::array<std::uint64_t, 2> inputs,
                                        Alg1Diag* diag) {

@@ -74,4 +74,8 @@ PackedAlg2Handles install_packed_alg2(sim::Sim& sim,
                                       const topo::Bmz2Plan& plan,
                                       const tasks::Config& inputs);
 
+/// Static IR of install_packed_alg1: two 3-bit words, each rewritten whole
+/// on every iteration (the shadow-copy emulation of §5.2.3).
+[[nodiscard]] analysis::ir::ProtocolIR describe_packed_alg1(std::uint64_t k);
+
 }  // namespace bsr::core

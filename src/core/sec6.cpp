@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <set>
 
 #include "msg/abd.h"
 #include "msg/abp.h"
@@ -250,6 +251,40 @@ void install_ring_stack(sim::Sim& sim, Sec6Options opts,
       return ring_node_body(env, opts, x, result);
     });
   }
+}
+
+analysis::ir::ProtocolIR describe_register_stack(int n, Sec6Options opts) {
+  namespace air = analysis::ir;
+  usage_check(opts.t >= 1 && 2 * opts.t < n,
+              "describe_register_stack: Theorem 1.3 requires 1 <= t < n/2");
+  const int width = sec6_register_bits(opts.t);
+  air::ProtocolIR p;
+  for (int i = 0; i < n; ++i) {
+    p.registers.push_back(air::RegisterDecl{"abp.R" + std::to_string(i), i,
+                                            width, false, false});
+  }
+  for (int me = 0; me < n; ++me) {
+    // The pump reads every ring neighbour (offsets 1 … t+1 in both
+    // directions on the t-augmented ring — the in- and out-neighbour sets
+    // of abp_node_body's peer map, deduplicated).
+    std::set<int> peers;
+    for (int o = 1; o <= opts.t + 1; ++o) {
+      peers.insert(((me + o) % n + n) % n);
+      peers.insert(((me - o) % n + n) % n);
+    }
+    peers.erase(me);
+    std::vector<air::Instr> pump;
+    for (int nb : peers) pump.push_back(air::read(nb));
+    // The wire word is rewritten only when it changed; the serve loop never
+    // terminates on its own, so its trip count has no finite upper bound.
+    pump.push_back(air::maybe({air::write(me, air::ValueExpr::bits(width))}));
+    air::ProcessIR proc;
+    proc.pid = me;
+    proc.body.push_back(
+        air::loop(air::Count::between(0, air::kMany), std::move(pump)));
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
 }
 
 std::vector<int> install_register_stack(sim::Sim& sim, Sec6Options opts,

@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/static/ir.h"
 #include "sim/sched.h"
 #include "sim/sim.h"
 
@@ -83,5 +84,11 @@ std::vector<int> install_register_stack(sim::Sim& sim, Sec6Options opts,
 
 /// Register width used by the full stack.
 [[nodiscard]] constexpr int sec6_register_bits(int t) { return 3 * (t + 1); }
+
+/// Static IR of install_register_stack: each process serves an unbounded
+/// pump loop reading its ring neighbours' registers and conditionally
+/// rewriting its own 3(t+1)-bit wire word.
+[[nodiscard]] analysis::ir::ProtocolIR describe_register_stack(
+    int n, Sec6Options opts);
 
 }  // namespace bsr::core

@@ -206,6 +206,41 @@ Proc alg4_agreement_body(Env& env, Alg4Handles h, std::array<int, 2> inputs_r,
 
 }  // namespace
 
+analysis::ir::ProtocolIR describe_alg4_agreement(std::size_t iterations) {
+  namespace air = analysis::ir;
+  usage_check(iterations >= 1, "describe_alg4_agreement: empty config space");
+  air::ProtocolIR p;
+  p.registers.push_back(air::RegisterDecl{"I1", 0, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  p.registers.push_back(air::RegisterDecl{"I2", 1, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  for (std::size_t rho = 0; rho < iterations; ++rho) {
+    for (int i = 0; i < 2; ++i) {
+      p.registers.push_back(air::RegisterDecl{
+          "M" + std::to_string(rho) + "." + std::to_string(i), i,
+          /*width_bits=*/1, /*write_once=*/false, /*allows_bottom=*/false});
+    }
+  }
+  for (int me = 0; me < 2; ++me) {
+    const int other = 1 - me;
+    air::ProcessIR proc;
+    proc.pid = me;
+    proc.body.push_back(air::write(me, air::ValueExpr::range(0, 1)));
+    // Lines 6–11 of Algorithm 4: the round loops over r and ρ jointly visit
+    // every iterated pair exactly once, writing the match bit.
+    for (std::size_t rho = 0; rho < iterations; ++rho) {
+      const int base = 2 + static_cast<int>(rho) * 2;
+      proc.body.push_back(air::write_snapshot(
+          base + me, air::ValueExpr::range(0, 1), {base, base + 1}));
+    }
+    proc.body.push_back(air::read(other));
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 Alg4Handles install_alg4_agreement(sim::Sim& sim,
                                    const Alg4AgreementPlan& plan,
                                    std::array<std::uint64_t, 2> inputs) {

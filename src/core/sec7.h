@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/static/ir.h"
 #include "memory/ic.h"
 #include "sim/sim.h"
 
@@ -83,6 +84,12 @@ class Alg4AgreementPlan {
 Alg4Handles install_alg4_agreement(sim::Sim& sim,
                                    const Alg4AgreementPlan& plan,
                                    std::array<std::uint64_t, 2> inputs);
+
+/// Static IR of install_alg4_agreement for a plan whose configuration space
+/// has `iterations` = plan.configs().flat.size() entries: write-once input
+/// registers plus one write-snapshot per 1-bit iterated pair.
+[[nodiscard]] analysis::ir::ProtocolIR describe_alg4_agreement(
+    std::size_t iterations);
 
 /// Validity of a (possibly partial) final configuration against C^k: every
 /// decided view must extend to some configuration of C^k (Lemma 7.1 for

@@ -179,6 +179,11 @@ TEST(Sinks, JsonEscape) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
   EXPECT_EQ(json_escape("⊥"), "⊥");  // UTF-8 passes through.
+  // Backspace and form feed have dedicated short escapes, not \u codes.
+  EXPECT_EQ(json_escape("\b\f\r\t"), "\\b\\f\\r\\t");
+  // A register name that is nothing but quotes and backslashes stays a
+  // valid JSON string literal.
+  EXPECT_EQ(json_escape("\"\\\""), "\\\"\\\\\\\"");
 }
 
 TEST(Claims, RegistryIsWellFormed) {
@@ -195,6 +200,21 @@ TEST(Claims, RegistryIsWellFormed) {
   ASSERT_NE(find_protocol("demo-misdeclared"), nullptr);
   EXPECT_TRUE(find_protocol("demo-misdeclared")->demo);
   EXPECT_EQ(find_protocol("no-such-protocol"), nullptr);
+}
+
+TEST(Claims, EveryProtocolIsFullyAudited) {
+  // Completeness: a protocol cannot ship unaudited. Every registry entry
+  // needs a width claim with a paper source AND a static IR (describe), or
+  // a listed exemption with a reason. The exemption list is empty today;
+  // add to it only with a comment explaining why the tier cannot apply.
+  const std::set<std::string> exempt_from_static_ir = {};
+  for (const ProtocolSpec& s : builtin_protocols()) {
+    EXPECT_FALSE(s.claim.source.empty()) << s.name << " has no claim source";
+    EXPECT_GE(s.claim.max_register_bits, 0) << s.name;
+    if (exempt_from_static_ir.contains(s.name)) continue;
+    EXPECT_TRUE(static_cast<bool>(s.describe))
+        << s.name << " has no describe() hook and no exemption";
+  }
 }
 
 TEST(Analyzer, Alg1SatisfiesItsClaim) {

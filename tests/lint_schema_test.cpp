@@ -1,0 +1,293 @@
+// Schema tests for `bsr lint --json` (documented in docs/ANALYSIS.md): a
+// minimal JSON parser validates the document structure the sink emits, and
+// a golden file pins the static tier's exact output so the schema cannot
+// drift silently. The golden file is regenerated with:
+//
+//   ./build/tools/bsr lint --mode=static --protocol alg1,demo-misdeclared \
+//       --json > tests/golden/lint_static.json
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "analysis/lint.h"
+
+namespace bsr::analysis {
+namespace {
+
+// --- A deliberately tiny recursive-descent JSON parser: just enough to
+// check the lint schema (objects, arrays, strings, integers, booleans).
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, long, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] long num() const { return std::get<long>(v); }
+  [[nodiscard]] bool boolean() const { return std::get<bool>(v); }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing JSON content");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of JSON");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at byte " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return JsonValue{string()};
+    if (c == 't' || c == 'f') return boolean();
+    return number();
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("dangling escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            const int code = std::stoi(s_.substr(pos_, 4), nullptr, 16);
+            pos_ += 4;
+            // The sink only emits \u for control bytes < 0x20.
+            out += static_cast<char>(code);
+            break;
+          }
+          default: throw std::runtime_error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue boolean() {
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue{true};
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue{false};
+    }
+    throw std::runtime_error("bad literal");
+  }
+
+  JsonValue number() {
+    std::size_t end = pos_;
+    if (end < s_.size() && s_[end] == '-') ++end;
+    while (end < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[end])) != 0) {
+      ++end;
+    }
+    if (end == pos_) throw std::runtime_error("bad number");
+    const long n = std::stol(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return JsonValue{n};
+  }
+
+  JsonValue array() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    if (!consume(']')) {
+      do {
+        arr->push_back(value());
+      } while (consume(','));
+      expect(']');
+    }
+    return JsonValue{arr};
+  }
+
+  JsonValue object() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    if (!consume('}')) {
+      do {
+        const std::string key = string();
+        expect(':');
+        (*obj)[key] = value();
+      } while (consume(','));
+      expect('}');
+    }
+    return JsonValue{obj};
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string lint_json(LintMode mode, std::vector<std::string> protocols) {
+  LintOptions opts;
+  opts.protocols = std::move(protocols);
+  opts.mode = mode;
+  opts.json = true;
+  std::ostringstream out;
+  std::ostringstream err;
+  run_lint(opts, out, err);
+  EXPECT_TRUE(err.str().empty()) << err.str();
+  return out.str();
+}
+
+/// The documented schema (docs/ANALYSIS.md): key presence and types for the
+/// top level, a protocol entry, a register row, and a diagnostic.
+void check_schema(const std::string& json) {
+  const JsonValue doc = Parser(json).parse();
+  ASSERT_TRUE(doc.is_object());
+  const JsonObject& top = doc.object();
+  ASSERT_TRUE(top.contains("protocols"));
+  ASSERT_TRUE(top.contains("errors"));
+  ASSERT_TRUE(top.contains("warnings"));
+  (void)top.at("errors").num();
+  (void)top.at("warnings").num();
+  for (const JsonValue& pv : top.at("protocols").array()) {
+    const JsonObject& p = pv.object();
+    for (const char* key :
+         {"name", "mode", "claim_source", "sampled", "executions",
+          "max_bounded_bits_used", "claimed_register_bits", "registers",
+          "diagnostics"}) {
+      ASSERT_TRUE(p.contains(key)) << "protocol entry missing " << key;
+    }
+    const std::string& mode = p.at("mode").str();
+    EXPECT_TRUE(mode == "dynamic" || mode == "static" || mode == "both");
+    if (mode == "static") EXPECT_EQ(p.at("executions").num(), 0);
+    for (const JsonValue& rv : p.at("registers").array()) {
+      const JsonObject& r = rv.object();
+      for (const char* key :
+           {"index", "name", "writer", "declared_bits", "write_once",
+            "allows_bottom", "max_bits", "max_writes", "read"}) {
+        ASSERT_TRUE(r.contains(key)) << "register row missing " << key;
+      }
+      (void)r.at("write_once").boolean();
+      (void)r.at("read").boolean();
+    }
+    for (const JsonValue& dv : p.at("diagnostics").array()) {
+      const JsonObject& d = dv.object();
+      for (const char* key : {"rule", "severity", "pid", "register",
+                              "register_name", "step", "fingerprint",
+                              "message"}) {
+        ASSERT_TRUE(d.contains(key)) << "diagnostic missing " << key;
+      }
+      const std::string& sev = d.at("severity").str();
+      EXPECT_TRUE(sev == "error" || sev == "warning");
+    }
+  }
+}
+
+TEST(LintSchema, DynamicDocumentMatchesDocumentedSchema) {
+  check_schema(lint_json(LintMode::Dynamic, {"alg1", "demo-misdeclared"}));
+}
+
+TEST(LintSchema, StaticDocumentMatchesDocumentedSchema) {
+  check_schema(lint_json(LintMode::Static, {"alg1", "demo-misdeclared"}));
+}
+
+TEST(LintSchema, BothDocumentMatchesDocumentedSchema) {
+  const std::string json = lint_json(LintMode::Both, {"alg1"});
+  check_schema(json);
+  const JsonValue doc = Parser(json).parse();
+  EXPECT_EQ(doc.object().at("protocols").array()[0].object().at("mode").str(),
+            "both");
+}
+
+TEST(LintSchema, EscapingRoundTrips) {
+  // Every byte class the sink escapes survives a parse round-trip.
+  const std::string nasty = "q\"b\\s\nn\rr\tt\bb\ff\x01u ⊥";
+  const std::string quoted = "\"" + json_escape(nasty) + "\"";
+  Parser p(quoted);
+  EXPECT_EQ(std::get<std::string>(p.parse().v), nasty);
+}
+
+TEST(LintSchema, StaticGoldenFileIsCurrent) {
+  // Exact-output pin: the static tier is deterministic (no exploration), so
+  // any schema or diagnostic drift shows up as a golden-file diff.
+  std::ifstream golden(std::string(BSR_GOLDEN_DIR) + "/lint_static.json");
+  ASSERT_TRUE(golden.good()) << "missing tests/golden/lint_static.json";
+  std::ostringstream want;
+  want << golden.rdbuf();
+  LintOptions opts;
+  opts.protocols = {"alg1", "demo-misdeclared"};
+  opts.mode = LintMode::Static;
+  opts.json = true;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 1);  // the demo canary always fails
+  EXPECT_EQ(out.str(), want.str())
+      << "regenerate with: ./build/tools/bsr lint --mode=static "
+         "--protocol alg1,demo-misdeclared --json > "
+         "tests/golden/lint_static.json";
+}
+
+}  // namespace
+}  // namespace bsr::analysis

@@ -1,0 +1,305 @@
+// Tests of the static analysis tier (src/analysis/static): the count and
+// value abstract domains, the protocol IR and its abstract interpreter, the
+// static checker's diagnostics, and the static/dynamic cross-validator that
+// keeps every describe() hook honest against its factory.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/claims.h"
+#include "analysis/diag.h"
+#include "analysis/static/checker.h"
+#include "analysis/static/domain.h"
+#include "analysis/static/ir.h"
+#include "sim/sim.h"
+#include "util/errors.h"
+
+namespace bsr::analysis {
+namespace {
+
+using ir::Count;
+using ir::kMany;
+using ir::ValueExpr;
+
+TEST(CountDomain, SeqAddsAndPropagatesInfinity) {
+  EXPECT_EQ(Count::exactly(2).seq(Count::between(1, 3)), Count::between(3, 5));
+  EXPECT_EQ(Count::exactly(1).seq(Count::between(0, kMany)),
+            Count::between(1, kMany));
+  EXPECT_TRUE(Count::between(0, kMany).unbounded());
+  EXPECT_FALSE(Count::exactly(7).unbounded());
+}
+
+TEST(CountDomain, JoinTakesTheHull) {
+  EXPECT_EQ(Count::exactly(2).join(Count::exactly(5)), Count::between(2, 5));
+  EXPECT_EQ(Count::between(1, 3).join(Count::between(0, kMany)),
+            Count::between(0, kMany));
+}
+
+TEST(CountDomain, TimesMultipliesIntervals) {
+  EXPECT_EQ(Count::exactly(2).times(Count::between(1, 3)),
+            Count::between(2, 6));
+  // A loop that may run zero times can contribute zero operations.
+  EXPECT_EQ(Count::exactly(1).times(Count::between(0, 1)),
+            Count::between(0, 1));
+  // 0 iterations dominate an unbounded body count, and vice versa.
+  EXPECT_EQ(Count::between(0, kMany).times(Count::exactly(0)),
+            Count::exactly(0));
+  EXPECT_EQ(Count::exactly(1).times(Count::between(1, kMany)),
+            Count::between(1, kMany));
+}
+
+TEST(ValueDomain, RangesBitsAndJoins) {
+  EXPECT_EQ(ValueExpr::constant(0).max_bits(), 0);
+  EXPECT_EQ(ValueExpr::constant(5).max_bits(), 3);
+  EXPECT_EQ(ValueExpr::bits(6), ValueExpr::range(0, 63));
+  EXPECT_EQ(ValueExpr::any().max_bits(), -1);
+  EXPECT_EQ(ValueExpr::range(2, 4).join(ValueExpr::constant(7)),
+            ValueExpr::range(2, 7));
+  EXPECT_EQ(ValueExpr::range(0, 1).join(ValueExpr::any()), ValueExpr::any());
+  EXPECT_THROW((void)ValueExpr::range(3, 1), UsageError);
+  EXPECT_THROW((void)ValueExpr::bits(64), UsageError);
+}
+
+TEST(ValueDomain, BitWidthMirrorsValue) {
+  EXPECT_EQ(ir::bit_width_u64(0), 0);
+  EXPECT_EQ(ir::bit_width_u64(1), 1);
+  EXPECT_EQ(ir::bit_width_u64(21), 5);
+  EXPECT_EQ(ir::bit_width_u64(~std::uint64_t{0}), 64);
+}
+
+/// Two processes over three registers, exercising loops, branches, and
+/// write-snapshots; the expected summaries are computable by hand.
+ir::ProtocolIR sample_ir() {
+  namespace air = ir;
+  air::ProtocolIR p;
+  p.registers.push_back(air::RegisterDecl{"A", 0, 2, false, false});
+  p.registers.push_back(air::RegisterDecl{"B", 1, 3, false, false});
+  p.registers.push_back(air::RegisterDecl{"C", -1, 4, false, false});
+  air::ProcessIR p0;
+  p0.pid = 0;
+  p0.body.push_back(air::loop(Count::between(1, 3),
+                              {air::write(0, ValueExpr::range(0, 1)),
+                               air::read(1)}));
+  p0.body.push_back(air::maybe({air::write(2, ValueExpr::constant(9))}));
+  air::ProcessIR p1;
+  p1.pid = 1;
+  p1.body.push_back(
+      air::write_snapshot(1, ValueExpr::constant(4), {0, 1}));
+  p.processes.push_back(std::move(p0));
+  p.processes.push_back(std::move(p1));
+  return p;
+}
+
+TEST(Summarize, DerivesCountsValuesAndWriters) {
+  const auto sums = ir::summarize(sample_ir());
+  ASSERT_EQ(sums.size(), 3u);
+
+  // A: written once per loop iteration by p0, read once by p1's snapshot.
+  EXPECT_EQ(sums[0].writes, Count::between(1, 3));
+  EXPECT_EQ(sums[0].reads, Count::exactly(1));
+  EXPECT_EQ(sums[0].values, ValueExpr::range(0, 1));
+  EXPECT_EQ(sums[0].writers, (std::vector<int>{0}));
+
+  // B: read [1,3] times by p0's loop plus once by p1's own snapshot;
+  // written once by the write-snapshot.
+  EXPECT_EQ(sums[1].writes, Count::exactly(1));
+  EXPECT_EQ(sums[1].reads, Count::between(2, 4));
+  EXPECT_EQ(sums[1].values, ValueExpr::constant(4));
+  EXPECT_EQ(sums[1].writers, (std::vector<int>{1}));
+
+  // C: the maybe() branch writes it 0 or 1 times, but its value set still
+  // includes the branch's constant; nobody reads it.
+  EXPECT_EQ(sums[2].writes, Count::between(0, 1));
+  EXPECT_EQ(sums[2].reads, Count::exactly(0));
+  EXPECT_TRUE(sums[2].written);
+  EXPECT_EQ(sums[2].values, ValueExpr::constant(9));
+}
+
+TEST(Summarize, RejectsOutOfTableRegisters) {
+  ir::ProtocolIR p;
+  p.registers.push_back(ir::RegisterDecl{"A", 0, 1, false, false});
+  ir::ProcessIR p0;
+  p0.pid = 0;
+  p0.body.push_back(ir::read(1));
+  p.processes.push_back(std::move(p0));
+  EXPECT_THROW((void)ir::summarize(p), UsageError);
+}
+
+TEST(Summarize, RejectsMalformedLoopBounds) {
+  EXPECT_THROW((void)ir::loop(Count::between(3, 1), {}), UsageError);
+  EXPECT_THROW((void)ir::loop(Count::between(-1, 2), {}), UsageError);
+}
+
+TEST(StaticChecker, Alg1IsCleanWithZeroExecutions) {
+  const ProtocolSpec* spec = find_protocol("alg1");
+  ASSERT_NE(spec, nullptr);
+  const ProtocolReport rep = analyze_static(*spec);
+  EXPECT_EQ(rep.mode, Mode::Static);
+  EXPECT_EQ(rep.executions, 0);
+  EXPECT_EQ(rep.errors(), 0);
+  EXPECT_LE(rep.max_bounded_bits_used, spec->claim.max_register_bits);
+  EXPECT_FALSE(rep.registers.empty());
+}
+
+TEST(StaticChecker, NeverInvokesTheFactory) {
+  // The whole point of the static tier: a protocol is auditable from its IR
+  // alone. A spec whose factory throws must still analyze cleanly.
+  ProtocolSpec spec;
+  spec.name = "ir-only";
+  spec.claim = {1, std::nullopt, "test"};
+  spec.factory = []() -> std::unique_ptr<sim::Sim> {
+    throw std::logic_error("factory must not run under --mode static");
+  };
+  spec.describe = [] {
+    ir::ProtocolIR p;
+    p.registers.push_back(ir::RegisterDecl{"R", 0, 1, false, false});
+    ir::ProcessIR p0;
+    p0.pid = 0;
+    p0.body.push_back(ir::write(0, ValueExpr::range(0, 1)));
+    p0.body.push_back(ir::read(0));
+    p.processes.push_back(std::move(p0));
+    return p;
+  };
+  const ProtocolReport rep = analyze_static(spec);
+  EXPECT_EQ(rep.errors(), 0);
+  EXPECT_EQ(rep.executions, 0);
+}
+
+TEST(StaticChecker, MissingDescribeIsAnError) {
+  ProtocolSpec spec;
+  spec.name = "no-ir";
+  spec.claim = {1, std::nullopt, "test"};
+  const ProtocolReport rep = analyze_static(spec);
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_EQ(rep.diagnostics[0].rule, "ir-missing");
+  EXPECT_EQ(rep.errors(), 1);
+}
+
+TEST(StaticChecker, MisdeclaredDemoTripsEveryStaticRule) {
+  const ProtocolSpec* spec = find_protocol("demo-misdeclared");
+  ASSERT_NE(spec, nullptr);
+  const ProtocolReport rep = analyze_static(*spec);
+  EXPECT_GT(rep.errors(), 0);
+  std::set<std::string> rules;
+  for (const Diagnostic& d : rep.diagnostics) rules.insert(d.rule);
+  for (const char* rule :
+       {"static-width", "static-write-once", "static-ownership",
+        "static-bottom", "static-dead-register"}) {
+    EXPECT_TRUE(rules.contains(rule)) << "missing rule " << rule;
+  }
+  // The SWMR finding names the offending process, not the owner.
+  for (const Diagnostic& d : rep.diagnostics) {
+    if (d.rule == "static-ownership") {
+      EXPECT_EQ(d.reg_name, "demo.peer");
+      EXPECT_EQ(d.pid, 0);
+    }
+  }
+}
+
+TEST(StaticChecker, EveryBuiltinDescribeMatchesItsFactory) {
+  // The IR's register table must mirror the factory's Sim declaration for
+  // declaration: this is the static half of what `--mode both` enforces.
+  for (const ProtocolSpec& spec : builtin_protocols()) {
+    ASSERT_TRUE(static_cast<bool>(spec.describe)) << spec.name;
+    const ir::ProtocolIR p = spec.describe();
+    const auto sim = spec.factory();
+    ASSERT_EQ(static_cast<int>(p.registers.size()), sim->num_registers())
+        << spec.name;
+    for (std::size_t r = 0; r < p.registers.size(); ++r) {
+      const ir::RegisterDecl& decl = p.registers[r];
+      const sim::Register& reg = sim->register_info(static_cast<int>(r));
+      EXPECT_EQ(decl.name, reg.name) << spec.name << " register " << r;
+      EXPECT_EQ(decl.writer, reg.writer) << spec.name << ' ' << reg.name;
+      EXPECT_EQ(decl.width_bits, reg.width_bits)
+          << spec.name << ' ' << reg.name;
+      EXPECT_EQ(decl.write_once, reg.write_once)
+          << spec.name << ' ' << reg.name;
+      EXPECT_EQ(decl.allows_bottom, reg.allows_bottom)
+          << spec.name << ' ' << reg.name;
+    }
+    // And the IR itself must be well-formed and within the claim.
+    if (!spec.demo) {
+      const ProtocolReport rep = analyze_static(spec);
+      EXPECT_EQ(rep.errors(), 0) << spec.name;
+    }
+  }
+}
+
+TEST(CrossValidate, AgreesOnCleanAndMisdeclaredProtocols) {
+  // Both tiers run for real; any disagreement between them is a bug in one
+  // of the analyzers (each is the other's oracle).
+  for (const char* name : {"alg1", "fast-agreement", "demo-misdeclared"}) {
+    const ProtocolSpec* spec = find_protocol(name);
+    ASSERT_NE(spec, nullptr) << name;
+    const ProtocolReport stat = analyze_static(*spec);
+    const ProtocolReport dyn = analyze_protocol(*spec);
+    const std::vector<Diagnostic> dis = cross_validate(*spec, stat, dyn);
+    for (const Diagnostic& d : dis) {
+      ADD_FAILURE() << name << ": " << d.message;
+    }
+  }
+}
+
+TEST(CrossValidate, FlagsRegisterTableMismatch) {
+  const ProtocolSpec* spec = find_protocol("alg1");
+  ASSERT_NE(spec, nullptr);
+  const ProtocolReport stat = analyze_static(*spec);
+  ProtocolReport dyn = analyze_protocol(*spec);
+  dyn.registers.pop_back();
+  const auto dis = cross_validate(*spec, stat, dyn);
+  ASSERT_EQ(dis.size(), 1u);
+  EXPECT_EQ(dis[0].rule, "static-dynamic-disagreement");
+  EXPECT_NE(dis[0].message.find("registers"), std::string::npos);
+}
+
+TEST(CrossValidate, FlagsDynamicExceedingStaticBounds) {
+  const ProtocolSpec* spec = find_protocol("alg1");
+  ASSERT_NE(spec, nullptr);
+  const ProtocolReport stat = analyze_static(*spec);
+  ProtocolReport dyn = analyze_protocol(*spec);
+  // Forge an observation the IR cannot explain: more writes, wider values,
+  // and a read of a register no IR path reads.
+  ASSERT_FALSE(dyn.registers.empty());
+  dyn.registers[0].max_writes += 100;
+  dyn.registers[0].max_bits = 60;
+  const auto dis = cross_validate(*spec, stat, dyn);
+  EXPECT_EQ(dis.size(), 2u);
+  for (const Diagnostic& d : dis) {
+    EXPECT_EQ(d.rule, "static-dynamic-disagreement");
+    EXPECT_EQ(d.reg, 0);
+  }
+}
+
+TEST(CrossValidate, FlagsDynamicErrorWithoutStaticCounterpart) {
+  const ProtocolSpec* spec = find_protocol("alg1");
+  ASSERT_NE(spec, nullptr);
+  const ProtocolReport stat = analyze_static(*spec);
+  ProtocolReport dyn = analyze_protocol(*spec);
+  Diagnostic forged;
+  forged.rule = "write-once";
+  forged.protocol = spec->name;
+  forged.pid = 0;
+  forged.reg = 0;
+  forged.message = "forged dynamic violation";
+  dyn.diagnostics.push_back(forged);
+  const auto dis = cross_validate(*spec, stat, dyn);
+  ASSERT_EQ(dis.size(), 1u);
+  EXPECT_NE(dis[0].message.find("static-write-once"), std::string::npos);
+}
+
+TEST(CrossValidate, SkipsWhenIrIsMissing) {
+  ProtocolSpec spec;
+  spec.name = "no-ir";
+  spec.claim = {1, std::nullopt, "test"};
+  const ProtocolReport stat = analyze_static(spec);
+  ProtocolReport dyn;  // wildly different — must not matter
+  dyn.name = "no-ir";
+  EXPECT_TRUE(cross_validate(spec, stat, dyn).empty());
+}
+
+}  // namespace
+}  // namespace bsr::analysis

@@ -204,6 +204,61 @@ TEST(Lint, ListShowsRegistryWithoutAnalyzing) {
   EXPECT_NE(out.str().find("demo-misdeclared (demo):"), std::string::npos);
 }
 
+TEST(Lint, HelpListsFlagsAndExitCodes) {
+  analysis::LintOptions opts;
+  opts.help = true;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 0);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("usage: bsr lint", 0), 0u);
+  for (const char* flag :
+       {"--protocol", "--mode", "--static", "--json", "--list", "--help"}) {
+    EXPECT_NE(text.find(flag), std::string::npos) << "missing " << flag;
+  }
+  EXPECT_NE(text.find("exit codes:"), std::string::npos);
+  for (const char* code : {"\n  0  ", "\n  1  ", "\n  2  "}) {
+    EXPECT_NE(text.find(code), std::string::npos);
+  }
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(Lint, StaticModeFlagsMisdeclaredWithoutExploring) {
+  analysis::LintOptions opts;
+  opts.protocols = {"demo-misdeclared"};
+  opts.mode = analysis::LintMode::Static;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 1);
+  EXPECT_NE(out.str().find("static IR audit (0 executions)"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("error[static-width]"), std::string::npos);
+  EXPECT_NE(out.str().find("error[static-ownership]"), std::string::npos);
+}
+
+TEST(Lint, StaticModeIsCleanOnDefaultSweep) {
+  analysis::LintOptions opts;
+  opts.mode = analysis::LintMode::Static;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 0);
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(Lint, BothModeAgreesOnCleanAndMisdeclaredProtocols) {
+  // The canary violates its claim in both tiers identically, so even it
+  // produces no cross-validation disagreement (exit 1, not 2).
+  analysis::LintOptions opts;
+  opts.protocols = {"alg1", "demo-misdeclared"};
+  opts.mode = analysis::LintMode::Both;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 1);
+  EXPECT_EQ(out.str().find("static-dynamic-disagreement"), std::string::npos);
+  EXPECT_NE(out.str().find("+ static IR audit"), std::string::npos);
+  EXPECT_TRUE(err.str().empty());
+}
+
 TEST(Lint, DemoProtocolsOnlyRunWhenNamed) {
   // The default sweep must stay green: intentionally-misdeclared demo specs
   // are excluded unless requested explicitly.

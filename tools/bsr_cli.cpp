@@ -18,11 +18,17 @@
 //       Exhaustively enumerate Algorithm 1's executions and print the count
 //       and decision spread. --threads 0 (the default) honors
 //       BSR_EXPLORE_THREADS; "auto" uses every hardware thread.
-//   bsr lint [--protocol NAME[,NAME...]] [--json] [--list]
+//   bsr lint [--protocol NAME[,NAME...]] [--mode dynamic|static|both]
+//            [--static] [--json] [--list] [--help]
 //       Run the model-conformance analyzer (docs/ANALYSIS.md) over the
 //       built-in protocols: register-width claims, SWMR/write-once/⊥
-//       discipline, dead registers. Exits 0 clean, 1 on violations, 2 on
-//       usage errors.
+//       discipline, dead registers. --mode static audits each protocol's IR
+//       abstractly (zero simulator steps); --mode both cross-validates the
+//       static and dynamic tiers against each other. Exits 0 clean, 1 on
+//       violations, 2 on usage errors or static/dynamic disagreement.
+//       `bsr lint --help` prints the full flag and exit-code reference.
+//
+// Flags may be spelled `--key value` or `--key=value`.
 #include <algorithm>
 #include <cstring>
 #include <iostream>
@@ -74,7 +80,11 @@ Args parse(int argc, char** argv, int first) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+    // `--key=value` carries its value inline and never consumes the next
+    // argument; `--key value` does.
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      a.kv[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       a.kv[key] = argv[++i];
     } else {
       a.kv[key] = "";
@@ -280,6 +290,27 @@ int cmd_lint(const Args& a) {
   analysis::LintOptions opts;
   opts.json = a.flag("json");
   opts.list = a.flag("list");
+  opts.help = a.flag("help");
+  std::string mode = a.str("mode", "");
+  if (a.flag("static")) {
+    if (!mode.empty() && mode != "static") {
+      std::cerr << "bsr lint: --static conflicts with --mode " << mode
+                << "\n";
+      return 2;
+    }
+    mode = "static";
+  }
+  if (mode.empty() || mode == "dynamic") {
+    opts.mode = analysis::LintMode::Dynamic;
+  } else if (mode == "static") {
+    opts.mode = analysis::LintMode::Static;
+  } else if (mode == "both") {
+    opts.mode = analysis::LintMode::Both;
+  } else {
+    std::cerr << "bsr lint: unknown mode '" << mode
+              << "' (expected dynamic, static, or both)\n";
+    return 2;
+  }
   std::istringstream names(a.str("protocol", ""));
   std::string name;
   while (std::getline(names, name, ',')) {
