@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates the golden files pinned by lint_schema_test.cpp. The static
+# tier is deterministic (zero exploration), so the output is byte-stable;
+# CI re-runs this script and fails on any uncommitted drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BSR=build/tools/bsr
+if [ ! -x "$BSR" ]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build --target bsr_cli >/dev/null
+fi
+
+# Each golden pairs a clean protocol with a canary that must fail, so the
+# expected exit code is 1 (lint findings). Anything else — 2 is a usage or
+# internal failure — means the tool is broken, not the goldens stale.
+gen() {
+  local out="$1"
+  shift
+  local rc=0
+  "$BSR" "$@" > "$out" || rc=$?
+  if [ "$rc" -gt 1 ]; then
+    echo "update_goldens: '$BSR $*' exited $rc" >&2
+    exit "$rc"
+  fi
+}
+
+gen tests/golden/lint_static.json \
+  lint --mode=static --json --protocol alg1,demo-misdeclared
+gen tests/golden/lint_symbolic.json \
+  lint --mode=static --json --protocol sec4-quantized,demo-misdeclared-symbolic
+
+echo "goldens updated:"
+ls -l tests/golden/

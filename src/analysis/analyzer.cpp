@@ -1,6 +1,7 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
@@ -8,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/static/checker.h"
 #include "sim/explore.h"
 #include "sim/sim.h"
 
@@ -33,6 +35,37 @@ struct RegAgg {
   long max_writes = 0;     ///< Max writes within one execution.
 };
 
+/// Registers whose per-step width tracking the explorer may skip because
+/// the static tier already proves them in-bounds: declared bounded, the IR
+/// derives strictly fewer bits than declared (so neither width-overflow nor
+/// bottom-escape can fire — values below 2^(b−1) never reach the ⊥ code
+/// point), and no static diagnostic touches the register. Opt-in via
+/// BSR_EXPLORE_STATIC_PREFILTER; any analysis failure disables the filter.
+std::vector<bool> prefilter_mask(const ProtocolSpec& spec, int nregs) {
+  std::vector<bool> mask(static_cast<std::size_t>(nregs), false);
+  if (std::getenv("BSR_EXPLORE_STATIC_PREFILTER") == nullptr) return mask;
+  if (!spec.describe) return mask;
+  try {
+    const ProtocolReport stat = analyze_static(spec);
+    if (static_cast<int>(stat.registers.size()) != nregs) return mask;
+    for (const RegisterAudit& a : stat.registers) {
+      if (a.declared_bits < 0) continue;  // unbounded: nothing tracked anyway
+      if (a.max_bits < 0 || a.max_bits >= a.declared_bits) continue;
+      bool flagged = false;
+      for (const Diagnostic& d : stat.diagnostics) {
+        if (d.reg == a.reg) {
+          flagged = true;
+          break;
+        }
+      }
+      if (!flagged) mask[static_cast<std::size_t>(a.reg)] = true;
+    }
+  } catch (...) {
+    return std::vector<bool>(static_cast<std::size_t>(nregs), false);
+  }
+  return mask;
+}
+
 }  // namespace
 
 ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
@@ -40,12 +73,30 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
   rep.name = spec.name;
   rep.claim_source = spec.claim.source;
   rep.claimed_register_bits = spec.claim.max_register_bits;
+  rep.claimed_bits_expr = spec.claim.symbolic_bits.render();
   rep.sampled = static_cast<bool>(spec.sample_runner);
 
   const auto add = [&rep, &spec](Diagnostic d) {
     d.protocol = spec.name;
     rep.diagnostics.push_back(std::move(d));
   };
+
+  // The effective per-register budget: a symbolic claim evaluated at the
+  // spec's instantiation when one is stated, else the tabulated constant.
+  const int budget = spec.claim.effective_bits(spec.params);
+  if (spec.claim.symbolic_bits.defined() &&
+      budget != spec.claim.max_register_bits) {
+    std::ostringstream msg;
+    msg << "symbolic claim " << spec.claim.symbolic_bits.render()
+        << " evaluates to " << budget << " bits at (n=" << spec.params.n
+        << ", k=" << spec.params.k << ", delta=" << spec.params.delta
+        << ", t=" << spec.params.t << ", b=" << spec.params.b
+        << ") but the claims table states " << spec.claim.max_register_bits;
+    Diagnostic d;
+    d.rule = "claim-width";
+    d.message = msg.str();
+    add(std::move(d));
+  }
 
   // --- Static layer: audit the declared register table against the claim.
   // Factories are deterministic, so one probe Sim represents them all.
@@ -59,14 +110,14 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
     const sim::Register& reg = decls[static_cast<std::size_t>(r)];
     if (reg.width_bits == sim::kUnbounded) continue;
     std::ostringstream msg;
-    if (spec.claim.max_register_bits == 0) {
+    if (budget == 0) {
       msg << "claim [" << spec.claim.source
           << "] admits no bounded registers, but '" << reg.name
           << "' declares " << reg.width_bits << " bits";
-    } else if (reg.width_bits > spec.claim.max_register_bits) {
+    } else if (reg.width_bits > budget) {
       msg << "register '" << reg.name << "' declares " << reg.width_bits
           << " bits; the claim [" << spec.claim.source << "] grants at most "
-          << spec.claim.max_register_bits;
+          << budget;
     } else {
       continue;
     }
@@ -140,10 +191,21 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
     max_used = std::max(max_used, sim.max_bounded_bits_used());
   };
 
+  const std::vector<bool> skip_width = prefilter_mask(spec, nregs);
+  const auto make_sim = [&spec, &skip_width] {
+    auto sim = spec.factory();
+    sim->set_violation_collecting(true);
+    for (std::size_t r = 0; r < skip_width.size(); ++r) {
+      if (skip_width[r]) {
+        sim->set_width_tracking(static_cast<int>(r), false);
+      }
+    }
+    return sim;
+  };
+
   if (spec.sample_runner) {
     for (int seed = 1; seed <= spec.sample_seeds; ++seed) {
-      auto sim = spec.factory();
-      sim->set_violation_collecting(true);
+      auto sim = make_sim();
       spec.sample_runner(*sim, static_cast<std::uint64_t>(seed));
       harvest(*sim, "seed:" + std::to_string(seed));
       ++rep.executions;
@@ -151,11 +213,7 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
   } else {
     const sim::Explorer explorer(spec.explore);
     rep.executions = explorer.explore(
-        [&spec] {
-          auto sim = spec.factory();
-          sim->set_violation_collecting(true);
-          return sim;
-        },
+        make_sim,
         [&](sim::Sim& sim, const std::vector<sim::Choice>& schedule) {
           harvest(sim, schedule_fingerprint(schedule));
         });
@@ -184,13 +242,12 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
   for (int r = 0; r < nregs; ++r) {
     const sim::Register& reg = decls[static_cast<std::size_t>(r)];
     const RegAgg& a = agg[static_cast<std::size_t>(r)];
-    if (reg.width_bits != sim::kUnbounded &&
-        spec.claim.max_register_bits > 0 &&
-        a.max_bits > spec.claim.max_register_bits) {
+    if (reg.width_bits != sim::kUnbounded && budget > 0 &&
+        a.max_bits > budget) {
       std::ostringstream msg;
       msg << "register '" << reg.name << "' was observed holding "
           << a.max_bits << "-bit values; the claim [" << spec.claim.source
-          << "] budgets " << spec.claim.max_register_bits << " bits";
+          << "] budgets " << budget << " bits";
       Diagnostic d;
       d.rule = "claim-usage";
       d.pid = reg.writer;

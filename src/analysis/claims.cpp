@@ -9,6 +9,7 @@
 #include "core/baseline.h"
 #include "core/lemma82.h"
 #include "core/packed.h"
+#include "core/sec4.h"
 #include "core/sec6.h"
 #include "core/sec7.h"
 #include "sim/sched.h"
@@ -17,9 +18,39 @@
 #include "topo/bmz.h"
 
 namespace bsr::analysis {
+
+int WidthClaim::effective_bits(const ir::ParamEnv& params) const {
+  if (!symbolic_bits.defined()) return max_register_bits;
+  const long v = symbolic_bits.eval(params);
+  if (v < 0) return 0;
+  if (v > 63) return 63;
+  return static_cast<int>(v);
+}
+
 namespace {
 
 using sim::Sim;
+
+/// Shared sample runner for the §6 stacks: processes serve forever, so
+/// random runs stop once every non-crashed process has decided.
+std::function<void(Sim&, std::uint64_t)> stack_sample_runner() {
+  return [](Sim& sim, std::uint64_t seed) {
+    auto* result = sim.user_data<core::Sec6Result>();
+    sim::RandomRunOptions opts;
+    opts.seed = seed;
+    opts.max_steps = 40'000'000;
+    opts.done = [result](const Sim& s) {
+      for (int i = 0; i < s.n(); ++i) {
+        if (!s.crashed(i) &&
+            !result->decision[static_cast<std::size_t>(i)].has_value()) {
+          return false;
+        }
+      }
+      return true;
+    };
+    run_random(sim, opts);
+  };
+}
 
 /// ApproxAgreement(2, m) materialized for the BMZ machinery (Algorithm 2's
 /// precomputation input).
@@ -206,26 +237,157 @@ ProtocolSpec sec6_spec() {
   // Stack processes serve forever (a decided process keeps answering quorum
   // requests), so exhaustive exploration never reaches a complete state:
   // audit seeded random runs instead, stopping once every process decided.
-  s.sample_runner = [](Sim& sim, std::uint64_t seed) {
-    auto* result = sim.user_data<core::Sec6Result>();
-    sim::RandomRunOptions opts;
-    opts.seed = seed;
-    opts.max_steps = 40'000'000;
-    opts.done = [result](const Sim& s) {
-      for (int i = 0; i < s.n(); ++i) {
-        if (!s.crashed(i) &&
-            !result->decision[static_cast<std::size_t>(i)].has_value()) {
-          return false;
-        }
-      }
-      return true;
-    };
-    run_random(sim, opts);
-  };
+  s.sample_runner = stack_sample_runner();
   s.describe = [n, t] {
     return core::describe_register_stack(n, core::Sec6Options{t, /*rounds=*/1});
   };
   s.sample_seeds = 3;
+  s.params.n = n;
+  s.params.t = t;
+  return s;
+}
+
+ProtocolSpec packed_alg2_spec() {
+  ProtocolSpec s;
+  s.name = "packed-alg2";
+  s.description =
+      "Algorithm 2 over one packed 3-bit register per process";
+  s.claim = {/*max_register_bits=*/3, /*per_process_bits=*/3,
+             "Theorem 1.2 / §5.2.3 (packed universal construction: all "
+             "coordination in one 3-bit register per process)"};
+  const auto task = std::make_shared<tasks::ExplicitTask>(approx_task(2));
+  const auto bmz = std::make_shared<topo::Bmz2>(*task);
+  const auto plan = std::make_shared<topo::Bmz2Plan>(bmz->plan());
+  s.factory = [plan] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_packed_alg2(*sim, *plan, {Value(0), Value(1)});
+    return sim;
+  };
+  s.describe = [plan] {
+    return core::describe_packed_alg2(static_cast<long>(plan->L));
+  };
+  s.explore.max_steps = 500;
+  return s;
+}
+
+ProtocolSpec alg3_spec() {
+  ProtocolSpec s;
+  s.name = "alg3-full-info";
+  s.description =
+      "Algorithm 3: k-round full-information IC protocol (unbounded views)";
+  s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
+             "§7 Algorithm 3 (full-information views: no bounded registers)"};
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_full_info_ic(*sim, /*k=*/2, {Value(0), Value(1)});
+    return sim;
+  };
+  s.describe = [] { return core::describe_full_info_ic(/*n=*/2, /*k=*/2); };
+  s.explore.max_crashes = 1;
+  s.explore.max_steps = 200;
+  s.params.n = 2;
+  s.params.k = 2;
+  return s;
+}
+
+ProtocolSpec alg5_spec() {
+  ProtocolSpec s;
+  s.name = "alg5-snapshot";
+  s.description =
+      "Algorithm 5: one-shot immediate snapshot from n IC iterations";
+  s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
+             "§7 Algorithm 5 / Proposition 7.2 (unbounded IC registers)"};
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    core::install_alg5(*sim, {Value(0), Value(1)});
+    return sim;
+  };
+  s.describe = [] { return core::describe_alg5(/*n=*/2); };
+  // alg5_body model-checks that a snapshot is obtained within n iterations,
+  // which relies on every process completing: keep crashes off.
+  s.explore.max_steps = 200;
+  s.params.n = 2;
+  return s;
+}
+
+ProtocolSpec abd_stack_spec() {
+  ProtocolSpec s;
+  const int n = 3;
+  const int t = 1;
+  s.name = "abd-stack";
+  s.description =
+      "§6 phase 1: ABD atomic registers over native complete-graph channels";
+  s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
+             "§6 / ABD (message passing only: no shared registers)"};
+  s.factory = [n, t] {
+    auto sim = std::make_unique<Sim>(n);
+    auto result = std::make_shared<core::Sec6Result>(n);
+    core::install_abd_stack(*sim, core::Sec6Options{t, /*rounds=*/1},
+                            {0, 1, 1}, result);
+    sim->set_user_data(result);
+    return sim;
+  };
+  s.sample_runner = stack_sample_runner();
+  s.describe = [n, t] {
+    return core::describe_abd_stack(n, core::Sec6Options{t, /*rounds=*/1});
+  };
+  s.sample_seeds = 3;
+  s.params.n = n;
+  s.params.t = t;
+  return s;
+}
+
+ProtocolSpec ring_stack_spec() {
+  ProtocolSpec s;
+  const int n = 4;
+  const int t = 1;
+  s.name = "ring-stack";
+  s.description =
+      "§6 phases 1-2: ABD + flooding router over native ring channels";
+  s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
+             "§6 / t-augmented ring (messages only; kernel enforces the ring "
+             "topology)"};
+  s.factory = [n, t] {
+    auto sim = std::make_unique<Sim>(core::ring_sim_options(n, t));
+    auto result = std::make_shared<core::Sec6Result>(n);
+    core::install_ring_stack(*sim, core::Sec6Options{t, /*rounds=*/1},
+                             {0, 1, 1, 0}, result);
+    sim->set_user_data(result);
+    return sim;
+  };
+  s.sample_runner = stack_sample_runner();
+  s.describe = [n, t] {
+    return core::describe_ring_stack(n, core::Sec6Options{t, /*rounds=*/1});
+  };
+  s.sample_seeds = 3;
+  s.params.n = n;
+  s.params.t = t;
+  return s;
+}
+
+ProtocolSpec sec4_quantized_spec() {
+  ProtocolSpec s;
+  const int s_bits = 2;
+  const int rounds = 1;
+  s.name = "sec4-quantized";
+  s.description =
+      "§4 quantized early group: s-bit grid estimates (symbolic width "
+      "ceil_log2(k))";
+  s.claim = {/*max_register_bits=*/s_bits, /*per_process_bits=*/s_bits,
+             "§4 / Theorem 1.1 (s-bit footprint registers, s = ⌈log₂ k⌉ for "
+             "the k-point grid)"};
+  s.claim.symbolic_bits =
+      ir::WidthExpr::ceil_log2(ir::WidthExpr::param(ir::Param::K));
+  s.factory = [s_bits, rounds] {
+    auto setup = core::make_quantized_early_group(s_bits, rounds);
+    return std::move(setup.sim);
+  };
+  s.describe = [s_bits, rounds] {
+    return core::describe_quantized_early_group(s_bits, rounds);
+  };
+  s.explore.max_steps = 50;
+  s.params.n = 2;
+  s.params.k = 1 << s_bits;  // grid size: 2^s points
   return s;
 }
 
@@ -299,6 +461,63 @@ ProtocolSpec misdeclared_demo_spec() {
   return s;
 }
 
+/// A second canary for the symbolic layer: the claim ⌈log₂ k⌉ + Δ evaluates
+/// to 2 bits at (k = 2, Δ = 1), but both processes declare 3-bit registers
+/// and write the full 3-bit value 5 — so the declaration and the usage each
+/// break the (consistent) symbolic budget, in both tiers identically.
+ProtocolSpec misdeclared_symbolic_demo_spec() {
+  ProtocolSpec s;
+  s.name = "demo-misdeclared-symbolic";
+  s.description =
+      "intentionally oversized registers against a symbolic claim (linter "
+      "self-test; always fails)";
+  s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/std::nullopt,
+             "none — a deliberately violated symbolic budget"};
+  s.claim.symbolic_bits = ir::WidthExpr::add(
+      ir::WidthExpr::ceil_log2(ir::WidthExpr::param(ir::Param::K)),
+      ir::WidthExpr::param(ir::Param::Delta));
+  s.params.n = 2;
+  s.params.k = 2;
+  s.params.delta = 1;
+  s.demo = true;
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    const int r0 = sim->add_register("sym.R0", 0, 3, Value(0));
+    const int r1 = sim->add_register("sym.R1", 1, 3, Value(0));
+    sim->spawn(0, [=](sim::Env& env) -> sim::Proc {
+      co_await env.write(r0, Value(5));  // 3 bits: breaks the 2-bit budget
+      (void)co_await env.read(r1);
+      co_return Value(0);
+    });
+    sim->spawn(1, [=](sim::Env& env) -> sim::Proc {
+      co_await env.write(r1, Value(5));
+      (void)co_await env.read(r0);
+      co_return Value(1);
+    });
+    return sim;
+  };
+  // The IR states each write *relationally*: whatever fits the peer's
+  // declared width (3 bits) — exercising the difference-bound layer. The
+  // resolved 3-bit set reproduces the dynamic 3-bit observation exactly.
+  s.describe = [] {
+    namespace air = ir;
+    air::ProtocolIR p;
+    p.registers.push_back(air::RegisterDecl{"sym.R0", 0, 3, false, false});
+    p.registers.push_back(air::RegisterDecl{"sym.R1", 1, 3, false, false});
+    for (int me = 0; me < 2; ++me) {
+      const int other = 1 - me;
+      air::ProcessIR proc;
+      proc.pid = me;
+      proc.body.push_back(air::write(me, air::ValueExpr::rel(other, 0)));
+      proc.body.push_back(air::read(other));
+      p.processes.push_back(std::move(proc));
+    }
+    return p;
+  };
+  s.explore.max_steps = 50;
+  return s;
+}
+
 }  // namespace
 
 const std::vector<ProtocolSpec>& builtin_protocols() {
@@ -307,13 +526,20 @@ const std::vector<ProtocolSpec>& builtin_protocols() {
     v.push_back(alg1_spec());
     v.push_back(packed_alg1_spec());
     v.push_back(alg2_spec());
+    v.push_back(packed_alg2_spec());
     v.push_back(lemma82_spec());
     v.push_back(alg6_spec());
     v.push_back(fast_agreement_spec());
     v.push_back(alg4_spec());
+    v.push_back(alg3_spec());
+    v.push_back(alg5_spec());
     v.push_back(baseline_spec());
+    v.push_back(sec4_quantized_spec());
     v.push_back(sec6_spec());
+    v.push_back(abd_stack_spec());
+    v.push_back(ring_stack_spec());
     v.push_back(misdeclared_demo_spec());
+    v.push_back(misdeclared_symbolic_demo_spec());
     return v;
   }();
   return specs;

@@ -33,6 +33,15 @@ struct WidthClaim {
   std::optional<int> per_process_bits;
   /// Paper grounding, e.g. "Theorem 1.2 / §5.2.3".
   std::string source;
+  /// Optional symbolic form of max_register_bits (e.g. ⌈log₂ k⌉ + Δ). When
+  /// defined, both tiers budget against its evaluation at the spec's
+  /// ParamEnv and flag any disagreement with max_register_bits as a
+  /// claims-table bug.
+  ir::WidthExpr symbolic_bits;
+
+  /// The per-register budget at `params`: symbolic_bits evaluated there
+  /// when defined (clamped to [0, 63]), else max_register_bits.
+  [[nodiscard]] int effective_bits(const ir::ParamEnv& params) const;
 };
 
 /// A runnable, auditable protocol: how to build it, how to run it, and what
@@ -59,6 +68,10 @@ struct ProtocolSpec {
   /// seed; it must drive the Sim until the protocol's notion of "done".
   std::function<void(sim::Sim&, std::uint64_t seed)> sample_runner;
   int sample_seeds = 3;     ///< Seeds 1..sample_seeds when sampling.
+  /// The parameter instantiation (n, k, Δ, t, b) this spec's factory
+  /// builds. Symbolic claim widths and symbolic IR writes are evaluated
+  /// against it.
+  ir::ParamEnv params;
   /// Demo specs are intentionally non-conforming (linter self-tests); they
   /// are excluded from `bsr lint`'s default "all protocols" sweep and only
   /// run when named explicitly.

@@ -68,8 +68,9 @@ void TextSink::report(const ProtocolReport& r) {
     if (r.mode == Mode::Both) os_ << " + static IR audit";
     os_ << ", max bounded bits used ";
   }
-  os_ << r.max_bounded_bits_used << "/" << r.claimed_register_bits
-      << " claimed [" << r.claim_source << "]";
+  os_ << r.max_bounded_bits_used << "/" << r.claimed_register_bits;
+  if (!r.claimed_bits_expr.empty()) os_ << " (= " << r.claimed_bits_expr << ")";
+  os_ << " claimed [" << r.claim_source << "]";
   if (r.diagnostics.empty()) {
     os_ << ": clean\n";
     return;
@@ -129,7 +130,8 @@ void JsonSink::close(int errors, int warnings) {
        << (r.sampled ? "true" : "false") << ",\"executions\":" << r.executions
        << ",\"max_bounded_bits_used\":" << r.max_bounded_bits_used
        << ",\"claimed_register_bits\":" << r.claimed_register_bits
-       << ",\"registers\":[";
+       << ",\"claimed_bits_expr\":\"" << json_escape(r.claimed_bits_expr)
+       << "\",\"registers\":[";
     for (std::size_t j = 0; j < r.registers.size(); ++j) {
       const RegisterAudit& a = r.registers[j];
       if (j > 0) os << ",";
@@ -140,7 +142,8 @@ void JsonSink::close(int errors, int warnings) {
          << ",\"allows_bottom\":" << (a.allows_bottom ? "true" : "false")
          << ",\"max_bits\":" << a.max_bits
          << ",\"max_writes\":" << a.max_writes
-         << ",\"read\":" << (a.read ? "true" : "false") << "}";
+         << ",\"read\":" << (a.read ? "true" : "false") << ",\"sym_bits\":\""
+         << json_escape(a.sym_bits) << "\"}";
     }
     os << "],\"diagnostics\":[";
     for (std::size_t j = 0; j < r.diagnostics.size(); ++j) {

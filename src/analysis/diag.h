@@ -70,6 +70,9 @@ struct RegisterAudit {
   int max_bits = 0;        ///< Bits used/derivable; -1 = no finite bound.
   long max_writes = 0;     ///< Writes per execution; -1 = no finite bound.
   bool read = false;       ///< Read on some execution / some abstract path.
+  /// Rendered symbolic width of the register's writes (static tier only;
+  /// "" when no write was stated symbolically).
+  std::string sym_bits;
 };
 
 /// Everything the analyzer learned about one protocol.
@@ -81,6 +84,10 @@ struct ProtocolReport {
   long executions = 0;           ///< Explored leaves / sampled runs (0: static).
   int max_bounded_bits_used = 0; ///< Max over every explored execution.
   int claimed_register_bits = 0; ///< The paper's per-register budget.
+  /// Rendered symbolic claim ("" when the claim is a plain constant). The
+  /// budget actually enforced is this expression evaluated at the spec's
+  /// ParamEnv, which must agree with claimed_register_bits.
+  std::string claimed_bits_expr;
   std::vector<RegisterAudit> registers;
   std::vector<Diagnostic> diagnostics;
 

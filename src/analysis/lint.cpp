@@ -64,8 +64,12 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
     for (const std::string& name : opts.protocols) {
       const ProtocolSpec* s = find_protocol(name);
       if (s == nullptr) {
-        err << "bsr lint: unknown protocol '" << name
-            << "' (see `bsr lint --list`)\n";
+        err << "bsr lint: no-such-protocol: unknown protocol '" << name
+            << "' (see `bsr lint --list`)\nregistered protocols:";
+        for (const ProtocolSpec& known : builtin_protocols()) {
+          err << " " << known.name;
+        }
+        err << "\n";
         return 2;
       }
       specs.push_back(s);

@@ -29,6 +29,7 @@ RegisterAudit audit_row(int index, const ir::RegisterDecl& decl,
   a.max_bits = sum.written ? sum.values.max_bits() : 0;
   a.max_writes = sum.writes.hi == ir::kMany ? -1 : sum.writes.hi;
   a.read = sum.reads.hi != 0;
+  a.sym_bits = sum.sym.render();
   return a;
 }
 
@@ -39,6 +40,7 @@ ProtocolReport analyze_static(const ProtocolSpec& spec) {
   rep.name = spec.name;
   rep.claim_source = spec.claim.source;
   rep.claimed_register_bits = spec.claim.max_register_bits;
+  rep.claimed_bits_expr = spec.claim.symbolic_bits.render();
   rep.mode = Mode::Static;
 
   const auto add = [&rep, &spec](Diagnostic d) {
@@ -55,8 +57,30 @@ ProtocolReport analyze_static(const ProtocolSpec& spec) {
     return rep;
   }
 
-  const ir::ProtocolIR p = spec.describe();
-  const std::vector<ir::RegisterSummary> sums = ir::summarize(p);
+  ir::ProtocolIR p = spec.describe();
+  p.params = spec.params;  // the spec's instantiation is authoritative
+  const ir::ProtocolSummary full = ir::summarize_full(p);
+  const std::vector<ir::RegisterSummary>& sums = full.registers;
+
+  // The effective per-register budget: the symbolic claim evaluated at this
+  // instantiation when one is stated, else the constant from the table.
+  const int budget = spec.claim.effective_bits(spec.params);
+
+  // A symbolic claim must agree with its tabulated constant at the spec's
+  // own instantiation — a mismatch is a claims-table bug, not slack.
+  if (spec.claim.symbolic_bits.defined() &&
+      budget != spec.claim.max_register_bits) {
+    std::ostringstream msg;
+    msg << "symbolic claim " << spec.claim.symbolic_bits.render()
+        << " evaluates to " << budget << " bits at (n=" << spec.params.n
+        << ", k=" << spec.params.k << ", delta=" << spec.params.delta
+        << ", t=" << spec.params.t << ", b=" << spec.params.b
+        << ") but the claims table states " << spec.claim.max_register_bits;
+    Diagnostic d;
+    d.rule = "static-width";
+    d.message = msg.str();
+    add(std::move(d));
+  }
 
   const auto reg_diag = [](const char* rule, int index,
                            const ir::RegisterDecl& decl, std::string msg) {
@@ -78,15 +102,15 @@ ProtocolReport analyze_static(const ProtocolSpec& spec) {
     // Declared width vs. the claim (the static mirror of `claim-width`).
     if (decl.width_bits != ir::kUnboundedWidth) {
       std::ostringstream msg;
-      if (spec.claim.max_register_bits == 0) {
+      if (budget == 0) {
         msg << "claim [" << spec.claim.source
             << "] admits no bounded registers, but '" << decl.name
             << "' declares " << decl.width_bits << " bits";
         add(reg_diag("static-width", index, decl, msg.str()));
-      } else if (decl.width_bits > spec.claim.max_register_bits) {
+      } else if (decl.width_bits > budget) {
         msg << "register '" << decl.name << "' declares " << decl.width_bits
             << " bits; the claim [" << spec.claim.source
-            << "] grants at most " << spec.claim.max_register_bits;
+            << "] grants at most " << budget;
         add(reg_diag("static-width", index, decl, msg.str()));
       }
     }
@@ -142,12 +166,11 @@ ProtocolReport analyze_static(const ProtocolSpec& spec) {
           add(reg_diag("static-bottom", index, decl, msg.str()));
         }
         // Derivable usage vs. the claimed budget (mirror of `claim-usage`).
-        if (spec.claim.max_register_bits > 0 &&
-            bits > spec.claim.max_register_bits) {
+        if (budget > 0 && bits > budget) {
           std::ostringstream msg;
           msg << "register '" << decl.name << "' may hold " << bits
               << "-bit values; the claim [" << spec.claim.source
-              << "] budgets " << spec.claim.max_register_bits << " bits";
+              << "] budgets " << budget << " bits";
           add(reg_diag("static-width", index, decl, msg.str()));
         }
         rep.max_bounded_bits_used = std::max(rep.max_bounded_bits_used, bits);
@@ -187,14 +210,68 @@ ProtocolReport analyze_static(const ProtocolSpec& spec) {
     }
   }
 
+  // Message-passing rules: the static counterpart of the kernel's channel
+  // topology enforcement plus the declared payload and round budgets.
+  for (std::size_t c = 0; c < p.channels.size(); ++c) {
+    const ir::ChannelDecl& chan = p.channels[c];
+    const ir::ChannelSummary& sum = full.channels[c];
+    if (chan.width_bits == ir::kUnboundedWidth || !sum.used) continue;
+    std::ostringstream msg;
+    if (sum.payloads.unbounded) {
+      msg << "channel " << chan.src << "→" << chan.dst << " declares "
+          << chan.width_bits << "-bit payloads but its IR sends values with "
+          << "no finite bound";
+    } else if (sum.payloads.max_bits() > chan.width_bits) {
+      msg << "channel " << chan.src << "→" << chan.dst << " declares "
+          << chan.width_bits << "-bit payloads but its IR may send "
+          << sum.payloads.max_bits() << "-bit values";
+    } else {
+      continue;
+    }
+    Diagnostic d;
+    d.rule = "static-channel-width";
+    d.pid = chan.src;
+    d.message = msg.str();
+    add(std::move(d));
+  }
+  for (const auto& [pid, dst] : full.off_topology) {
+    std::ostringstream msg;
+    msg << "IR of process " << pid << " sends to process " << dst
+        << ", a link absent from the declared topology";
+    Diagnostic d;
+    d.rule = "static-topology";
+    d.pid = pid;
+    d.message = msg.str();
+    add(std::move(d));
+  }
+  if (p.max_rounds != ir::kMany) {
+    for (std::size_t i = 0; i < p.processes.size(); ++i) {
+      const ir::Count& rounds = full.rounds[i];
+      if (rounds.hi != ir::kMany && rounds.hi <= p.max_rounds) continue;
+      std::ostringstream msg;
+      msg << "process " << p.processes[i].pid << " may execute ";
+      if (rounds.hi == ir::kMany) {
+        msg << "unboundedly many";
+      } else {
+        msg << rounds.hi;
+      }
+      msg << " rounds; the protocol declares at most " << p.max_rounds;
+      Diagnostic d;
+      d.rule = "static-round-bound";
+      d.pid = p.processes[i].pid;
+      d.message = msg.str();
+      add(std::move(d));
+    }
+  }
+
   return rep;
 }
 
 namespace {
 
 /// Maps a dynamic error rule to the static rule that must accompany it.
-/// Rules absent from the table (topology, step-atomicity, warnings) have no
-/// static counterpart — the IR does not model channels or step structure.
+/// Rules absent from the table (step-atomicity, warnings) have no static
+/// counterpart — the IR does not model step structure.
 const char* static_rule_for(const std::string& dynamic_rule) {
   if (dynamic_rule == "claim-width" || dynamic_rule == "claim-usage" ||
       dynamic_rule == "width-overflow") {
@@ -203,6 +280,7 @@ const char* static_rule_for(const std::string& dynamic_rule) {
   if (dynamic_rule == "write-once") return "static-write-once";
   if (dynamic_rule == "swmr-ownership") return "static-ownership";
   if (dynamic_rule == "bottom-escape") return "static-bottom";
+  if (dynamic_rule == "topology") return "static-topology";
   return nullptr;
 }
 

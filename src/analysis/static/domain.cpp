@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/errors.h"
 
@@ -55,6 +56,195 @@ Count Count::times(const Count& iters) const {
   return r;
 }
 
+long ParamEnv::get(Param p) const {
+  switch (p) {
+    case Param::N: return n;
+    case Param::K: return k;
+    case Param::Delta: return delta;
+    case Param::T: return t;
+    case Param::B: return b;
+  }
+  usage_check(false, "ParamEnv::get: unknown parameter");
+  return 0;
+}
+
+int ceil_log2_u64(std::uint64_t v) {
+  if (v <= 1) return 0;
+  return bit_width_u64(v - 1);
+}
+
+// ---------------------------------------------------------------- WidthExpr
+
+struct WidthExpr::Node {
+  enum class Kind { Const, Parameter, Add, Mul, CeilLog2, Max };
+  Kind kind = Kind::Const;
+  long value = 0;                ///< Const.
+  Param param = Param::N;        ///< Parameter.
+  std::shared_ptr<const Node> a;
+  std::shared_ptr<const Node> b;
+};
+
+WidthExpr WidthExpr::constant(long c) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Const;
+  n->value = c;
+  return WidthExpr(std::move(n));
+}
+
+WidthExpr WidthExpr::param(Param p) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Parameter;
+  n->param = p;
+  return WidthExpr(std::move(n));
+}
+
+namespace {
+
+/// Shared precondition of the compound constructors.
+void check_operands(const WidthExpr& a, const WidthExpr& b) {
+  usage_check(a.defined() && b.defined(),
+              "WidthExpr: cannot build on an undefined expression");
+}
+
+}  // namespace
+
+WidthExpr WidthExpr::add(WidthExpr a, WidthExpr b) {
+  check_operands(a, b);
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Add;
+  n->a = std::move(a.node_);
+  n->b = std::move(b.node_);
+  return WidthExpr(std::move(n));
+}
+
+WidthExpr WidthExpr::mul(WidthExpr a, WidthExpr b) {
+  check_operands(a, b);
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Mul;
+  n->a = std::move(a.node_);
+  n->b = std::move(b.node_);
+  return WidthExpr(std::move(n));
+}
+
+WidthExpr WidthExpr::max(WidthExpr a, WidthExpr b) {
+  check_operands(a, b);
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Max;
+  n->a = std::move(a.node_);
+  n->b = std::move(b.node_);
+  return WidthExpr(std::move(n));
+}
+
+WidthExpr WidthExpr::ceil_log2(WidthExpr a) {
+  usage_check(a.defined(),
+              "WidthExpr: cannot build on an undefined expression");
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::CeilLog2;
+  n->a = std::move(a.node_);
+  return WidthExpr(std::move(n));
+}
+
+long WidthExpr::eval(const ParamEnv& env) const {
+  usage_check(defined(), "WidthExpr::eval: undefined expression");
+  struct Ev {
+    const ParamEnv& env;
+    long operator()(const Node& n) const {
+      switch (n.kind) {
+        case Node::Kind::Const: return n.value;
+        case Node::Kind::Parameter: return env.get(n.param);
+        case Node::Kind::Add:
+          return clamp(static_cast<__int128>((*this)(*n.a)) + (*this)(*n.b));
+        case Node::Kind::Mul:
+          return clamp(static_cast<__int128>((*this)(*n.a)) * (*this)(*n.b));
+        case Node::Kind::CeilLog2: {
+          const long v = (*this)(*n.a);
+          return v <= 1 ? 0
+                        : ceil_log2_u64(static_cast<std::uint64_t>(v));
+        }
+        case Node::Kind::Max: return std::max((*this)(*n.a), (*this)(*n.b));
+      }
+      usage_check(false, "WidthExpr::eval: unknown node kind");
+      return 0;
+    }
+    /// Saturates a wide intermediate back into long.
+    static long clamp(__int128 v) {
+      if (v > std::numeric_limits<long>::max()) {
+        return std::numeric_limits<long>::max();
+      }
+      if (v < std::numeric_limits<long>::min()) {
+        return std::numeric_limits<long>::min();
+      }
+      return static_cast<long>(v);
+    }
+  };
+  return Ev{env}(*node_);
+}
+
+namespace {
+
+const char* param_name(Param p) {
+  switch (p) {
+    case Param::N: return "n";
+    case Param::K: return "k";
+    case Param::Delta: return "delta";
+    case Param::T: return "t";
+    case Param::B: return "b";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string WidthExpr::render() const {
+  if (!defined()) return "";
+  struct Rn {
+    std::string operator()(const Node& n) const {
+      switch (n.kind) {
+        case Node::Kind::Const: return std::to_string(n.value);
+        case Node::Kind::Parameter: return param_name(n.param);
+        case Node::Kind::Add:
+          return (*this)(*n.a) + " + " + (*this)(*n.b);
+        case Node::Kind::Mul:
+          return factor(*n.a) + " * " + factor(*n.b);
+        case Node::Kind::CeilLog2: return "ceil_log2(" + (*this)(*n.a) + ")";
+        case Node::Kind::Max:
+          return "max(" + (*this)(*n.a) + ", " + (*this)(*n.b) + ")";
+      }
+      return "?";
+    }
+    /// Parenthesizes additive subterms inside a product.
+    std::string factor(const Node& n) const {
+      const std::string s = (*this)(n);
+      return n.kind == Node::Kind::Add ? "(" + s + ")" : s;
+    }
+  };
+  return Rn{}(*node_);
+}
+
+bool WidthExpr::operator==(const WidthExpr& o) const {
+  struct Eq {
+    bool operator()(const Node* a, const Node* b) const {
+      if (a == b) return true;
+      if (a == nullptr || b == nullptr) return false;
+      if (a->kind != b->kind) return false;
+      switch (a->kind) {
+        case Node::Kind::Const: return a->value == b->value;
+        case Node::Kind::Parameter: return a->param == b->param;
+        case Node::Kind::CeilLog2: return (*this)(a->a.get(), b->a.get());
+        case Node::Kind::Add:
+        case Node::Kind::Mul:
+        case Node::Kind::Max:
+          return (*this)(a->a.get(), b->a.get()) &&
+                 (*this)(a->b.get(), b->b.get());
+      }
+      return false;
+    }
+  };
+  return Eq{}(node_.get(), o.node_.get());
+}
+
+// ---------------------------------------------------------------- ValueExpr
+
 ValueExpr ValueExpr::range(std::uint64_t lo, std::uint64_t hi) {
   usage_check(lo <= hi, "ValueExpr::range: lo must not exceed hi");
   return {false, lo, hi};
@@ -65,12 +255,33 @@ ValueExpr ValueExpr::bits(int b) {
   return {false, 0, (std::uint64_t{1} << b) - 1};
 }
 
+ValueExpr ValueExpr::sym(WidthExpr w) {
+  usage_check(w.defined(), "ValueExpr::sym: width expression is undefined");
+  ValueExpr v;
+  v.sym_width = std::move(w);
+  return v;
+}
+
+ValueExpr ValueExpr::rel(int base_reg, int slack_bits) {
+  usage_check(base_reg >= 0, "ValueExpr::rel: base register must be >= 0");
+  usage_check(slack_bits >= 0, "ValueExpr::rel: slack must be >= 0");
+  ValueExpr v;
+  v.rel_base = base_reg;
+  v.rel_slack = slack_bits;
+  return v;
+}
+
 ValueExpr ValueExpr::join(const ValueExpr& o) const {
+  usage_check(!symbolic() && !relational() && !o.symbolic() && !o.relational(),
+              "ValueExpr::join: symbolic/relational sets must be resolved "
+              "against a register table first");
   if (unbounded || o.unbounded) return any();
   return {false, std::min(lo, o.lo), std::max(hi, o.hi)};
 }
 
 int ValueExpr::max_bits() const {
+  usage_check(!symbolic() && !relational(),
+              "ValueExpr::max_bits: unresolved symbolic/relational set");
   return unbounded ? -1 : bit_width_u64(hi);
 }
 

@@ -1,23 +1,31 @@
 // Abstract domains for the static protocol checker (`bsr lint --static`).
 //
-// Two domains suffice for the paper's width theorems:
+// Three layers suffice for the paper's width theorems:
 //
 //   Count     — intervals [lo, hi] of execution counts with a saturating ∞
 //               (hi = kMany), tracking how often an operation may run across
 //               loop and branch structure. Sequencing adds, control-flow
 //               joins hull, loops multiply by the trip-count interval.
-//   ValueExpr — the set of values a write may store: a u64 interval, or
+//   ValueExpr — the set of values a write may store: a u64 interval,
 //               "unbounded" for inputs and full-information views the model
-//               does not budget. No widening is needed: trip counts are
-//               explicit in the IR, so fixpoints are one multiplication.
+//               does not budget, a *symbolic* width (a WidthExpr over the
+//               model parameters, resolved per instantiation), or a
+//               *relational* width (a difference bound against another
+//               register: at most `slack` bits wider than its declaration).
+//   WidthExpr — a term language over the model parameters n, k, Δ, t, b
+//               with constants, +, ·, ceil_log2 and max. Claims and writes
+//               may be stated symbolically (e.g. ⌈log₂ k⌉ + Δ) and are
+//               evaluated against the ParamEnv of the instantiation the
+//               analyzer actually runs.
 //
-// These are deliberately non-relational — every register budget in the
-// paper (Theorems 1.2–1.4, 8.1) is a per-register constant, so an interval
-// per register discharges it. Protocols whose widths depend on data would
-// need a richer domain (see ROADMAP.md).
+// No widening is needed: trip counts are explicit in the IR, so fixpoints
+// are one multiplication, and symbolic/relational forms are resolved to
+// concrete intervals by the interpreter before any join.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 namespace bsr::analysis::ir {
 
@@ -46,23 +54,94 @@ struct Count {
   bool operator==(const Count&) const = default;
 };
 
+/// Model parameters a symbolic width may mention.
+enum class Param { N, K, Delta, T, B };
+
+/// One instantiation of the model parameters: the process count n, the
+/// approximate-agreement precision k, the footprint diameter Δ, the crash
+/// budget t, and a free per-protocol size parameter b.
+struct ParamEnv {
+  long n = 0;
+  long k = 0;
+  long delta = 0;
+  long t = 0;
+  long b = 0;
+
+  [[nodiscard]] long get(Param p) const;
+
+  bool operator==(const ParamEnv&) const = default;
+};
+
+/// ⌈log₂ v⌉ with ceil_log2(0) = ceil_log2(1) = 0.
+[[nodiscard]] int ceil_log2_u64(std::uint64_t v);
+
+/// A symbolic width: a term over the model parameters. Immutable; copies
+/// share structure. A default-constructed WidthExpr is *undefined* — the
+/// "no symbolic claim" state — and must not be evaluated.
+class WidthExpr {
+ public:
+  WidthExpr() = default;
+
+  [[nodiscard]] static WidthExpr constant(long c);
+  [[nodiscard]] static WidthExpr param(Param p);
+  [[nodiscard]] static WidthExpr add(WidthExpr a, WidthExpr b);
+  [[nodiscard]] static WidthExpr mul(WidthExpr a, WidthExpr b);
+  [[nodiscard]] static WidthExpr ceil_log2(WidthExpr a);
+  [[nodiscard]] static WidthExpr max(WidthExpr a, WidthExpr b);
+
+  [[nodiscard]] bool defined() const { return node_ != nullptr; }
+
+  /// Evaluates under `env` (saturating; negative subterms clamp to 0 under
+  /// ceil_log2). Throws UsageError when undefined.
+  [[nodiscard]] long eval(const ParamEnv& env) const;
+
+  /// Human/JSON rendering, e.g. "ceil_log2(k) + delta"; "" when undefined.
+  [[nodiscard]] std::string render() const;
+
+  /// Structural equality (undefined == undefined).
+  bool operator==(const WidthExpr& o) const;
+
+ private:
+  struct Node;
+  explicit WidthExpr(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+  std::shared_ptr<const Node> node_;
+};
+
 /// The set of values a write may store.
 struct ValueExpr {
   bool unbounded = false;  ///< Any value (inputs, unbounded views).
   std::uint64_t lo = 0;    ///< Inclusive; meaningful when !unbounded.
   std::uint64_t hi = 0;
+  /// When defined, the set is [0, 2^w − 1] for w = sym_width evaluated at
+  /// the protocol's ParamEnv; lo/hi are placeholders until resolved.
+  WidthExpr sym_width;
+  /// When >= 0, a difference bound: the set fits in (declared width of
+  /// register rel_base) + rel_slack bits; resolved against the register
+  /// table by the interpreter.
+  int rel_base = -1;
+  int rel_slack = 0;
 
-  [[nodiscard]] static constexpr ValueExpr constant(std::uint64_t v) {
+  [[nodiscard]] static ValueExpr constant(std::uint64_t v) {
     return {false, v, v};
   }
   [[nodiscard]] static ValueExpr range(std::uint64_t lo, std::uint64_t hi);
   /// The full range of a b-bit word: [0, 2^b − 1].
   [[nodiscard]] static ValueExpr bits(int b);
-  [[nodiscard]] static constexpr ValueExpr any() { return {true, 0, 0}; }
+  [[nodiscard]] static ValueExpr any() { return {true, 0, 0}; }
+  /// All values of width w(params) bits, w a symbolic expression.
+  [[nodiscard]] static ValueExpr sym(WidthExpr w);
+  /// All values at most `slack_bits` wider than register `base_reg`'s
+  /// declared width (difference-bound pair).
+  [[nodiscard]] static ValueExpr rel(int base_reg, int slack_bits);
 
+  [[nodiscard]] bool symbolic() const { return sym_width.defined(); }
+  [[nodiscard]] bool relational() const { return rel_base >= 0; }
+
+  /// Join of two *resolved* (concrete or unbounded) sets; throws UsageError
+  /// on unresolved symbolic/relational operands.
   [[nodiscard]] ValueExpr join(const ValueExpr& o) const;
   /// Bits needed for the largest value in the set (0 for the constant 0);
-  /// -1 when the set is unbounded.
+  /// -1 when the set is unbounded. Requires a resolved set.
   [[nodiscard]] int max_bits() const;
 
   bool operator==(const ValueExpr&) const = default;

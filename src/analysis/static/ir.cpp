@@ -52,50 +52,102 @@ Instr maybe(std::vector<Instr> body) {
   return loop(Count::between(0, 1), std::move(body));
 }
 
+Instr send(int dst, ValueExpr payload) {
+  usage_check(dst >= 0, "ir::send: destination pid must be >= 0");
+  Instr i;
+  i.kind = Instr::Kind::Send;
+  i.peer = dst;
+  i.value = payload;
+  return i;
+}
+
+Instr recv(int src) {
+  usage_check(src >= -1, "ir::recv: source pid must be >= 0 or -1 (any)");
+  Instr i;
+  i.kind = Instr::Kind::Recv;
+  i.peer = src;
+  return i;
+}
+
+Instr round(std::vector<Instr> body) {
+  Instr i;
+  i.kind = Instr::Kind::Round;
+  i.body = std::move(body);
+  return i;
+}
+
 namespace {
 
-/// Count effects of one instruction sequence on every register.
+/// Count effects of one instruction sequence on registers, channels, and
+/// the round counter.
 struct Effect {
   std::vector<Count> writes;
   std::vector<Count> reads;
+  std::vector<Count> sends;
+  std::vector<Count> recvs;
+  Count rounds;
 
-  explicit Effect(std::size_t nregs) : writes(nregs), reads(nregs) {}
+  Effect(std::size_t nregs, std::size_t nchans)
+      : writes(nregs), reads(nregs), sends(nchans), recvs(nchans) {}
 
   void seq(const Effect& o) {
     for (std::size_t r = 0; r < writes.size(); ++r) {
       writes[r] = writes[r].seq(o.writes[r]);
       reads[r] = reads[r].seq(o.reads[r]);
     }
+    for (std::size_t c = 0; c < sends.size(); ++c) {
+      sends[c] = sends[c].seq(o.sends[c]);
+      recvs[c] = recvs[c].seq(o.recvs[c]);
+    }
+    rounds = rounds.seq(o.rounds);
   }
   void times(const Count& iters) {
     for (std::size_t r = 0; r < writes.size(); ++r) {
       writes[r] = writes[r].times(iters);
       reads[r] = reads[r].times(iters);
     }
+    for (std::size_t c = 0; c < sends.size(); ++c) {
+      sends[c] = sends[c].times(iters);
+      recvs[c] = recvs[c].times(iters);
+    }
+    rounds = rounds.times(iters);
   }
 };
 
 class Interpreter {
  public:
-  explicit Interpreter(const ProtocolIR& p)
-      : p_(p), summaries_(p.registers.size()) {}
+  explicit Interpreter(const ProtocolIR& p) : p_(p) {
+    summary_.registers.resize(p.registers.size());
+    summary_.channels.resize(p.channels.size());
+  }
 
-  std::vector<RegisterSummary> run() {
+  ProtocolSummary run() {
     for (const ProcessIR& proc : p_.processes) {
       const Effect e = interpret(proc.body, proc.pid);
-      for (std::size_t r = 0; r < summaries_.size(); ++r) {
+      for (std::size_t r = 0; r < summary_.registers.size(); ++r) {
         // Write/read totals add across processes: the write-once rule is a
         // bound on a register's total writes, whoever performs them.
-        summaries_[r].writes = summaries_[r].writes.seq(e.writes[r]);
-        summaries_[r].reads = summaries_[r].reads.seq(e.reads[r]);
+        RegisterSummary& s = summary_.registers[r];
+        s.writes = s.writes.seq(e.writes[r]);
+        s.reads = s.reads.seq(e.reads[r]);
       }
+      for (std::size_t c = 0; c < summary_.channels.size(); ++c) {
+        ChannelSummary& s = summary_.channels[c];
+        s.sends = s.sends.seq(e.sends[c]);
+        s.recvs = s.recvs.seq(e.recvs[c]);
+      }
+      summary_.rounds.push_back(e.rounds);
     }
-    for (RegisterSummary& s : summaries_) {
+    for (RegisterSummary& s : summary_.registers) {
       std::sort(s.writers.begin(), s.writers.end());
       s.writers.erase(std::unique(s.writers.begin(), s.writers.end()),
                       s.writers.end());
     }
-    return std::move(summaries_);
+    std::sort(summary_.off_topology.begin(), summary_.off_topology.end());
+    summary_.off_topology.erase(std::unique(summary_.off_topology.begin(),
+                                            summary_.off_topology.end()),
+                                summary_.off_topology.end());
+    return std::move(summary_);
   }
 
  private:
@@ -106,17 +158,57 @@ class Interpreter {
     return static_cast<std::size_t>(reg);
   }
 
+  /// Index of the declared channel src→dst, or npos when undeclared.
+  std::size_t channel_index(int src, int dst) const {
+    for (std::size_t c = 0; c < p_.channels.size(); ++c) {
+      if (p_.channels[c].src == src && p_.channels[c].dst == dst) return c;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+
+  /// Resolves symbolic and relational value sets to concrete intervals:
+  /// sym(w) → [0, 2^w(params) − 1], rel(base, slack) → the full range of
+  /// (declared width of base + slack) bits. Widths ≤ 0 collapse to {0};
+  /// widths ≥ 64 (or an unbounded base) escape to ⊤.
+  ValueExpr resolve(const ValueExpr& v) const {
+    long width = 0;
+    if (v.symbolic()) {
+      width = v.sym_width.eval(p_.params);
+    } else if (v.relational()) {
+      const RegisterDecl& base = p_.registers[checked(v.rel_base)];
+      if (base.width_bits == kUnboundedWidth) return ValueExpr::any();
+      width = static_cast<long>(base.width_bits) + v.rel_slack;
+    } else {
+      return v;
+    }
+    if (width <= 0) return ValueExpr::constant(0);
+    if (width >= 64) return ValueExpr::any();
+    return ValueExpr::bits(static_cast<int>(width));
+  }
+
   /// Records a write's value set and writer, independent of trip counts: a
   /// write under a [0, N] loop still constrains the register's value set.
   void record_write(int reg, const ValueExpr& v, int pid) {
-    RegisterSummary& s = summaries_[checked(reg)];
-    s.values = s.written ? s.values.join(v) : v;
+    RegisterSummary& s = summary_.registers[checked(reg)];
+    const ValueExpr r = resolve(v);
+    s.values = s.written ? s.values.join(r) : r;
+    if (v.symbolic()) {
+      s.sym = s.sym.defined() ? WidthExpr::max(s.sym, v.sym_width)
+                              : v.sym_width;
+    }
     s.written = true;
     s.writers.push_back(pid);
   }
 
+  void record_send(std::size_t chan, const ValueExpr& payload) {
+    ChannelSummary& s = summary_.channels[chan];
+    const ValueExpr r = resolve(payload);
+    s.payloads = s.used ? s.payloads.join(r) : r;
+    s.used = true;
+  }
+
   Effect interpret(const std::vector<Instr>& body, int pid) {
-    Effect acc(p_.registers.size());
+    Effect acc(p_.registers.size(), p_.channels.size());
     for (const Instr& i : body) {
       switch (i.kind) {
         case Instr::Kind::Read:
@@ -141,6 +233,31 @@ class Interpreter {
             acc.reads[checked(r)] = acc.reads[checked(r)].seq(Count::exactly(1));
           }
           break;
+        case Instr::Kind::Send: {
+          if (p_.channels.empty()) break;  // topology unconstrained
+          const std::size_t c = channel_index(pid, i.peer);
+          if (c == static_cast<std::size_t>(-1)) {
+            summary_.off_topology.emplace_back(pid, i.peer);
+          } else {
+            acc.sends[c] = acc.sends[c].seq(Count::exactly(1));
+            record_send(c, i.value);
+          }
+          break;
+        }
+        case Instr::Kind::Recv: {
+          if (p_.channels.empty() || i.peer < 0) break;
+          const std::size_t c = channel_index(i.peer, pid);
+          if (c != static_cast<std::size_t>(-1)) {
+            acc.recvs[c] = acc.recvs[c].seq(Count::exactly(1));
+          }
+          break;
+        }
+        case Instr::Kind::Round: {
+          Effect inner = interpret(i.body, pid);
+          inner.rounds = inner.rounds.seq(Count::exactly(1));
+          acc.seq(inner);
+          break;
+        }
         case Instr::Kind::Loop: {
           Effect inner = interpret(i.body, pid);
           inner.times(i.iters);
@@ -153,12 +270,16 @@ class Interpreter {
   }
 
   const ProtocolIR& p_;
-  std::vector<RegisterSummary> summaries_;
+  ProtocolSummary summary_;
 };
 
 }  // namespace
 
 std::vector<RegisterSummary> summarize(const ProtocolIR& p) {
+  return Interpreter(p).run().registers;
+}
+
+ProtocolSummary summarize_full(const ProtocolIR& p) {
   return Interpreter(p).run();
 }
 

@@ -1,5 +1,6 @@
-// A static intermediate representation of shared-memory protocols, and an
-// abstract interpreter deriving per-register facts from it.
+// A static intermediate representation of shared-memory and
+// message-passing protocols, and an abstract interpreter deriving
+// per-register and per-channel facts from it.
 //
 // Every built-in protocol emits its IR through `ProtocolSpec::describe` (a
 // hand-written mirror of the coroutine body, kept honest by the
@@ -8,20 +9,34 @@
 // with explicit loop structure. Branches are loops with trip count [0, 1];
 // data-dependent early exits widen a loop's trip count to an interval.
 //
+// Message-passing protocols additionally declare a channel table (the
+// topology) and emit send/recv/round ops; a declared `max_rounds` lets the
+// checker bound the round structure statically, mirroring the dynamic
+// `topology` findings of the simulator's link layer.
+//
+// Write values may be concrete intervals, *symbolic* widths (WidthExpr
+// terms over the model parameters, resolved against the ProtocolIR's
+// ParamEnv), or *relational* widths (difference bounds against another
+// register's declaration) — see domain.h. The interpreter resolves both
+// forms to concrete intervals before joining, so the checker stays
+// interval-based.
+//
 // `summarize` interprets the IR over the interval domains of domain.h and
 // returns, per register: how often it may be written and read in one
 // complete execution, the set of values writes may store, and which
-// processes write it. The checker (checker.h) turns those facts into
-// `static-*` diagnostics against the paper's width claims — once per
-// protocol, independent of any schedule, with zero simulator steps
-// (Bollig–Markey–Sankur-style parameterized verification, specialized to
-// the width bounds this library reproduces).
+// processes write it. `summarize_full` additionally reports per-channel
+// traffic, off-topology sends, and per-process round counts. The checker
+// (checker.h) turns those facts into `static-*` diagnostics against the
+// paper's width claims — once per protocol, independent of any schedule,
+// with zero simulator steps (Bollig–Markey–Sankur-style parameterized
+// verification, specialized to the width bounds this library reproduces).
 //
 // This library is deliberately free of core/sim dependencies so protocol
 // modules can emit IR without a layering cycle.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/static/domain.h"
@@ -40,17 +55,27 @@ struct RegisterDecl {
   bool allows_bottom = false;  ///< One code point (2^b − 1) reserved for ⊥.
 };
 
+/// One directed link of the declared topology. A protocol with an empty
+/// channel table leaves its topology unconstrained (complete graph).
+struct ChannelDecl {
+  int src = -1;
+  int dst = -1;
+  int width_bits = kUnboundedWidth;  ///< Payload budget; -1 = unbudgeted.
+};
+
 /// One abstract operation. Loops carry their body and a trip-count
-/// interval; everything else targets registers by index into the
-/// ProtocolIR's register table.
+/// interval; register ops target the ProtocolIR's register table by index;
+/// message ops name peer pids directly.
 struct Instr {
-  enum class Kind { Read, Write, Snapshot, WriteSnapshot, Loop };
+  enum class Kind { Read, Write, Snapshot, WriteSnapshot, Loop, Send, Recv,
+                    Round };
   Kind kind = Kind::Read;
   int reg = -1;             ///< Read / Write / WriteSnapshot target.
   std::vector<int> regs;    ///< Snapshot / WriteSnapshot group.
-  ValueExpr value;          ///< Write / WriteSnapshot value set.
+  ValueExpr value;          ///< Write / WriteSnapshot value; Send payload.
   Count iters;              ///< Loop trip-count interval.
-  std::vector<Instr> body;  ///< Loop body.
+  std::vector<Instr> body;  ///< Loop / Round body.
+  int peer = -1;            ///< Send destination / Recv source (-1 = any).
 };
 
 [[nodiscard]] Instr read(int reg);
@@ -63,16 +88,28 @@ struct Instr {
 [[nodiscard]] Instr loop(Count iters, std::vector<Instr> body);
 /// A conditional block: a loop executing 0 or 1 times.
 [[nodiscard]] Instr maybe(std::vector<Instr> body);
+/// A message send to `dst` with payload set `payload`.
+[[nodiscard]] Instr send(int dst, ValueExpr payload);
+/// A message receive from `src`; src = -1 receives from any peer.
+[[nodiscard]] Instr recv(int src = -1);
+/// One communication round: its body executes once and the enclosing
+/// process's round count increments by one (scaled by surrounding loops).
+[[nodiscard]] Instr round(std::vector<Instr> body);
 
 struct ProcessIR {
   int pid = 0;
   std::vector<Instr> body;
 };
 
-/// A whole protocol: the register table plus one op sequence per process.
+/// A whole protocol: the register table, the declared topology, and one op
+/// sequence per process, with the parameter instantiation used to resolve
+/// symbolic widths.
 struct ProtocolIR {
   std::vector<RegisterDecl> registers;
   std::vector<ProcessIR> processes;
+  std::vector<ChannelDecl> channels;  ///< Empty = topology unconstrained.
+  long max_rounds = kMany;            ///< Round budget; kMany = undeclared.
+  ParamEnv params;                    ///< Instantiation for symbolic widths.
 };
 
 /// Per-register facts derived by abstract interpretation.
@@ -81,15 +118,42 @@ struct RegisterSummary {
   Count reads;   ///< Total reads (each snapshot member counts once).
   /// Join of every value a write instruction may store, regardless of how
   /// often it executes (sound for width checks: a loop bound of [0, N]
-  /// still contributes its value set).
+  /// still contributes its value set). Symbolic/relational write forms are
+  /// resolved to concrete intervals before joining.
   ValueExpr values;
+  /// Join (pointwise max) of the symbolic width expressions of all
+  /// symbolic writes to this register; undefined when none were symbolic.
+  WidthExpr sym;
   bool written = false;      ///< Some write instruction targets it.
   std::vector<int> writers;  ///< Pids with a write targeting it (sorted).
+};
+
+/// Per-channel facts (indexed like ProtocolIR::channels).
+struct ChannelSummary {
+  Count sends;        ///< Messages sent over the link per execution.
+  Count recvs;        ///< Explicit recvs naming the link's source.
+  ValueExpr payloads; ///< Join of payload sets; resolved like write values.
+  bool used = false;  ///< Some send targets this link.
+};
+
+/// Everything the abstract interpreter derives in one pass.
+struct ProtocolSummary {
+  std::vector<RegisterSummary> registers;
+  std::vector<ChannelSummary> channels;
+  /// Sends whose (src pid, dst) pair is outside the declared channel table
+  /// (only populated when the table is non-empty), sorted and deduplicated.
+  std::vector<std::pair<int, int>> off_topology;
+  /// Per-process round counts (indexed like ProtocolIR::processes).
+  std::vector<Count> rounds;
 };
 
 /// Interprets every process body over the count/value domains and combines
 /// them into per-register summaries (indexed like p.registers). Throws
 /// UsageError when an instruction targets a register outside the table.
 [[nodiscard]] std::vector<RegisterSummary> summarize(const ProtocolIR& p);
+
+/// Like `summarize`, but also derives channel traffic, off-topology sends,
+/// and per-process round counts.
+[[nodiscard]] ProtocolSummary summarize_full(const ProtocolIR& p);
 
 }  // namespace bsr::analysis::ir

@@ -166,6 +166,42 @@ std::array<int, 2> install_packed_alg1(sim::Sim& sim, std::uint64_t k,
   return regs;
 }
 
+analysis::ir::ProtocolIR describe_packed_alg2(long L) {
+  namespace air = analysis::ir;
+  usage_check(L >= 3 && L % 2 == 1,
+              "describe_packed_alg2: plan path length must be odd and >= 3");
+  const long k = (L - 1) / 2;
+  air::ProtocolIR p;
+  p.registers.push_back(air::RegisterDecl{"task.I1", 0, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  p.registers.push_back(air::RegisterDecl{"task.I2", 1, air::kUnboundedWidth,
+                                          /*write_once=*/true,
+                                          /*allows_bottom=*/false});
+  p.registers.push_back(air::RegisterDecl{"packed.P1", 0, 3, false, false});
+  p.registers.push_back(air::RegisterDecl{"packed.P2", 1, 3, false, false});
+  for (int me = 0; me < 2; ++me) {
+    const int other = 1 - me;
+    const int p_me = 2 + me;
+    const int p_other = 2 + other;
+    air::ProcessIR proc;
+    proc.pid = me;
+    // Line 2: publish the (binary) task input, then probe the other's.
+    proc.body.push_back(air::write(me, air::ValueExpr::range(0, 1)));
+    proc.body.push_back(air::read(other));
+    // The packed ε-agreement core (describe_packed_alg1's shape, inlined).
+    proc.body.push_back(air::write(p_me, air::ValueExpr::range(2, 4)));
+    proc.body.push_back(air::loop(
+        air::Count::between(1, k),
+        {air::write(p_me, air::ValueExpr::range(2, 5)), air::read(p_other)}));
+    proc.body.push_back(air::read(p_other));
+    // Line 11: one more input read, only on the 0 < d < L branch.
+    proc.body.push_back(air::maybe({air::read(other)}));
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 PackedAlg2Handles install_packed_alg2(sim::Sim& sim,
                                       const topo::Bmz2Plan& plan,
                                       const Config& inputs) {

@@ -78,4 +78,9 @@ PackedAlg2Handles install_packed_alg2(sim::Sim& sim,
 /// on every iteration (the shadow-copy emulation of §5.2.3).
 [[nodiscard]] analysis::ir::ProtocolIR describe_packed_alg1(std::uint64_t k);
 
+/// Static IR of install_packed_alg2 for a plan of odd path length L ≥ 3
+/// (binary task inputs): write-once unbounded input registers plus the
+/// packed ε-agreement core with k = (L − 1) / 2.
+[[nodiscard]] analysis::ir::ProtocolIR describe_packed_alg2(long L);
+
 }  // namespace bsr::core

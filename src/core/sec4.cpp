@@ -172,6 +172,30 @@ EarlySetup make_quantized_early_group(int s_bits, int rounds) {
   return setup;
 }
 
+analysis::ir::ProtocolIR describe_quantized_early_group(int s_bits,
+                                                        int rounds) {
+  namespace air = analysis::ir;
+  usage_check(s_bits >= 2 && s_bits <= 6 && rounds >= 1 && rounds <= 6,
+              "describe_quantized_early_group: parameters out of range");
+  air::ProtocolIR p;
+  p.registers.push_back(air::RegisterDecl{"Q1", 0, s_bits, false, false});
+  p.registers.push_back(air::RegisterDecl{"Q2", 1, s_bits, false, false});
+  // Estimates live on the s-bit grid [0, 2^s − 1] = [0, k − 1]; stated
+  // symbolically so the width bound is ⌈log₂ k⌉, a function of the model
+  // parameter rather than a baked-in constant.
+  const air::ValueExpr est = air::ValueExpr::sym(
+      air::WidthExpr::ceil_log2(air::WidthExpr::param(air::Param::K)));
+  for (int me = 0; me < 2; ++me) {
+    const int other = 1 - me;
+    air::ProcessIR proc;
+    proc.pid = me;
+    proc.body.push_back(air::loop(air::Count::exactly(rounds),
+                                  {air::write(me, est), air::read(other)}));
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 RuleRefutation refute_completion_rule(const FootprintCollision& c,
                                       const CompletionRule& rule) {
   RuleRefutation r;

@@ -31,6 +31,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/static/ir.h"
 #include "core/alg1.h"
 #include "sim/sched.h"
 #include "tasks/task.h"
@@ -81,6 +82,14 @@ using EarlyFactory = std::function<EarlySetup()>;
 /// ε-agreement attempt). The adversary defeats it too, as Theorem 1.1
 /// demands of *every* bounded protocol.
 [[nodiscard]] EarlySetup make_quantized_early_group(int s_bits, int rounds);
+
+/// Static IR of make_quantized_early_group: two s-bit registers, each
+/// rewritten once per averaging round. The write width is stated
+/// *symbolically* as ⌈log₂ k⌉ (k the grid size, 2^s_bits), so the checker
+/// exercises the symbolic-width path — the ParamEnv the analyzer installs
+/// must set k accordingly.
+[[nodiscard]] analysis::ir::ProtocolIR describe_quantized_early_group(
+    int s_bits, int rounds);
 
 /// A candidate decision rule for the late process: footprint word ↦ output
 /// grid numerator (over 2k+1).

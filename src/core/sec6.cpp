@@ -287,6 +287,60 @@ analysis::ir::ProtocolIR describe_register_stack(int n, Sec6Options opts) {
   return p;
 }
 
+namespace {
+
+/// Shared shape of the message-passing stacks' IR: one serving round per
+/// process containing an unbounded pump of sends (to every out-neighbour in
+/// `out_edges`) and a receive from any peer. `out_edges[i]` must list
+/// process i's out-neighbours; the same list becomes the channel table.
+analysis::ir::ProtocolIR describe_message_stack(
+    int n, const std::vector<std::vector<sim::Pid>>& out_edges) {
+  namespace air = analysis::ir;
+  air::ProtocolIR p;
+  for (int i = 0; i < n; ++i) {
+    for (const sim::Pid dst : out_edges[static_cast<std::size_t>(i)]) {
+      p.channels.push_back(air::ChannelDecl{i, dst, air::kUnboundedWidth});
+    }
+  }
+  p.max_rounds = 1;
+  for (int me = 0; me < n; ++me) {
+    std::vector<air::Instr> pump;
+    for (const sim::Pid dst : out_edges[static_cast<std::size_t>(me)]) {
+      pump.push_back(air::maybe({air::send(dst, air::ValueExpr::any())}));
+    }
+    pump.push_back(air::recv());
+    air::ProcessIR proc;
+    proc.pid = me;
+    // Processes serve forever: one round whose pump has no finite bound.
+    proc.body.push_back(air::round(
+        {air::loop(air::Count::between(0, air::kMany), std::move(pump))}));
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
+}  // namespace
+
+analysis::ir::ProtocolIR describe_abd_stack(int n, Sec6Options opts) {
+  usage_check(opts.t >= 1 && 2 * opts.t < n,
+              "describe_abd_stack: requires 1 <= t < n/2");
+  // AbdLayer sends to every other process directly (self-delivery is
+  // internal), so the declared topology is the complete graph minus loops.
+  std::vector<std::vector<sim::Pid>> edges(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (j != i) edges[static_cast<std::size_t>(i)].push_back(j);
+    }
+  }
+  return describe_message_stack(n, edges);
+}
+
+analysis::ir::ProtocolIR describe_ring_stack(int n, Sec6Options opts) {
+  usage_check(opts.t >= 1 && 2 * opts.t < n,
+              "describe_ring_stack: requires 1 <= t < n/2");
+  return describe_message_stack(n, msg::t_augmented_ring(n, opts.t));
+}
+
 std::vector<int> install_register_stack(sim::Sim& sim, Sec6Options opts,
                                         const std::vector<std::uint64_t>& inputs,
                                         std::shared_ptr<Sec6Result> result) {

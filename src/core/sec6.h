@@ -91,4 +91,16 @@ std::vector<int> install_register_stack(sim::Sim& sim, Sec6Options opts,
 [[nodiscard]] analysis::ir::ProtocolIR describe_register_stack(
     int n, Sec6Options opts);
 
+/// Static IR of install_abd_stack: no registers; a complete message
+/// topology (AbdLayer delivers to itself internally, so no self-loops) and
+/// per process one serving round of an unbounded send/recv pump.
+[[nodiscard]] analysis::ir::ProtocolIR describe_abd_stack(
+    int n, Sec6Options opts);
+
+/// Static IR of install_ring_stack: like describe_abd_stack, but the
+/// declared topology is the t-augmented ring (offsets 1 … t+1), matching
+/// ring_sim_options — the flooding router never sends off-ring.
+[[nodiscard]] analysis::ir::ProtocolIR describe_ring_stack(
+    int n, Sec6Options opts);
+
 }  // namespace bsr::core

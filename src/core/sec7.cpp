@@ -318,6 +318,35 @@ Alg3Handles install_full_info_ic(sim::Sim& sim, int k,
   return h;
 }
 
+analysis::ir::ProtocolIR describe_full_info_ic(int n, int k) {
+  namespace air = analysis::ir;
+  usage_check(n >= 1 && k >= 1, "describe_full_info_ic: n and k must be >= 1");
+  air::ProtocolIR p;
+  for (int r = 0; r < k; ++r) {
+    for (int i = 0; i < n; ++i) {
+      p.registers.push_back(air::RegisterDecl{
+          "M" + std::to_string(r) + "." + std::to_string(i), i,
+          air::kUnboundedWidth, /*write_once=*/false,
+          /*allows_bottom=*/false});
+    }
+  }
+  for (int me = 0; me < n; ++me) {
+    air::ProcessIR proc;
+    proc.pid = me;
+    for (int r = 0; r < k; ++r) {
+      const int base = r * n;
+      // Line 5: write the whole (unbounded) view, then line 6: collect the
+      // round's n registers one by one, own register included.
+      proc.body.push_back(air::write(base + me, air::ValueExpr::any()));
+      for (int j = 0; j < n; ++j) {
+        proc.body.push_back(air::read(base + j));
+      }
+    }
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
+}
+
 namespace {
 
 /// Algorithm 5, code for one process.
@@ -384,6 +413,34 @@ Alg5Handles install_alg5(sim::Sim& sim, const std::vector<Value>& inputs) {
     });
   }
   return h;
+}
+
+analysis::ir::ProtocolIR describe_alg5(int n) {
+  namespace air = analysis::ir;
+  usage_check(n >= 1, "describe_alg5: n must be >= 1");
+  air::ProtocolIR p;
+  for (int rho = 0; rho < n; ++rho) {
+    for (int i = 0; i < n; ++i) {
+      p.registers.push_back(air::RegisterDecl{
+          "M" + std::to_string(rho) + "." + std::to_string(i), i,
+          air::kUnboundedWidth, /*write_once=*/false,
+          /*allows_bottom=*/false});
+    }
+  }
+  for (int me = 0; me < n; ++me) {
+    air::ProcessIR proc;
+    proc.pid = me;
+    for (int rho = 0; rho < n; ++rho) {
+      const int base = rho * n;
+      // Line 3: write (x_i, b_i); line 4: collect — n individual reads.
+      proc.body.push_back(air::write(base + me, air::ValueExpr::any()));
+      for (int j = 0; j < n; ++j) {
+        proc.body.push_back(air::read(base + j));
+      }
+    }
+    p.processes.push_back(std::move(proc));
+  }
+  return p;
 }
 
 }  // namespace bsr::core

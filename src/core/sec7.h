@@ -114,6 +114,10 @@ struct Alg3Handles {
 Alg3Handles install_full_info_ic(sim::Sim& sim, int k,
                                  const std::vector<Value>& inputs);
 
+/// Static IR of install_full_info_ic: k rounds of write-whole-view then
+/// collect over n·k unbounded registers.
+[[nodiscard]] analysis::ir::ProtocolIR describe_full_info_ic(int n, int k);
+
 // ---------------------------------------------------------------- Alg. 5 --
 
 struct Alg5Handles {
@@ -125,5 +129,9 @@ struct Alg5Handles {
 /// IC iterations). Process i contributes `inputs[i]`; its decision is the
 /// n-vector snapshot S_i (⊥ entries for processes outside its snapshot).
 Alg5Handles install_alg5(sim::Sim& sim, const std::vector<Value>& inputs);
+
+/// Static IR of install_alg5: n write/collect iterations over n·n
+/// unbounded registers.
+[[nodiscard]] analysis::ir::ProtocolIR describe_alg5(int n);
 
 }  // namespace bsr::core

@@ -441,6 +441,10 @@ void Sim::violate(ModelEvent::Kind kind, Pid pid, int reg, std::string msg) {
                                    std::move(msg)});
 }
 
+void Sim::set_width_tracking(int reg, bool on) {
+  reg_at(reg).track_width = on;
+}
+
 void Sim::do_write(Pid pid, int reg, const Value& v) {
   Register& r = reg_at(reg);
   reg_ops_in_step_ += 1;
@@ -453,7 +457,7 @@ void Sim::do_write(Pid pid, int reg, const Value& v) {
     violate(ModelEvent::Kind::WriteOnce, pid, reg,
             "second write to write-once register '" + r.name + "'");
   }
-  if (r.width_bits != kUnbounded) {
+  if (r.width_bits != kUnbounded && r.track_width) {
     if (!v.is_u64()) {
       violate(ModelEvent::Kind::Width, pid, reg,
               "non-integer value " + v.str() +

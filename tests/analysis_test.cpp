@@ -123,6 +123,7 @@ ProtocolReport sample_report() {
   rep.executions = 7;
   rep.max_bounded_bits_used = 2;
   rep.claimed_register_bits = 3;
+  rep.claimed_bits_expr = "ceil_log2(k) + delta";
   Diagnostic err;
   err.rule = "swmr-ownership";
   err.protocol = "p";
@@ -155,7 +156,8 @@ TEST(Sinks, TextFormat) {
   sink.close(1, 1);
   const std::string out = os.str();
   EXPECT_NE(out.find("p: 7 executions explored"), std::string::npos);
-  EXPECT_NE(out.find("2/3 claimed [Theorem T]"), std::string::npos);
+  EXPECT_NE(out.find("2/3 (= ceil_log2(k) + delta) claimed [Theorem T]"),
+            std::string::npos);
   EXPECT_NE(out.find("error[swmr-ownership] p0 register 'R \"q\"' step 4"),
             std::string::npos);
   EXPECT_NE(out.find("warning[dead-register]"), std::string::npos);
@@ -170,6 +172,8 @@ TEST(Sinks, JsonFormatEscapesAndAggregates) {
   const std::string out = os.str();
   EXPECT_EQ(out.rfind("{\"protocols\":[{\"name\":\"p\"", 0), 0u);
   EXPECT_NE(out.find("\"executions\":7"), std::string::npos);
+  EXPECT_NE(out.find("\"claimed_bits_expr\":\"ceil_log2(k) + delta\""),
+            std::string::npos);
   EXPECT_NE(out.find("\"rule\":\"swmr-ownership\""), std::string::npos);
   EXPECT_NE(out.find("\"register_name\":\"R \\\"q\\\"\""), std::string::npos);
   EXPECT_NE(out.find("\"errors\":1,\"warnings\":1}"), std::string::npos);
@@ -247,6 +251,23 @@ TEST(Analyzer, MisdeclaredDemoTripsEveryRule) {
   EXPECT_FALSE(it->fingerprint.empty());
   EXPECT_GE(it->step, 0);
   EXPECT_EQ(it->reg_name, "demo.peer");
+}
+
+TEST(Analyzer, SymbolicClaimBudgetsTheDynamicTier) {
+  // The symbolic canary's budget ⌈log₂ k⌉ + Δ evaluates to 2 bits at its
+  // instantiation; its 3-bit registers and 3-bit writes must trip the same
+  // claim rules a constant budget would.
+  const ProtocolSpec* spec = find_protocol("demo-misdeclared-symbolic");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_TRUE(spec->demo);
+  EXPECT_EQ(spec->claim.effective_bits(spec->params), 2);
+  const ProtocolReport rep = analyze_protocol(*spec);
+  EXPECT_EQ(rep.claimed_bits_expr, "ceil_log2(k) + delta");
+  std::set<std::string> rules;
+  for (const Diagnostic& d : rep.diagnostics) rules.insert(d.rule);
+  EXPECT_TRUE(rules.contains("claim-width"));
+  EXPECT_TRUE(rules.contains("claim-usage"));
+  EXPECT_EQ(rep.errors(), 4);  // declaration + usage, one per register
 }
 
 TEST(Analyzer, SampledStackSatisfiesItsClaim) {

@@ -1,10 +1,9 @@
 // Schema tests for `bsr lint --json` (documented in docs/ANALYSIS.md): a
 // minimal JSON parser validates the document structure the sink emits, and
-// a golden file pins the static tier's exact output so the schema cannot
-// drift silently. The golden file is regenerated with:
+// golden files pin the static tier's exact output so the schema cannot
+// drift silently. The golden files are regenerated with:
 //
-//   ./build/tools/bsr lint --mode=static --protocol alg1,demo-misdeclared \
-//       --json > tests/golden/lint_static.json
+//   ./scripts/update_goldens.sh
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -215,8 +214,8 @@ void check_schema(const std::string& json) {
     const JsonObject& p = pv.object();
     for (const char* key :
          {"name", "mode", "claim_source", "sampled", "executions",
-          "max_bounded_bits_used", "claimed_register_bits", "registers",
-          "diagnostics"}) {
+          "max_bounded_bits_used", "claimed_register_bits",
+          "claimed_bits_expr", "registers", "diagnostics"}) {
       ASSERT_TRUE(p.contains(key)) << "protocol entry missing " << key;
     }
     const std::string& mode = p.at("mode").str();
@@ -226,7 +225,7 @@ void check_schema(const std::string& json) {
       const JsonObject& r = rv.object();
       for (const char* key :
            {"index", "name", "writer", "declared_bits", "write_once",
-            "allows_bottom", "max_bits", "max_writes", "read"}) {
+            "allows_bottom", "max_bits", "max_writes", "read", "sym_bits"}) {
         ASSERT_TRUE(r.contains(key)) << "register row missing " << key;
       }
       (void)r.at("write_once").boolean();
@@ -269,24 +268,35 @@ TEST(LintSchema, EscapingRoundTrips) {
   EXPECT_EQ(std::get<std::string>(p.parse().v), nasty);
 }
 
-TEST(LintSchema, StaticGoldenFileIsCurrent) {
+void check_golden(const std::string& file, std::vector<std::string> protocols) {
   // Exact-output pin: the static tier is deterministic (no exploration), so
   // any schema or diagnostic drift shows up as a golden-file diff.
-  std::ifstream golden(std::string(BSR_GOLDEN_DIR) + "/lint_static.json");
-  ASSERT_TRUE(golden.good()) << "missing tests/golden/lint_static.json";
+  std::ifstream golden(std::string(BSR_GOLDEN_DIR) + "/" + file);
+  ASSERT_TRUE(golden.good()) << "missing tests/golden/" << file;
   std::ostringstream want;
   want << golden.rdbuf();
   LintOptions opts;
-  opts.protocols = {"alg1", "demo-misdeclared"};
+  opts.protocols = std::move(protocols);
   opts.mode = LintMode::Static;
   opts.json = true;
   std::ostringstream out;
   std::ostringstream err;
-  EXPECT_EQ(run_lint(opts, out, err), 1);  // the demo canary always fails
+  EXPECT_EQ(run_lint(opts, out, err), 1);  // each pairs a canary that fails
   EXPECT_EQ(out.str(), want.str())
-      << "regenerate with: ./build/tools/bsr lint --mode=static "
-         "--protocol alg1,demo-misdeclared --json > "
-         "tests/golden/lint_static.json";
+      << "regenerate with: ./scripts/update_goldens.sh";
+}
+
+TEST(LintSchema, StaticGoldenFileIsCurrent) {
+  check_golden("lint_static.json", {"alg1", "demo-misdeclared"});
+}
+
+TEST(LintSchema, SymbolicGoldenFileIsCurrent) {
+  // Pins the symbolic-width surface: sec4-quantized's claim and write set
+  // are WidthExpr terms (⌈log₂ k⌉), and the symbolic canary's violated
+  // budget is ⌈log₂ k⌉ + Δ — claimed_bits_expr and sym_bits must render
+  // byte-identically across schema changes.
+  check_golden("lint_symbolic.json",
+               {"sec4-quantized", "demo-misdeclared-symbolic"});
 }
 
 }  // namespace

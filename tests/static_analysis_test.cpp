@@ -4,6 +4,8 @@
 // keeps every describe() hook honest against its factory.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
@@ -69,6 +71,178 @@ TEST(ValueDomain, BitWidthMirrorsValue) {
   EXPECT_EQ(ir::bit_width_u64(1), 1);
   EXPECT_EQ(ir::bit_width_u64(21), 5);
   EXPECT_EQ(ir::bit_width_u64(~std::uint64_t{0}), 64);
+}
+
+TEST(WidthDomain, CeilLog2EdgeCases) {
+  EXPECT_EQ(ir::ceil_log2_u64(0), 0);
+  EXPECT_EQ(ir::ceil_log2_u64(1), 0);
+  EXPECT_EQ(ir::ceil_log2_u64(2), 1);
+  EXPECT_EQ(ir::ceil_log2_u64(3), 2);
+  EXPECT_EQ(ir::ceil_log2_u64(4), 2);
+  EXPECT_EQ(ir::ceil_log2_u64(5), 3);
+  EXPECT_EQ(ir::ceil_log2_u64(std::uint64_t{1} << 63), 63);
+  EXPECT_EQ(ir::ceil_log2_u64((std::uint64_t{1} << 63) + 1), 64);
+  EXPECT_EQ(ir::ceil_log2_u64(~std::uint64_t{0}), 64);
+}
+
+TEST(WidthDomain, EvalSubstitutesParametersAndSaturates) {
+  using ir::Param;
+  using ir::ParamEnv;
+  using ir::WidthExpr;
+  const ParamEnv env{.n = 3, .k = 8, .delta = 2, .t = 1, .b = 5};
+  const WidthExpr w = WidthExpr::add(
+      WidthExpr::ceil_log2(WidthExpr::param(Param::K)),
+      WidthExpr::param(Param::Delta));
+  EXPECT_EQ(w.eval(env), 5);  // ⌈log₂ 8⌉ + 2
+  EXPECT_EQ(WidthExpr::max(WidthExpr::param(Param::N),
+                           WidthExpr::param(Param::B))
+                .eval(env),
+            5);
+  EXPECT_EQ(WidthExpr::mul(WidthExpr::param(Param::T),
+                           WidthExpr::constant(7))
+                .eval(env),
+            7);
+  // ceil_log2 clamps non-positive subterms to 0 rather than misbehaving.
+  EXPECT_EQ(WidthExpr::ceil_log2(WidthExpr::constant(-5)).eval(env), 0);
+  EXPECT_EQ(WidthExpr::ceil_log2(WidthExpr::constant(0)).eval(env), 0);
+  EXPECT_EQ(WidthExpr::ceil_log2(WidthExpr::constant(1)).eval(env), 0);
+  // Saturating arithmetic: overflow clamps instead of wrapping.
+  const long big = std::numeric_limits<long>::max();
+  EXPECT_EQ(WidthExpr::add(WidthExpr::constant(big), WidthExpr::constant(big))
+                .eval(env),
+            big);
+  EXPECT_EQ(WidthExpr::mul(WidthExpr::constant(big), WidthExpr::constant(2))
+                .eval(env),
+            big);
+}
+
+TEST(WidthDomain, RenderFormsAndUndefinedGuards) {
+  using ir::Param;
+  using ir::WidthExpr;
+  EXPECT_EQ(WidthExpr::constant(4).render(), "4");
+  EXPECT_EQ(WidthExpr::param(Param::Delta).render(), "delta");
+  EXPECT_EQ(WidthExpr::add(WidthExpr::ceil_log2(WidthExpr::param(Param::K)),
+                           WidthExpr::param(Param::Delta))
+                .render(),
+            "ceil_log2(k) + delta");
+  // Additive subterms parenthesize inside a product; max is a call form.
+  EXPECT_EQ(WidthExpr::mul(WidthExpr::add(WidthExpr::param(Param::N),
+                                          WidthExpr::constant(1)),
+                           WidthExpr::param(Param::T))
+                .render(),
+            "(n + 1) * t");
+  EXPECT_EQ(WidthExpr::max(WidthExpr::param(Param::N),
+                           WidthExpr::constant(2))
+                .render(),
+            "max(n, 2)");
+  const WidthExpr undefined;
+  EXPECT_FALSE(undefined.defined());
+  EXPECT_EQ(undefined.render(), "");
+  EXPECT_THROW((void)undefined.eval(ir::ParamEnv{}), UsageError);
+  EXPECT_THROW((void)WidthExpr::add(undefined, WidthExpr::constant(1)),
+               UsageError);
+  EXPECT_THROW((void)WidthExpr::ceil_log2(undefined), UsageError);
+}
+
+TEST(WidthDomain, StructuralEquality) {
+  using ir::Param;
+  using ir::WidthExpr;
+  const auto expr = [] {
+    return WidthExpr::add(WidthExpr::ceil_log2(WidthExpr::param(Param::K)),
+                          WidthExpr::param(Param::Delta));
+  };
+  EXPECT_TRUE(expr() == expr());
+  EXPECT_FALSE(expr() == WidthExpr::param(Param::Delta));
+  EXPECT_FALSE(WidthExpr::param(Param::N) == WidthExpr::param(Param::T));
+  EXPECT_FALSE(WidthExpr::constant(1) == WidthExpr::param(Param::N));
+  EXPECT_TRUE(WidthExpr{} == WidthExpr{});
+  EXPECT_FALSE(WidthExpr{} == WidthExpr::constant(0));
+}
+
+TEST(ValueDomain, U64BoundaryJoinsAndWidths) {
+  const std::uint64_t top = ~std::uint64_t{0};
+  EXPECT_EQ(ValueExpr::constant(top).max_bits(), 64);
+  EXPECT_EQ(ValueExpr::range(0, top).max_bits(), 64);
+  EXPECT_EQ(ValueExpr::bits(63).max_bits(), 63);
+  EXPECT_EQ(ValueExpr::bits(63).hi, (std::uint64_t{1} << 63) - 1);
+  // Joins at the extremes stay exact — no wraparound, no widening.
+  EXPECT_EQ(ValueExpr::constant(0).join(ValueExpr::constant(top)),
+            ValueExpr::range(0, top));
+  EXPECT_EQ(ValueExpr::range(top - 1, top).join(ValueExpr::constant(0)),
+            ValueExpr::range(0, top));
+  EXPECT_EQ(ValueExpr::any().join(ValueExpr::constant(top)), ValueExpr::any());
+}
+
+TEST(ValueDomain, SymbolicAndRelationalFormsMustBeResolved) {
+  using ir::Param;
+  using ir::WidthExpr;
+  const ValueExpr s =
+      ValueExpr::sym(WidthExpr::ceil_log2(WidthExpr::param(Param::K)));
+  EXPECT_TRUE(s.symbolic());
+  EXPECT_FALSE(s.relational());
+  const ValueExpr r = ValueExpr::rel(0, 1);
+  EXPECT_TRUE(r.relational());
+  EXPECT_FALSE(r.symbolic());
+  // Unresolved forms refuse interval operations: the interpreter must
+  // resolve them against the ParamEnv / register table first.
+  EXPECT_THROW((void)s.max_bits(), UsageError);
+  EXPECT_THROW((void)r.max_bits(), UsageError);
+  EXPECT_THROW((void)s.join(ValueExpr::constant(0)), UsageError);
+  EXPECT_THROW((void)ValueExpr::constant(0).join(r), UsageError);
+  EXPECT_THROW((void)ValueExpr::sym(WidthExpr{}), UsageError);
+  EXPECT_THROW((void)ValueExpr::rel(-1, 0), UsageError);
+  EXPECT_THROW((void)ValueExpr::rel(0, -1), UsageError);
+}
+
+TEST(Summarize, SymbolicWritesResolveAgainstTheParamEnv) {
+  using ir::Param;
+  using ir::WidthExpr;
+  const auto make = [](long k) {
+    ir::ProtocolIR p;
+    p.registers.push_back(ir::RegisterDecl{"R", 0, 4, false, false});
+    p.params.k = k;
+    ir::ProcessIR p0;
+    p0.pid = 0;
+    p0.body.push_back(ir::write(
+        0, ValueExpr::sym(WidthExpr::ceil_log2(WidthExpr::param(Param::K)))));
+    p.processes.push_back(std::move(p0));
+    return p;
+  };
+  // k = 8 → a 3-bit value set; the symbolic form is kept alongside.
+  const auto s8 = ir::summarize_full(make(8));
+  EXPECT_EQ(s8.registers[0].values, ValueExpr::bits(3));
+  EXPECT_EQ(s8.registers[0].sym.render(), "ceil_log2(k)");
+  // k = 1 → width 0 resolves to the single value 0.
+  const auto s1 = ir::summarize_full(make(1));
+  EXPECT_EQ(s1.registers[0].values, ValueExpr::constant(0));
+  // A width of ≥ 64 bits resolves to the unbounded set.
+  ir::ProtocolIR wide = make(8);
+  wide.params.b = 64;
+  wide.processes[0].body[0] =
+      ir::write(0, ValueExpr::sym(WidthExpr::param(Param::B)));
+  EXPECT_EQ(ir::summarize_full(wide).registers[0].values, ValueExpr::any());
+}
+
+TEST(Summarize, RelationalWritesResolveAgainstDeclaredWidths) {
+  ir::ProtocolIR p;
+  p.registers.push_back(ir::RegisterDecl{"A", 0, 2, false, false});
+  p.registers.push_back(ir::RegisterDecl{"B", 1, 4, false, false});
+  p.registers.push_back(ir::RegisterDecl{"U", 0, ir::kUnboundedWidth, false,
+                                         false});
+  p.registers.push_back(ir::RegisterDecl{"C", 1, 5, false, false});
+  ir::ProcessIR p0;
+  p0.pid = 0;
+  ir::ProcessIR p1;
+  p1.pid = 1;
+  // B ≤ width(A) + 1 = 3 bits; C relates to the unbounded U, so its set
+  // cannot be bounded either.
+  p1.body.push_back(ir::write(1, ValueExpr::rel(0, 1)));
+  p1.body.push_back(ir::write(3, ValueExpr::rel(2, 0)));
+  p.processes.push_back(std::move(p0));
+  p.processes.push_back(std::move(p1));
+  const auto sums = ir::summarize_full(p);
+  EXPECT_EQ(sums.registers[1].values, ValueExpr::bits(3));
+  EXPECT_EQ(sums.registers[3].values, ValueExpr::any());
 }
 
 /// Two processes over three registers, exercising loops, branches, and
@@ -200,6 +374,127 @@ TEST(StaticChecker, MisdeclaredDemoTripsEveryStaticRule) {
   }
 }
 
+TEST(Summarize, DerivesChannelTrafficRoundsAndOffTopologySends) {
+  ir::ProtocolIR p;
+  p.channels.push_back(ir::ChannelDecl{0, 1, 2});
+  p.channels.push_back(ir::ChannelDecl{1, 0, 2});
+  p.max_rounds = 1;
+  ir::ProcessIR p0;
+  p0.pid = 0;
+  p0.body.push_back(ir::round({ir::send(1, ValueExpr::constant(3)),
+                               ir::send(0, ValueExpr::constant(1))}));
+  ir::ProcessIR p1;
+  p1.pid = 1;
+  p1.body.push_back(ir::round({ir::recv(0), ir::send(0, ValueExpr::any())}));
+  p.processes.push_back(std::move(p0));
+  p.processes.push_back(std::move(p1));
+  const ir::ProtocolSummary full = ir::summarize_full(p);
+  ASSERT_EQ(full.channels.size(), 2u);
+  EXPECT_TRUE(full.channels[0].used);
+  EXPECT_EQ(full.channels[0].sends, Count::exactly(1));
+  EXPECT_EQ(full.channels[0].recvs, Count::exactly(1));
+  EXPECT_EQ(full.channels[0].payloads, ValueExpr::constant(3));
+  EXPECT_EQ(full.channels[1].payloads, ValueExpr::any());
+  // p0's self-send has no declared link: recorded as an off-topology pair.
+  EXPECT_EQ(full.off_topology,
+            (std::vector<std::pair<int, int>>{{0, 0}}));
+  ASSERT_EQ(full.rounds.size(), 2u);
+  EXPECT_EQ(full.rounds[0], Count::exactly(1));
+  EXPECT_EQ(full.rounds[1], Count::exactly(1));
+}
+
+/// A register-free message protocol whose IR violates all three message
+/// rules at once: an over-width payload on a declared 2-bit link, a send
+/// outside the declared topology, and an unbounded round count against a
+/// declared budget of 1.
+ProtocolSpec message_violator_spec() {
+  ProtocolSpec spec;
+  spec.name = "msg-violator";
+  spec.claim = {0, std::nullopt, "test"};
+  spec.describe = [] {
+    ir::ProtocolIR p;
+    p.channels.push_back(ir::ChannelDecl{0, 1, 2});
+    p.max_rounds = 1;
+    ir::ProcessIR p0;
+    p0.pid = 0;
+    p0.body.push_back(ir::loop(
+        Count::between(0, kMany),
+        {ir::round({ir::send(1, ValueExpr::range(0, 15)),
+                    ir::send(0, ValueExpr::constant(0))})}));
+    ir::ProcessIR p1;
+    p1.pid = 1;
+    p1.body.push_back(ir::recv(0));
+    p.processes.push_back(std::move(p0));
+    p.processes.push_back(std::move(p1));
+    return p;
+  };
+  return spec;
+}
+
+TEST(StaticChecker, MessageRulesFlagWidthTopologyAndRounds) {
+  const ProtocolReport rep = analyze_static(message_violator_spec());
+  std::set<std::string> rules;
+  for (const Diagnostic& d : rep.diagnostics) rules.insert(d.rule);
+  EXPECT_EQ(rules, (std::set<std::string>{"static-channel-width",
+                                          "static-topology",
+                                          "static-round-bound"}));
+  for (const Diagnostic& d : rep.diagnostics) {
+    EXPECT_EQ(d.pid, 0) << d.rule;  // every finding blames the sender
+    EXPECT_EQ(d.reg, -1) << d.rule;
+    EXPECT_EQ(d.severity, Severity::Error) << d.rule;
+  }
+}
+
+TEST(StaticChecker, EmptyChannelTableLeavesTopologyUnconstrained) {
+  // Shared-memory protocols declare no channels; their sends (there are
+  // none) and topology are out of scope, so the register-only protocols
+  // must not suddenly trip message rules.
+  ProtocolSpec spec = message_violator_spec();
+  auto base = spec.describe;
+  spec.describe = [base] {
+    ir::ProtocolIR p = base();
+    p.channels.clear();
+    p.max_rounds = ir::kMany;
+    return p;
+  };
+  EXPECT_EQ(analyze_static(spec).errors(), 0);
+}
+
+TEST(StaticChecker, SymbolicClaimMustMatchTheTabulatedConstant) {
+  ProtocolSpec spec;
+  spec.name = "sym-claim";
+  spec.claim = {3, std::nullopt, "test"};
+  spec.claim.symbolic_bits = ir::WidthExpr::ceil_log2(
+      ir::WidthExpr::param(ir::Param::K));
+  spec.params.k = 8;  // ⌈log₂ 8⌉ = 3 — consistent
+  spec.describe = [] {
+    ir::ProtocolIR p;
+    p.registers.push_back(ir::RegisterDecl{"R", 0, 3, false, false});
+    ir::ProcessIR p0;
+    p0.pid = 0;
+    p0.body.push_back(ir::write(0, ValueExpr::range(0, 7)));
+    p0.body.push_back(ir::read(0));
+    p.processes.push_back(std::move(p0));
+    return p;
+  };
+  EXPECT_EQ(analyze_static(spec).errors(), 0);
+  // Re-instantiate with k = 4: the symbolic claim now evaluates to 2, the
+  // tabulated 3 no longer matches, and the 3-bit register is over budget.
+  spec.params.k = 4;
+  const ProtocolReport rep = analyze_static(spec);
+  EXPECT_GT(rep.errors(), 0);
+  bool found_consistency = false;
+  for (const Diagnostic& d : rep.diagnostics) {
+    if (d.message.find("claims table states") != std::string::npos) {
+      found_consistency = true;
+      EXPECT_EQ(d.rule, "static-width");
+      EXPECT_EQ(d.pid, -1);
+      EXPECT_EQ(d.reg, -1);
+    }
+  }
+  EXPECT_TRUE(found_consistency);
+}
+
 TEST(StaticChecker, EveryBuiltinDescribeMatchesItsFactory) {
   // The IR's register table must mirror the factory's Sim declaration for
   // declaration: this is the static half of what `--mode both` enforces.
@@ -232,7 +527,9 @@ TEST(StaticChecker, EveryBuiltinDescribeMatchesItsFactory) {
 TEST(CrossValidate, AgreesOnCleanAndMisdeclaredProtocols) {
   // Both tiers run for real; any disagreement between them is a bug in one
   // of the analyzers (each is the other's oracle).
-  for (const char* name : {"alg1", "fast-agreement", "demo-misdeclared"}) {
+  for (const char* name : {"alg1", "fast-agreement", "demo-misdeclared",
+                           "sec4-quantized", "ring-stack",
+                           "demo-misdeclared-symbolic"}) {
     const ProtocolSpec* spec = find_protocol(name);
     ASSERT_NE(spec, nullptr) << name;
     const ProtocolReport stat = analyze_static(*spec);

@@ -176,8 +176,47 @@ TEST(Lint, UnknownProtocolExitsTwo) {
   std::ostringstream out;
   std::ostringstream err;
   EXPECT_EQ(run_lint(opts, out, err), 2);
+  // The diagnostic names the failure class and lists every registered
+  // protocol, so a typo is a one-glance fix.
+  EXPECT_NE(err.str().find("no-such-protocol:"), std::string::npos);
   EXPECT_NE(err.str().find("unknown protocol 'no-such-protocol'"),
             std::string::npos);
+  EXPECT_NE(err.str().find("registered protocols:"), std::string::npos);
+  for (const char* name : {"alg1", "sec4-quantized", "ring-stack",
+                           "demo-misdeclared-symbolic"}) {
+    EXPECT_NE(err.str().find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Lint, EmptyProtocolNameExitsTwo) {
+  // `--protocol` with an empty value (e.g. `--protocol --json`) must not
+  // silently fall through to the all-protocols sweep.
+  analysis::LintOptions opts;
+  opts.protocols = {""};
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_lint(opts, out, err), 2);
+  EXPECT_NE(err.str().find("unknown protocol ''"), std::string::npos);
+}
+
+TEST(Lint, SymbolicCanaryFailsIdenticallyInEveryMode) {
+  // The misdeclared-symbolic demo violates its evaluated budget
+  // ⌈log₂ k⌉ + Δ = 2 with 3-bit registers: both tiers must flag it (exit
+  // 1) and `both` must see no disagreement (which would exit 2).
+  for (const auto mode :
+       {analysis::LintMode::Dynamic, analysis::LintMode::Static,
+        analysis::LintMode::Both}) {
+    analysis::LintOptions opts;
+    opts.protocols = {"demo-misdeclared-symbolic"};
+    opts.mode = mode;
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(run_lint(opts, out, err), 1);
+    EXPECT_EQ(out.str().find("static-dynamic-disagreement"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("(= ceil_log2(k) + delta)"), std::string::npos);
+    EXPECT_TRUE(err.str().empty()) << err.str();
+  }
 }
 
 TEST(Lint, JsonOutputShape) {

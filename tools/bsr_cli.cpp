@@ -316,6 +316,12 @@ int cmd_lint(const Args& a) {
   while (std::getline(names, name, ',')) {
     if (!name.empty()) opts.protocols.push_back(name);
   }
+  // `--protocol` with an empty (or all-commas) value must not silently fall
+  // through to the default all-protocols sweep: surface it as an unknown
+  // protocol name instead.
+  if (a.flag("protocol") && opts.protocols.empty()) {
+    opts.protocols.push_back("");
+  }
   return run_lint(opts, std::cout, std::cerr);
 }
 
