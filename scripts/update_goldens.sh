@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Regenerates the golden files pinned by lint_schema_test.cpp. The static
-# tier is deterministic (zero exploration), so the output is byte-stable;
-# CI re-runs this script and fails on any uncommitted drift.
+# Regenerates the golden files pinned by lint_schema_test.cpp and the
+# generated protocol reference (docs/PROTOCOLS.md, from `bsr doc`). Both are
+# deterministic (zero exploration, no timestamps), so the output is
+# byte-stable; CI re-runs this script and fails on any uncommitted drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,5 +31,9 @@ gen tests/golden/lint_static.json \
 gen tests/golden/lint_symbolic.json \
   lint --mode=static --json --protocol sec4-quantized,demo-misdeclared-symbolic
 
+# The protocol reference is rendered from the registry's reflected IR;
+# `bsr doc` exits 0 or the tool is broken.
+"$BSR" doc > docs/PROTOCOLS.md
+
 echo "goldens updated:"
-ls -l tests/golden/
+ls -l tests/golden/ docs/PROTOCOLS.md

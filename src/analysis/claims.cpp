@@ -1,5 +1,6 @@
 #include "analysis/claims.h"
 
+#include <array>
 #include <memory>
 #include <utility>
 
@@ -12,6 +13,7 @@
 #include "core/sec4.h"
 #include "core/sec6.h"
 #include "core/sec7.h"
+#include "proto/builder.h"
 #include "sim/sched.h"
 #include "tasks/approx.h"
 #include "tasks/explicit_task.h"
@@ -114,7 +116,7 @@ ProtocolSpec alg2_spec() {
     return sim;
   };
   s.describe = [plan] {
-    return core::describe_alg2(static_cast<std::uint64_t>(plan->L));
+    return core::describe_alg2(*plan, {Value(0), Value(1)});
   };
   s.explore.max_steps = 500;
   return s;
@@ -172,7 +174,7 @@ ProtocolSpec fast_agreement_spec() {
     core::install_fast_agreement(*sim, *plan, {0, 1});
     return sim;
   };
-  s.describe = [opts] { return core::describe_fast_agreement(opts); };
+  s.describe = [plan] { return core::describe_fast_agreement(*plan); };
   s.explore.max_steps = 400;
   return s;
 }
@@ -190,9 +192,7 @@ ProtocolSpec alg4_spec() {
     core::install_alg4_agreement(*sim, *plan, {0, 1});
     return sim;
   };
-  s.describe = [plan] {
-    return core::describe_alg4_agreement(plan->configs().flat.size());
-  };
+  s.describe = [plan] { return core::describe_alg4_agreement(*plan); };
   s.explore.max_steps = 500;
   return s;
 }
@@ -264,7 +264,7 @@ ProtocolSpec packed_alg2_spec() {
     return sim;
   };
   s.describe = [plan] {
-    return core::describe_packed_alg2(static_cast<long>(plan->L));
+    return core::describe_packed_alg2(*plan, {Value(0), Value(1)});
   };
   s.explore.max_steps = 500;
   return s;
@@ -391,11 +391,44 @@ ProtocolSpec sec4_quantized_spec() {
   return s;
 }
 
-/// The linter's own canary: a protocol whose declarations and behavior
-/// violate every rule the analyzer knows — claims 2-bit registers but
-/// declares an 8-bit one, writes a 5-bit value, writes a write-once
-/// register twice, writes the other process's register, escapes into a ⊥
-/// code point, and declares a register nobody ever reads.
+/// The linter's canary, written once against the builder — the violations
+/// live in the executable body and reflection carries them into the IR
+/// faithfully, so the static tier must flag the protocol through the same
+/// facts the dynamic tier observes (and `--mode both` sees no disagreement).
+void build_misdeclared(proto::Proto& pr) {
+  const int wide = pr.add_register("demo.wide", 0, 8, Value(0));
+  const int once =
+      pr.add_bottom_register("demo.once", 0, 2, /*write_once=*/true);
+  const int peer = pr.add_register("demo.peer", 1, 2, Value(0));
+  const int bot = pr.add_bottom_register("demo.bottom", 1, 2);
+  const int dead = pr.add_register("demo.dead", 1, 1, Value(0));
+  pr.spawn(0, [=](proto::P p) -> sim::Proc {
+    // 5 bits: breaks the 2-bit claim.
+    co_await p.write(wide, Value(21), ir::ValueExpr::constant(21));
+    co_await p.write(once, Value(1), ir::ValueExpr::constant(1));
+    // Write-once violation.
+    co_await p.write(once, Value(2), ir::ValueExpr::constant(2));
+    // SWMR violation: peer is owned by process 1.
+    co_await p.write(peer, Value(1), ir::ValueExpr::constant(1));
+    co_return Value(0);
+  });
+  pr.spawn(1, [=](proto::P p) -> sim::Proc {
+    (void)co_await p.read(wide);
+    // ⊥ code point of a 2-bit bottom register.
+    co_await p.write(bot, Value(3), ir::ValueExpr::constant(3));
+    // 3 bits into a 1-bit register.
+    co_await p.write(dead, Value(5), ir::ValueExpr::constant(5));
+    (void)co_await p.read(once);
+    (void)co_await p.read(bot);
+    co_return Value(1);
+  });
+}
+
+/// A protocol whose declarations and behavior violate every rule the
+/// analyzer knows — claims 2-bit registers but declares an 8-bit one, writes
+/// a 5-bit value, writes a write-once register twice, writes the other
+/// process's register, escapes into a ⊥ code point, and declares a register
+/// nobody ever reads.
 ProtocolSpec misdeclared_demo_spec() {
   ProtocolSpec s;
   s.name = "demo-misdeclared";
@@ -406,59 +439,37 @@ ProtocolSpec misdeclared_demo_spec() {
   s.demo = true;
   s.factory = [] {
     auto sim = std::make_unique<Sim>(2);
-    const int wide = sim->add_register("demo.wide", 0, 8, Value(0));
-    const int once =
-        sim->add_bottom_register("demo.once", 0, 2, /*write_once=*/true);
-    const int peer = sim->add_register("demo.peer", 1, 2, Value(0));
-    const int bot = sim->add_bottom_register("demo.bottom", 1, 2);
-    const int dead = sim->add_register("demo.dead", 1, 1, Value(0));
-    sim->spawn(0, [=](sim::Env& env) -> sim::Proc {
-      co_await env.write(wide, Value(21));  // 5 bits: breaks the 2-bit claim
-      co_await env.write(once, Value(1));
-      co_await env.write(once, Value(2));   // write-once violation
-      co_await env.write(peer, Value(1));   // SWMR violation
-      co_return Value(0);
-    });
-    sim->spawn(1, [=](sim::Env& env) -> sim::Proc {
-      (void)co_await env.read(wide);
-      co_await env.write(bot, Value(3));    // ⊥ code point of a 2-bit reg
-      co_await env.write(dead, Value(5));   // 3 bits into a 1-bit register
-      (void)co_await env.read(once);
-      (void)co_await env.read(bot);
-      co_return Value(1);
-    });
+    proto::Proto pr(*sim);
+    build_misdeclared(pr);
     return sim;
   };
-  // The canary's IR mirrors its factory faithfully — including the
-  // violations — so the static tier must flag it through the same facts the
-  // dynamic tier observes (and `--mode both` must see no disagreement).
   s.describe = [] {
-    namespace air = ir;
-    air::ProtocolIR p;
-    p.registers.push_back(air::RegisterDecl{"demo.wide", 0, 8, false, false});
-    p.registers.push_back(air::RegisterDecl{"demo.once", 0, 2, true, true});
-    p.registers.push_back(air::RegisterDecl{"demo.peer", 1, 2, false, false});
-    p.registers.push_back(air::RegisterDecl{"demo.bottom", 1, 2, false, true});
-    p.registers.push_back(air::RegisterDecl{"demo.dead", 1, 1, false, false});
-    air::ProcessIR p0;
-    p0.pid = 0;
-    p0.body.push_back(air::write(0, air::ValueExpr::constant(21)));
-    p0.body.push_back(air::write(1, air::ValueExpr::constant(1)));
-    p0.body.push_back(air::write(1, air::ValueExpr::constant(2)));
-    p0.body.push_back(air::write(2, air::ValueExpr::constant(1)));
-    air::ProcessIR p1;
-    p1.pid = 1;
-    p1.body.push_back(air::read(0));
-    p1.body.push_back(air::write(3, air::ValueExpr::constant(3)));
-    p1.body.push_back(air::write(4, air::ValueExpr::constant(5)));
-    p1.body.push_back(air::read(1));
-    p1.body.push_back(air::read(3));
-    p.processes.push_back(std::move(p0));
-    p.processes.push_back(std::move(p1));
-    return p;
+    proto::Proto pr(proto::Proto::ReflectOptions{.n = 2, .params = {}});
+    build_misdeclared(pr);
+    return std::move(pr).take_ir();
   };
   s.explore.max_steps = 50;
   return s;
+}
+
+/// The symbolic canary's single-source body. The write is annotated
+/// *relationally*: whatever fits the peer's declared width (3 bits) —
+/// exercising the difference-bound layer. The resolved 3-bit set reproduces
+/// the dynamic 3-bit observation exactly.
+void build_misdeclared_symbolic(proto::Proto& pr) {
+  const std::array<int, 2> regs{pr.add_register("sym.R0", 0, 3, Value(0)),
+                                pr.add_register("sym.R1", 1, 3, Value(0))};
+  for (int me = 0; me < 2; ++me) {
+    const int other = 1 - me;
+    pr.spawn(me, [=](proto::P p) -> sim::Proc {
+      // 3 bits: breaks the 2-bit symbolic budget ⌈log₂ k⌉ + Δ at k=2, Δ=1.
+      co_await p.write(regs[static_cast<std::size_t>(me)], Value(5),
+                       ir::ValueExpr::rel(regs[static_cast<std::size_t>(other)],
+                                          0));
+      (void)co_await p.read(regs[static_cast<std::size_t>(other)]);
+      co_return Value(me);
+    });
+  }
 }
 
 /// A second canary for the symbolic layer: the claim ⌈log₂ k⌉ + Δ evaluates
@@ -482,37 +493,14 @@ ProtocolSpec misdeclared_symbolic_demo_spec() {
   s.demo = true;
   s.factory = [] {
     auto sim = std::make_unique<Sim>(2);
-    const int r0 = sim->add_register("sym.R0", 0, 3, Value(0));
-    const int r1 = sim->add_register("sym.R1", 1, 3, Value(0));
-    sim->spawn(0, [=](sim::Env& env) -> sim::Proc {
-      co_await env.write(r0, Value(5));  // 3 bits: breaks the 2-bit budget
-      (void)co_await env.read(r1);
-      co_return Value(0);
-    });
-    sim->spawn(1, [=](sim::Env& env) -> sim::Proc {
-      co_await env.write(r1, Value(5));
-      (void)co_await env.read(r0);
-      co_return Value(1);
-    });
+    proto::Proto pr(*sim);
+    build_misdeclared_symbolic(pr);
     return sim;
   };
-  // The IR states each write *relationally*: whatever fits the peer's
-  // declared width (3 bits) — exercising the difference-bound layer. The
-  // resolved 3-bit set reproduces the dynamic 3-bit observation exactly.
   s.describe = [] {
-    namespace air = ir;
-    air::ProtocolIR p;
-    p.registers.push_back(air::RegisterDecl{"sym.R0", 0, 3, false, false});
-    p.registers.push_back(air::RegisterDecl{"sym.R1", 1, 3, false, false});
-    for (int me = 0; me < 2; ++me) {
-      const int other = 1 - me;
-      air::ProcessIR proc;
-      proc.pid = me;
-      proc.body.push_back(air::write(me, air::ValueExpr::rel(other, 0)));
-      proc.body.push_back(air::read(other));
-      p.processes.push_back(std::move(proc));
-    }
-    return p;
+    proto::Proto pr(proto::Proto::ReflectOptions{.n = 2, .params = {}});
+    build_misdeclared_symbolic(pr);
+    return std::move(pr).take_ir();
   };
   s.explore.max_steps = 50;
   return s;

@@ -1,0 +1,22 @@
+// `bsr doc`: the generated protocol reference.
+//
+// Renders the built-in protocol registry (claims.h) into the markdown
+// reference committed at docs/PROTOCOLS.md. Every entry is derived from the
+// spec's reflected IR — the same single-source builder body the simulator
+// executes — so the reference cannot drift from the code: register tables,
+// claimed widths (including symbolic terms), channel topology, round
+// bounds, and the lint rules that audit each protocol all come from
+// `ProtocolSpec::describe()` and the claims table.
+//
+// The output is a pure function of the registry (no timestamps, no
+// environment), so CI can regenerate it and fail on any diff.
+#pragma once
+
+#include <iosfwd>
+
+namespace bsr::analysis {
+
+/// Writes the full protocol reference markdown to `os`.
+void write_protocol_reference(std::ostream& os);
+
+}  // namespace bsr::analysis

@@ -2,9 +2,10 @@
 // message-passing protocols, and an abstract interpreter deriving
 // per-register and per-channel facts from it.
 //
-// Every built-in protocol emits its IR through `ProtocolSpec::describe` (a
-// hand-written mirror of the coroutine body, kept honest by the
-// cross-validation in `bsr lint --mode both`): the register table it
+// Every built-in protocol emits its IR through `ProtocolSpec::describe`,
+// *derived* from the executable coroutine body by the proto builder's
+// reflect mode (src/proto/builder.h; `bsr lint --mode both` cross-validates
+// the two interpreters of that single description): the register table it
 // declares, and per process a sequence of read/write/snapshot operations
 // with explicit loop structure. Branches are loops with trip count [0, 1];
 // data-dependent early exits widen a loop's trip count to an interval.
@@ -53,6 +54,8 @@ struct RegisterDecl {
   int width_bits = kUnboundedWidth;
   bool write_once = false;
   bool allows_bottom = false;  ///< One code point (2^b − 1) reserved for ⊥.
+
+  bool operator==(const RegisterDecl&) const = default;
 };
 
 /// One directed link of the declared topology. A protocol with an empty
@@ -61,6 +64,8 @@ struct ChannelDecl {
   int src = -1;
   int dst = -1;
   int width_bits = kUnboundedWidth;  ///< Payload budget; -1 = unbudgeted.
+
+  bool operator==(const ChannelDecl&) const = default;
 };
 
 /// One abstract operation. Loops carry their body and a trip-count
@@ -76,6 +81,9 @@ struct Instr {
   Count iters;              ///< Loop trip-count interval.
   std::vector<Instr> body;  ///< Loop / Round body.
   int peer = -1;            ///< Send destination / Recv source (-1 = any).
+
+  /// Structural equality, recursive over loop/round bodies.
+  bool operator==(const Instr&) const = default;
 };
 
 [[nodiscard]] Instr read(int reg);
@@ -99,6 +107,8 @@ struct Instr {
 struct ProcessIR {
   int pid = 0;
   std::vector<Instr> body;
+
+  bool operator==(const ProcessIR&) const = default;
 };
 
 /// A whole protocol: the register table, the declared topology, and one op
@@ -110,7 +120,23 @@ struct ProtocolIR {
   std::vector<ChannelDecl> channels;  ///< Empty = topology unconstrained.
   long max_rounds = kMany;            ///< Round budget; kMany = undeclared.
   ParamEnv params;                    ///< Instantiation for symbolic widths.
+
+  /// Whole-protocol structural equality — the regression harness behind
+  /// the builder's reflect mode (see tests/builder_test.cpp).
+  bool operator==(const ProtocolIR&) const = default;
 };
+
+/// Renderings for diffs and generated docs.
+[[nodiscard]] std::string render(const Count& c);
+[[nodiscard]] std::string render(const ValueExpr& v);
+[[nodiscard]] std::string render(const RegisterDecl& r);
+[[nodiscard]] std::string render(const Instr& i);  ///< Single line; nested.
+[[nodiscard]] std::string render(const ProtocolIR& p);
+
+/// Human-readable first structural difference between two protocol IRs
+/// ("" when equal): the anchor of the builder transition harness, so a
+/// reflected IR that drifts from an expected shape names the exact path.
+[[nodiscard]] std::string diff(const ProtocolIR& a, const ProtocolIR& b);
 
 /// Per-register facts derived by abstract interpretation.
 struct RegisterSummary {

@@ -1,0 +1,222 @@
+// Renderings and structural diffing of the protocol IR (declared in ir.h).
+//
+// `render` gives a stable, human-readable text form of every IR node —
+// consumed by the builder transition harness (tests/builder_test.cpp) and
+// the `bsr doc` reference generator. `diff` walks two IRs in lockstep and
+// names the exact path of the first structural difference, so a reflected
+// IR that drifts from an expected shape fails with an actionable message
+// rather than a bare "not equal".
+#include <sstream>
+#include <string>
+
+#include "analysis/static/ir.h"
+
+namespace bsr::analysis::ir {
+
+std::string render(const Count& c) {
+  std::ostringstream os;
+  os << "[" << c.lo << ", ";
+  if (c.unbounded()) {
+    os << "∞";
+  } else {
+    os << c.hi;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string render(const ValueExpr& v) {
+  std::ostringstream os;
+  if (v.symbolic()) {
+    os << "bits(" << v.sym_width.render() << ")";
+  } else if (v.relational()) {
+    os << "rel(r" << v.rel_base << " + " << v.rel_slack << "b)";
+  } else if (v.unbounded) {
+    os << "any";
+  } else if (v.lo == v.hi) {
+    os << v.lo;
+  } else {
+    os << "[" << v.lo << ", " << v.hi << "]";
+  }
+  return os.str();
+}
+
+std::string render(const RegisterDecl& r) {
+  std::ostringstream os;
+  os << r.name << " writer=" << r.writer << " width=";
+  if (r.width_bits == kUnboundedWidth) {
+    os << "unbounded";
+  } else {
+    os << r.width_bits << "b";
+  }
+  if (r.write_once) os << " write-once";
+  if (r.allows_bottom) os << " ⊥";
+  return os.str();
+}
+
+namespace {
+
+void render_regs(std::ostringstream& os, const std::vector<int>& regs) {
+  os << "{";
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "r" << regs[i];
+  }
+  os << "}";
+}
+
+void render_body(std::ostringstream& os, const std::vector<Instr>& body) {
+  os << "{";
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << render(body[i]);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string render(const Instr& i) {
+  std::ostringstream os;
+  switch (i.kind) {
+    case Instr::Kind::Read:
+      os << "read r" << i.reg;
+      break;
+    case Instr::Kind::Write:
+      os << "write r" << i.reg << " " << render(i.value);
+      break;
+    case Instr::Kind::Snapshot:
+      os << "snapshot ";
+      render_regs(os, i.regs);
+      break;
+    case Instr::Kind::WriteSnapshot:
+      os << "write-snapshot r" << i.reg << " " << render(i.value) << " ";
+      render_regs(os, i.regs);
+      break;
+    case Instr::Kind::Loop:
+      os << "loop " << render(i.iters) << " ";
+      render_body(os, i.body);
+      break;
+    case Instr::Kind::Send:
+      os << "send p" << i.peer << " " << render(i.value);
+      break;
+    case Instr::Kind::Recv:
+      if (i.peer < 0) {
+        os << "recv any";
+      } else {
+        os << "recv p" << i.peer;
+      }
+      break;
+    case Instr::Kind::Round:
+      os << "round ";
+      render_body(os, i.body);
+      break;
+  }
+  return os.str();
+}
+
+std::string render(const ProtocolIR& p) {
+  std::ostringstream os;
+  os << "registers:\n";
+  for (std::size_t r = 0; r < p.registers.size(); ++r) {
+    os << "  r" << r << ": " << render(p.registers[r]) << "\n";
+  }
+  if (!p.channels.empty()) {
+    os << "channels:\n";
+    for (const ChannelDecl& c : p.channels) {
+      os << "  p" << c.src << " -> p" << c.dst << " width=";
+      if (c.width_bits == kUnboundedWidth) {
+        os << "unbounded";
+      } else {
+        os << c.width_bits << "b";
+      }
+      os << "\n";
+    }
+  }
+  if (p.max_rounds != kMany) os << "max_rounds: " << p.max_rounds << "\n";
+  for (const ProcessIR& proc : p.processes) {
+    os << "process p" << proc.pid << ":\n";
+    for (const Instr& i : proc.body) {
+      os << "  " << render(i) << "\n";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+/// First difference between two instruction sequences, or "" when equal;
+/// `path` names the enclosing context (e.g. "process p1 body[2]").
+std::string diff_body(const std::vector<Instr>& a, const std::vector<Instr>& b,
+                      const std::string& path) {
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] == b[i]) continue;
+    const std::string at = path + "[" + std::to_string(i) + "]";
+    // Recurse into structurally matching loop/round shells so the message
+    // points at the innermost difference.
+    if (a[i].kind == b[i].kind && !a[i].body.empty() && !b[i].body.empty() &&
+        a[i].iters == b[i].iters && a[i].reg == b[i].reg &&
+        a[i].peer == b[i].peer && a[i].value == b[i].value &&
+        a[i].regs == b[i].regs) {
+      return diff_body(a[i].body, b[i].body, at + ".body");
+    }
+    return at + ": " + render(a[i]) + "  !=  " + render(b[i]);
+  }
+  if (a.size() != b.size()) {
+    return path + ": " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size()) + " instructions";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string diff(const ProtocolIR& a, const ProtocolIR& b) {
+  if (a.registers.size() != b.registers.size()) {
+    return "register tables: " + std::to_string(a.registers.size()) + " vs " +
+           std::to_string(b.registers.size()) + " registers";
+  }
+  for (std::size_t r = 0; r < a.registers.size(); ++r) {
+    if (!(a.registers[r] == b.registers[r])) {
+      return "register r" + std::to_string(r) + ": " + render(a.registers[r]) +
+             "  !=  " + render(b.registers[r]);
+    }
+  }
+  if (a.channels.size() != b.channels.size()) {
+    return "channel tables: " + std::to_string(a.channels.size()) + " vs " +
+           std::to_string(b.channels.size()) + " channels";
+  }
+  for (std::size_t c = 0; c < a.channels.size(); ++c) {
+    if (!(a.channels[c] == b.channels[c])) {
+      return "channel " + std::to_string(c) + ": p" +
+             std::to_string(a.channels[c].src) + "->p" +
+             std::to_string(a.channels[c].dst) + " vs p" +
+             std::to_string(b.channels[c].src) + "->p" +
+             std::to_string(b.channels[c].dst) + " (or widths differ)";
+    }
+  }
+  if (a.max_rounds != b.max_rounds) {
+    return "max_rounds: " + std::to_string(a.max_rounds) + " vs " +
+           std::to_string(b.max_rounds);
+  }
+  if (!(a.params == b.params)) return "params differ";
+  if (a.processes.size() != b.processes.size()) {
+    return "process counts: " + std::to_string(a.processes.size()) + " vs " +
+           std::to_string(b.processes.size());
+  }
+  for (std::size_t p = 0; p < a.processes.size(); ++p) {
+    if (a.processes[p].pid != b.processes[p].pid) {
+      return "process " + std::to_string(p) + ": pid " +
+             std::to_string(a.processes[p].pid) + " vs " +
+             std::to_string(b.processes[p].pid);
+    }
+    const std::string d =
+        diff_body(a.processes[p].body, b.processes[p].body,
+                  "process p" + std::to_string(a.processes[p].pid) + " body");
+    if (!d.empty()) return d;
+  }
+  return "";
+}
+
+}  // namespace bsr::analysis::ir

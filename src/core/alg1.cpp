@@ -4,40 +4,51 @@
 
 namespace bsr::core {
 
-using sim::Env;
+namespace ir = analysis::ir;
+using proto::LoopCtl;
+using proto::P;
+using proto::Proto;
 using sim::OpResult;
 using sim::Proc;
 using sim::Task;
 
-Task<std::uint64_t> alg1_agree(Env& env, Alg1Handles h, std::uint64_t k,
+Task<std::uint64_t> alg1_agree(P p, Alg1Handles h, std::uint64_t k,
                                std::uint64_t input, Alg1Diag* diag) {
-  const int me = env.pid();
+  const int me = p.pid();
   const int other = 1 - me;
   const std::uint64_t denom = alg1_denominator(k);
 
-  co_await env.write(h.input[me], Value(input));  // line 2: I_me.write
+  // line 2: I_me.write
+  co_await p.write(h.input[me], Value(input), ir::ValueExpr::range(0, 1));
 
   std::uint64_t prec = 0;  // initialized to 0 (matches R's initial value)
   std::uint64_t newv = 0;
   std::uint64_t r = 0;
   bool broke = false;
-  for (r = 1; r <= k; ++r) {                                 // line 3
-    co_await env.write(h.comm[me], Value(r % 2));            // line 4
-    const OpResult got = co_await env.read(h.comm[other]);   // line 5
-    newv = got.value.as_u64();
-    if (newv != prec) {  // line 6
-      prec = newv;
-    } else {  // line 7: same value read twice — leave the loop
-      broke = true;
-      break;
-    }
-  }
+  // Lines 3–7: up to k write/read iterations; the early break (same value
+  // read twice) fires only after a full iteration, so the trip count is
+  // [1, k]. The alternating bit r % 2 stays in {0, 1}.
+  co_await p.loop_until(
+      ir::Count::between(1, static_cast<long>(k)),
+      [&]() -> Task<LoopCtl> {
+        ++r;                                                     // line 3
+        co_await p.write(h.comm[me], Value(r % 2),               // line 4
+                         ir::ValueExpr::range(0, 1));
+        const OpResult got = co_await p.read(h.comm[other]);     // line 5
+        newv = got.value.as_u64();
+        if (newv == prec) {  // line 7: same value read twice — leave the loop
+          broke = true;
+          co_return LoopCtl::Break;
+        }
+        prec = newv;  // line 6
+        co_return r >= k ? LoopCtl::Break : LoopCtl::Continue;
+      });
   if (!broke) r = k;  // the for-loop completed its k iterations
-  if (diag != nullptr) diag->iterations[me] = static_cast<int>(r);
+  if (diag != nullptr) diag->iterations[p.pid()] = static_cast<int>(r);
 
   // Lines 8–10: exchange inputs through the write-once registers.
-  const std::uint64_t x_me = (co_await env.read(h.input[me])).value.as_u64();
-  const Value x_other_raw = (co_await env.read(h.input[other])).value;
+  const std::uint64_t x_me = (co_await p.read(h.input[me])).value.as_u64();
+  const Value x_other_raw = (co_await p.read(h.input[other])).value;
   if (x_other_raw.is_bottom() || x_me == x_other_raw.as_u64()) {
     if (diag != nullptr) diag->line[me] = Alg1DecideLine::SameInputs;
     co_return x_me * denom;  // decide own input, as a grid numerator
@@ -65,69 +76,50 @@ Task<std::uint64_t> alg1_agree(Env& env, Alg1Handles h, std::uint64_t k,
   co_return static_cast<std::uint64_t>(numerator);
 }
 
-Alg1Handles add_alg1_registers(sim::Sim& sim) {
-  usage_check(sim.n() == 2, "Algorithm 1 is a 2-process protocol");
+Alg1Handles add_alg1_registers(Proto& pr) {
+  usage_check(pr.n() == 2, "Algorithm 1 is a 2-process protocol");
   Alg1Handles h;
   // ⊥/0/1 input registers: 3 states, i.e. 2 bits with one state for ⊥.
-  h.input[0] = sim.add_bottom_register("alg1.I1", 0, /*width_bits=*/2,
-                                       /*write_once=*/true);
-  h.input[1] = sim.add_bottom_register("alg1.I2", 1, /*width_bits=*/2,
-                                       /*write_once=*/true);
-  h.comm[0] = sim.add_register("alg1.R1", 0, /*width_bits=*/1, Value(0));
-  h.comm[1] = sim.add_register("alg1.R2", 1, /*width_bits=*/1, Value(0));
+  h.input[0] = pr.add_bottom_register("alg1.I1", 0, /*width_bits=*/2,
+                                      /*write_once=*/true);
+  h.input[1] = pr.add_bottom_register("alg1.I2", 1, /*width_bits=*/2,
+                                      /*write_once=*/true);
+  h.comm[0] = pr.add_register("alg1.R1", 0, /*width_bits=*/1, Value(0));
+  h.comm[1] = pr.add_register("alg1.R2", 1, /*width_bits=*/1, Value(0));
   return h;
+}
+
+Alg1Handles add_alg1_registers(sim::Sim& sim) {
+  Proto pr(sim);
+  return add_alg1_registers(pr);
 }
 
 namespace {
 
-Proc alg1_body(Env& env, Alg1Handles h, std::uint64_t k, std::uint64_t input,
+Proc alg1_body(P p, Alg1Handles h, std::uint64_t k, std::uint64_t input,
                Alg1Diag* diag) {
-  const std::uint64_t y = co_await alg1_agree(env, h, k, input, diag);
+  const std::uint64_t y = co_await alg1_agree(p, h, k, input, diag);
   co_return Value(y);
+}
+
+/// The single source: declares the world and spawns both bodies against
+/// whichever mode `pr` is in.
+Alg1Handles build_alg1(Proto& pr, std::uint64_t k,
+                       std::array<std::uint64_t, 2> inputs, Alg1Diag* diag) {
+  const Alg1Handles h = add_alg1_registers(pr);
+  for (int i = 0; i < 2; ++i) {
+    pr.spawn(i, [h, k, input = inputs[static_cast<std::size_t>(i)],
+                 diag](P p) -> Proc { return alg1_body(p, h, k, input, diag); });
+  }
+  return h;
 }
 
 }  // namespace
 
-void append_alg1_register_ir(std::vector<analysis::ir::RegisterDecl>& out) {
-  namespace air = analysis::ir;
-  out.push_back(air::RegisterDecl{"alg1.I1", 0, 2, /*write_once=*/true,
-                                  /*allows_bottom=*/true});
-  out.push_back(air::RegisterDecl{"alg1.I2", 1, 2, /*write_once=*/true,
-                                  /*allows_bottom=*/true});
-  out.push_back(air::RegisterDecl{"alg1.R1", 0, 1, false, false});
-  out.push_back(air::RegisterDecl{"alg1.R2", 1, 1, false, false});
-}
-
-void append_alg1_agree_ir(std::vector<analysis::ir::Instr>& out,
-                          const Alg1Handles& h, std::uint64_t k, int me) {
-  namespace air = analysis::ir;
-  const int other = 1 - me;
-  // Line 2: publish the binary input.
-  out.push_back(air::write(h.input[me], air::ValueExpr::range(0, 1)));
-  // Lines 3–7: up to k write/read iterations; the early break (same value
-  // read twice) fires only after a full iteration, so the trip count is
-  // [1, k]. The alternating bit r % 2 stays in {0, 1}.
-  out.push_back(air::loop(
-      air::Count::between(1, static_cast<long>(k)),
-      {air::write(h.comm[me], air::ValueExpr::range(0, 1)),
-       air::read(h.comm[other])}));
-  // Lines 8–10: re-read both inputs for the decision rule.
-  out.push_back(air::read(h.input[me]));
-  out.push_back(air::read(h.input[other]));
-}
-
 analysis::ir::ProtocolIR describe_alg1(std::uint64_t k) {
-  namespace air = analysis::ir;
-  air::ProtocolIR p;
-  append_alg1_register_ir(p.registers);
-  const Alg1Handles h{{0, 1}, {2, 3}};
-  for (int me = 0; me < 2; ++me) {
-    air::ProcessIR proc;
-    proc.pid = me;
-    append_alg1_agree_ir(proc.body, h, k, me);
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  Proto pr(Proto::ReflectOptions{.n = 2, .params = {}});
+  build_alg1(pr, k, {0, 1}, nullptr);
+  return std::move(pr).take_ir();
 }
 
 Alg1Handles install_alg1(sim::Sim& sim, std::uint64_t k,
@@ -137,14 +129,8 @@ Alg1Handles install_alg1(sim::Sim& sim, std::uint64_t k,
   usage_check(k >= 1, "install_alg1: k must be at least 1");
   usage_check(inputs[0] <= 1 && inputs[1] <= 1,
               "install_alg1: inputs must be binary");
-  const Alg1Handles h = add_alg1_registers(sim);
-  for (int i = 0; i < 2; ++i) {
-    sim.spawn(i, [h, k, input = inputs[static_cast<std::size_t>(i)],
-                  diag](Env& env) -> Proc {
-      return alg1_body(env, h, k, input, diag);
-    });
-  }
-  return h;
+  Proto pr(sim);
+  return build_alg1(pr, k, inputs, diag);
 }
 
 }  // namespace bsr::core

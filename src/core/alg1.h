@@ -11,13 +11,17 @@
 // Inputs are exchanged through the write-once input registers I_1, I_2 (the
 // paper's convention separating input transfer from coordination); the
 // coordination registers R_1, R_2 are 1-bit, enforced by the simulator.
+//
+// The body is written against the proto builder (src/proto/builder.h), so
+// the same code drives the simulator and — in reflect mode — emits the
+// static IR that `describe_alg1` returns.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
 #include "analysis/static/ir.h"
+#include "proto/builder.h"
 #include "sim/sim.h"
 
 namespace bsr::core {
@@ -59,27 +63,20 @@ Alg1Handles install_alg1(sim::Sim& sim, std::uint64_t k,
 /// Declares Algorithm 1's four registers (without spawning processes):
 /// write-once ⊥/0/1 input registers of 2 bits each, and 1-bit coordination
 /// registers. Per process this is the paper's 3 bits of shared state
-/// (Theorem 1.2 / §5.2.3).
+/// (Theorem 1.2 / §5.2.3). Works in both builder modes.
+Alg1Handles add_alg1_registers(proto::Proto& pr);
+/// Convenience overload for execute-mode callers holding a bare Sim.
 Alg1Handles add_alg1_registers(sim::Sim& sim);
 
 /// The ε-agreement core as an awaitable subroutine: runs Algorithm 1 inside
 /// an already-running process coroutine and returns the decided grid
-/// numerator over alg1_denominator(k). Used directly by Algorithm 2.
-sim::Task<std::uint64_t> alg1_agree(sim::Env& env, Alg1Handles h,
+/// numerator over alg1_denominator(k). Used directly by Algorithm 2; legacy
+/// Env-based coroutines wrap their Env via `proto::P::exec`.
+sim::Task<std::uint64_t> alg1_agree(proto::P p, Alg1Handles h,
                                     std::uint64_t k, std::uint64_t input,
                                     Alg1Diag* diag = nullptr);
 
-/// Appends add_alg1_registers' table to `out` as IR declarations, in
-/// declaration order (I_1, I_2, R_1, R_2).
-void append_alg1_register_ir(std::vector<analysis::ir::RegisterDecl>& out);
-
-/// Appends alg1_agree's shared-memory access pattern for process `me` to
-/// `out` (registers addressed through `h`) — reused by protocols embedding
-/// the ε-agreement core, such as Algorithm 2.
-void append_alg1_agree_ir(std::vector<analysis::ir::Instr>& out,
-                          const Alg1Handles& h, std::uint64_t k, int me);
-
-/// Static IR of install_alg1 for the abstract width checker
+/// Static IR of install_alg1, reflected from the builder body above
 /// (`bsr lint --static`): same register table, same access pattern.
 [[nodiscard]] analysis::ir::ProtocolIR describe_alg1(std::uint64_t k);
 

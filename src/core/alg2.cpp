@@ -6,8 +6,11 @@ namespace bsr::core {
 
 namespace {
 
-using sim::Env;
+namespace ir = analysis::ir;
+using proto::P;
+using proto::Proto;
 using sim::Proc;
+using sim::Task;
 using tasks::Config;
 
 /// The partial configuration obtained by erasing coordinate i.
@@ -16,20 +19,28 @@ Config erase_at(Config c, int i) {
   return c;
 }
 
-Proc alg2_body(Env& env, Alg2Handles h, const topo::Bmz2Plan* plan,
+Proc alg2_body(P p, Alg2Handles h, const topo::Bmz2Plan* plan,
                Value my_task_input) {
-  const int me = env.pid();
+  const int me = p.pid();
   const int other = 1 - me;
   const auto L = static_cast<std::uint64_t>(plan->L);
   const std::uint64_t k = (L - 1) / 2;  // Algorithm 1 grid: 2k+1 = L
 
-  // Line 2: publish my task input, read the other's.
-  co_await env.write(h.task_input[me], my_task_input);
-  Value x_other = (co_await env.read(h.task_input[other])).value;
+  // Line 2: publish my task input, read the other's. The input registers
+  // are unbounded, so the IR's value set is any().
+  co_await p.write(h.task_input[me], my_task_input, ir::ValueExpr::any());
+  Value x_other = (co_await p.read(h.task_input[other])).value;
 
   // Lines 3–5: ε-agree on my view of the input (1 = partial, 0 = full).
   const std::uint64_t my_view = x_other.is_bottom() ? 1 : 0;
-  const std::uint64_t d = co_await alg1_agree(env, h.agree, k, my_view);
+  const std::uint64_t d = co_await alg1_agree(p, h.agree, k, my_view);
+
+  // Line 11, hoisted into a conditional block so the IR sees the read: the
+  // d == 0 and d == L branches below perform no shared-memory ops before
+  // returning, so the executed op sequence is unchanged.
+  co_await p.when(d != 0 && d != L, [&]() -> Task<void> {
+    x_other = (co_await p.read(h.task_input[other])).value;
+  });
 
   Config full(2);
   full[static_cast<std::size_t>(me)] = my_task_input;
@@ -50,8 +61,8 @@ Proc alg2_body(Env& env, Alg2Handles h, const topo::Bmz2Plan* plan,
   }
 
   // Lines 9–18: 0 < d < L. By now the other process has written its input
-  // (it started the ε-agreement, whose first step follows its input write).
-  x_other = (co_await env.read(h.task_input[other])).value;  // line 11
+  // (it started the ε-agreement, whose first step follows its input write);
+  // x_other holds the line-11 re-read performed above.
   model_check(!x_other.is_bottom(),
               "Algorithm 2: other input still missing at 0 < d < L");
   full[static_cast<std::size_t>(other)] = x_other;
@@ -64,57 +75,46 @@ Proc alg2_body(Env& env, Alg2Handles h, const topo::Bmz2Plan* plan,
       .at(static_cast<std::size_t>(me));  // line 18: Y_d[me]
 }
 
+/// The single source: declares the world and spawns both bodies against
+/// whichever mode `pr` is in.
+Alg2Handles build_alg2(Proto& pr, const topo::Bmz2Plan& plan,
+                       const Config& inputs) {
+  Alg2Handles h;
+  h.task_input[0] = pr.add_input_register("task.I1", 0);
+  h.task_input[1] = pr.add_input_register("task.I2", 1);
+  h.agree = add_alg1_registers(pr);
+  for (int i = 0; i < 2; ++i) {
+    pr.spawn(i, [h, plan = &plan,
+                 x = inputs[static_cast<std::size_t>(i)]](P p) -> Proc {
+      return alg2_body(p, h, plan, x);
+    });
+  }
+  return h;
+}
+
+void check_alg2_args(int n, const topo::Bmz2Plan& plan, const Config& inputs) {
+  usage_check(n == 2, "Algorithm 2 is a 2-process protocol");
+  usage_check(inputs.size() == 2 && tasks::is_full(inputs),
+              "Algorithm 2 needs two non-⊥ task inputs");
+  usage_check(plan.L >= 3 && plan.L % 2 == 1,
+              "Algorithm 2 plan path length must be odd and >= 3");
+}
+
 }  // namespace
 
-analysis::ir::ProtocolIR describe_alg2(std::uint64_t L) {
-  namespace air = analysis::ir;
-  usage_check(L >= 3 && L % 2 == 1,
-              "describe_alg2: plan path length must be odd and >= 3");
-  const std::uint64_t k = (L - 1) / 2;
-  air::ProtocolIR p;
-  p.registers.push_back(air::RegisterDecl{"task.I1", 0, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  p.registers.push_back(air::RegisterDecl{"task.I2", 1, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  append_alg1_register_ir(p.registers);
-  const Alg2Handles h{{0, 1}, Alg1Handles{{2, 3}, {4, 5}}};
-  for (int me = 0; me < 2; ++me) {
-    const int other = 1 - me;
-    air::ProcessIR proc;
-    proc.pid = me;
-    // Line 2: task inputs are arbitrary values — the input registers are
-    // unbounded, so any() stays in bounds.
-    proc.body.push_back(air::write(h.task_input[me], air::ValueExpr::any()));
-    proc.body.push_back(air::read(h.task_input[other]));
-    // Lines 3–5: ε-agree on the binary view.
-    append_alg1_agree_ir(proc.body, h.agree, k, me);
-    // Line 11: re-read the other input only when 0 < d < L.
-    proc.body.push_back(air::maybe({air::read(h.task_input[other])}));
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+analysis::ir::ProtocolIR describe_alg2(const topo::Bmz2Plan& plan,
+                                       const Config& inputs) {
+  check_alg2_args(2, plan, inputs);
+  Proto pr(Proto::ReflectOptions{.n = 2, .params = {}});
+  build_alg2(pr, plan, inputs);
+  return std::move(pr).take_ir();
 }
 
 Alg2Handles install_alg2(sim::Sim& sim, const topo::Bmz2Plan& plan,
                          const Config& inputs) {
-  usage_check(sim.n() == 2, "install_alg2: Algorithm 2 is a 2-process protocol");
-  usage_check(inputs.size() == 2 && tasks::is_full(inputs),
-              "install_alg2: need two non-⊥ task inputs");
-  usage_check(plan.L >= 3 && plan.L % 2 == 1,
-              "install_alg2: plan path length must be odd and >= 3");
-  Alg2Handles h;
-  h.task_input[0] = sim.add_input_register("task.I1", 0);
-  h.task_input[1] = sim.add_input_register("task.I2", 1);
-  h.agree = add_alg1_registers(sim);
-  for (int i = 0; i < 2; ++i) {
-    sim.spawn(i, [h, plan = &plan,
-                  x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
-      return alg2_body(env, h, plan, x);
-    });
-  }
-  return h;
+  check_alg2_args(sim.n(), plan, inputs);
+  Proto pr(sim);
+  return build_alg2(pr, plan, inputs);
 }
 
 }  // namespace bsr::core

@@ -29,8 +29,10 @@ struct Alg2Handles {
 Alg2Handles install_alg2(sim::Sim& sim, const topo::Bmz2Plan& plan,
                          const tasks::Config& inputs);
 
-/// Static IR of install_alg2 for a plan with path length `L`: the two
+/// Static IR of install_alg2, reflected from the same builder body the
+/// factory runs (`plan` and `inputs` as for install_alg2): the two
 /// write-once task-input registers plus the embedded Algorithm 1 core.
-[[nodiscard]] analysis::ir::ProtocolIR describe_alg2(std::uint64_t L);
+[[nodiscard]] analysis::ir::ProtocolIR describe_alg2(
+    const topo::Bmz2Plan& plan, const tasks::Config& inputs);
 
 }  // namespace bsr::core

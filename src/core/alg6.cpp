@@ -10,6 +10,10 @@ namespace bsr::core {
 
 namespace {
 
+namespace ir = analysis::ir;
+using proto::LoopCtl;
+using proto::P;
+using proto::Proto;
 using sim::Env;
 using sim::OpResult;
 using sim::Proc;
@@ -54,14 +58,15 @@ int alg6_register_bits(int delta) {
   return ring_bits(delta) + (delta + 1);
 }
 
-Task<std::pair<int, std::uint64_t>> alg6_simulate(Env& env, Alg6Handles h,
+Task<std::pair<int, std::uint64_t>> alg6_simulate(P p, Alg6Handles h,
                                                   Alg6Options opts,
                                                   Alg6Diag* diag) {
-  const int me = env.pid();
+  const int me = p.pid();
   const int other = 1 - me;
   const int delta = opts.delta;
   const std::uint64_t ring = static_cast<std::uint64_t>(2 * delta + 1);
   const int rbits = ring_bits(delta);
+  const int width = alg6_register_bits(delta);
 
   // The trace accumulates by appending, so it must start empty on every run
   // of this body — including the incremental explorer's coroutine rebuilds,
@@ -76,51 +81,63 @@ Task<std::pair<int, std::uint64_t>> alg6_simulate(Env& env, Alg6Handles h,
   int solo_streak = 0;        // c: consecutive simulated solo rounds
   std::vector<int> hist(static_cast<std::size_t>(delta) + 1, 0);
 
-  int r = 0;
-  for (int round = 1; round <= opts.rounds; ++round) {  // line 2
-    r = round;
-    const std::uint64_t x =
-        static_cast<std::uint64_t>(round) % ring;       // line 3
-    const int v = lab.write_bit();                      // line 4: WRITE(r,…)
-    // Lines 5–6: shift the history (oldest out) and record round r's bit.
-    for (int j = delta; j >= 1; --j) {
-      hist[static_cast<std::size_t>(j)] = hist[static_cast<std::size_t>(j - 1)];
-    }
-    hist[0] = v;
-    if (diag != nullptr) {
-      diag->proc[static_cast<std::size_t>(me)].bits.push_back(v);
-    }
+  int round = 0;
+  co_await p.loop_until(
+      ir::Count::between(1, opts.rounds),
+      [&]() -> Task<LoopCtl> {
+        ++round;                                          // line 2
+        const std::uint64_t x =
+            static_cast<std::uint64_t>(round) % ring;     // line 3
+        const int v = lab.write_bit();                    // line 4: WRITE(r,…)
+        // Lines 5–6: shift the history (oldest out), record round r's bit.
+        for (int j = delta; j >= 1; --j) {
+          hist[static_cast<std::size_t>(j)] =
+              hist[static_cast<std::size_t>(j - 1)];
+        }
+        hist[0] = v;
+        if (diag != nullptr) {
+          diag->proc[static_cast<std::size_t>(me)].bits.push_back(v);
+        }
 
-    co_await env.write(h.reg[me], Value(encode(x, hist, rbits)));  // line 8
-    const OpResult got = co_await env.read(h.reg[other]);          // line 9
-    const Decoded dec = decode(got.value.as_u64(), rbits, delta + 1);
+        // Line 8: rewrite the whole (x, H) word. encode() packs a ring
+        // position < 2Δ+1 with Δ+1 history bits, so every written word fits
+        // the declared alg6_register_bits(Δ) width.
+        co_await p.write(h.reg[me], Value(encode(x, hist, rbits)),
+                         ir::ValueExpr::bits(width));
+        const OpResult got = co_await p.read(h.reg[other]);  // line 9
+        const Decoded dec = decode(got.value.as_u64(), rbits, delta + 1);
 
-    // Line 10: advance the round estimate by the other's ring movement.
-    estr += (dec.x + ring - xprec) % ring;
-    xprec = dec.x;  // line 11
-    if (diag != nullptr) {
-      diag->proc[static_cast<std::size_t>(me)].estr.push_back(estr);
-    }
+        // Line 10: advance the round estimate by the other's ring movement.
+        estr += (dec.x + ring - xprec) % ring;
+        xprec = dec.x;  // line 11
+        if (diag != nullptr) {
+          diag->proc[static_cast<std::size_t>(me)].estr.push_back(estr);
+        }
 
-    std::optional<int> obs;
-    if (static_cast<std::uint64_t>(round) <= estr) {  // line 12
-      // Line 13: the other's round-r bit sits at offset estr - r in its
-      // history (Corollary 8.2 bounds the offset by Δ).
-      const std::uint64_t off = estr - static_cast<std::uint64_t>(round);
-      model_check(off <= static_cast<std::uint64_t>(delta),
-                  "Algorithm 6: history offset exceeds Δ (Cor. 8.2 violated)");
-      obs = dec.h[static_cast<std::size_t>(off)];
-      solo_streak = 0;
-    } else {  // lines 15–17: the simulated round is solo for me
-      obs = std::nullopt;
-      solo_streak += 1;
-    }
-    lab.observe(obs);  // the simulated view of round r
-    if (diag != nullptr) {
-      diag->proc[static_cast<std::size_t>(me)].obs.push_back(obs);
-    }
-    if (solo_streak == delta) break;  // line 18: quit after Δ solo rounds
-  }
+        std::optional<int> obs;
+        if (static_cast<std::uint64_t>(round) <= estr) {  // line 12
+          // Line 13: the other's round-r bit sits at offset estr - r in its
+          // history (Corollary 8.2 bounds the offset by Δ).
+          const std::uint64_t off = estr - static_cast<std::uint64_t>(round);
+          model_check(
+              off <= static_cast<std::uint64_t>(delta),
+              "Algorithm 6: history offset exceeds Δ (Cor. 8.2 violated)");
+          obs = dec.h[static_cast<std::size_t>(off)];
+          solo_streak = 0;
+        } else {  // lines 15–17: the simulated round is solo for me
+          obs = std::nullopt;
+          solo_streak += 1;
+        }
+        lab.observe(obs);  // the simulated view of round r
+        if (diag != nullptr) {
+          diag->proc[static_cast<std::size_t>(me)].obs.push_back(obs);
+        }
+        if (solo_streak == delta) {  // line 18: quit after Δ solo rounds
+          co_return LoopCtl::Break;
+        }
+        co_return round >= opts.rounds ? LoopCtl::Break : LoopCtl::Continue;
+      });
+  const int r = round;
 
   if (diag != nullptr) {
     diag->proc[static_cast<std::size_t>(me)].rounds = r;
@@ -131,9 +148,25 @@ Task<std::pair<int, std::uint64_t>> alg6_simulate(Env& env, Alg6Handles h,
 
 namespace {
 
-Proc alg6_body(Env& env, Alg6Handles h, Alg6Options opts, Alg6Diag* diag) {
-  const auto [r, pos] = co_await alg6_simulate(env, h, opts, diag);
+Proc alg6_body(P p, Alg6Handles h, Alg6Options opts, Alg6Diag* diag) {
+  const auto [r, pos] = co_await alg6_simulate(p, h, opts, diag);
   co_return make_vec(Value(static_cast<std::uint64_t>(r)), Value(pos));
+}
+
+/// The single source: declares the two constant-size registers and spawns
+/// both simulation bodies against whichever mode `pr` is in.
+Alg6Handles build_alg6_labelling(Proto& pr, Alg6Options opts,
+                                 Alg6Diag* diag) {
+  Alg6Handles h;
+  const int width = alg6_register_bits(opts.delta);
+  h.reg[0] = pr.add_register("alg6.R1", 0, width, Value(0));
+  h.reg[1] = pr.add_register("alg6.R2", 1, width, Value(0));
+  for (int i = 0; i < 2; ++i) {
+    pr.spawn(i, [h, opts, diag](P p) -> Proc {
+      return alg6_body(p, h, opts, diag);
+    });
+  }
+  return h;
 }
 
 }  // namespace
@@ -144,82 +177,18 @@ Alg6Handles install_alg6_labelling(sim::Sim& sim, Alg6Options opts,
   usage_check(opts.delta >= 2, "Algorithm 6 requires Δ >= 2 (Lemma 8.7)");
   usage_check(opts.rounds >= 1 && opts.rounds <= 38,
               "Algorithm 6: rounds out of range (labels use 3^R arithmetic)");
-  Alg6Handles h;
-  const int width = alg6_register_bits(opts.delta);
-  h.reg[0] = sim.add_register("alg6.R1", 0, width, Value(0));
-  h.reg[1] = sim.add_register("alg6.R2", 1, width, Value(0));
-  for (int i = 0; i < 2; ++i) {
-    sim.spawn(i, [h, opts, diag](Env& env) -> Proc {
-      return alg6_body(env, h, opts, diag);
-    });
-  }
-  return h;
+  Proto pr(sim);
+  return build_alg6_labelling(pr, opts, diag);
 }
-
-namespace {
-
-/// Appends the simulation loop (lines 2–18) for process `me` over registers
-/// `regs`: each simulated round rewrites the whole (x, H) word and reads the
-/// other register. encode() packs a ring position < 2Δ+1 with Δ+1 history
-/// bits, so every written word fits the declared alg6_register_bits(Δ) width.
-void append_alg6_simulate_ir(std::vector<analysis::ir::Instr>& out,
-                             std::array<int, 2> regs, Alg6Options opts,
-                             int me) {
-  namespace air = analysis::ir;
-  const int width = alg6_register_bits(opts.delta);
-  out.push_back(air::loop(
-      air::Count::between(1, opts.rounds),
-      {air::write(regs[me], air::ValueExpr::bits(width)),
-       air::read(regs[1 - me])}));
-}
-
-}  // namespace
 
 analysis::ir::ProtocolIR describe_alg6_labelling(Alg6Options opts) {
-  namespace air = analysis::ir;
   usage_check(opts.delta >= 2,
               "describe_alg6_labelling: Algorithm 6 requires Δ >= 2");
   usage_check(opts.rounds >= 1,
               "describe_alg6_labelling: rounds must be positive");
-  const int width = alg6_register_bits(opts.delta);
-  air::ProtocolIR p;
-  p.registers.push_back(air::RegisterDecl{"alg6.R1", 0, width, false, false});
-  p.registers.push_back(air::RegisterDecl{"alg6.R2", 1, width, false, false});
-  for (int me = 0; me < 2; ++me) {
-    air::ProcessIR proc;
-    proc.pid = me;
-    append_alg6_simulate_ir(proc.body, {0, 1}, opts, me);
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
-}
-
-analysis::ir::ProtocolIR describe_fast_agreement(Alg6Options opts) {
-  namespace air = analysis::ir;
-  usage_check(opts.delta >= 2,
-              "describe_fast_agreement: Algorithm 6 requires Δ >= 2");
-  usage_check(opts.rounds >= 1,
-              "describe_fast_agreement: rounds must be positive");
-  const int width = alg6_register_bits(opts.delta);
-  air::ProtocolIR p;
-  p.registers.push_back(air::RegisterDecl{"fast.I1", 0, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  p.registers.push_back(air::RegisterDecl{"fast.I2", 1, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  p.registers.push_back(air::RegisterDecl{"alg6.R1", 0, width, false, false});
-  p.registers.push_back(air::RegisterDecl{"alg6.R2", 1, width, false, false});
-  for (int me = 0; me < 2; ++me) {
-    const int other = 1 - me;
-    air::ProcessIR proc;
-    proc.pid = me;
-    proc.body.push_back(air::write(me, air::ValueExpr::range(0, 1)));
-    append_alg6_simulate_ir(proc.body, {2, 3}, opts, me);
-    proc.body.push_back(air::read(other));
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  Proto pr(Proto::ReflectOptions{.n = 2, .params = {}});
+  build_alg6_labelling(pr, opts, nullptr);
+  return std::move(pr).take_ir();
 }
 
 FastAgreementPlan::FastAgreementPlan(Alg6Options opts) : opts_(opts) {
@@ -310,16 +279,16 @@ std::uint64_t FastAgreementPlan::index_of(const SimLabel& label) const {
 
 namespace {
 
-Proc fast_agreement_body(Env& env, FastAgreementHandles h,
+Proc fast_agreement_body(P p, FastAgreementHandles h,
                          const FastAgreementPlan* plan, std::uint64_t input) {
-  const int me = env.pid();
+  const int me = p.pid();
   const int other = 1 - me;
   const std::uint64_t L = plan->path_length();
 
-  co_await env.write(h.input[me], Value(input));
+  co_await p.write(h.input[me], Value(input), ir::ValueExpr::range(0, 1));
   const auto [r, pos] =
-      co_await alg6_simulate(env, h.alg6, plan->options(), nullptr);
-  const Value x_other_raw = (co_await env.read(h.input[other])).value;
+      co_await alg6_simulate(p, h.alg6, plan->options(), nullptr);
+  const Value x_other_raw = (co_await p.read(h.input[other])).value;
 
   // §8.1 decision rule. Decisions are grid numerators over L.
   if (x_other_raw.is_bottom() || x_other_raw.as_u64() == input) {
@@ -338,6 +307,26 @@ Proc fast_agreement_body(Env& env, FastAgreementHandles h,
   co_return Value(y);
 }
 
+/// The single source: input registers plus the Algorithm 6 pair, then both
+/// decision bodies, against whichever mode `pr` is in.
+FastAgreementHandles build_fast_agreement(Proto& pr,
+                                          const FastAgreementPlan& plan,
+                                          std::array<std::uint64_t, 2> inputs) {
+  FastAgreementHandles h;
+  h.input[0] = pr.add_input_register("fast.I1", 0);
+  h.input[1] = pr.add_input_register("fast.I2", 1);
+  const int width = alg6_register_bits(plan.options().delta);
+  h.alg6.reg[0] = pr.add_register("alg6.R1", 0, width, Value(0));
+  h.alg6.reg[1] = pr.add_register("alg6.R2", 1, width, Value(0));
+  for (int i = 0; i < 2; ++i) {
+    pr.spawn(i, [h, plan = &plan,
+                 input = inputs[static_cast<std::size_t>(i)]](P p) -> Proc {
+      return fast_agreement_body(p, h, plan, input);
+    });
+  }
+  return h;
+}
+
 }  // namespace
 
 FastAgreementHandles install_fast_agreement(
@@ -346,19 +335,15 @@ FastAgreementHandles install_fast_agreement(
   usage_check(sim.n() == 2, "fast agreement is a 2-process protocol");
   usage_check(inputs[0] <= 1 && inputs[1] <= 1,
               "fast agreement: inputs must be binary");
-  FastAgreementHandles h;
-  h.input[0] = sim.add_input_register("fast.I1", 0);
-  h.input[1] = sim.add_input_register("fast.I2", 1);
-  const int width = alg6_register_bits(plan.options().delta);
-  h.alg6.reg[0] = sim.add_register("alg6.R1", 0, width, Value(0));
-  h.alg6.reg[1] = sim.add_register("alg6.R2", 1, width, Value(0));
-  for (int i = 0; i < 2; ++i) {
-    sim.spawn(i, [h, plan = &plan,
-                  input = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
-      return fast_agreement_body(env, h, plan, input);
-    });
-  }
-  return h;
+  Proto pr(sim);
+  return build_fast_agreement(pr, plan, inputs);
+}
+
+analysis::ir::ProtocolIR describe_fast_agreement(
+    const FastAgreementPlan& plan) {
+  Proto pr(Proto::ReflectOptions{.n = 2, .params = {}});
+  build_fast_agreement(pr, plan, {0, 1});
+  return std::move(pr).take_ir();
 }
 
 }  // namespace bsr::core

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "analysis/static/ir.h"
+#include "proto/builder.h"
 #include "sim/sim.h"
 #include "topo/labelling.h"
 
@@ -64,7 +65,7 @@ struct Alg6Handles {
 
 /// Runs the Algorithm 6 simulation inside a process coroutine; returns the
 /// final (rounds, position) of the simulated labelling protocol.
-sim::Task<std::pair<int, std::uint64_t>> alg6_simulate(sim::Env& env,
+sim::Task<std::pair<int, std::uint64_t>> alg6_simulate(proto::P p,
                                                        Alg6Handles h,
                                                        Alg6Options opts,
                                                        Alg6Diag* diag);
@@ -124,14 +125,16 @@ FastAgreementHandles install_fast_agreement(sim::Sim& sim,
                                             const FastAgreementPlan& plan,
                                             std::array<std::uint64_t, 2> inputs);
 
-/// Static IR of install_alg6_labelling: per simulated round one whole-word
-/// rewrite of the alg6_register_bits(Δ)-wide register and one read.
+/// Static IR of install_alg6_labelling, reflected from the same builder
+/// body the factory runs: per simulated round one whole-word rewrite of the
+/// alg6_register_bits(Δ)-wide register and one read.
 [[nodiscard]] analysis::ir::ProtocolIR describe_alg6_labelling(
     Alg6Options opts);
 
-/// Static IR of install_fast_agreement: the input exchange wrapped around
-/// the Algorithm 6 simulation.
+/// Static IR of install_fast_agreement, reflected from the same builder
+/// body the factory runs: the input exchange wrapped around the Algorithm 6
+/// simulation. The plan supplies the grid denominator, as for the factory.
 [[nodiscard]] analysis::ir::ProtocolIR describe_fast_agreement(
-    Alg6Options opts);
+    const FastAgreementPlan& plan);
 
 }  // namespace bsr::core

@@ -8,22 +8,27 @@
 
 namespace bsr::core {
 
+namespace ir = analysis::ir;
+using proto::P;
+using proto::Proto;
 using sim::Env;
 using sim::Proc;
 using sim::Task;
 
-Task<std::uint64_t> unbounded_agree(Env& env, const BaselineHandles& h,
+Task<std::uint64_t> unbounded_agree(P p, const BaselineHandles& h,
                                     std::uint64_t input) {
-  const int n = env.n();
-  const int me = env.pid();
+  const int n = p.n();
+  const int me = p.pid();
   std::uint64_t est = input << h.rounds;  // numerator over 2^T
   for (int r = 0; r < h.rounds; ++r) {
     const auto base = static_cast<std::size_t>(r) * static_cast<std::size_t>(n);
     std::vector<int> group(h.regs.begin() + static_cast<std::ptrdiff_t>(base),
                            h.regs.begin() +
                                static_cast<std::ptrdiff_t>(base) + n);
-    const sim::OpResult snap = co_await env.write_snapshot(
-        group[static_cast<std::size_t>(me)], Value(est), group);
+    // Estimates input << T … are unbounded numerators: no finite interval.
+    const sim::OpResult snap = co_await p.write_snapshot(
+        group[static_cast<std::size_t>(me)], Value(est), group,
+        ir::ValueExpr::any());
     std::uint64_t lo = est;
     std::uint64_t hi = est;
     for (const Value& v : snap.value.as_vec()) {
@@ -38,40 +43,51 @@ Task<std::uint64_t> unbounded_agree(Env& env, const BaselineHandles& h,
 
 namespace {
 
-Proc baseline_body(Env& env, BaselineHandles h, std::uint64_t input) {
-  const std::uint64_t y = co_await unbounded_agree(env, h, input);
+Proc baseline_body(P p, BaselineHandles h, std::uint64_t input) {
+  const std::uint64_t y = co_await unbounded_agree(p, h, input);
   co_return Value(y);
+}
+
+/// The single source: T rounds of fresh unbounded register arrays plus the
+/// averaging bodies, against whichever mode `pr` is in.
+BaselineHandles build_unbounded_agreement(
+    Proto& pr, int rounds, const std::vector<std::uint64_t>& inputs) {
+  const int n = pr.n();
+  BaselineHandles h;
+  h.rounds = rounds;
+  h.regs.reserve(static_cast<std::size_t>(rounds) *
+                 static_cast<std::size_t>(n));
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < n; ++i) {
+      std::string name = "M";
+      name += std::to_string(r);
+      name += '.';
+      name += std::to_string(i);
+      h.regs.push_back(
+          pr.add_register(std::move(name), i, sim::kUnbounded, Value()));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    pr.spawn(i, [h, x = inputs[static_cast<std::size_t>(i)]](P p) -> Proc {
+      return baseline_body(p, h, x);
+    });
+  }
+  return h;
 }
 
 }  // namespace
 
 analysis::ir::ProtocolIR describe_unbounded_agreement(int n, int rounds) {
-  namespace air = analysis::ir;
   usage_check(n >= 2, "describe_unbounded_agreement: need two processes");
   usage_check(rounds >= 1 && rounds <= 62,
               "describe_unbounded_agreement: rounds out of range");
-  air::ProtocolIR p;
-  for (int r = 0; r < rounds; ++r) {
-    for (int i = 0; i < n; ++i) {
-      p.registers.push_back(air::RegisterDecl{
-          "M" + std::to_string(r) + "." + std::to_string(i), i,
-          air::kUnboundedWidth, /*write_once=*/false, /*allows_bottom=*/false});
-    }
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inputs[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(i % 2);
   }
-  for (int me = 0; me < n; ++me) {
-    air::ProcessIR proc;
-    proc.pid = me;
-    for (int r = 0; r < rounds; ++r) {
-      const int base = r * n;
-      std::vector<int> group;
-      for (int i = 0; i < n; ++i) group.push_back(base + i);
-      // Estimates input << T … are unbounded numerators: no finite interval.
-      proc.body.push_back(
-          air::write_snapshot(base + me, air::ValueExpr::any(), group));
-    }
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  Proto pr(Proto::ReflectOptions{.n = n, .params = {}});
+  build_unbounded_agreement(pr, rounds, inputs);
+  return std::move(pr).take_ir();
 }
 
 BaselineHandles install_unbounded_agreement(
@@ -84,22 +100,8 @@ BaselineHandles install_unbounded_agreement(
   for (std::uint64_t x : inputs) {
     usage_check(x <= 1, "install_unbounded_agreement: inputs must be binary");
   }
-  BaselineHandles h;
-  h.rounds = rounds;
-  h.regs.reserve(static_cast<std::size_t>(rounds) * static_cast<std::size_t>(n));
-  for (int r = 0; r < rounds; ++r) {
-    for (int i = 0; i < n; ++i) {
-      h.regs.push_back(sim.add_register(
-          "M" + std::to_string(r) + "." + std::to_string(i), i,
-          sim::kUnbounded, Value()));
-    }
-  }
-  for (int i = 0; i < n; ++i) {
-    sim.spawn(i, [h, x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
-      return baseline_body(env, h, x);
-    });
-  }
-  return h;
+  Proto pr(sim);
+  return build_unbounded_agreement(pr, rounds, inputs);
 }
 
 namespace {
@@ -143,8 +145,10 @@ void install_unbounded_agreement_from_registers(
   auto objs = std::make_shared<
       std::vector<std::unique_ptr<memory::SnapshotObject>>>();
   for (int r = 0; r < rounds; ++r) {
-    objs->push_back(std::make_unique<memory::SnapshotObject>(
-        sim, "S" + std::to_string(r)));
+    std::string name = "S";
+    name += std::to_string(r);
+    objs->push_back(
+        std::make_unique<memory::SnapshotObject>(sim, std::move(name)));
   }
   for (int i = 0; i < n; ++i) {
     sim.spawn(i, [objs, x = inputs[static_cast<std::size_t>(i)]](Env& env)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/static/ir.h"
+#include "proto/builder.h"
 #include "sim/sim.h"
 
 namespace bsr::core {
@@ -34,16 +35,17 @@ struct BaselineHandles {
 BaselineHandles install_unbounded_agreement(
     sim::Sim& sim, int rounds, const std::vector<std::uint64_t>& inputs);
 
-/// Static IR of install_unbounded_agreement: one immediate-snapshot write
-/// per round into that round's fresh unbounded register array. Estimates
-/// are numerators over 2^T, so the value set is unbounded by design — the
+/// Static IR of install_unbounded_agreement, reflected from the same
+/// builder body the factory runs: one immediate-snapshot write per round
+/// into that round's fresh unbounded register array. Estimates are
+/// numerators over 2^T, so the value set is unbounded by design — the
 /// checker derives no finite width, matching the claim of 0 bounded bits.
 [[nodiscard]] analysis::ir::ProtocolIR describe_unbounded_agreement(int n,
                                                                     int rounds);
 
 /// The subroutine form, for embedding in larger protocols: runs the T-round
 /// averaging and returns the decided numerator over 2^T.
-sim::Task<std::uint64_t> unbounded_agree(sim::Env& env,
+sim::Task<std::uint64_t> unbounded_agree(proto::P p,
                                          const BaselineHandles& h,
                                          std::uint64_t input);
 

@@ -1,11 +1,14 @@
 #include "core/lemma82.h"
 
+#include "proto/builder.h"
 #include "topo/labelling.h"
 #include "util/errors.h"
 
 namespace bsr::core {
 
-using sim::Env;
+namespace ir = analysis::ir;
+using proto::P;
+using proto::Proto;
 using sim::OpResult;
 using sim::Proc;
 
@@ -18,24 +21,26 @@ std::uint64_t pow3(int r) {
 
 namespace {
 
-Proc label_agreement_body(Env& env, LabelAgreementHandles h, int rounds,
+Proc label_agreement_body(P p, LabelAgreementHandles h, int rounds,
                           std::uint64_t input) {
-  const int me = env.pid();
+  const int me = p.pid();
   const int other = 1 - me;
   const std::uint64_t denom = pow3(rounds);
 
-  co_await env.write(h.input[me], Value(input));
+  co_await p.write(h.input[me], Value(input), ir::ValueExpr::range(0, 1));
 
   topo::LabellingProcess lab(me);
   for (int r = 0; r < rounds; ++r) {
     // One IIS round: write my bit into this round's fresh memory and
-    // immediate-snapshot it.
+    // immediate-snapshot it. The labelling bit stays in {0, 1}, below the
+    // 2-bit register's ⊥ code point.
     std::vector<int> group;
     group.push_back(h.rounds[static_cast<std::size_t>(r) * 2]);
     group.push_back(h.rounds[static_cast<std::size_t>(r) * 2 + 1]);
-    const OpResult snap = co_await env.write_snapshot(
+    const OpResult snap = co_await p.write_snapshot(
         group[static_cast<std::size_t>(me)],
-        Value(static_cast<std::uint64_t>(lab.write_bit())), group);
+        Value(static_cast<std::uint64_t>(lab.write_bit())), group,
+        ir::ValueExpr::range(0, 1));
     const Value& theirs = snap.value.at(static_cast<std::size_t>(other));
     if (theirs.is_bottom()) {
       lab.observe(std::nullopt);  // solo round
@@ -44,7 +49,8 @@ Proc label_agreement_body(Env& env, LabelAgreementHandles h, int rounds,
     }
   }
 
-  const Value x_other_raw = (co_await env.read(h.input[other])).value;
+  // Decision rule reads only the other's input (mine is local).
+  const Value x_other_raw = (co_await p.read(h.input[other])).value;
   if (x_other_raw.is_bottom() || x_other_raw.as_u64() == input) {
     co_return Value(input * denom);
   }
@@ -61,43 +67,42 @@ Proc label_agreement_body(Env& env, LabelAgreementHandles h, int rounds,
   co_return Value(y);
 }
 
+/// The single source: declares input and round registers and spawns both
+/// bodies against whichever mode `pr` is in.
+LabelAgreementHandles build_labelling_agreement(
+    Proto& pr, int rounds, std::array<std::uint64_t, 2> inputs) {
+  LabelAgreementHandles h;
+  h.input[0] = pr.add_input_register("I1", 0);
+  h.input[1] = pr.add_input_register("I2", 1);
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 2; ++i) {
+      std::string name = "M";
+      name += std::to_string(r);
+      name += '.';
+      name += std::to_string(i);
+      // 1 data bit + the ⊥ "not written yet" state (see header comment).
+      h.rounds.push_back(pr.add_bottom_register(std::move(name), i,
+                                                /*width_bits=*/2,
+                                                /*write_once=*/true));
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    pr.spawn(i, [h, rounds,
+                 x = inputs[static_cast<std::size_t>(i)]](P p) -> Proc {
+      return label_agreement_body(p, h, rounds, x);
+    });
+  }
+  return h;
+}
+
 }  // namespace
 
 analysis::ir::ProtocolIR describe_labelling_agreement(int rounds) {
-  namespace air = analysis::ir;
   usage_check(rounds >= 1 && rounds <= 39,
               "describe_labelling_agreement: rounds out of range");
-  air::ProtocolIR p;
-  p.registers.push_back(air::RegisterDecl{"I1", 0, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  p.registers.push_back(air::RegisterDecl{"I2", 1, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  for (int r = 0; r < rounds; ++r) {
-    for (int i = 0; i < 2; ++i) {
-      p.registers.push_back(air::RegisterDecl{
-          "M" + std::to_string(r) + "." + std::to_string(i), i,
-          /*width_bits=*/2, /*write_once=*/true, /*allows_bottom=*/true});
-    }
-  }
-  for (int me = 0; me < 2; ++me) {
-    const int other = 1 - me;
-    air::ProcessIR proc;
-    proc.pid = me;
-    proc.body.push_back(air::write(me, air::ValueExpr::range(0, 1)));
-    for (int r = 0; r < rounds; ++r) {
-      const int base = 2 + r * 2;
-      // One IIS round: the labelling bit stays in {0, 1}, below the 2-bit
-      // register's ⊥ code point.
-      proc.body.push_back(air::write_snapshot(
-          base + me, air::ValueExpr::range(0, 1), {base, base + 1}));
-    }
-    // Decision rule reads only the other's input (mine is local).
-    proc.body.push_back(air::read(other));
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  Proto pr(Proto::ReflectOptions{.n = 2, .params = {}});
+  build_labelling_agreement(pr, rounds, {0, 1});
+  return std::move(pr).take_ir();
 }
 
 LabelAgreementHandles install_labelling_agreement(
@@ -107,24 +112,8 @@ LabelAgreementHandles install_labelling_agreement(
               "install_labelling_agreement: rounds out of range");
   usage_check(inputs[0] <= 1 && inputs[1] <= 1,
               "install_labelling_agreement: binary inputs");
-  LabelAgreementHandles h;
-  h.input[0] = sim.add_input_register("I1", 0);
-  h.input[1] = sim.add_input_register("I2", 1);
-  for (int r = 0; r < rounds; ++r) {
-    for (int i = 0; i < 2; ++i) {
-      // 1 data bit + the ⊥ "not written yet" state (see header comment).
-      h.rounds.push_back(sim.add_bottom_register(
-          "M" + std::to_string(r) + "." + std::to_string(i), i,
-          /*width_bits=*/2, /*write_once=*/true));
-    }
-  }
-  for (int i = 0; i < 2; ++i) {
-    sim.spawn(i, [h, rounds, x = inputs[static_cast<std::size_t>(i)]](
-                     Env& env) -> Proc {
-      return label_agreement_body(env, h, rounds, x);
-    });
-  }
-  return h;
+  Proto pr(sim);
+  return build_labelling_agreement(pr, rounds, inputs);
 }
 
 }  // namespace bsr::core

@@ -4,52 +4,66 @@
 
 namespace bsr::core {
 
-using sim::Env;
-using sim::OpResult;
+namespace ir = analysis::ir;
+using proto::LoopCtl;
+using proto::P;
+using proto::Proto;
 using sim::Proc;
 using sim::Task;
 using tasks::Config;
 
-std::array<int, 2> add_packed_registers(sim::Sim& sim) {
-  usage_check(sim.n() >= 2, "add_packed_registers: need two processes");
-  return {sim.add_register("packed.P1", 0, /*width_bits=*/3, Value(0)),
-          sim.add_register("packed.P2", 1, /*width_bits=*/3, Value(0))};
+std::array<int, 2> add_packed_registers(proto::Proto& pr) {
+  usage_check(pr.n() >= 2, "add_packed_registers: need two processes");
+  return {pr.add_register("packed.P1", 0, /*width_bits=*/3, Value(0)),
+          pr.add_register("packed.P2", 1, /*width_bits=*/3, Value(0))};
 }
 
-Task<std::uint64_t> packed_alg1_agree(Env& env, std::array<int, 2> regs,
+std::array<int, 2> add_packed_registers(sim::Sim& sim) {
+  Proto pr(sim);
+  return add_packed_registers(pr);
+}
+
+Task<std::uint64_t> packed_alg1_agree(P p, std::array<int, 2> regs,
                                       std::uint64_t k, std::uint64_t input,
                                       Alg1Diag* diag) {
-  const int me = env.pid();
+  const int me = p.pid();
   const int other = 1 - me;
   const std::uint64_t denom = alg1_denominator(k);
 
   PackedWord mine;          // local shadow of my whole shared word
   mine.set_input(input);    // line 2: publish the input field
-  co_await env.write(regs[me], Value(mine.raw));
+  // The raw word (input+1) << 1 lies in {2, 4}.
+  co_await p.write(regs[me], Value(mine.raw), ir::ValueExpr::range(2, 4));
 
   std::uint64_t prec = 0;
   std::uint64_t newv = 0;
   std::uint64_t r = 0;
   bool broke = false;
-  for (r = 1; r <= k; ++r) {                    // line 3
-    mine.set_r_bit(static_cast<int>(r % 2));    // line 4: rewrite whole word
-    co_await env.write(regs[me], Value(mine.raw));
-    PackedWord theirs;
-    theirs.raw = (co_await env.read(regs[other])).value.as_u64();  // line 5
-    newv = static_cast<std::uint64_t>(theirs.r_bit());
-    if (newv != prec) {  // line 6
-      prec = newv;
-    } else {  // line 7
-      broke = true;
-      break;
-    }
-  }
+  // Lines 3–7: each iteration rewrites the whole word (input field plus
+  // the alternating bit), so values stay in [2, 5]; trip count [1, k].
+  co_await p.loop_until(
+      ir::Count::between(1, static_cast<long>(k)),
+      [&]() -> Task<LoopCtl> {
+        ++r;                                                      // line 3
+        mine.set_r_bit(static_cast<int>(r % 2));  // line 4: whole-word write
+        co_await p.write(regs[me], Value(mine.raw),
+                         ir::ValueExpr::range(2, 5));
+        PackedWord theirs;
+        theirs.raw = (co_await p.read(regs[other])).value.as_u64();  // line 5
+        newv = static_cast<std::uint64_t>(theirs.r_bit());
+        if (newv == prec) {  // line 7
+          broke = true;
+          co_return LoopCtl::Break;
+        }
+        prec = newv;  // line 6
+        co_return r >= k ? LoopCtl::Break : LoopCtl::Continue;
+      });
   if (!broke) r = k;
   if (diag != nullptr) diag->iterations[me] = static_cast<int>(r);
 
   // Lines 8–10: my input is local; the other's input field needs a read.
   PackedWord theirs;
-  theirs.raw = (co_await env.read(regs[other])).value.as_u64();
+  theirs.raw = (co_await p.read(regs[other])).value.as_u64();
   if (!theirs.input_present() || input == theirs.input()) {
     if (diag != nullptr) diag->line[me] = Alg1DecideLine::SameInputs;
     co_return input * denom;
@@ -76,28 +90,36 @@ Task<std::uint64_t> packed_alg1_agree(Env& env, std::array<int, 2> regs,
 
 namespace {
 
-Proc packed_alg1_body(Env& env, std::array<int, 2> regs, std::uint64_t k,
+Proc packed_alg1_body(P p, std::array<int, 2> regs, std::uint64_t k,
                       std::uint64_t input, Alg1Diag* diag) {
-  const std::uint64_t y = co_await packed_alg1_agree(env, regs, k, input, diag);
+  const std::uint64_t y = co_await packed_alg1_agree(p, regs, k, input, diag);
   co_return Value(y);
 }
 
 /// The packed Algorithm 2 body; mirrors alg2.cpp with the ε-agreement core
 /// and the "did the other write its input" check going through the packed
 /// registers.
-Proc packed_alg2_body(Env& env, PackedAlg2Handles h,
+Proc packed_alg2_body(P p, PackedAlg2Handles h,
                       const topo::Bmz2Plan* plan, Value my_task_input) {
-  const int me = env.pid();
+  const int me = p.pid();
   const int other = 1 - me;
   const auto L = static_cast<std::uint64_t>(plan->L);
   const std::uint64_t k = (L - 1) / 2;
 
-  co_await env.write(h.task_input[me], my_task_input);  // line 2
-  Value x_other = (co_await env.read(h.task_input[other])).value;
+  // Line 2: publish the (binary) task input, then probe the other's.
+  co_await p.write(h.task_input[me], my_task_input,
+                   ir::ValueExpr::range(0, 1));
+  Value x_other = (co_await p.read(h.task_input[other])).value;
 
   const std::uint64_t my_view = x_other.is_bottom() ? 1 : 0;
   const std::uint64_t d =
-      co_await packed_alg1_agree(env, h.packed, k, my_view, nullptr);
+      co_await packed_alg1_agree(p, h.packed, k, my_view, nullptr);
+
+  // Line 11, hoisted into a conditional block so the IR sees the read (the
+  // d == 0 / d == L branches perform no ops before returning).
+  co_await p.when(d != 0 && d != L, [&]() -> Task<void> {
+    x_other = (co_await p.read(h.task_input[other])).value;
+  });
 
   Config full(2);
   full[static_cast<std::size_t>(me)] = my_task_input;
@@ -113,7 +135,6 @@ Proc packed_alg2_body(Env& env, PackedAlg2Handles h,
     partial[static_cast<std::size_t>(other)] = Value();
     co_return plan->delta_partial.at(partial).at(static_cast<std::size_t>(me));
   }
-  x_other = (co_await env.read(h.task_input[other])).value;  // line 11
   model_check(!x_other.is_bottom(),
               "packed Algorithm 2: other input still missing at 0 < d < L");
   full[static_cast<std::size_t>(other)] = x_other;
@@ -124,29 +145,40 @@ Proc packed_alg2_body(Env& env, PackedAlg2Handles h,
       .at(static_cast<std::size_t>(me));
 }
 
+std::array<int, 2> build_packed_alg1(Proto& pr, std::uint64_t k,
+                                     std::array<std::uint64_t, 2> inputs,
+                                     Alg1Diag* diag) {
+  const std::array<int, 2> regs = add_packed_registers(pr);
+  for (int i = 0; i < 2; ++i) {
+    pr.spawn(i, [regs, k, input = inputs[static_cast<std::size_t>(i)],
+                 diag](P p) -> Proc {
+      return packed_alg1_body(p, regs, k, input, diag);
+    });
+  }
+  return regs;
+}
+
+PackedAlg2Handles build_packed_alg2(Proto& pr, const topo::Bmz2Plan& plan,
+                                    const Config& inputs) {
+  PackedAlg2Handles h;
+  h.task_input[0] = pr.add_input_register("task.I1", 0);
+  h.task_input[1] = pr.add_input_register("task.I2", 1);
+  h.packed = add_packed_registers(pr);
+  for (int i = 0; i < 2; ++i) {
+    pr.spawn(i, [h, plan = &plan,
+                 x = inputs[static_cast<std::size_t>(i)]](P p) -> Proc {
+      return packed_alg2_body(p, h, plan, x);
+    });
+  }
+  return h;
+}
+
 }  // namespace
 
 analysis::ir::ProtocolIR describe_packed_alg1(std::uint64_t k) {
-  namespace air = analysis::ir;
-  air::ProtocolIR p;
-  p.registers.push_back(air::RegisterDecl{"packed.P1", 0, 3, false, false});
-  p.registers.push_back(air::RegisterDecl{"packed.P2", 1, 3, false, false});
-  for (int me = 0; me < 2; ++me) {
-    const int other = 1 - me;
-    air::ProcessIR proc;
-    proc.pid = me;
-    // Line 2: publish the input field — raw word (input+1) << 1 ∈ {2, 4}.
-    proc.body.push_back(air::write(me, air::ValueExpr::range(2, 4)));
-    // Lines 3–7: each iteration rewrites the whole word (input field plus
-    // the alternating bit), so values stay in [2, 5]; trip count [1, k].
-    proc.body.push_back(air::loop(
-        air::Count::between(1, static_cast<long>(k)),
-        {air::write(me, air::ValueExpr::range(2, 5)), air::read(other)}));
-    // Lines 8–10: the other's input field needs one more read.
-    proc.body.push_back(air::read(other));
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  Proto pr(Proto::ReflectOptions{.n = 2, .params = {}});
+  build_packed_alg1(pr, k, {0, 1}, nullptr);
+  return std::move(pr).take_ir();
 }
 
 std::array<int, 2> install_packed_alg1(sim::Sim& sim, std::uint64_t k,
@@ -156,50 +188,17 @@ std::array<int, 2> install_packed_alg1(sim::Sim& sim, std::uint64_t k,
   usage_check(k >= 1, "install_packed_alg1: k must be at least 1");
   usage_check(inputs[0] <= 1 && inputs[1] <= 1,
               "install_packed_alg1: inputs must be binary");
-  const std::array<int, 2> regs = add_packed_registers(sim);
-  for (int i = 0; i < 2; ++i) {
-    sim.spawn(i, [regs, k, input = inputs[static_cast<std::size_t>(i)],
-                  diag](Env& env) -> Proc {
-      return packed_alg1_body(env, regs, k, input, diag);
-    });
-  }
-  return regs;
+  Proto pr(sim);
+  return build_packed_alg1(pr, k, inputs, diag);
 }
 
-analysis::ir::ProtocolIR describe_packed_alg2(long L) {
-  namespace air = analysis::ir;
-  usage_check(L >= 3 && L % 2 == 1,
+analysis::ir::ProtocolIR describe_packed_alg2(const topo::Bmz2Plan& plan,
+                                              const Config& inputs) {
+  usage_check(plan.L >= 3 && plan.L % 2 == 1,
               "describe_packed_alg2: plan path length must be odd and >= 3");
-  const long k = (L - 1) / 2;
-  air::ProtocolIR p;
-  p.registers.push_back(air::RegisterDecl{"task.I1", 0, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  p.registers.push_back(air::RegisterDecl{"task.I2", 1, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  p.registers.push_back(air::RegisterDecl{"packed.P1", 0, 3, false, false});
-  p.registers.push_back(air::RegisterDecl{"packed.P2", 1, 3, false, false});
-  for (int me = 0; me < 2; ++me) {
-    const int other = 1 - me;
-    const int p_me = 2 + me;
-    const int p_other = 2 + other;
-    air::ProcessIR proc;
-    proc.pid = me;
-    // Line 2: publish the (binary) task input, then probe the other's.
-    proc.body.push_back(air::write(me, air::ValueExpr::range(0, 1)));
-    proc.body.push_back(air::read(other));
-    // The packed ε-agreement core (describe_packed_alg1's shape, inlined).
-    proc.body.push_back(air::write(p_me, air::ValueExpr::range(2, 4)));
-    proc.body.push_back(air::loop(
-        air::Count::between(1, k),
-        {air::write(p_me, air::ValueExpr::range(2, 5)), air::read(p_other)}));
-    proc.body.push_back(air::read(p_other));
-    // Line 11: one more input read, only on the 0 < d < L branch.
-    proc.body.push_back(air::maybe({air::read(other)}));
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  Proto pr(Proto::ReflectOptions{.n = 2, .params = {}});
+  build_packed_alg2(pr, plan, inputs);
+  return std::move(pr).take_ir();
 }
 
 PackedAlg2Handles install_packed_alg2(sim::Sim& sim,
@@ -210,17 +209,8 @@ PackedAlg2Handles install_packed_alg2(sim::Sim& sim,
               "install_packed_alg2: need two non-⊥ task inputs");
   usage_check(plan.L >= 3 && plan.L % 2 == 1,
               "install_packed_alg2: plan path length must be odd and >= 3");
-  PackedAlg2Handles h;
-  h.task_input[0] = sim.add_input_register("task.I1", 0);
-  h.task_input[1] = sim.add_input_register("task.I2", 1);
-  h.packed = add_packed_registers(sim);
-  for (int i = 0; i < 2; ++i) {
-    sim.spawn(i, [h, plan = &plan,
-                  x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
-      return packed_alg2_body(env, h, plan, x);
-    });
-  }
-  return h;
+  Proto pr(sim);
+  return build_packed_alg2(pr, plan, inputs);
 }
 
 }  // namespace bsr::core

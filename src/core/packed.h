@@ -48,12 +48,14 @@ struct PackedWord {
 };
 
 /// Adds the two 3-bit registers (one per process) and returns their indices.
+[[nodiscard]] std::array<int, 2> add_packed_registers(proto::Proto& pr);
+/// Convenience overload for execute-mode callers holding a bare Sim.
 [[nodiscard]] std::array<int, 2> add_packed_registers(sim::Sim& sim);
 
 /// Algorithm 1's ε-agreement core over the packed registers: identical
 /// decisions to alg1_agree, but each process's entire shared state is one
 /// 3-bit word. Returns the grid numerator over alg1_denominator(k).
-sim::Task<std::uint64_t> packed_alg1_agree(sim::Env& env,
+sim::Task<std::uint64_t> packed_alg1_agree(proto::P p,
                                            std::array<int, 2> regs,
                                            std::uint64_t k, std::uint64_t input,
                                            Alg1Diag* diag = nullptr);
@@ -74,13 +76,16 @@ PackedAlg2Handles install_packed_alg2(sim::Sim& sim,
                                       const topo::Bmz2Plan& plan,
                                       const tasks::Config& inputs);
 
-/// Static IR of install_packed_alg1: two 3-bit words, each rewritten whole
-/// on every iteration (the shadow-copy emulation of §5.2.3).
+/// Static IR of install_packed_alg1, reflected from the builder body: two
+/// 3-bit words, each rewritten whole on every iteration (the shadow-copy
+/// emulation of §5.2.3).
 [[nodiscard]] analysis::ir::ProtocolIR describe_packed_alg1(std::uint64_t k);
 
-/// Static IR of install_packed_alg2 for a plan of odd path length L ≥ 3
-/// (binary task inputs): write-once unbounded input registers plus the
-/// packed ε-agreement core with k = (L − 1) / 2.
-[[nodiscard]] analysis::ir::ProtocolIR describe_packed_alg2(long L);
+/// Static IR of install_packed_alg2, reflected from the same builder body
+/// the factory runs (`plan` and `inputs` as for install_packed_alg2):
+/// write-once unbounded input registers plus the packed ε-agreement core
+/// with k = (L − 1) / 2.
+[[nodiscard]] analysis::ir::ProtocolIR describe_packed_alg2(
+    const topo::Bmz2Plan& plan, const tasks::Config& inputs);
 
 }  // namespace bsr::core

@@ -3,17 +3,22 @@
 #include <map>
 #include <memory>
 
+#include "proto/builder.h"
 #include "sim/explore.h"
 #include "tasks/checker.h"
 #include "util/errors.h"
 
 namespace bsr::core {
 
+namespace ir = analysis::ir;
+using proto::P;
+using proto::Proto;
 using sim::Choice;
 using sim::Env;
 using sim::OpResult;
 using sim::Proc;
 using sim::Sim;
+using sim::Task;
 
 std::uint64_t impossibility_threshold(int n, int t, int s_bits) {
   usage_check(n > 2 && t > n / 2 && t < n, "impossibility_threshold: need n/2 < t < n, n > 2");
@@ -45,7 +50,7 @@ Sec4Regs add_sec4_registers(Sim& sim) {
 }
 
 Proc early_body(Env& env, Alg1Handles h, std::uint64_t k, std::uint64_t input) {
-  const std::uint64_t y = co_await alg1_agree(env, h, k, input);
+  const std::uint64_t y = co_await alg1_agree(P::exec(env), h, k, input);
   co_return Value(y);
 }
 
@@ -135,65 +140,63 @@ std::optional<FootprintCollision> find_footprint_collision(std::uint64_t k) {
 
 namespace {
 
-Proc quantized_body(Env& env, std::array<int, 2> regs, int rounds,
+Proc quantized_body(P p, std::array<int, 2> regs, int rounds,
                     std::uint64_t grid_max, std::uint64_t input) {
-  const int me = env.pid();
+  const int me = p.pid();
   const int other = 1 - me;
   std::uint64_t est = input * grid_max;  // endpoints of the s-bit grid
-  for (int r = 0; r < rounds; ++r) {
-    co_await env.write(regs[static_cast<std::size_t>(me)], Value(est));
+  // Estimates live on the s-bit grid [0, 2^s − 1] = [0, k − 1]; stated
+  // symbolically so the width bound is ⌈log₂ k⌉, a function of the model
+  // parameter rather than a baked-in constant.
+  const ir::ValueExpr est_vals = ir::ValueExpr::sym(
+      ir::WidthExpr::ceil_log2(ir::WidthExpr::param(ir::Param::K)));
+  co_await p.repeat(rounds, [&]() -> Task<void> {
+    co_await p.write(regs[static_cast<std::size_t>(me)], Value(est), est_vals);
     const OpResult got =
-        co_await env.read(regs[static_cast<std::size_t>(other)]);
+        co_await p.read(regs[static_cast<std::size_t>(other)]);
     est = (est + got.value.as_u64()) / 2;  // unwritten register reads as 0
-  }
+  });
   co_return Value(est);
+}
+
+std::array<int, 2> build_quantized(Proto& pr, int s_bits, int rounds) {
+  const std::array<int, 2> regs{
+      pr.add_register("Q1", 0, s_bits, Value(0)),
+      pr.add_register("Q2", 1, s_bits, Value(0)),
+  };
+  const std::uint64_t grid_max = (std::uint64_t{1} << s_bits) - 1;
+  for (int i = 0; i < 2; ++i) {
+    pr.spawn(i, [regs, rounds, grid_max,
+                 input = static_cast<std::uint64_t>(i)](P p) -> Proc {
+      return quantized_body(p, regs, rounds, grid_max, input);
+    });
+  }
+  return regs;
+}
+
+void check_quantized_args(int s_bits, int rounds) {
+  usage_check(s_bits >= 2 && s_bits <= 6 && rounds >= 1 && rounds <= 6,
+              "quantized early group: parameters out of range");
 }
 
 }  // namespace
 
 EarlySetup make_quantized_early_group(int s_bits, int rounds) {
-  usage_check(s_bits >= 2 && s_bits <= 6 && rounds >= 1 && rounds <= 6,
-              "make_quantized_early_group: parameters out of range");
+  check_quantized_args(s_bits, rounds);
   EarlySetup setup;
   setup.sim = std::make_unique<Sim>(2);
-  std::array<int, 2> regs{
-      setup.sim->add_register("Q1", 0, s_bits, Value(0)),
-      setup.sim->add_register("Q2", 1, s_bits, Value(0)),
-  };
+  Proto pr(*setup.sim);
+  const std::array<int, 2> regs = build_quantized(pr, s_bits, rounds);
   setup.footprint = {regs[0], regs[1]};
-  const std::uint64_t grid_max = (std::uint64_t{1} << s_bits) - 1;
-  for (int i = 0; i < 2; ++i) {
-    setup.sim->spawn(
-        i, [regs, rounds, grid_max,
-            input = static_cast<std::uint64_t>(i)](Env& env) -> Proc {
-          return quantized_body(env, regs, rounds, grid_max, input);
-        });
-  }
   return setup;
 }
 
 analysis::ir::ProtocolIR describe_quantized_early_group(int s_bits,
                                                         int rounds) {
-  namespace air = analysis::ir;
-  usage_check(s_bits >= 2 && s_bits <= 6 && rounds >= 1 && rounds <= 6,
-              "describe_quantized_early_group: parameters out of range");
-  air::ProtocolIR p;
-  p.registers.push_back(air::RegisterDecl{"Q1", 0, s_bits, false, false});
-  p.registers.push_back(air::RegisterDecl{"Q2", 1, s_bits, false, false});
-  // Estimates live on the s-bit grid [0, 2^s − 1] = [0, k − 1]; stated
-  // symbolically so the width bound is ⌈log₂ k⌉, a function of the model
-  // parameter rather than a baked-in constant.
-  const air::ValueExpr est = air::ValueExpr::sym(
-      air::WidthExpr::ceil_log2(air::WidthExpr::param(air::Param::K)));
-  for (int me = 0; me < 2; ++me) {
-    const int other = 1 - me;
-    air::ProcessIR proc;
-    proc.pid = me;
-    proc.body.push_back(air::loop(air::Count::exactly(rounds),
-                                  {air::write(me, est), air::read(other)}));
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  check_quantized_args(s_bits, rounds);
+  Proto pr(Proto::ReflectOptions{.n = 2, .params = {}});
+  build_quantized(pr, s_bits, rounds);
+  return std::move(pr).take_ir();
 }
 
 RuleRefutation refute_completion_rule(const FootprintCollision& c,

@@ -3,23 +3,26 @@
 #include <algorithm>
 #include <deque>
 #include <map>
-#include <set>
 
 #include "msg/abd.h"
 #include "msg/abp.h"
 #include "msg/local.h"
 #include "msg/router.h"
+#include "proto/builder.h"
 #include "util/codec.h"
 #include "util/errors.h"
 
 namespace bsr::core {
 
+namespace ir = analysis::ir;
 using msg::AbdLayer;
 using msg::FloodRouter;
 using msg::LocalTask;
-using sim::Env;
+using proto::P;
+using proto::Proto;
 using sim::OpResult;
 using sim::Proc;
+using sim::Task;
 
 std::function<bool(const sim::Sim&)> Sec6Result::done_predicate(
     std::shared_ptr<Sec6Result> res) {
@@ -77,33 +80,47 @@ void check_stack_args(const sim::Sim& sim, Sec6Options opts,
 
 // ------------------------------------------------------------- native ABD --
 
-Proc abd_node_body(Env& env, Sec6Options opts, std::uint64_t input,
+/// AbdLayer sends to every other process directly (self-delivery is
+/// internal), so the declared topology is the complete graph minus loops.
+std::vector<sim::Pid> complete_out_edges(int n, int me) {
+  std::vector<sim::Pid> dsts;
+  for (int j = 0; j < n; ++j) {
+    if (j != me) dsts.push_back(j);
+  }
+  return dsts;
+}
+
+Proc abd_node_body(P p, Sec6Options opts, std::uint64_t input,
                    std::shared_ptr<Sec6Result> result) {
-  const int n = env.n();
-  const int me = env.pid();
+  const int n = p.n();
+  const int me = p.pid();
   std::deque<std::pair<sim::Pid, Value>> outbox;
   AbdLayer abd(me, n, opts.t, [&outbox](sim::Pid dst, Value payload) {
     outbox.emplace_back(dst, std::move(payload));
   });
   const LocalTask app = averaging_app(abd, n, me, opts.rounds, input, result);
-  for (;;) {
-    app.rethrow_if_failed();
-    while (!outbox.empty()) {
-      auto [to, v] = std::move(outbox.front());
-      outbox.pop_front();
-      co_await env.send(to, std::move(v));
-    }
-    const OpResult m = co_await env.recv();  // serve forever
-    abd.on_message(m.from, m.value);
-  }
+  const std::vector<sim::Pid> dsts = complete_out_edges(n, me);
+  // Processes serve forever: one round whose pump has no finite bound.
+  co_await p.round([&]() -> Task<void> {
+    co_await p.serve([&]() -> Task<void> {
+      app.rethrow_if_failed();
+      co_await p.flush(outbox, dsts, ir::ValueExpr::any());
+      co_await p.recv_then([&](const OpResult& m) {  // serve forever
+        abd.on_message(m.from, m.value);
+      });
+    });
+  });
+  // Unreachable in execute mode (the serve pump never terminates); reflect
+  // mode returns here after emitting one pump iteration.
+  co_return Value();
 }
 
 // ------------------------------------------------------- native ring + ABD --
 
-Proc ring_node_body(Env& env, Sec6Options opts, std::uint64_t input,
+Proc ring_node_body(P p, Sec6Options opts, std::uint64_t input,
                     std::shared_ptr<Sec6Result> result) {
-  const int n = env.n();
-  const int me = env.pid();
+  const int n = p.n();
+  const int me = p.pid();
   std::deque<std::pair<sim::Pid, Value>> outbox;
   FloodRouter router(me, n, opts.t);
   AbdLayer abd(me, n, opts.t,
@@ -113,22 +130,28 @@ Proc ring_node_body(Env& env, Sec6Options opts, std::uint64_t input,
                  }
                });
   const LocalTask app = averaging_app(abd, n, me, opts.rounds, input, result);
-  for (;;) {
-    app.rethrow_if_failed();
-    while (!outbox.empty()) {
-      auto [to, v] = std::move(outbox.front());
-      outbox.pop_front();
-      co_await env.send(to, std::move(v));
-    }
-    const OpResult m = co_await env.recv();
-    FloodRouter::RxResult rx = router.on_receive(m.value);
-    for (msg::LinkSend& ls : rx.forwards) {
-      outbox.emplace_back(ls.to, std::move(ls.envelope));
-    }
-    for (auto& [src, payload] : rx.deliveries) {
-      abd.on_message(src, payload);
-    }
-  }
+  // The flooding router never sends off-ring: the declared destinations are
+  // exactly my t-augmented-ring out-neighbours.
+  const std::vector<sim::Pid> dsts =
+      msg::t_augmented_ring(n, opts.t)[static_cast<std::size_t>(me)];
+  co_await p.round([&]() -> Task<void> {
+    co_await p.serve([&]() -> Task<void> {
+      app.rethrow_if_failed();
+      co_await p.flush(outbox, dsts, ir::ValueExpr::any());
+      co_await p.recv_then([&](const OpResult& m) {
+        FloodRouter::RxResult rx = router.on_receive(m.value);
+        for (msg::LinkSend& ls : rx.forwards) {
+          outbox.emplace_back(ls.to, std::move(ls.envelope));
+        }
+        for (auto& [src, payload] : rx.deliveries) {
+          abd.on_message(src, payload);
+        }
+      });
+    });
+  });
+  // Unreachable in execute mode (the serve pump never terminates); reflect
+  // mode returns here after emitting one pump iteration.
+  co_return Value();
 }
 
 // --------------------------------------------------------- register stack --
@@ -147,12 +170,13 @@ int bit_of(std::uint64_t word, int pos) {
   return static_cast<int>((word >> pos) & 1);
 }
 
-Proc abp_node_body(Env& env, Sec6Options opts, std::uint64_t input,
+Proc abp_node_body(P p, Sec6Options opts, std::uint64_t input,
                    std::vector<int> regs,
                    std::shared_ptr<Sec6Result> result) {
-  const int n = env.n();
-  const int me = env.pid();
+  const int n = p.n();
+  const int me = p.pid();
   const int t = opts.t;
+  const int width = sec6_register_bits(t);
   const SlotLayout layout{t};
   FloodRouter router(me, n, t);
 
@@ -174,14 +198,16 @@ Proc abp_node_body(Env& env, Sec6Options opts, std::uint64_t input,
   const LocalTask app = averaging_app(abd, n, me, opts.rounds, input, result);
 
   std::uint64_t shadow = 0;  // local copy of my register's contents
-  for (;;) {
+  // The pump serves forever; its trip count has no finite upper bound.
+  co_await p.serve([&]() -> Task<void> {
     app.rethrow_if_failed();
-    // One pump: read every relevant peer register once...
+    // One pump: read every relevant peer register once (the peer map is
+    // ordered, so reads happen in ascending pid order)...
     std::map<sim::Pid, std::uint64_t> peer;
     for (const auto& [nb, _] : receivers) peer[nb] = 0;
     for (const auto& [nb, _] : senders) peer[nb] = 0;
     for (auto& [nb, word] : peer) {
-      word = (co_await env.read(regs[static_cast<std::size_t>(nb)]))
+      word = (co_await p.read(regs[static_cast<std::size_t>(nb)]))
                  .value.as_u64();
     }
     // ...drain incoming links (my in-link from nb is nb's out-link with
@@ -202,7 +228,8 @@ Proc abp_node_body(Env& env, Sec6Options opts, std::uint64_t input,
       const int o = ((nb - me) % n + n) % n;
       snd.poll(bit_of(peer.at(nb), layout.ack(o)));
     }
-    // ...and publish my new wire state in a single register write.
+    // ...and publish my new wire state in a single register write — only
+    // when it changed, so the write sits under a maybe in the IR.
     std::uint64_t now = 0;
     for (const auto& [nb, snd] : senders) {
       const int o = ((nb - me) % n + n) % n;
@@ -213,11 +240,87 @@ Proc abp_node_body(Env& env, Sec6Options opts, std::uint64_t input,
       const int o = ((me - nb) % n + n) % n;
       now |= static_cast<std::uint64_t>(recv.ack_bit()) << layout.ack(o);
     }
-    if (now != shadow) {
-      co_await env.write(regs[static_cast<std::size_t>(me)], Value(now));
+    co_await p.when(now != shadow, [&]() -> Task<void> {
+      co_await p.write(regs[static_cast<std::size_t>(me)], Value(now),
+                       ir::ValueExpr::bits(width));
       shadow = now;
+    });
+  });
+  // Unreachable in execute mode (the pump never terminates); reflect mode
+  // returns here after emitting one pump iteration.
+  co_return Value();
+}
+
+/// The single source for the native-ABD stack: complete-graph channels plus
+/// one serving node per process, against whichever mode `pr` is in.
+void build_abd_stack(Proto& pr, Sec6Options opts,
+                     const std::vector<std::uint64_t>& inputs,
+                     std::shared_ptr<Sec6Result> result) {
+  const int n = pr.n();
+  // AbdLayer sends to every other process directly (self-delivery is
+  // internal), so the declared topology is the complete graph minus loops.
+  for (int i = 0; i < n; ++i) {
+    for (const sim::Pid dst : complete_out_edges(n, i)) {
+      pr.channel(i, dst);
     }
   }
+  pr.max_rounds(1);
+  for (int i = 0; i < n; ++i) {
+    pr.spawn(i, [opts, x = inputs[static_cast<std::size_t>(i)],
+                 result](P p) -> Proc {
+      return abd_node_body(p, opts, x, result);
+    });
+  }
+}
+
+/// The single source for the ring stack: t-augmented-ring channels plus one
+/// flooding node per process.
+void build_ring_stack(Proto& pr, Sec6Options opts,
+                      const std::vector<std::uint64_t>& inputs,
+                      std::shared_ptr<Sec6Result> result) {
+  const int n = pr.n();
+  const std::vector<std::vector<sim::Pid>> edges =
+      msg::t_augmented_ring(n, opts.t);
+  for (int i = 0; i < n; ++i) {
+    for (const sim::Pid dst : edges[static_cast<std::size_t>(i)]) {
+      pr.channel(i, dst);
+    }
+  }
+  pr.max_rounds(1);
+  for (int i = 0; i < n; ++i) {
+    pr.spawn(i, [opts, x = inputs[static_cast<std::size_t>(i)],
+                 result](P p) -> Proc {
+      return ring_node_body(p, opts, x, result);
+    });
+  }
+}
+
+/// The single source for the register stack: one 3(t+1)-bit register per
+/// process plus the ABP pump bodies.
+std::vector<int> build_register_stack(Proto& pr, Sec6Options opts,
+                                      const std::vector<std::uint64_t>& inputs,
+                                      std::shared_ptr<Sec6Result> result) {
+  const int n = pr.n();
+  std::vector<int> regs;
+  for (int i = 0; i < n; ++i) {
+    std::string name = "abp.R";
+    name += std::to_string(i);
+    regs.push_back(pr.add_register(std::move(name), i,
+                                   sec6_register_bits(opts.t), Value(0)));
+  }
+  for (int i = 0; i < n; ++i) {
+    pr.spawn(i, [opts, x = inputs[static_cast<std::size_t>(i)], regs,
+                 result](P p) -> Proc {
+      return abp_node_body(p, opts, x, regs, result);
+    });
+  }
+  return regs;
+}
+
+/// Reflection inputs for the describe_* wrappers: the stack bodies' IR does
+/// not depend on inputs or on anyone reading the result sink.
+std::vector<std::uint64_t> zero_inputs(int n) {
+  return std::vector<std::uint64_t>(static_cast<std::size_t>(n), 0);
 }
 
 }  // namespace
@@ -226,12 +329,8 @@ void install_abd_stack(sim::Sim& sim, Sec6Options opts,
                        const std::vector<std::uint64_t>& inputs,
                        std::shared_ptr<Sec6Result> result) {
   check_stack_args(sim, opts, inputs);
-  for (int i = 0; i < sim.n(); ++i) {
-    sim.spawn(i, [opts, x = inputs[static_cast<std::size_t>(i)],
-                  result](Env& env) -> Proc {
-      return abd_node_body(env, opts, x, result);
-    });
-  }
+  Proto pr(sim);
+  build_abd_stack(pr, opts, inputs, std::move(result));
 }
 
 sim::SimOptions ring_sim_options(int n, int t) {
@@ -245,118 +344,41 @@ void install_ring_stack(sim::Sim& sim, Sec6Options opts,
                         const std::vector<std::uint64_t>& inputs,
                         std::shared_ptr<Sec6Result> result) {
   check_stack_args(sim, opts, inputs);
-  for (int i = 0; i < sim.n(); ++i) {
-    sim.spawn(i, [opts, x = inputs[static_cast<std::size_t>(i)],
-                  result](Env& env) -> Proc {
-      return ring_node_body(env, opts, x, result);
-    });
-  }
+  Proto pr(sim);
+  build_ring_stack(pr, opts, inputs, std::move(result));
 }
 
 analysis::ir::ProtocolIR describe_register_stack(int n, Sec6Options opts) {
-  namespace air = analysis::ir;
   usage_check(opts.t >= 1 && 2 * opts.t < n,
               "describe_register_stack: Theorem 1.3 requires 1 <= t < n/2");
-  const int width = sec6_register_bits(opts.t);
-  air::ProtocolIR p;
-  for (int i = 0; i < n; ++i) {
-    p.registers.push_back(air::RegisterDecl{"abp.R" + std::to_string(i), i,
-                                            width, false, false});
-  }
-  for (int me = 0; me < n; ++me) {
-    // The pump reads every ring neighbour (offsets 1 … t+1 in both
-    // directions on the t-augmented ring — the in- and out-neighbour sets
-    // of abp_node_body's peer map, deduplicated).
-    std::set<int> peers;
-    for (int o = 1; o <= opts.t + 1; ++o) {
-      peers.insert(((me + o) % n + n) % n);
-      peers.insert(((me - o) % n + n) % n);
-    }
-    peers.erase(me);
-    std::vector<air::Instr> pump;
-    for (int nb : peers) pump.push_back(air::read(nb));
-    // The wire word is rewritten only when it changed; the serve loop never
-    // terminates on its own, so its trip count has no finite upper bound.
-    pump.push_back(air::maybe({air::write(me, air::ValueExpr::bits(width))}));
-    air::ProcessIR proc;
-    proc.pid = me;
-    proc.body.push_back(
-        air::loop(air::Count::between(0, air::kMany), std::move(pump)));
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  Proto pr(Proto::ReflectOptions{.n = n, .params = {}});
+  build_register_stack(pr, opts, zero_inputs(n),
+                       std::make_shared<Sec6Result>(n));
+  return std::move(pr).take_ir();
 }
-
-namespace {
-
-/// Shared shape of the message-passing stacks' IR: one serving round per
-/// process containing an unbounded pump of sends (to every out-neighbour in
-/// `out_edges`) and a receive from any peer. `out_edges[i]` must list
-/// process i's out-neighbours; the same list becomes the channel table.
-analysis::ir::ProtocolIR describe_message_stack(
-    int n, const std::vector<std::vector<sim::Pid>>& out_edges) {
-  namespace air = analysis::ir;
-  air::ProtocolIR p;
-  for (int i = 0; i < n; ++i) {
-    for (const sim::Pid dst : out_edges[static_cast<std::size_t>(i)]) {
-      p.channels.push_back(air::ChannelDecl{i, dst, air::kUnboundedWidth});
-    }
-  }
-  p.max_rounds = 1;
-  for (int me = 0; me < n; ++me) {
-    std::vector<air::Instr> pump;
-    for (const sim::Pid dst : out_edges[static_cast<std::size_t>(me)]) {
-      pump.push_back(air::maybe({air::send(dst, air::ValueExpr::any())}));
-    }
-    pump.push_back(air::recv());
-    air::ProcessIR proc;
-    proc.pid = me;
-    // Processes serve forever: one round whose pump has no finite bound.
-    proc.body.push_back(air::round(
-        {air::loop(air::Count::between(0, air::kMany), std::move(pump))}));
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
-}
-
-}  // namespace
 
 analysis::ir::ProtocolIR describe_abd_stack(int n, Sec6Options opts) {
   usage_check(opts.t >= 1 && 2 * opts.t < n,
               "describe_abd_stack: requires 1 <= t < n/2");
-  // AbdLayer sends to every other process directly (self-delivery is
-  // internal), so the declared topology is the complete graph minus loops.
-  std::vector<std::vector<sim::Pid>> edges(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      if (j != i) edges[static_cast<std::size_t>(i)].push_back(j);
-    }
-  }
-  return describe_message_stack(n, edges);
+  Proto pr(Proto::ReflectOptions{.n = n, .params = {}});
+  build_abd_stack(pr, opts, zero_inputs(n), std::make_shared<Sec6Result>(n));
+  return std::move(pr).take_ir();
 }
 
 analysis::ir::ProtocolIR describe_ring_stack(int n, Sec6Options opts) {
   usage_check(opts.t >= 1 && 2 * opts.t < n,
               "describe_ring_stack: requires 1 <= t < n/2");
-  return describe_message_stack(n, msg::t_augmented_ring(n, opts.t));
+  Proto pr(Proto::ReflectOptions{.n = n, .params = {}});
+  build_ring_stack(pr, opts, zero_inputs(n), std::make_shared<Sec6Result>(n));
+  return std::move(pr).take_ir();
 }
 
 std::vector<int> install_register_stack(sim::Sim& sim, Sec6Options opts,
                                         const std::vector<std::uint64_t>& inputs,
                                         std::shared_ptr<Sec6Result> result) {
   check_stack_args(sim, opts, inputs);
-  std::vector<int> regs;
-  for (int i = 0; i < sim.n(); ++i) {
-    regs.push_back(sim.add_register("abp.R" + std::to_string(i), i,
-                                    sec6_register_bits(opts.t), Value(0)));
-  }
-  for (int i = 0; i < sim.n(); ++i) {
-    sim.spawn(i, [opts, x = inputs[static_cast<std::size_t>(i)], regs,
-                  result](Env& env) -> Proc {
-      return abp_node_body(env, opts, x, regs, result);
-    });
-  }
-  return regs;
+  Proto pr(sim);
+  return build_register_stack(pr, opts, inputs, std::move(result));
 }
 
 }  // namespace bsr::core

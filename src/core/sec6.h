@@ -85,21 +85,23 @@ std::vector<int> install_register_stack(sim::Sim& sim, Sec6Options opts,
 /// Register width used by the full stack.
 [[nodiscard]] constexpr int sec6_register_bits(int t) { return 3 * (t + 1); }
 
-/// Static IR of install_register_stack: each process serves an unbounded
-/// pump loop reading its ring neighbours' registers and conditionally
-/// rewriting its own 3(t+1)-bit wire word.
+/// Static IR of install_register_stack, reflected from the same builder
+/// body the factory runs: each process serves an unbounded pump loop
+/// reading its ring neighbours' registers and conditionally rewriting its
+/// own 3(t+1)-bit wire word.
 [[nodiscard]] analysis::ir::ProtocolIR describe_register_stack(
     int n, Sec6Options opts);
 
-/// Static IR of install_abd_stack: no registers; a complete message
-/// topology (AbdLayer delivers to itself internally, so no self-loops) and
-/// per process one serving round of an unbounded send/recv pump.
+/// Static IR of install_abd_stack, reflected from the same builder body the
+/// factory runs: no registers; a complete message topology (AbdLayer
+/// delivers to itself internally, so no self-loops) and per process one
+/// serving round of an unbounded send/recv pump.
 [[nodiscard]] analysis::ir::ProtocolIR describe_abd_stack(
     int n, Sec6Options opts);
 
-/// Static IR of install_ring_stack: like describe_abd_stack, but the
-/// declared topology is the t-augmented ring (offsets 1 … t+1), matching
-/// ring_sim_options — the flooding router never sends off-ring.
+/// Static IR of install_ring_stack, reflected like describe_abd_stack but
+/// with the t-augmented ring (offsets 1 … t+1) as the declared topology,
+/// matching ring_sim_options — the flooding router never sends off-ring.
 [[nodiscard]] analysis::ir::ProtocolIR describe_ring_stack(
     int n, Sec6Options opts);
 

@@ -6,16 +6,33 @@
 
 namespace bsr::core {
 
+namespace ir = analysis::ir;
+using proto::P;
+using proto::Proto;
 using sim::Env;
 using sim::OpResult;
 using sim::Proc;
 using tasks::Config;
 
-sim::Task<Value> alg4_simulate(Env& env, Alg4Handles h,
+namespace {
+
+/// Register name M<ρ>.<i>, built incrementally (GCC 12's -Wrestrict trips
+/// on rvalue operator+ chains inlined into coroutine frames).
+std::string iter_reg_name(std::size_t rho, int i) {
+  std::string name = "M";
+  name += std::to_string(rho);
+  name += '.';
+  name += std::to_string(i);
+  return name;
+}
+
+}  // namespace
+
+sim::Task<Value> alg4_simulate(P p, Alg4Handles h,
                                const memory::FullInfoConfigs* cfgs,
                                Value w0) {
-  const int n = env.n();
-  const int me = env.pid();
+  const int n = p.n();
+  const int me = p.pid();
   Value w = std::move(w0);  // W_i^{r-1}, the current simulated view (line 2)
 
   for (int r = 1; r <= cfgs->k; ++r) {  // line 4
@@ -29,8 +46,9 @@ sim::Task<Value> alg4_simulate(Env& env, Alg4Handles h,
       std::vector<int> group(
           h.regs.begin() + static_cast<std::ptrdiff_t>(rho) * n,
           h.regs.begin() + static_cast<std::ptrdiff_t>(rho) * n + n);
-      const OpResult snap = co_await env.write_snapshot(
-          group[static_cast<std::size_t>(me)], Value(bit), group);  // line 11
+      const OpResult snap = co_await p.write_snapshot(
+          group[static_cast<std::size_t>(me)], Value(bit), group,
+          ir::ValueExpr::range(0, 1));  // line 11
       // Line 12: a 1 from process j reveals that j's round-(r-1) view is
       // c_ρ[j]; the iteration index carries the value.
       for (int j = 0; j < n; ++j) {
@@ -48,9 +66,9 @@ sim::Task<Value> alg4_simulate(Env& env, Alg4Handles h,
 
 namespace {
 
-Proc alg4_body(Env& env, Alg4Handles h, const memory::FullInfoConfigs* cfgs,
+Proc alg4_body(P p, Alg4Handles h, const memory::FullInfoConfigs* cfgs,
                Value w0) {
-  Value w = co_await alg4_simulate(env, h, cfgs, std::move(w0));
+  Value w = co_await alg4_simulate(p, h, cfgs, std::move(w0));
   co_return w;
 }
 
@@ -69,15 +87,15 @@ Alg4Handles install_alg4(sim::Sim& sim,
   for (std::size_t rho = 0; rho < h.iterations; ++rho) {
     for (int i = 0; i < n; ++i) {
       // The whole point: every register of every iterated memory is 1 bit.
-      h.regs.push_back(sim.add_register(
-          "M" + std::to_string(rho) + "." + std::to_string(i), i,
-          /*width_bits=*/1, Value(0)));
+      h.regs.push_back(
+          sim.add_register(iter_reg_name(rho, i), i, /*width_bits=*/1,
+                           Value(0)));
     }
   }
   for (int i = 0; i < n; ++i) {
     sim.spawn(i, [h, cfgs = &configs,
                   w0 = init[static_cast<std::size_t>(i)]](Env& env) -> Proc {
-      return alg4_body(env, h, cfgs, w0);
+      return alg4_body(P::exec(env), h, cfgs, w0);
     });
   }
   return h;
@@ -172,22 +190,23 @@ std::uint64_t Alg4AgreementPlan::index_of(int pid, const Value& view,
 
 namespace {
 
-Proc alg4_agreement_body(Env& env, Alg4Handles h, std::array<int, 2> inputs_r,
+Proc alg4_agreement_body(P p, Alg4Handles h, std::array<int, 2> inputs_r,
                          const Alg4AgreementPlan* plan, std::uint64_t input) {
-  const int me = env.pid();
+  const int me = p.pid();
   const int other = 1 - me;
   const std::uint64_t denom = plan->denominator();
 
-  co_await env.write(inputs_r[static_cast<std::size_t>(me)], Value(input));
+  co_await p.write(inputs_r[static_cast<std::size_t>(me)], Value(input),
+                   ir::ValueExpr::range(0, 1));
 
   // My initial full-information view: my input at my own index.
   std::vector<Value> w0(2);
   w0[static_cast<std::size_t>(me)] = Value(input);
   const Value w =
-      co_await alg4_simulate(env, h, &plan->configs(), Value(std::move(w0)));
+      co_await alg4_simulate(p, h, &plan->configs(), Value(std::move(w0)));
 
   const Value x_other_raw =
-      (co_await env.read(inputs_r[static_cast<std::size_t>(other)])).value;
+      (co_await p.read(inputs_r[static_cast<std::size_t>(other)])).value;
   if (x_other_raw.is_bottom() || x_other_raw.as_u64() == input) {
     co_return Value(input * denom);
   }
@@ -204,41 +223,38 @@ Proc alg4_agreement_body(Env& env, Alg4Handles h, std::array<int, 2> inputs_r,
   co_return Value(y);
 }
 
+/// The single source: input registers plus the 1-bit iterated memories and
+/// both decision bodies, against whichever mode `pr` is in.
+Alg4Handles build_alg4_agreement(Proto& pr, const Alg4AgreementPlan& plan,
+                                 std::array<std::uint64_t, 2> inputs) {
+  std::array<int, 2> inputs_r{pr.add_input_register("I1", 0),
+                              pr.add_input_register("I2", 1)};
+  Alg4Handles h;
+  h.iterations = plan.configs().flat.size();
+  h.regs.reserve(h.iterations * 2);
+  for (std::size_t rho = 0; rho < h.iterations; ++rho) {
+    for (int i = 0; i < 2; ++i) {
+      h.regs.push_back(
+          pr.add_register(iter_reg_name(rho, i), i, /*width_bits=*/1,
+                          Value(0)));
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    pr.spawn(i, [h, inputs_r, plan = &plan,
+                 x = inputs[static_cast<std::size_t>(i)]](P p) -> Proc {
+      return alg4_agreement_body(p, h, inputs_r, plan, x);
+    });
+  }
+  return h;
+}
+
 }  // namespace
 
-analysis::ir::ProtocolIR describe_alg4_agreement(std::size_t iterations) {
-  namespace air = analysis::ir;
-  usage_check(iterations >= 1, "describe_alg4_agreement: empty config space");
-  air::ProtocolIR p;
-  p.registers.push_back(air::RegisterDecl{"I1", 0, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  p.registers.push_back(air::RegisterDecl{"I2", 1, air::kUnboundedWidth,
-                                          /*write_once=*/true,
-                                          /*allows_bottom=*/false});
-  for (std::size_t rho = 0; rho < iterations; ++rho) {
-    for (int i = 0; i < 2; ++i) {
-      p.registers.push_back(air::RegisterDecl{
-          "M" + std::to_string(rho) + "." + std::to_string(i), i,
-          /*width_bits=*/1, /*write_once=*/false, /*allows_bottom=*/false});
-    }
-  }
-  for (int me = 0; me < 2; ++me) {
-    const int other = 1 - me;
-    air::ProcessIR proc;
-    proc.pid = me;
-    proc.body.push_back(air::write(me, air::ValueExpr::range(0, 1)));
-    // Lines 6–11 of Algorithm 4: the round loops over r and ρ jointly visit
-    // every iterated pair exactly once, writing the match bit.
-    for (std::size_t rho = 0; rho < iterations; ++rho) {
-      const int base = 2 + static_cast<int>(rho) * 2;
-      proc.body.push_back(air::write_snapshot(
-          base + me, air::ValueExpr::range(0, 1), {base, base + 1}));
-    }
-    proc.body.push_back(air::read(other));
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+analysis::ir::ProtocolIR describe_alg4_agreement(
+    const Alg4AgreementPlan& plan) {
+  Proto pr(Proto::ReflectOptions{.n = 2, .params = {}});
+  build_alg4_agreement(pr, plan, {0, 1});
+  return std::move(pr).take_ir();
 }
 
 Alg4Handles install_alg4_agreement(sim::Sim& sim,
@@ -247,50 +263,56 @@ Alg4Handles install_alg4_agreement(sim::Sim& sim,
   usage_check(sim.n() == 2, "install_alg4_agreement: 2 processes");
   usage_check(inputs[0] <= 1 && inputs[1] <= 1,
               "install_alg4_agreement: binary inputs");
-  std::array<int, 2> inputs_r{sim.add_input_register("I1", 0),
-                              sim.add_input_register("I2", 1)};
-  Alg4Handles h;
-  h.iterations = plan.configs().flat.size();
-  h.regs.reserve(h.iterations * 2);
-  for (std::size_t rho = 0; rho < h.iterations; ++rho) {
-    for (int i = 0; i < 2; ++i) {
-      h.regs.push_back(sim.add_register(
-          "M" + std::to_string(rho) + "." + std::to_string(i), i,
-          /*width_bits=*/1, Value(0)));
-    }
-  }
-  for (int i = 0; i < 2; ++i) {
-    sim.spawn(i, [h, inputs_r, plan = &plan,
-                  x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
-      return alg4_agreement_body(env, h, inputs_r, plan, x);
-    });
-  }
-  return h;
+  Proto pr(sim);
+  return build_alg4_agreement(pr, plan, inputs);
 }
 
 namespace {
 
 /// Algorithm 3, code for one process (paper line numbers in comments).
-Proc alg3_body(Env& env, Alg3Handles h, Value input) {
-  const int n = env.n();
-  const int me = env.pid();
+Proc alg3_body(P p, Alg3Handles h, Value input) {
+  const int n = p.n();
+  const int me = p.pid();
   // Line 2–3: myview starts with only my input, at my own index.
   std::vector<Value> myview(static_cast<std::size_t>(n));
   myview[static_cast<std::size_t>(me)] = std::move(input);
   for (int r = 0; r < h.k; ++r) {  // line 4
     const std::size_t base =
         static_cast<std::size_t>(r) * static_cast<std::size_t>(n);
-    co_await env.write(h.regs[base + static_cast<std::size_t>(me)],
-                       Value(myview));  // line 5
-    // Line 6: collect — n individual reads.
+    // Line 5: write the whole (unbounded) view, then line 6: collect the
+    // round's n registers one by one, own register included.
+    co_await p.write(h.regs[base + static_cast<std::size_t>(me)],
+                     Value(myview), ir::ValueExpr::any());
     std::vector<Value> next(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       next[static_cast<std::size_t>(j)] =
-          (co_await env.read(h.regs[base + static_cast<std::size_t>(j)])).value;
+          (co_await p.read(h.regs[base + static_cast<std::size_t>(j)])).value;
     }
     myview = std::move(next);
   }
   co_return Value(std::move(myview));  // line 7
+}
+
+/// The single source: k rounds of fresh unbounded register arrays plus the
+/// full-information bodies, against whichever mode `pr` is in.
+Alg3Handles build_full_info_ic(Proto& pr, int k,
+                               const std::vector<Value>& inputs) {
+  const int n = pr.n();
+  Alg3Handles h;
+  h.k = k;
+  for (int r = 0; r < k; ++r) {
+    for (int i = 0; i < n; ++i) {
+      h.regs.push_back(
+          pr.add_register(iter_reg_name(static_cast<std::size_t>(r), i), i,
+                          sim::kUnbounded, Value()));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    pr.spawn(i, [h, x = inputs[static_cast<std::size_t>(i)]](P p) -> Proc {
+      return alg3_body(p, h, x);
+    });
+  }
+  return h;
 }
 
 }  // namespace
@@ -301,58 +323,24 @@ Alg3Handles install_full_info_ic(sim::Sim& sim, int k,
   usage_check(k >= 1 && k <= 8, "install_full_info_ic: k out of range");
   usage_check(static_cast<int>(inputs.size()) == n,
               "install_full_info_ic: one input per process");
-  Alg3Handles h;
-  h.k = k;
-  for (int r = 0; r < k; ++r) {
-    for (int i = 0; i < n; ++i) {
-      h.regs.push_back(sim.add_register(
-          "M" + std::to_string(r) + "." + std::to_string(i), i,
-          sim::kUnbounded, Value()));
-    }
-  }
-  for (int i = 0; i < n; ++i) {
-    sim.spawn(i, [h, x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
-      return alg3_body(env, h, x);
-    });
-  }
-  return h;
+  Proto pr(sim);
+  return build_full_info_ic(pr, k, inputs);
 }
 
 analysis::ir::ProtocolIR describe_full_info_ic(int n, int k) {
-  namespace air = analysis::ir;
   usage_check(n >= 1 && k >= 1, "describe_full_info_ic: n and k must be >= 1");
-  air::ProtocolIR p;
-  for (int r = 0; r < k; ++r) {
-    for (int i = 0; i < n; ++i) {
-      p.registers.push_back(air::RegisterDecl{
-          "M" + std::to_string(r) + "." + std::to_string(i), i,
-          air::kUnboundedWidth, /*write_once=*/false,
-          /*allows_bottom=*/false});
-    }
-  }
-  for (int me = 0; me < n; ++me) {
-    air::ProcessIR proc;
-    proc.pid = me;
-    for (int r = 0; r < k; ++r) {
-      const int base = r * n;
-      // Line 5: write the whole (unbounded) view, then line 6: collect the
-      // round's n registers one by one, own register included.
-      proc.body.push_back(air::write(base + me, air::ValueExpr::any()));
-      for (int j = 0; j < n; ++j) {
-        proc.body.push_back(air::read(base + j));
-      }
-    }
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  const std::vector<Value> inputs(static_cast<std::size_t>(n), Value(0));
+  Proto pr(Proto::ReflectOptions{.n = n, .params = {}});
+  build_full_info_ic(pr, k, inputs);
+  return std::move(pr).take_ir();
 }
 
 namespace {
 
 /// Algorithm 5, code for one process.
-Proc alg5_body(Env& env, Alg5Handles h, Value x) {
-  const int n = env.n();
-  const int me = env.pid();
+Proc alg5_body(P p, Alg5Handles h, Value x) {
+  const int n = p.n();
+  const int me = p.pid();
   bool done = false;  // b_i
   std::vector<Value> snapshot(static_cast<std::size_t>(n));  // S_i
 
@@ -360,13 +348,13 @@ Proc alg5_body(Env& env, Alg5Handles h, Value x) {
     // Line 3: write (x_i, b_i) into M_ρ[i].
     const std::size_t base =
         static_cast<std::size_t>(rho - 1) * static_cast<std::size_t>(n);
-    co_await env.write(h.regs[base + static_cast<std::size_t>(me)],
-                       make_vec(x, Value(done ? 1 : 0)));
+    co_await p.write(h.regs[base + static_cast<std::size_t>(me)],
+                     make_vec(x, Value(done ? 1 : 0)), ir::ValueExpr::any());
     // Line 4: collect — n individual reads (NOT an atomic snapshot).
     std::vector<Value> collected(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       collected[static_cast<std::size_t>(j)] =
-          (co_await env.read(h.regs[base + static_cast<std::size_t>(j)])).value;
+          (co_await p.read(h.regs[base + static_cast<std::size_t>(j)])).value;
     }
     // Line 5: count processes still without a snapshot.
     int unfinished = 0;
@@ -389,6 +377,27 @@ Proc alg5_body(Env& env, Alg5Handles h, Value x) {
   co_return Value(std::move(snapshot));  // line 12
 }
 
+/// The single source: n iterations of fresh unbounded register arrays plus
+/// the write/collect bodies, against whichever mode `pr` is in.
+Alg5Handles build_alg5(Proto& pr, const std::vector<Value>& inputs) {
+  const int n = pr.n();
+  Alg5Handles h;
+  h.regs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int rho = 0; rho < n; ++rho) {
+    for (int i = 0; i < n; ++i) {
+      h.regs.push_back(
+          pr.add_register(iter_reg_name(static_cast<std::size_t>(rho), i), i,
+                          sim::kUnbounded, Value()));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    pr.spawn(i, [h, x = inputs[static_cast<std::size_t>(i)]](P p) -> Proc {
+      return alg5_body(p, h, x);
+    });
+  }
+  return h;
+}
+
 }  // namespace
 
 Alg5Handles install_alg5(sim::Sim& sim, const std::vector<Value>& inputs) {
@@ -398,49 +407,16 @@ Alg5Handles install_alg5(sim::Sim& sim, const std::vector<Value>& inputs) {
   for (const Value& v : inputs) {
     usage_check(!v.is_bottom(), "install_alg5: inputs must be non-⊥");
   }
-  Alg5Handles h;
-  h.regs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
-  for (int rho = 0; rho < n; ++rho) {
-    for (int i = 0; i < n; ++i) {
-      h.regs.push_back(sim.add_register(
-          "M" + std::to_string(rho) + "." + std::to_string(i), i,
-          sim::kUnbounded, Value()));
-    }
-  }
-  for (int i = 0; i < n; ++i) {
-    sim.spawn(i, [h, x = inputs[static_cast<std::size_t>(i)]](Env& env) -> Proc {
-      return alg5_body(env, h, x);
-    });
-  }
-  return h;
+  Proto pr(sim);
+  return build_alg5(pr, inputs);
 }
 
 analysis::ir::ProtocolIR describe_alg5(int n) {
-  namespace air = analysis::ir;
   usage_check(n >= 1, "describe_alg5: n must be >= 1");
-  air::ProtocolIR p;
-  for (int rho = 0; rho < n; ++rho) {
-    for (int i = 0; i < n; ++i) {
-      p.registers.push_back(air::RegisterDecl{
-          "M" + std::to_string(rho) + "." + std::to_string(i), i,
-          air::kUnboundedWidth, /*write_once=*/false,
-          /*allows_bottom=*/false});
-    }
-  }
-  for (int me = 0; me < n; ++me) {
-    air::ProcessIR proc;
-    proc.pid = me;
-    for (int rho = 0; rho < n; ++rho) {
-      const int base = rho * n;
-      // Line 3: write (x_i, b_i); line 4: collect — n individual reads.
-      proc.body.push_back(air::write(base + me, air::ValueExpr::any()));
-      for (int j = 0; j < n; ++j) {
-        proc.body.push_back(air::read(base + j));
-      }
-    }
-    p.processes.push_back(std::move(proc));
-  }
-  return p;
+  const std::vector<Value> inputs(static_cast<std::size_t>(n), Value(0));
+  Proto pr(Proto::ReflectOptions{.n = n, .params = {}});
+  build_alg5(pr, inputs);
+  return std::move(pr).take_ir();
 }
 
 }  // namespace bsr::core

@@ -21,6 +21,7 @@
 
 #include "analysis/static/ir.h"
 #include "memory/ic.h"
+#include "proto/builder.h"
 #include "sim/sim.h"
 
 namespace bsr::core {
@@ -45,7 +46,7 @@ Alg4Handles install_alg4(sim::Sim& sim,
 
 /// The Algorithm 4 core as an awaitable subroutine: returns the simulated
 /// final view W_i^k, for protocols that decide a task output from it.
-sim::Task<Value> alg4_simulate(sim::Env& env, Alg4Handles h,
+sim::Task<Value> alg4_simulate(proto::P p, Alg4Handles h,
                                const memory::FullInfoConfigs* configs,
                                Value w0);
 
@@ -85,11 +86,11 @@ Alg4Handles install_alg4_agreement(sim::Sim& sim,
                                    const Alg4AgreementPlan& plan,
                                    std::array<std::uint64_t, 2> inputs);
 
-/// Static IR of install_alg4_agreement for a plan whose configuration space
-/// has `iterations` = plan.configs().flat.size() entries: write-once input
-/// registers plus one write-snapshot per 1-bit iterated pair.
+/// Static IR of install_alg4_agreement, reflected from the same builder
+/// body the factory runs (`plan` as for install_alg4_agreement): write-once
+/// input registers plus one write-snapshot per 1-bit iterated pair.
 [[nodiscard]] analysis::ir::ProtocolIR describe_alg4_agreement(
-    std::size_t iterations);
+    const Alg4AgreementPlan& plan);
 
 /// Validity of a (possibly partial) final configuration against C^k: every
 /// decided view must extend to some configuration of C^k (Lemma 7.1 for
@@ -114,8 +115,9 @@ struct Alg3Handles {
 Alg3Handles install_full_info_ic(sim::Sim& sim, int k,
                                  const std::vector<Value>& inputs);
 
-/// Static IR of install_full_info_ic: k rounds of write-whole-view then
-/// collect over n·k unbounded registers.
+/// Static IR of install_full_info_ic, reflected from the same builder body
+/// the factory runs: k rounds of write-whole-view then collect over n·k
+/// unbounded registers.
 [[nodiscard]] analysis::ir::ProtocolIR describe_full_info_ic(int n, int k);
 
 // ---------------------------------------------------------------- Alg. 5 --
@@ -130,8 +132,8 @@ struct Alg5Handles {
 /// n-vector snapshot S_i (⊥ entries for processes outside its snapshot).
 Alg5Handles install_alg5(sim::Sim& sim, const std::vector<Value>& inputs);
 
-/// Static IR of install_alg5: n write/collect iterations over n·n
-/// unbounded registers.
+/// Static IR of install_alg5, reflected from the same builder body the
+/// factory runs: n write/collect iterations over n·n unbounded registers.
 [[nodiscard]] analysis::ir::ProtocolIR describe_alg5(int n);
 
 }  // namespace bsr::core

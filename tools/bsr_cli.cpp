@@ -27,6 +27,11 @@
 //       static and dynamic tiers against each other. Exits 0 clean, 1 on
 //       violations, 2 on usage errors or static/dynamic disagreement.
 //       `bsr lint --help` prints the full flag and exit-code reference.
+//   bsr doc
+//       Render the built-in protocol registry as the markdown protocol
+//       reference (register tables, claimed widths, topology, paper
+//       anchors) on stdout. docs/PROTOCOLS.md is this output, committed;
+//       scripts/update_goldens.sh regenerates it and CI fails on drift.
 //
 // Flags may be spelled `--key value` or `--key=value`.
 #include <algorithm>
@@ -39,6 +44,7 @@
 #include <string>
 #include <thread>
 
+#include "analysis/doc.h"
 #include "analysis/lint.h"
 #include "core/alg1.h"
 #include "core/alg6.h"
@@ -325,12 +331,17 @@ int cmd_lint(const Args& a) {
   return run_lint(opts, std::cout, std::cerr);
 }
 
+int cmd_doc(const Args&) {
+  analysis::write_protocol_reference(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cout << "usage: bsr <agree|fast|stack|adversary|iis|trace|explore"
-                 "|lint> [--flags]\n"
+                 "|lint|doc> [--flags]\n"
                  "see the header comment of tools/bsr_cli.cpp\n";
     return 2;
   }
@@ -345,6 +356,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "explore") return cmd_explore(args);
     if (cmd == "lint") return cmd_lint(args);
+    if (cmd == "doc") return cmd_doc(args);
   } catch (const bsr::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,14 @@
+# Freshness check for the generated protocol reference: `bsr doc` must
+# reproduce the committed docs/PROTOCOLS.md byte for byte (same discipline
+# as the lint-schema goldens). Invoked by the `cli_doc_fresh` ctest with
+# -DBSR=<bsr binary> -DREFERENCE=<committed file> -DOUT=<scratch file>.
+execute_process(COMMAND ${BSR} doc OUTPUT_FILE ${OUT} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "'${BSR} doc' exited ${rc}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${REFERENCE}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "docs/PROTOCOLS.md is stale — regenerate with scripts/update_goldens.sh")
+endif()
