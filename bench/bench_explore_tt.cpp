@@ -1,0 +1,209 @@
+// Transposition-table bench: wall-clock of the exhaustive explorer with
+// and without state-space memoization (sim/tt.h + sim/zobrist.h).
+//
+// Schedules of independent steps commute, so the choice tree's node count
+// is exponentially larger than its distinct-state count; the TT prunes
+// every subtree whose root state a previous schedule already reached. Each
+// workload row reports the TT-disabled baseline (incremental engine,
+// executions) against the TT-pruned run (distinct final states) and the
+// table's probe/hit/store/drop counters. The deduped violation multiset
+// must be identical between the runs — the pruned search may skip
+// schedules, never findings — and any drop voids the comparison (a full
+// probe window falls back to exploring, which double-counts states).
+//
+// Besides the usual table + google-benchmark section, the binary writes
+// `BENCH_explore_tt.json` (into $BSR_BENCH_JSON_DIR or the CWD): the
+// machine-readable perf-trajectory record committed as
+// bench/BENCH_explore_tt.json — see docs/MODEL.md for the convention.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/alg1.h"
+#include "core/alg2.h"
+#include "sim/explore.h"
+#include "sim/tt.h"
+#include "tasks/approx.h"
+#include "topo/bmz.h"
+
+namespace {
+
+using namespace bsr;
+
+struct Workload {
+  std::string name;
+  sim::Explorer::Factory make;
+  sim::ExploreOptions opts;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> ws;
+  for (const std::uint64_t k : {3ull, 4ull}) {
+    Workload w;
+    w.name = "alg1 k=" + std::to_string(k);
+    w.make = [k]() {
+      auto sim = std::make_unique<sim::Sim>(2);
+      core::install_alg1(*sim, k, {0, 1});
+      sim->set_violation_collecting(true);
+      return sim;
+    };
+    w.opts.max_steps = 2000;
+    ws.push_back(std::move(w));
+  }
+  {
+    // The Alg2 n=2 one-crash workload — the hot path of the suite.
+    const tasks::ApproxAgreement aa(2, 3);
+    std::vector<Value> domain;
+    for (std::uint64_t v = 0; v <= 3; ++v) domain.emplace_back(v);
+    const topo::Bmz2 bmz(tasks::materialize(aa, domain));
+    Workload w;
+    w.name = "alg2 crashes<=1";
+    w.make = [plan = bmz.plan()]() {
+      auto sim = std::make_unique<sim::Sim>(2);
+      core::install_alg2(*sim, plan, tasks::Config{Value(0), Value(1)});
+      sim->set_violation_collecting(true);
+      return sim;
+    };
+    w.opts.max_steps = 500;
+    w.opts.max_crashes = 1;
+    ws.push_back(std::move(w));
+  }
+  return ws;
+}
+
+std::string violation_key(const sim::ModelEvent& e) {
+  return to_string(e.kind) + "|" + std::to_string(e.pid) + "|" +
+         std::to_string(e.reg) + "|" + e.message;
+}
+
+struct Measurement {
+  long count = 0;
+  double seconds = 0;
+  std::set<std::string> violations;
+  sim::TranspositionTable::Stats tt;
+};
+
+Measurement run(const Workload& w, bool with_tt) {
+  sim::ExploreOptions opts = w.opts;
+  opts.threads = 1;
+  std::shared_ptr<sim::TranspositionTable> tt;
+  if (with_tt) {
+    tt = std::make_shared<sim::TranspositionTable>(std::size_t{1} << 22);
+    opts.tt = tt;
+  }
+  Measurement m;
+  const auto t0 = std::chrono::steady_clock::now();
+  m.count = sim::Explorer(opts).explore(
+      w.make, [&m](sim::Sim& sim, const std::vector<sim::Choice>&) {
+        for (const sim::ModelEvent& e : sim.model_violations()) {
+          m.violations.insert(violation_key(e));
+        }
+      });
+  m.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (with_tt) m.tt = tt->stats();
+  return m;
+}
+
+std::string fmt(double v, const char* spec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+int print_tt_table() {
+  bench::banner(
+      "State-space memoization — explorer wall-clock, TT vs no TT",
+      "commuting schedules converge on few states; hashing each world state "
+      "and pruning repeat visits turns the schedule tree into the state "
+      "graph");
+
+  bench::Table table({"workload", "execs (no tt)", "states (tt)", "s (no tt)",
+                      "s (tt)", "speedup", "hits", "drops", "violations"});
+  std::ostringstream json;
+  json << "{\"bench\":\"explore_tt\",\"unit\":\"seconds\",\"workloads\":[";
+  double max_speedup = 0;
+  bool ok = true;
+  bool first = true;
+  for (const Workload& w : workloads()) {
+    const Measurement base = run(w, false);
+    const Measurement tt = run(w, true);
+    const double speedup = base.seconds / tt.seconds;
+    max_speedup = std::max(max_speedup, speedup);
+    const bool same = base.violations == tt.violations && tt.tt.drops == 0;
+    ok &= same;
+    table.row({w.name, bench::str(base.count), bench::str(tt.count),
+               fmt(base.seconds, "%.4f"), fmt(tt.seconds, "%.4f"),
+               fmt(speedup, "%.1fx"), bench::str(tt.tt.hits),
+               bench::str(tt.tt.drops), same ? "identical" : "MISMATCH"});
+    if (!first) json << ",";
+    first = false;
+    json << "{\"name\":\"" << w.name << "\",\"baseline\":{\"executions\":"
+         << base.count << ",\"seconds\":" << fmt(base.seconds, "%.6f")
+         << "},\"tt\":{\"states\":" << tt.count
+         << ",\"seconds\":" << fmt(tt.seconds, "%.6f")
+         << ",\"probes\":" << tt.tt.probes << ",\"hits\":" << tt.tt.hits
+         << ",\"stores\":" << tt.tt.stores << ",\"drops\":" << tt.tt.drops
+         << "},\"speedup\":" << fmt(speedup, "%.2f")
+         << ",\"violations_match\":" << (same ? "true" : "false") << "}";
+  }
+  json << "],\"max_speedup\":" << fmt(max_speedup, "%.2f") << "}";
+  table.print();
+  std::cout << "  max speedup: " << fmt(max_speedup, "%.1f")
+            << "x (acceptance: >= 2x on at least one workload)\n";
+
+  const char* dir = std::getenv("BSR_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_explore_tt.json";
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  std::cout << "  wrote " << path << "\n";
+  return (ok && max_speedup >= 2.0) ? 0 : 1;
+}
+
+void BM_ExploreTT(benchmark::State& state) {
+  const std::vector<Workload> ws = workloads();
+  const Workload& w = ws[static_cast<std::size_t>(state.range(0))];
+  const bool with_tt = state.range(1) != 0;
+  long count = 0;
+  for (auto _ : state) {
+    sim::ExploreOptions opts = w.opts;
+    opts.threads = 1;
+    if (with_tt) {
+      opts.tt = std::make_shared<sim::TranspositionTable>(std::size_t{1}
+                                                          << 22);
+    }
+    count = sim::Explorer(opts).explore(
+        w.make, [](sim::Sim&, const std::vector<sim::Choice>&) {});
+  }
+  state.counters[with_tt ? "states" : "executions"] =
+      static_cast<double>(count);
+}
+// Arg0 = workload index; Arg1 = 0 baseline / 1 TT-pruned.
+BENCHMARK(BM_ExploreTT)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = print_tt_table();
+  if (rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

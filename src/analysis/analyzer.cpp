@@ -24,6 +24,7 @@ const char* rule_for(sim::ModelEvent::Kind k) {
     case sim::ModelEvent::Kind::Bottom: return "bottom-escape";
     case sim::ModelEvent::Kind::Topology: return "topology";
     case sim::ModelEvent::Kind::Atomicity: return "step-atomicity";
+    case sim::ModelEvent::Kind::Round: return "round-bound";
   }
   return "?";
 }

@@ -506,6 +506,60 @@ ProtocolSpec misdeclared_symbolic_demo_spec() {
   return s;
 }
 
+/// The loop-shape canary's single-source body: process 0 sizes a NATIVE
+/// for-loop from a value it read, instead of declaring the trip count
+/// through a combinator. The solo reflection sees the tracked initial 0 and
+/// emits one probe read; a perturbed reflection sees 1 and emits two — the
+/// structural diff is exactly what the `loop-shape` rule must catch. Every
+/// other rule stays quiet: the registers are unbounded, nobody writes, and
+/// both are read.
+void build_loop_shape(proto::Proto& pr) {
+  const int flag = pr.add_register("shape.flag", 0, sim::kUnbounded, Value(0));
+  const int probe =
+      pr.add_register("shape.probe", 1, sim::kUnbounded, Value(0));
+  pr.spawn(0, [=](proto::P p) -> sim::Proc {
+    const std::uint64_t k = (co_await p.read(flag)).value.as_u64();
+    for (std::uint64_t i = 0; i <= k; ++i) {
+      (void)co_await p.read(probe);
+    }
+    co_return Value(0);
+  });
+  pr.spawn(1, [=](proto::P p) -> sim::Proc {
+    (void)co_await p.read(flag);
+    (void)co_await p.read(probe);
+    co_return Value(1);
+  });
+}
+
+/// A canary for the reflection-stability rule: structurally clean under
+/// every width/ownership rule, but its IR depends on what reads return, so
+/// only `loop-shape` fires — proving the perturbed second reflection works.
+ProtocolSpec loop_shape_demo_spec() {
+  ProtocolSpec s;
+  s.name = "demo-loop-shape";
+  s.description =
+      "native loop sized by a read value (loop-shape lint self-test; "
+      "always fails statically)";
+  s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
+             "none — unbounded registers; the defect is reflective, not "
+             "width-related"};
+  s.demo = true;
+  s.params.n = 2;
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    proto::Proto pr(*sim);
+    build_loop_shape(pr);
+    return sim;
+  };
+  s.describe = [] {
+    proto::Proto pr(proto::Proto::ReflectOptions{.n = 2, .params = {}});
+    build_loop_shape(pr);
+    return std::move(pr).take_ir();
+  };
+  s.explore.max_steps = 50;
+  return s;
+}
+
 }  // namespace
 
 const std::vector<ProtocolSpec>& builtin_protocols() {
@@ -528,6 +582,7 @@ const std::vector<ProtocolSpec>& builtin_protocols() {
     v.push_back(ring_stack_spec());
     v.push_back(misdeclared_demo_spec());
     v.push_back(misdeclared_symbolic_demo_spec());
+    v.push_back(loop_shape_demo_spec());
     return v;
   }();
   return specs;

@@ -115,12 +115,36 @@ std::string topology_line(const ir::ProtocolIR& p) {
   return os.str();
 }
 
-void write_register_table(std::ostream& os, const ir::ProtocolIR& p) {
+/// Total atomic steps across all processes per complete execution — the
+/// paper's step-complexity figure for the whole protocol.
+ir::Count total_steps(const ir::ProtocolSummary& sum) {
+  ir::Count total;
+  for (const ir::Count& s : sum.steps) total = total.seq(s);
+  return total;
+}
+
+/// Per-process step and round counts, derived by the same abstract
+/// interpretation that audits the widths (ir::summarize_full).
+void write_step_table(std::ostream& os, const ir::ProtocolIR& p,
+                      const ir::ProtocolSummary& sum) {
+  os << "| process | steps/exec | rounds/exec |\n"
+     << "|---------|------------|-------------|\n";
+  for (std::size_t i = 0; i < p.processes.size(); ++i) {
+    os << "| p" << p.processes[i].pid << " | " << ir::render(sum.steps[i])
+       << " | "
+       << (p.max_rounds == ir::kMany ? std::string("—")
+                                     : ir::render(sum.rounds[i]))
+       << " |\n";
+  }
+  os << "| **total** | " << ir::render(total_steps(sum)) << " | |\n";
+}
+
+void write_register_table(std::ostream& os, const ir::ProtocolIR& p,
+                          const std::vector<ir::RegisterSummary>& sums) {
   if (p.registers.empty()) {
     os << "No shared registers (message passing only).\n";
     return;
   }
-  const std::vector<ir::RegisterSummary> sums = ir::summarize(p);
   os << "| # | register | owner | declared bits | write-once | ⊥ | "
         "writes/exec | derived value set | symbolic width |\n"
      << "|---|----------|-------|---------------|------------|---|"
@@ -151,6 +175,7 @@ void write_structure(std::ostream& os, const ir::ProtocolIR& p) {
 
 void write_spec(std::ostream& os, const ProtocolSpec& s) {
   const ir::ProtocolIR p = s.describe();
+  const ir::ProtocolSummary sum = ir::summarize_full(p);
   os << "## `" << s.name << "`\n\n" << s.description << ".\n\n";
   os << "- **Paper anchor:** " << s.claim.source << "\n";
   os << "- **Claimed register width:** " << claim_cell(s.claim);
@@ -173,8 +198,10 @@ void write_spec(std::ostream& os, const ProtocolSpec& s) {
     if (i > 0) os << ", ";
     os << rules[i];
   }
-  os << "\n\n### Registers\n\n";
-  write_register_table(os, p);
+  os << "\n\n### Step counts\n\n";
+  write_step_table(os, p, sum);
+  os << "\n### Registers\n\n";
+  write_register_table(os, p, sum.registers);
   os << "\n### Reflected structure\n\n";
   write_structure(os, p);
   os << "\n";
@@ -202,11 +229,13 @@ void write_protocol_reference(std::ostream& os) {
         "is\n"
      << "documented in docs/ANALYSIS.md.\n\n";
 
-  os << "| protocol | paper anchor | claimed width | audit |\n"
-     << "|----------|--------------|---------------|-------|\n";
+  os << "| protocol | paper anchor | claimed width | steps/exec | audit |\n"
+     << "|----------|--------------|---------------|------------|-------|\n";
   for (const ProtocolSpec& s : specs) {
+    const ir::Count steps = total_steps(ir::summarize_full(s.describe()));
     os << "| [`" << s.name << "`](#" << s.name << ") | " << s.claim.source
-       << " | " << claim_cell(s.claim) << " | " << audit_cell(s) << " |\n";
+       << " | " << claim_cell(s.claim) << " | " << ir::render(steps) << " | "
+       << audit_cell(s) << " |\n";
   }
   os << "\n";
   for (const ProtocolSpec& s : specs) write_spec(os, s);

@@ -18,7 +18,8 @@ constexpr const char* kUsage =
 
 Runs the model-conformance analyzer (docs/ANALYSIS.md) over the built-in
 protocol registry: register-width claims, SWMR/write-once/bottom discipline,
-dead registers.
+dead registers, and reflection stability (the static tier re-reflects each
+builder body under perturbed reads and flags shape drift as `loop-shape`).
 
 options:
   --protocol NAME[,NAME...]   analyze only the named protocols; default is

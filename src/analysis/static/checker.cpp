@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <sstream>
 #include <string>
 #include <utility>
+
+#include "proto/builder.h"
 
 namespace bsr::analysis {
 namespace {
@@ -59,6 +62,41 @@ ProtocolReport analyze_static(const ProtocolSpec& spec) {
 
   ir::ProtocolIR p = spec.describe();
   p.params = spec.params;  // the spec's instantiation is authoritative
+
+  // Reflection-stability rule (`loop-shape`): reflect the body a second
+  // time with every read result perturbed. Reflection runs the body solo
+  // against tracked register contents, so the IR must not depend on what
+  // reads return — data-dependent structure belongs in the combinators,
+  // which declare their trip counts. A structural diff means the audited
+  // IR describes just one data path and the facts derived from it are not
+  // sound over-approximations. A body that *throws* under perturbation
+  // (its internal sanity checks reject the corrupted data, e.g. alg2's
+  // decision invariants) yields no verdict: the op sequence it emitted
+  // before failing proves nothing either way, so only a completed
+  // re-reflection can fire the rule.
+  {
+    std::string unstable;
+    try {
+      const proto::ScopedReadPerturbation guard;
+      ir::ProtocolIR again = spec.describe();
+      again.params = spec.params;
+      unstable = ir::diff(p, again);
+    } catch (const std::exception&) {
+      unstable.clear();
+    }
+    if (!unstable.empty()) {
+      std::ostringstream msg;
+      msg << "reflected IR changes when read results are perturbed — the "
+             "body shapes its control flow around tracked register "
+             "contents instead of the combinators: "
+          << unstable;
+      Diagnostic d;
+      d.rule = "loop-shape";
+      d.message = msg.str();
+      add(std::move(d));
+    }
+  }
+
   const ir::ProtocolSummary full = ir::summarize_full(p);
   const std::vector<ir::RegisterSummary>& sums = full.registers;
 
@@ -281,6 +319,7 @@ const char* static_rule_for(const std::string& dynamic_rule) {
   if (dynamic_rule == "swmr-ownership") return "static-ownership";
   if (dynamic_rule == "bottom-escape") return "static-bottom";
   if (dynamic_rule == "topology") return "static-topology";
+  if (dynamic_rule == "round-bound") return "static-round-bound";
   return nullptr;
 }
 

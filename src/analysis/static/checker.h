@@ -7,7 +7,10 @@
 // analyzer's: `static-width` (declared or derivable width exceeds the
 // declaration or the claim), `static-write-once`, `static-ownership`,
 // `static-bottom`, `static-dead-register` (warning), and `ir-missing` when
-// a spec has no describe hook.
+// a spec has no describe hook. `loop-shape` is reflection-specific: the
+// spec's body is reflected a second time under perturbed read results
+// (proto::ScopedReadPerturbation) and any IR difference means the body's
+// structure depends on data the solo reflection cannot see.
 //
 // `cross_validate` makes each tier the other's oracle: the static facts are
 // a sound over-approximation of every execution, so any dynamic observation

@@ -86,6 +86,7 @@ struct Effect {
   std::vector<Count> sends;
   std::vector<Count> recvs;
   Count rounds;
+  Count steps;
 
   Effect(std::size_t nregs, std::size_t nchans)
       : writes(nregs), reads(nregs), sends(nchans), recvs(nchans) {}
@@ -100,6 +101,7 @@ struct Effect {
       recvs[c] = recvs[c].seq(o.recvs[c]);
     }
     rounds = rounds.seq(o.rounds);
+    steps = steps.seq(o.steps);
   }
   void times(const Count& iters) {
     for (std::size_t r = 0; r < writes.size(); ++r) {
@@ -111,6 +113,7 @@ struct Effect {
       recvs[c] = recvs[c].times(iters);
     }
     rounds = rounds.times(iters);
+    steps = steps.times(iters);
   }
 };
 
@@ -137,6 +140,7 @@ class Interpreter {
         s.recvs = s.recvs.seq(e.recvs[c]);
       }
       summary_.rounds.push_back(e.rounds);
+      summary_.steps.push_back(e.steps);
     }
     for (RegisterSummary& s : summary_.registers) {
       std::sort(s.writers.begin(), s.writers.end());
@@ -210,6 +214,11 @@ class Interpreter {
   Effect interpret(const std::vector<Instr>& body, int pid) {
     Effect acc(p_.registers.size(), p_.channels.size());
     for (const Instr& i : body) {
+      // Every non-structural instruction is one atomic step, regardless of
+      // whether it lands on a declared channel.
+      if (i.kind != Instr::Kind::Loop && i.kind != Instr::Kind::Round) {
+        acc.steps = acc.steps.seq(Count::exactly(1));
+      }
       switch (i.kind) {
         case Instr::Kind::Read:
           acc.reads[checked(i.reg)] =

@@ -171,6 +171,12 @@ struct ProtocolSummary {
   std::vector<std::pair<int, int>> off_topology;
   /// Per-process round counts (indexed like ProtocolIR::processes).
   std::vector<Count> rounds;
+  /// Per-process atomic step counts (indexed like ProtocolIR::processes):
+  /// every read/write/snapshot/write-snapshot/send/recv is one step, in the
+  /// paper's accounting (§2: a step is one atomic access; the immediate
+  /// snapshot is a single step). Loops scale by their trip interval; round
+  /// entries themselves cost nothing beyond their bodies.
+  std::vector<Count> steps;
 };
 
 /// Interprets every process body over the count/value domains and combines

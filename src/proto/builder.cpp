@@ -21,7 +21,37 @@ class SinkGuard {
   ReflectCtx* ctx_;
 };
 
+thread_local int g_read_perturbation = 0;
+
+/// The perturbation applied to reflected read results under
+/// ScopedReadPerturbation: flip the low bit of integer payloads (and of
+/// every integer inside a composite), so any native branch or trip count
+/// computed from a read takes a different path on the second reflection.
+/// ⊥ and non-integer payloads pass through unchanged.
+Value perturb(const Value& v) {
+  if (v.is_u64()) return Value(v.as_u64() ^ 1);
+  if (v.is_vec()) {
+    std::vector<Value> out;
+    out.reserve(v.as_vec().size());
+    for (const Value& e : v.as_vec()) out.push_back(perturb(e));
+    return Value(std::move(out));
+  }
+  return v;
+}
+
+Value tracked(const ReflectCtx& ctx, int reg) {
+  const Value& v = ctx.store.at(static_cast<std::size_t>(reg));
+  return read_perturbation_active() ? perturb(v) : v;
+}
+
 }  // namespace
+
+ScopedReadPerturbation::ScopedReadPerturbation() noexcept {
+  g_read_perturbation += 1;
+}
+ScopedReadPerturbation::~ScopedReadPerturbation() { g_read_perturbation -= 1; }
+
+bool read_perturbation_active() noexcept { return g_read_perturbation > 0; }
 
 // --- P: atomic ops ----------------------------------------------------------
 
@@ -29,7 +59,7 @@ OpStep P::read(int reg) const {
   if (!reflecting()) return OpStep(env_->read(reg));
   rctx_->emit(ir::read(reg));
   sim::OpResult r;
-  r.value = rctx_->store.at(static_cast<std::size_t>(reg));
+  r.value = tracked(*rctx_, reg);
   return OpStep(std::move(r));
 }
 
@@ -44,9 +74,7 @@ OpStep P::snapshot(std::vector<int> regs) const {
   if (!reflecting()) return OpStep(env_->snapshot(std::move(regs)));
   std::vector<Value> contents;
   contents.reserve(regs.size());
-  for (const int reg : regs) {
-    contents.push_back(rctx_->store.at(static_cast<std::size_t>(reg)));
-  }
+  for (const int reg : regs) contents.push_back(tracked(*rctx_, reg));
   rctx_->emit(ir::snapshot(std::move(regs)));
   sim::OpResult r;
   r.value = Value(std::move(contents));
@@ -61,9 +89,7 @@ OpStep P::write_snapshot(int own, Value v, std::vector<int> regs,
   rctx_->store.at(static_cast<std::size_t>(own)) = std::move(v);
   std::vector<Value> contents;
   contents.reserve(regs.size());
-  for (const int reg : regs) {
-    contents.push_back(rctx_->store.at(static_cast<std::size_t>(reg)));
-  }
+  for (const int reg : regs) contents.push_back(tracked(*rctx_, reg));
   rctx_->emit(ir::write_snapshot(own, std::move(vals), std::move(regs)));
   sim::OpResult r;
   r.value = Value(std::move(contents));
@@ -150,6 +176,8 @@ sim::Task<void> P::round(std::function<sim::Task<void>()> body) const {
     rctx_->emit(ir::round(std::move(nested)));
     co_return;
   }
+  rounds_entered_ += 1;
+  env_->note_round(rounds_entered_);
   co_await body();
 }
 
@@ -224,12 +252,22 @@ int Proto::add_bottom_register(std::string name, sim::Pid writer,
 }
 
 void Proto::channel(int src, int dst, int width_bits) {
-  if (!reflecting()) return;  // execute topology comes from SimOptions::edges
+  if (!reflecting()) {
+    // The first declaration supersedes any SimOptions::edges preset, making
+    // the builder the single topology source; the per-link width budget is
+    // a static-tier concept with no dynamic enforcement, so only the edge
+    // itself routes through.
+    sim_->declare_edge(src, dst);
+    return;
+  }
   rctx_->ir.channels.push_back(ir::ChannelDecl{src, dst, width_bits});
 }
 
 void Proto::max_rounds(long rounds) {
-  if (!reflecting()) return;
+  if (!reflecting()) {
+    sim_->set_max_rounds(rounds);
+    return;
+  }
   rctx_->ir.max_rounds = rounds;
 }
 

@@ -53,6 +53,25 @@ struct ReflectCtx {
 /// Result of one `loop_until` body iteration.
 enum class LoopCtl { Continue, Break };
 
+/// While an instance is alive (per thread), reflect-mode reads and
+/// snapshots yield deterministically perturbed values instead of the
+/// tracked store contents. Reflection is supposed to emit the same IR
+/// regardless of what reads return — data-dependent *structure* must go
+/// through the combinators — so re-reflecting a body under this guard and
+/// diffing the two IRs detects bodies whose shape leaks through native
+/// control flow (the `loop-shape` lint rule). Nestable; not a lock: two
+/// threads reflecting concurrently each see their own flag.
+class ScopedReadPerturbation {
+ public:
+  ScopedReadPerturbation() noexcept;
+  ~ScopedReadPerturbation();
+  ScopedReadPerturbation(const ScopedReadPerturbation&) = delete;
+  ScopedReadPerturbation& operator=(const ScopedReadPerturbation&) = delete;
+};
+
+/// True while at least one ScopedReadPerturbation is alive on this thread.
+[[nodiscard]] bool read_perturbation_active() noexcept;
+
 /// Awaitable for one builder op: wraps a live `sim::OpAwaiter` in execute
 /// mode; already-ready with a synthesized result in reflect mode.
 class OpStep {
@@ -136,7 +155,9 @@ class P {
   /// or an exception unwinds it; reflect runs it once.
   [[nodiscard]] sim::Task<void> serve(
       std::function<sim::Task<void>()> body) const;
-  /// One communication round (`round` instruction wrapping the body).
+  /// One communication round (`round` instruction wrapping the body). In
+  /// execute mode each entry is reported to the simulator, which checks it
+  /// against the budget declared via `Proto::max_rounds`.
   [[nodiscard]] sim::Task<void> round(
       std::function<sim::Task<void>()> body) const;
   /// Drains an outbox of (dst, payload) messages via `send`. The IR cannot
@@ -157,6 +178,11 @@ class P {
   sim::Env* env_ = nullptr;
   ReflectCtx* rctx_ = nullptr;
   sim::Pid pid_ = -1;  ///< Reflect-mode pid (execute asks the Env).
+  /// 1-based count of `round` entries through THIS handle. Lives on the
+  /// handle (not the Env) so a body resurrected by Sim::rewind rebuilds it
+  /// along with the rest of the coroutine frame; the simulator suppresses
+  /// the duplicate note_round calls during that fast-forward.
+  mutable long rounds_entered_ = 0;
 };
 
 /// World-building context: declares registers/channels and spawns process
@@ -189,13 +215,16 @@ class Proto {
   int add_bottom_register(std::string name, sim::Pid writer, int width_bits,
                           bool write_once = false);
 
-  // --- Reflect-only world structure -----------------------------------------
-  // Execute-mode topology and round control live in SimOptions / the runner,
-  // so these record the declarations only when reflecting (no-ops otherwise).
+  // --- World structure (both modes) -----------------------------------------
+  // Reflect mode records these into the IR; execute mode routes them into
+  // the simulator, where they are enforced dynamically (Topology and Round
+  // violations). The first `channel` call supersedes any SimOptions::edges
+  // preset, so a builder protocol has a single topology source.
 
-  /// Declares one directed link of the topology with a payload budget.
+  /// Declares one directed link of the topology with a payload budget (the
+  /// width is audited statically; the edge is enforced dynamically).
   void channel(int src, int dst, int width_bits = sim::kUnbounded);
-  /// Declares the per-process round budget.
+  /// Declares the per-process round budget, enforced against `P::round`.
   void max_rounds(long rounds);
 
   // --- Processes ------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "sim/explore_parallel.h"
+#include "sim/tt.h"
 #include "util/errors.h"
 
 namespace bsr::sim {
@@ -60,6 +61,10 @@ long incremental_dfs(Sim& sim, const ExploreOptions& opts, long depth_limit,
                      DfsCursor& cursor, const DfsLeafFn& leaf) {
   usage_check(sim.checkpointing(),
               "incremental_dfs: Sim checkpointing must be enabled");
+  TranspositionTable* const tt = opts.tt.get();
+  usage_check(tt == nullptr || sim.state_hashing(),
+              "incremental_dfs: transposition table requires "
+              "Sim::set_state_hashing");
 
   struct Frame {
     std::vector<Choice> cs;  ///< Choices at this depth.
@@ -71,53 +76,87 @@ long incremental_dfs(Sim& sim, const ExploreOptions& opts, long depth_limit,
   std::vector<std::size_t> idx;  // chosen index per depth since the root
   long visited = 0;
 
-  const auto apply = [&](const Choice& c) {
-    if (c.kind == Choice::Kind::Step) {
-      sim.step(c.pid, c.recv_from);
-      cursor.steps += 1;
-    } else {
-      sim.crash(c.pid);
-      cursor.crashes += 1;
+  // Applies the frame's next untried choice, skipping (and immediately
+  // rewinding) any whose resulting state the transposition table has seen —
+  // the first visitor of a state explores its whole subtree before
+  // backtracking, so a repeat can only be a reconvergence, never a state
+  // still on the current path (histories grow monotonically along it).
+  // Returns false when every remaining sibling was pruned or exhausted, in
+  // which case the frame holds no applied choice.
+  const auto advance = [&](Frame& f) {
+    while (f.next < f.cs.size()) {
+      const Choice& c = f.cs[f.next];
+      idx.back() = f.next;
+      f.next += 1;
+      if (c.kind == Choice::Kind::Step) {
+        sim.step(c.pid, c.recv_from);
+        cursor.steps += 1;
+      } else {
+        sim.crash(c.pid);
+        cursor.crashes += 1;
+      }
+      cursor.schedule.push_back(c);
+      if (tt != nullptr && !tt->first_visit(sim.state_hash())) {
+        sim.rewind(1);
+        cursor.schedule.pop_back();
+        cursor.crashes = f.crashes_before;
+        cursor.steps = f.steps_before;
+        continue;
+      }
+      return true;
     }
-    cursor.schedule.push_back(c);
+    return false;
   };
 
   while (true) {
-    // Descend greedily along first choices until a leaf: either a complete
-    // state (no legal choices) or the depth limit.
+    // Descend greedily along first surviving choices until a leaf: a
+    // complete state (no legal choices) or the depth limit. A node all of
+    // whose children prune is no leaf — its subtree's leaves were all
+    // visited earlier — so fall through to backtracking without counting.
+    bool at_leaf = true;
     while (depth_limit < 0 || static_cast<long>(stack.size()) < depth_limit) {
       std::vector<Choice> cs = legal_choices(sim, cursor.crashes, opts);
       if (cs.empty()) break;
       usage_check(cursor.steps < opts.max_steps,
                   "Explorer: execution exceeded max_steps; "
                   "protocol may not terminate");
-      stack.push_back(Frame{std::move(cs), 1, cursor.crashes, cursor.steps});
+      stack.push_back(Frame{std::move(cs), 0, cursor.crashes, cursor.steps});
       idx.push_back(0);
-      apply(stack.back().cs[0]);
+      if (!advance(stack.back())) {
+        stack.pop_back();
+        idx.pop_back();
+        at_leaf = false;
+        break;
+      }
     }
 
-    ++visited;
-    if (leaf(sim, cursor.schedule, idx)) return visited;
+    if (at_leaf) {
+      ++visited;
+      if (leaf(sim, cursor.schedule, idx)) return visited;
+    }
 
-    // Backtrack: the deepest frame with an untried sibling.
-    std::size_t t = stack.size();
-    while (t > 0 && stack[t - 1].next >= stack[t - 1].cs.size()) --t;
-    if (t == 0) return visited;
+    // Backtrack: the deepest frame with an untried sibling that survives
+    // the table probe.
+    while (true) {
+      std::size_t t = stack.size();
+      while (t > 0 && stack[t - 1].next >= stack[t - 1].cs.size()) --t;
+      if (t == 0) return visited;
 
-    // Rewind the world from the current depth to that frame's state, then
-    // take the sibling. This is the incremental-backtracking core: only the
-    // undone suffix is paid for, never the whole prefix.
-    const std::size_t base = cursor.schedule.size() - stack.size();
-    sim.rewind(cursor.schedule.size() - (base + t - 1));
-    cursor.schedule.resize(base + t - 1);
-    stack.resize(t);
-    idx.resize(t);
-    Frame& f = stack.back();
-    cursor.crashes = f.crashes_before;
-    cursor.steps = f.steps_before;
-    idx.back() = f.next;
-    apply(f.cs[f.next]);
-    f.next += 1;
+      // Rewind the world from the current depth to that frame's state, then
+      // take the sibling. This is the incremental-backtracking core: only
+      // the undone suffix is paid for, never the whole prefix.
+      const std::size_t base = cursor.schedule.size() - stack.size();
+      sim.rewind(cursor.schedule.size() - (base + t - 1));
+      cursor.schedule.resize(base + t - 1);
+      stack.resize(t);
+      idx.resize(t);
+      Frame& f = stack.back();
+      cursor.crashes = f.crashes_before;
+      cursor.steps = f.steps_before;
+      if (advance(f)) break;
+      stack.pop_back();
+      idx.pop_back();
+    }
   }
 }
 
@@ -149,6 +188,12 @@ long Explorer::explore_serial(const Factory& make,
     return ReplayExplorer(opts_).explore_until(make, visit);
   }
   sim->set_checkpointing(true);
+  if (opts_.tt != nullptr) {
+    sim->set_state_hashing(true, opts_.tt_symmetry);
+    // Publish the root state too, so a table shared across explore calls
+    // memoizes whole repeated searches.
+    if (!opts_.tt->first_visit(sim->state_hash())) return 0;
+  }
   long visited = 0;
   detail::DfsCursor cursor;
   detail::incremental_dfs(

@@ -37,6 +37,8 @@
 
 namespace bsr::sim {
 
+class TranspositionTable;  // sim/tt.h
+
 /// Environment variable consulted when ExploreOptions::threads == 0.
 inline constexpr const char* kExploreThreadsEnv = "BSR_EXPLORE_THREADS";
 
@@ -62,6 +64,26 @@ struct ExploreOptions {
   /// mutex so non-thread-safe visitors keep working. Set true only if the
   /// visitor is itself thread-safe (e.g. bumps atomics).
   bool concurrent_visitor = false;
+  /// State-space memoization: when set, the engine maintains a Zobrist hash
+  /// of the world (Sim::set_state_hashing) and prunes any search-tree node
+  /// whose state — registers, coroutine histories, channels, crashes, AND
+  /// collected violations — was reached before, consulting this table. The
+  /// table is shared across parallel workers (and may be shared across
+  /// explore calls to memoize between them). Under memoization the visitor
+  /// runs once per *distinct* final configuration and the returned count is
+  /// the number of distinct final configurations, not of schedules; the
+  /// set of final states and collected violations is exactly that of the
+  /// unpruned search as long as the table reports no drops. `explore_until`
+  /// early stops and `max_executions` remain correct but may leave
+  /// memoized-but-unfinished states in a shared table, so reuse the table
+  /// across calls only with plain `explore`. Ignored by ReplayExplorer
+  /// (the differential oracle) and by factories that pre-step the Sim.
+  std::shared_ptr<TranspositionTable> tt;
+  /// With `tt`: canonicalize states over pid permutations
+  /// (Sim::set_state_hashing symmetry mode). Only meaningful for protocols
+  /// symmetric in the process ids; preserves the *kinds* of reachable
+  /// violations, not exact counts or messages.
+  bool tt_symmetry = false;
 };
 
 /// Resolves the effective thread count: `requested` if > 0, else
@@ -141,6 +163,10 @@ using DfsLeafFn = std::function<bool(
 /// `depth_limit` choices below the root, calling `leaf` for each; returns
 /// the number of leaves visited. Enforces opts.max_steps; ignores
 /// opts.max_executions (callers implement their own truncation in `leaf`).
+/// With opts.tt set (requires sim.state_hashing()), every applied choice is
+/// probed against the table and already-seen states are pruned on entry;
+/// the engines never combine tt with a depth limit (pruning a frontier
+/// node would hide the subtree behind it from the job partition).
 long incremental_dfs(Sim& sim, const ExploreOptions& opts, long depth_limit,
                      DfsCursor& cursor, const DfsLeafFn& leaf);
 

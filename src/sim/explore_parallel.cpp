@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/tt.h"
 #include "util/errors.h"
 
 namespace bsr::sim {
@@ -95,17 +96,23 @@ long ParallelExplorer::explore_until(const Factory& make,
     return ReplayExplorer(opts_).explore_until(make, visit);
   }
   root->set_checkpointing(true);
+  // Frontier enumeration must see every prefix: partitioning through the
+  // shared transposition table would prune frontier nodes whose subtrees
+  // the workers still have to own, so phase 1 runs memoization-free.
+  ExploreOptions frontier_opts = opts_;
+  frontier_opts.tt.reset();
   std::vector<Job> jobs;
   if (opts_.frontier_depth > 0) {
     bool exhausted = false;
-    jobs = enumerate_frontier(*root, opts_, opts_.frontier_depth, exhausted);
+    jobs = enumerate_frontier(*root, frontier_opts, opts_.frontier_depth,
+                              exhausted);
   } else {
     // Deepen until there are comfortably more jobs than threads, so the
     // work-stealing pool can balance uneven subtrees.
     const std::size_t want = 4u * static_cast<std::size_t>(threads_);
     for (long depth = 2;; depth += 2) {
       bool exhausted = false;
-      jobs = enumerate_frontier(*root, opts_, depth, exhausted);
+      jobs = enumerate_frontier(*root, frontier_opts, depth, exhausted);
       if (jobs.size() >= want || exhausted || depth >= 24) break;
     }
   }
@@ -153,6 +160,7 @@ long ParallelExplorer::explore_until(const Factory& make,
     std::unique_ptr<Sim> sim = make();
     usage_check(sim != nullptr, "Explorer: factory returned null");
     sim->set_checkpointing(true);
+    if (opts_.tt != nullptr) sim->set_state_hashing(true, opts_.tt_symmetry);
     detail::DfsCursor cursor;
     // Replay the job's prefix, revalidating each choice index against the
     // fresh Sim: a factory that does not rebuild the same world is a bug.
@@ -170,6 +178,11 @@ long ParallelExplorer::explore_until(const Factory& make,
         cursor.crashes += 1;
       }
       cursor.schedule.push_back(c);
+    }
+    // Publish the subtree root: distinct frontier prefixes can converge on
+    // one state, and whichever job claims it first owns the whole subtree.
+    if (opts_.tt != nullptr && !opts_.tt->first_visit(sim->state_hash())) {
+      return;
     }
     detail::incremental_dfs(
         *sim, opts_, -1, cursor,

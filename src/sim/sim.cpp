@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/zobrist.h"
+
 namespace bsr::sim {
 
 std::string to_string(OpKind k) {
@@ -26,11 +28,14 @@ std::string to_string(ModelEvent::Kind k) {
     case ModelEvent::Kind::Bottom: return "bottom";
     case ModelEvent::Kind::Topology: return "topology";
     case ModelEvent::Kind::Atomicity: return "atomicity";
+    case ModelEvent::Kind::Round: return "round";
   }
   return "?";
 }
 
 int Env::n() const noexcept { return sim_->n(); }
+
+void Env::note_round(long idx) const { sim_->note_round(ctl_->pid, idx); }
 
 Sim::Sim(SimOptions opts) : opts_(std::move(opts)) {
   usage_check(opts_.n >= 1, "Sim: need at least one process");
@@ -40,11 +45,15 @@ Sim::Sim(SimOptions opts) : opts_(std::move(opts)) {
   ctls_.resize(static_cast<std::size_t>(opts_.n));
   for (int i = 0; i < opts_.n; ++i) ctls_[static_cast<std::size_t>(i)].ctl.pid = i;
   chan_.resize(static_cast<std::size_t>(opts_.n) * static_cast<std::size_t>(opts_.n));
+  chan_popped_.assign(chan_.size(), 0);
 }
 
 int Sim::add_register(std::string name, Pid writer, int width_bits, Value init) {
   usage_check(writer == -1 || (writer >= 0 && writer < n()),
               "add_register: bad writer pid");
+  usage_check(!hashing_,
+              "add_register: the register table is frozen while state "
+              "hashing is enabled");
   if (opts_.single_register_per_process && writer != -1 &&
       !adding_input_register_) {
     for (const Register& r : regs_) {
@@ -174,6 +183,9 @@ void Sim::step(Pid pid, Pid recv_from) {
     undo_.push_back(std::move(undo));
     result_log_[static_cast<std::size_t>(pid)].push_back(ctl.result);
   }
+  // The result history pins the coroutine state (bodies are deterministic),
+  // so hashing it is how the "program counter" enters the state hash.
+  if (hashing_) hash_toggle_hist(pid, ctl.steps, ctl.result);
   ctl.steps += 1;
   total_steps_ += 1;
   resume(ctl);
@@ -224,12 +236,165 @@ void Sim::crash(Pid pid) {
     u.kind = UndoRecord::Kind::Crash;
     u.pid = pid;
     undo_.push_back(std::move(u));
+    if (hashing_) hash_toggle_crash(pid);
   }
   ctl.crashed = true;
 }
 
+void Sim::declare_edge(Pid from, Pid to) {
+  check_pid(from);
+  check_pid(to);
+  usage_check(from != to, "declare_edge: no self-loops");
+  usage_check(total_steps_ == 0,
+              "declare_edge: topology must be declared before the first step");
+  if (!edges_declared_) {
+    // The builder's declarations replace whatever the SimOptions carried:
+    // from here on only declared links exist.
+    opts_.edges.assign(ctls_.size(), {});
+    edges_declared_ = true;
+  }
+  auto& out = opts_.edges[static_cast<std::size_t>(from)];
+  if (std::find(out.begin(), out.end(), to) == out.end()) out.push_back(to);
+}
+
+void Sim::set_max_rounds(long rounds) {
+  usage_check(rounds >= 1, "set_max_rounds: need at least one round");
+  usage_check(total_steps_ == 0,
+              "set_max_rounds: must be declared before the first step");
+  max_rounds_ = rounds;
+}
+
+void Sim::note_round(Pid pid, long idx) {
+  check_pid(pid);
+  if (rebuilding_ || max_rounds_ < 0) return;
+  if (idx > max_rounds_) {
+    violate(ModelEvent::Kind::Round, pid, -1,
+            "process " + std::to_string(pid) + " entered round " +
+                std::to_string(idx) + " beyond the declared max_rounds = " +
+                std::to_string(max_rounds_));
+  }
+}
+
+void Sim::set_state_hashing(bool on, bool symmetry) {
+  if (!on) {
+    hashing_ = false;
+    hash_symmetry_ = false;
+    perms_.clear();
+    perm_regs_.clear();
+    hash_.clear();
+    return;
+  }
+  usage_check(total_steps_ == 0,
+              "set_state_hashing: must be enabled before the first step");
+  usage_check(checkpointing_,
+              "set_state_hashing: requires checkpointing (the result log is "
+              "part of the hashed state)");
+  usage_check(!symmetry || n() <= 5,
+              "set_state_hashing: symmetry reduction maintains n! hashes; "
+              "limited to n <= 5");
+  perms_ = symmetry ? zobrist::pid_permutations(n())
+                    : std::vector<std::vector<Pid>>{[&] {
+                        std::vector<Pid> id(ctls_.size());
+                        for (int i = 0; i < n(); ++i)
+                          id[static_cast<std::size_t>(i)] = i;
+                        return id;
+                      }()};
+  perm_regs_.clear();
+  for (const auto& perm : perms_) {
+    auto mapped = zobrist::permuted_registers(regs_, perm);
+    usage_check(mapped.has_value(),
+                "set_state_hashing: register table is not pid-symmetric "
+                "(per-owner register lists must match in width/flags)");
+    if (symmetry) {
+      for (std::size_t r = 0; r < regs_.size(); ++r) {
+        usage_check(
+            regs_[static_cast<std::size_t>((*mapped)[r])].value == regs_[r].value,
+            "set_state_hashing: symmetric registers must start with equal "
+            "contents");
+      }
+    }
+    perm_regs_.push_back(std::move(*mapped));
+  }
+  hashing_ = true;
+  hash_symmetry_ = symmetry;
+  hash_.assign(perms_.size(), 0);
+  // Fold in the initial configuration: register contents, plus any
+  // processes the factory crash-stopped before stepping began. Channels,
+  // histories, and violations are necessarily empty at step zero.
+  for (int r = 0; r < num_registers(); ++r) {
+    hash_toggle_reg(r, regs_[static_cast<std::size_t>(r)].value);
+  }
+  for (Pid p = 0; p < n(); ++p) {
+    if (ctls_[static_cast<std::size_t>(p)].ctl.crashed) hash_toggle_crash(p);
+  }
+}
+
+std::uint64_t Sim::state_hash() const {
+  usage_check(hashing_, "state_hash: state hashing is not enabled");
+  std::uint64_t best = hash_[0];
+  for (const std::uint64_t h : hash_) best = std::min(best, h);
+  return best;
+}
+
+void Sim::hash_toggle_reg(int reg, const Value& v) {
+  const std::uint64_t vh = zobrist::value_hash(v);
+  for (std::size_t p = 0; p < perms_.size(); ++p) {
+    const int pr = perm_regs_[p][static_cast<std::size_t>(reg)];
+    hash_[p] ^= zobrist::combine(
+        zobrist::combine(zobrist::kRegTag, static_cast<std::uint64_t>(pr)), vh);
+  }
+}
+
+void Sim::hash_toggle_hist(Pid pid, long index, const OpResult& r) {
+  const std::uint64_t vh = zobrist::value_hash(r.value);
+  for (std::size_t p = 0; p < perms_.size(); ++p) {
+    const Pid pp = perms_[p][static_cast<std::size_t>(pid)];
+    const Pid pf = r.from >= 0 ? perms_[p][static_cast<std::size_t>(r.from)]
+                               : r.from;
+    std::uint64_t h = zobrist::combine(
+        zobrist::kHistTag, (static_cast<std::uint64_t>(pp) << 32) ^
+                               static_cast<std::uint64_t>(index));
+    h = zobrist::combine(h, vh);
+    hash_[p] ^= zobrist::combine(h, static_cast<std::uint64_t>(pf) + 1);
+  }
+}
+
+void Sim::hash_toggle_chan(Pid from, Pid to, long slot, const Value& v) {
+  const std::uint64_t vh = zobrist::value_hash(v);
+  for (std::size_t p = 0; p < perms_.size(); ++p) {
+    const Pid pf = perms_[p][static_cast<std::size_t>(from)];
+    const Pid pt = perms_[p][static_cast<std::size_t>(to)];
+    std::uint64_t h = zobrist::combine(
+        zobrist::kChanTag, (static_cast<std::uint64_t>(pf) << 32) ^
+                               static_cast<std::uint64_t>(pt));
+    h = zobrist::combine(h, static_cast<std::uint64_t>(slot));
+    hash_[p] ^= zobrist::combine(h, vh);
+  }
+}
+
+void Sim::hash_toggle_crash(Pid pid) {
+  for (std::size_t p = 0; p < perms_.size(); ++p) {
+    hash_[p] ^= zobrist::crash_component(perms_[p][static_cast<std::size_t>(pid)]);
+  }
+}
+
+void Sim::hash_toggle_viol(const ModelEvent& e) {
+  const std::uint64_t mh =
+      hash_symmetry_ ? 0 : zobrist::message_hash(e.message);
+  for (std::size_t p = 0; p < perms_.size(); ++p) {
+    const Pid pp = e.pid >= 0 ? perms_[p][static_cast<std::size_t>(e.pid)]
+                              : e.pid;
+    const int pr = e.reg >= 0 ? perm_regs_[p][static_cast<std::size_t>(e.reg)]
+                              : e.reg;
+    hash_[p] ^= zobrist::viol_component(e.kind, pp, pr, mh);
+  }
+}
+
 void Sim::set_checkpointing(bool on) {
   if (on == checkpointing_) return;
+  usage_check(on || !hashing_,
+              "set_checkpointing: disable state hashing first (the hash "
+              "depends on the result log)");
   if (on) {
     usage_check(total_steps_ == 0,
                 "set_checkpointing: must be enabled before the first step "
@@ -289,24 +454,38 @@ void Sim::undo_shared(const UndoRecord& u) {
     case OpKind::Write:
     case OpKind::WriteSnap: {
       Register& r = reg_at(u.reg);
+      if (hashing_) {
+        hash_toggle_reg(u.reg, r.value);
+        hash_toggle_reg(u.reg, u.old_value);
+      }
       r.value = u.old_value;
       r.max_bits_written = u.old_max_bits;
       r.writes -= 1;
       break;
     }
     case OpKind::Send: {
-      auto& q = chan_[static_cast<std::size_t>(u.pid) *
-                          static_cast<std::size_t>(n()) +
-                      static_cast<std::size_t>(u.peer)];
+      const std::size_t c = static_cast<std::size_t>(u.pid) *
+                                static_cast<std::size_t>(n()) +
+                            static_cast<std::size_t>(u.peer);
+      auto& q = chan_[c];
+      if (hashing_) {
+        hash_toggle_chan(u.pid, u.peer,
+                         chan_popped_[c] + static_cast<long>(q.size()) - 1,
+                         q.back());
+      }
       q.pop_back();
       total_sends_ -= 1;
       break;
     }
     case OpKind::Recv: {
-      auto& q = chan_[static_cast<std::size_t>(u.peer) *
-                          static_cast<std::size_t>(n()) +
-                      static_cast<std::size_t>(u.pid)];
-      q.push_front(u.recv_value);
+      const std::size_t c = static_cast<std::size_t>(u.peer) *
+                                static_cast<std::size_t>(n()) +
+                            static_cast<std::size_t>(u.pid);
+      chan_popped_[c] -= 1;
+      if (hashing_) {
+        hash_toggle_chan(u.peer, u.pid, chan_popped_[c], u.recv_value);
+      }
+      chan_[c].push_front(u.recv_value);
       break;
     }
   }
@@ -321,8 +500,17 @@ void Sim::rewind(std::size_t k) {
     const UndoRecord& u = undo_.back();
     auto& ctl = ctls_[static_cast<std::size_t>(u.pid)].ctl;
     if (u.kind == UndoRecord::Kind::Crash) {
+      if (hashing_) hash_toggle_crash(u.pid);
       ctl.crashed = false;
     } else {
+      if (hashing_) {
+        hash_toggle_hist(
+            u.pid, ctl.steps - 1,
+            result_log_[static_cast<std::size_t>(u.pid)].back());
+        for (std::size_t i = u.old_violations; i < violations_.size(); ++i) {
+          hash_toggle_viol(violations_[i]);
+        }
+      }
       undo_shared(u);
       if (violations_.size() > u.old_violations) {
         violations_.resize(u.old_violations);
@@ -354,13 +542,16 @@ void Sim::rebuild_coroutine(Pid pid) {
   slot.coro = slot.body(*slot.env);  // destroys the stale coroutine frame
   usage_check(slot.coro.valid(), "rewind: body did not return a coroutine");
   slot.coro.bind(&ctl);
+  rebuilding_ = true;  // silence note_round: its checks already ran live
   for (const OpResult& r : log) {
     ctl.result = r;  // copy: the coroutine moves it out on resume
     ctl.resume_point.resume();
+    if (ctl.exc != nullptr) rebuilding_ = false;
     usage_check(ctl.exc == nullptr,
                 "rewind: protocol threw during fast-forward "
                 "(process bodies must be deterministic)");
   }
+  rebuilding_ = false;
   ctl.crashed = was_crashed;
 }
 
@@ -412,6 +603,27 @@ std::size_t Sim::channel_size(Pid from, Pid to) const {
       .size();
 }
 
+const std::deque<Value>& Sim::channel(Pid from, Pid to) const {
+  check_pid(from);
+  check_pid(to);
+  return chan_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n()) +
+               static_cast<std::size_t>(to)];
+}
+
+long Sim::channel_delivered(Pid from, Pid to) const {
+  check_pid(from);
+  check_pid(to);
+  return chan_popped_[static_cast<std::size_t>(from) *
+                          static_cast<std::size_t>(n()) +
+                      static_cast<std::size_t>(to)];
+}
+
+const std::vector<OpResult>& Sim::result_log(Pid pid) const {
+  check_pid(pid);
+  usage_check(checkpointing_, "result_log: checkpointing is not enabled");
+  return result_log_[static_cast<std::size_t>(pid)];
+}
+
 Register& Sim::reg_at(int reg) {
   usage_check(reg >= 0 && reg < static_cast<int>(regs_.size()),
               [&] { return "bad register index " + std::to_string(reg); });
@@ -439,6 +651,11 @@ void Sim::violate(ModelEvent::Kind kind, Pid pid, int reg, std::string msg) {
   if (!collect_violations_) bsr::detail::throw_model(msg);
   violations_.push_back(ModelEvent{kind, pid, reg, total_steps_,
                                    std::move(msg)});
+  // The violation log is part of the hashed state: schedules can converge
+  // on one world state while blaming different processes for a violation
+  // (e.g. opposite orders of two identical writes to a write-once
+  // register), and pruning must not merge those findings.
+  if (hashing_) hash_toggle_viol(violations_.back());
 }
 
 void Sim::set_width_tracking(int reg, bool on) {
@@ -482,6 +699,10 @@ void Sim::do_write(Pid pid, int reg, const Value& v) {
       }
       r.max_bits_written = std::max(r.max_bits_written, w);
     }
+  }
+  if (hashing_) {
+    hash_toggle_reg(reg, r.value);
+    hash_toggle_reg(reg, v);
   }
   r.value = v;
   r.writes += 1;
@@ -531,9 +752,15 @@ void Sim::execute(ProcCtl& ctl, Pid recv_from) {
                     " sent on a non-existent link to " +
                     std::to_string(req.peer));
       }
-      chan_[static_cast<std::size_t>(ctl.pid) * static_cast<std::size_t>(n()) +
-            static_cast<std::size_t>(req.peer)]
-          .push_back(req.value);
+      const std::size_t c = static_cast<std::size_t>(ctl.pid) *
+                                static_cast<std::size_t>(n()) +
+                            static_cast<std::size_t>(req.peer);
+      if (hashing_) {
+        hash_toggle_chan(ctl.pid, req.peer,
+                         chan_popped_[c] + static_cast<long>(chan_[c].size()),
+                         req.value);
+      }
+      chan_[c].push_back(req.value);
       total_sends_ += 1;
       ctl.result = OpResult{};
       break;
@@ -548,11 +775,14 @@ void Sim::execute(ProcCtl& ctl, Pid recv_from) {
                     "recv: chosen sender has no queued message");
         from = recv_from;
       }
-      auto& q = chan_[static_cast<std::size_t>(from) *
-                          static_cast<std::size_t>(n()) +
-                      static_cast<std::size_t>(ctl.pid)];
+      const std::size_t c = static_cast<std::size_t>(from) *
+                                static_cast<std::size_t>(n()) +
+                            static_cast<std::size_t>(ctl.pid);
+      auto& q = chan_[c];
+      if (hashing_) hash_toggle_chan(from, ctl.pid, chan_popped_[c], q.front());
       ctl.result = OpResult{std::move(q.front()), from};
       q.pop_front();
+      chan_popped_[c] += 1;
       break;
     }
   }

@@ -14,6 +14,7 @@
 // run proceeds, so one exploration can report every violation per schedule.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -68,6 +69,7 @@ struct ModelEvent {
     Bottom,     ///< Write into the code point reserved for ⊥.
     Topology,   ///< Send on a link absent from the channel topology.
     Atomicity,  ///< More than one register primitive in a single step.
+    Round,      ///< Round entered beyond the declared max_rounds budget.
   };
   Kind kind = Kind::Swmr;
   Pid pid = -1;
@@ -161,6 +163,12 @@ class Env {
     return OpAwaiter(ctl_, std::move(r));
   }
 
+  /// Reports that this process is entering its `idx`-th communication round
+  /// (1-based); the Sim checks it against the declared `set_max_rounds`
+  /// budget. Not an atomic step — called from inside protocol code between
+  /// ops (the proto builder's `P::round` combinator does this).
+  void note_round(long idx) const;
+
  private:
   friend class Sim;
   Env(Sim* sim, ProcCtl* ctl) noexcept : sim_(sim), ctl_(ctl) {}
@@ -241,6 +249,25 @@ class Sim {
   /// Crash-stops a process: it takes no further steps, ever.
   void crash(Pid pid);
 
+  // --- Declared topology and round budget (builder route) -------------------
+
+  /// Declares one directed channel link. The first call switches the
+  /// topology from SimOptions::edges (or the default complete graph) to
+  /// declared-links-only, so the proto builder's `channel` declarations are
+  /// the single source of truth for sends. Must precede the first step.
+  void declare_edge(Pid from, Pid to);
+
+  /// Declares the per-process communication-round budget (`rounds` >= 1):
+  /// a process entering round `max_rounds + 1` violates the Round model
+  /// rule. Must precede the first step. -1 (the default) means unlimited.
+  void set_max_rounds(long rounds);
+  [[nodiscard]] long max_rounds() const noexcept { return max_rounds_; }
+
+  /// Round-entry hook (see Env::note_round). Ignored while a rewind is
+  /// fast-forwarding a rebuilt coroutine (the entry was already checked
+  /// when it first executed).
+  void note_round(Pid pid, long idx);
+
   // --- Checkpointing (incremental backtracking for the explorer) -----------
 
   /// Starts recording an undo log so that `rewind` can step the world
@@ -257,6 +284,25 @@ class Sim {
   [[nodiscard]] std::size_t history_size() const noexcept {
     return undo_.size();
   }
+
+  // --- Incremental state hashing (sim/zobrist.h) ----------------------------
+
+  /// Starts maintaining a Zobrist hash of the full configuration (register
+  /// contents, per-process result histories, pending channels, crashes,
+  /// collected violations), updated in O(1) per step and per rewound
+  /// action. Requires checkpointing, must precede the first step, and
+  /// freezes the register table. With `symmetry`, one hash per pid
+  /// permutation is maintained (n <= 5) and `state_hash` reports the
+  /// minimum, canonicalizing states that differ only by a process renaming;
+  /// the register table must be pid-symmetric (zobrist::permuted_registers).
+  void set_state_hashing(bool on, bool symmetry = false);
+  [[nodiscard]] bool state_hashing() const noexcept { return hashing_; }
+  [[nodiscard]] bool state_hash_symmetry() const noexcept {
+    return hash_symmetry_;
+  }
+
+  /// The (canonical) hash of the current configuration.
+  [[nodiscard]] std::uint64_t state_hash() const;
 
   // --- Model conformance (instrumentation for src/analysis) ----------------
 
@@ -327,6 +373,16 @@ class Sim {
   /// Number of undelivered messages queued from `from` to `to`.
   [[nodiscard]] std::size_t channel_size(Pid from, Pid to) const;
 
+  /// The undelivered messages queued from `from` to `to`, oldest first.
+  [[nodiscard]] const std::deque<Value>& channel(Pid from, Pid to) const;
+
+  /// Messages delivered (received) so far on the `from`->`to` channel along
+  /// the current path: the absolute index of the queue's head message.
+  [[nodiscard]] long channel_delivered(Pid from, Pid to) const;
+
+  /// `pid`'s recorded step results on the current path (checkpointing only).
+  [[nodiscard]] const std::vector<OpResult>& result_log(Pid pid) const;
+
   /// Total messages ever sent (delivered or still queued).
   [[nodiscard]] long total_sends() const noexcept { return total_sends_; }
 
@@ -380,6 +436,14 @@ class Sim {
   /// step results (see `rewind`).
   void rebuild_coroutine(Pid pid);
 
+  // Zobrist maintenance: each helper XOR-toggles one component into every
+  // maintained permutation hash, so the same call both applies and undoes.
+  void hash_toggle_reg(int reg, const Value& v);
+  void hash_toggle_hist(Pid pid, long index, const OpResult& r);
+  void hash_toggle_chan(Pid from, Pid to, long slot, const Value& v);
+  void hash_toggle_crash(Pid pid);
+  void hash_toggle_viol(const ModelEvent& e);
+
   SimOptions opts_;
   std::vector<ProcSlot> ctls_;
   std::vector<Register> regs_;
@@ -400,6 +464,22 @@ class Sim {
   std::vector<UndoRecord> undo_;
   /// result_log_[pid][j] = result delivered to pid's j-th executed step.
   std::vector<std::vector<OpResult>> result_log_;
+  /// Messages delivered per channel (same from*n+to indexing as chan_):
+  /// gives queued messages stable absolute slot indices for hashing.
+  std::vector<long> chan_popped_;
+  bool hashing_ = false;
+  bool hash_symmetry_ = false;
+  /// Pid permutations hashed in parallel ([0] is the identity; just the
+  /// identity unless symmetry reduction is on) and, per permutation, the
+  /// induced register relabelling.
+  std::vector<std::vector<Pid>> perms_;
+  std::vector<std::vector<int>> perm_regs_;
+  std::vector<std::uint64_t> hash_;  ///< Running hash per permutation.
+  /// Set while rebuild_coroutine fast-forwards a body, so non-step side
+  /// channels into the Sim (note_round) know to stay quiet.
+  bool rebuilding_ = false;
+  bool edges_declared_ = false;  ///< declare_edge overrode SimOptions::edges.
+  long max_rounds_ = -1;
   std::shared_ptr<void> user_data_;  ///< Caller context; see set_user_data.
 };
 

@@ -12,19 +12,24 @@
 
 namespace bsr {
 
+/// One splitmix64 step: advances `x` and returns the next output. The
+/// stream for a given starting `x` is fixed across platforms, which makes
+/// it suitable both for seeding (Rng below) and for deriving fixed key
+/// material such as the Zobrist component keys in sim/zobrist.h.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** seeded via splitmix64. Deterministic across platforms.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) noexcept {
     std::uint64_t x = seed;
-    for (auto& s : state_) {
-      // splitmix64 step
-      x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      s = z ^ (z >> 31);
-    }
+    for (auto& s : state_) s = splitmix64(x);
   }
 
   /// Uniform 64-bit value.

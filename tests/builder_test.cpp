@@ -6,10 +6,15 @@
 // structural diff instead of a silent audit change.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "analysis/claims.h"
 #include "analysis/static/ir.h"
 #include "core/alg1.h"
 #include "proto/builder.h"
+#include "sim/explore.h"
+#include "util/errors.h"
 
 namespace bsr {
 namespace {
@@ -178,6 +183,112 @@ TEST(Builder, ReflectionLeavesExecutionUndisturbed) {
   ASSERT_NE(nullptr, sim);
   const air::ProtocolIR after = s->describe();
   EXPECT_TRUE(before == after) << air::diff(before, after);
+}
+
+// ------------------------------------------------- execute-mode routing ----
+// Proto::channel and Proto::max_rounds used to be reflect-only no-ops; they
+// now route into the simulator, so the declared budgets bound execution.
+
+/// `rounds` round entries per process against a declared budget of 1.
+std::unique_ptr<sim::Sim> make_rounds_sim(int n, int rounds) {
+  auto s = std::make_unique<sim::Sim>(n);
+  proto::Proto pr(*s);
+  pr.max_rounds(1);
+  std::vector<int> regs;
+  for (int i = 0; i < n; ++i) {
+    regs.push_back(pr.add_register("R" + std::to_string(i), i,
+                                   sim::kUnbounded, Value(0)));
+  }
+  for (int i = 0; i < n; ++i) {
+    pr.spawn(i, [rounds, reg = regs[static_cast<std::size_t>(i)]](
+                    proto::P p) -> sim::Proc {
+      for (int r = 0; r < rounds; ++r) {
+        co_await p.round([&p, reg, r]() -> sim::Task<void> {
+          co_await p.write(reg, Value(static_cast<std::uint64_t>(r) + 1),
+                           air::ValueExpr::any());
+        });
+      }
+      co_return Value(0);
+    });
+  }
+  return s;
+}
+
+TEST(Builder, DeclaredMaxRoundsBoundsExecution) {
+  {
+    // Within budget: one round each, no complaints in throw mode.
+    auto sim = make_rounds_sim(1, 1);
+    while (sim->enabled(0)) sim->step(0);
+    EXPECT_TRUE(sim->terminated(0));
+  }
+  {
+    // Beyond budget, throw mode: entering round 2 is a model error.
+    auto sim = make_rounds_sim(1, 2);
+    EXPECT_THROW(
+        {
+          while (sim->enabled(0)) sim->step(0);
+        },
+        ModelError);
+  }
+  {
+    // Beyond budget, collect mode: one Round violation per process.
+    auto sim = make_rounds_sim(1, 2);
+    sim->set_violation_collecting(true);
+    while (sim->enabled(0)) sim->step(0);
+    ASSERT_EQ(sim->model_violations().size(), 1u);
+    EXPECT_EQ(sim->model_violations()[0].kind, sim::ModelEvent::Kind::Round);
+  }
+}
+
+TEST(Builder, RoundAccountingSurvivesExplorerRewinds) {
+  // The incremental explorer rewinds and resurrects coroutine frames; the
+  // per-handle round counter is frame state and the simulator suppresses
+  // note_round during the resurrection fast-forward, so every leaf must
+  // report exactly one over-budget entry per process — the same as a
+  // rewind-free replay exploration.
+  const auto make = [] {
+    auto s = make_rounds_sim(2, 2);
+    s->set_violation_collecting(true);
+    return s;
+  };
+  const sim::Explorer ex{sim::ExploreOptions{}};
+  long leaves = 0;
+  ex.explore(make, [&](sim::Sim& s, const std::vector<sim::Choice>&) {
+    ++leaves;
+    long round_violations = 0;
+    for (const sim::ModelEvent& e : s.model_violations()) {
+      if (e.kind == sim::ModelEvent::Kind::Round) ++round_violations;
+    }
+    EXPECT_EQ(round_violations, 2);
+  });
+  EXPECT_GT(leaves, 1);
+}
+
+TEST(Builder, ChannelDeclarationsEnforceTopologyInExecuteMode) {
+  const auto make = [](sim::Pid dst) {
+    auto s = std::make_unique<sim::Sim>(2);
+    proto::Proto pr(*s);
+    pr.channel(0, 1);  // the only declared link
+    pr.spawn(0, [dst](proto::P p) -> sim::Proc {
+      co_await p.send(dst, Value(1), air::ValueExpr::constant(1));
+      co_return Value(0);
+    });
+    pr.spawn(1, [](proto::P) -> sim::Proc { co_return Value(0); });
+    s->set_violation_collecting(true);
+    return s;
+  };
+  {
+    auto sim = make(1);  // declared link: clean
+    while (sim->enabled(0)) sim->step(0);
+    EXPECT_TRUE(sim->model_violations().empty());
+  }
+  {
+    auto sim = make(0);  // self-send is off the declared topology
+    while (sim->enabled(0)) sim->step(0);
+    ASSERT_FALSE(sim->model_violations().empty());
+    EXPECT_EQ(sim->model_violations()[0].kind,
+              sim::ModelEvent::Kind::Topology);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,126 @@
+// Full-registry differential: transposition-table pruning vs the
+// ReplayExplorer oracle on EVERY terminating registry protocol, plain and
+// with symmetry reduction. The fast smoke subset of the same properties
+// lives in explore_tt_test.cpp; this sweep carries the `slow` ctest label.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/claims.h"
+#include "sim/explore.h"
+#include "sim/sim.h"
+#include "sim/tt.h"
+#include "sim/zobrist.h"
+#include "util/errors.h"
+
+namespace bsr::sim {
+namespace {
+
+std::string violation_key(const ModelEvent& e) {
+  return to_string(e.kind) + "|" + std::to_string(e.pid) + "|" +
+         std::to_string(e.reg) + "|" + e.message;
+}
+
+struct Observed {
+  long count = 0;
+  std::set<std::uint64_t> finals;
+  std::set<std::string> violations;
+  std::set<std::string> kinds;
+};
+
+TEST(ExploreTTSlow, MatchesReplayOracleOnEveryTerminatingRegistryProtocol) {
+  for (const analysis::ProtocolSpec& spec : analysis::builtin_protocols()) {
+    if (spec.sample_runner) continue;  // non-terminating: sampled, never swept
+    SCOPED_TRACE(spec.name);
+    {
+      // Pre-stepped factories make the Explorer delegate to the replay
+      // engine (which ignores the table), so the differential is vacuous.
+      const auto probe = spec.factory();
+      ASSERT_NE(probe, nullptr);
+      if (probe->total_steps() > 0) continue;
+    }
+    const auto make = [&spec] {
+      auto sim = spec.factory();
+      sim->set_violation_collecting(true);  // demos violate by design
+      return sim;
+    };
+
+    // Ground truth: every schedule via rebuild-and-replay, with final
+    // states collapsed by the from-scratch hash oracle.
+    Observed oracle;
+    {
+      const auto ckpt = [&make] {
+        auto sim = make();
+        sim->set_checkpointing(true);  // full_hash reads the result logs
+        return sim;
+      };
+      ExploreOptions opts = spec.explore;
+      opts.threads = 1;
+      oracle.count = ReplayExplorer(opts).explore(
+          ckpt, [&](Sim& sim, const std::vector<Choice>&) {
+            oracle.finals.insert(zobrist::full_hash(sim));
+            for (const ModelEvent& e : sim.model_violations()) {
+              oracle.violations.insert(violation_key(e));
+              oracle.kinds.insert(to_string(e.kind));
+            }
+          });
+    }
+
+    // Pruned search: one visit per distinct state, same finals, same
+    // violation findings.
+    {
+      auto tt = std::make_shared<TranspositionTable>(std::size_t{16} << 20);
+      ExploreOptions opts = spec.explore;
+      opts.tt = tt;
+      opts.threads = 1;
+      Observed pruned;
+      pruned.count = Explorer(opts).explore(
+          make, [&](Sim& sim, const std::vector<Choice>&) {
+            pruned.finals.insert(sim.state_hash());
+            for (const ModelEvent& e : sim.model_violations()) {
+              pruned.violations.insert(violation_key(e));
+            }
+          });
+      ASSERT_EQ(tt->stats().drops, 0);
+      EXPECT_EQ(pruned.count, static_cast<long>(oracle.finals.size()));
+      EXPECT_EQ(pruned.finals, oracle.finals);
+      EXPECT_EQ(pruned.violations, oracle.violations);
+      EXPECT_LE(pruned.count, oracle.count);
+    }
+
+    // Symmetry reduction: at least as coarse as plain pruning, and every
+    // violation KIND the full sweep finds must still be found (pid
+    // attribution is deliberately quotiented away).
+    if (spec.params.n <= 5) {
+      auto tt = std::make_shared<TranspositionTable>(std::size_t{16} << 20);
+      ExploreOptions opts = spec.explore;
+      opts.tt = tt;
+      opts.tt_symmetry = true;
+      opts.threads = 1;
+      std::set<std::string> kinds;
+      long count = 0;
+      try {
+        count = Explorer(opts).explore(
+            make, [&](Sim& sim, const std::vector<Choice>&) {
+              for (const ModelEvent& e : sim.model_violations()) {
+                kinds.insert(to_string(e.kind));
+              }
+            });
+      } catch (const UsageError&) {
+        // Register table not structurally pid-symmetric: symmetry
+        // reduction is (correctly) refused for this protocol.
+        continue;
+      }
+      ASSERT_EQ(tt->stats().drops, 0);
+      EXPECT_LE(count, static_cast<long>(oracle.finals.size()));
+      EXPECT_GE(count, 1);
+      EXPECT_EQ(kinds, oracle.kinds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsr::sim

@@ -293,6 +293,16 @@ TEST(Summarize, DerivesCountsValuesAndWriters) {
   EXPECT_EQ(sums[2].values, ValueExpr::constant(9));
 }
 
+TEST(Summarize, DerivesPerProcessStepCounts) {
+  // The paper counts one atomic step per access; the immediate snapshot is
+  // a single step. p0: 2 steps per loop iteration ([1,3] trips) plus a
+  // [0,1] branch step; p1: one write-snapshot.
+  const ir::ProtocolSummary full = ir::summarize_full(sample_ir());
+  ASSERT_EQ(full.steps.size(), 2u);
+  EXPECT_EQ(full.steps[0], Count::between(2, 7));
+  EXPECT_EQ(full.steps[1], Count::exactly(1));
+}
+
 TEST(Summarize, RejectsOutOfTableRegisters) {
   ir::ProtocolIR p;
   p.registers.push_back(ir::RegisterDecl{"A", 0, 1, false, false});
@@ -495,6 +505,38 @@ TEST(StaticChecker, SymbolicClaimMustMatchTheTabulatedConstant) {
   EXPECT_TRUE(found_consistency);
 }
 
+TEST(StaticChecker, LoopShapeCanaryFiresOnNativeDataDependentLoop) {
+  // demo-loop-shape sizes a native for-loop from a read result, so its
+  // second reflection (under perturbed reads) emits a different IR.
+  const ProtocolSpec* spec = find_protocol("demo-loop-shape");
+  ASSERT_NE(spec, nullptr);
+  const ProtocolReport rep = analyze_static(*spec);
+  int loop_shape = 0;
+  for (const Diagnostic& d : rep.diagnostics) {
+    if (d.rule == "loop-shape") {
+      loop_shape += 1;
+      EXPECT_EQ(d.severity, Severity::Error);
+      EXPECT_NE(d.message.find("p0"), std::string::npos) << d.message;
+    }
+  }
+  EXPECT_EQ(loop_shape, 1);
+}
+
+TEST(StaticChecker, LoopShapeStaysQuietOnEveryRealProtocol) {
+  // Data-dependent structure in the real protocols goes through the
+  // combinators, so re-reflection under perturbed reads must be a no-op.
+  // This sweep includes alg2 and alg5-snapshot, whose bodies *throw* under
+  // perturbation (internal invariants reject the corrupted data) — a throw
+  // yields no verdict, not a finding.
+  for (const ProtocolSpec& spec : builtin_protocols()) {
+    if (spec.demo) continue;
+    const ProtocolReport rep = analyze_static(spec);
+    for (const Diagnostic& d : rep.diagnostics) {
+      EXPECT_NE(d.rule, "loop-shape") << spec.name << ": " << d.message;
+    }
+  }
+}
+
 TEST(StaticChecker, EveryBuiltinDescribeMatchesItsFactory) {
   // The IR's register table must mirror the factory's Sim declaration for
   // declaration: this is the static half of what `--mode both` enforces.
@@ -529,7 +571,7 @@ TEST(CrossValidate, AgreesOnCleanAndMisdeclaredProtocols) {
   // of the analyzers (each is the other's oracle).
   for (const char* name : {"alg1", "fast-agreement", "demo-misdeclared",
                            "sec4-quantized", "ring-stack",
-                           "demo-misdeclared-symbolic"}) {
+                           "demo-misdeclared-symbolic", "demo-loop-shape"}) {
     const ProtocolSpec* spec = find_protocol(name);
     ASSERT_NE(spec, nullptr) << name;
     const ProtocolReport stat = analyze_static(*spec);

@@ -15,9 +15,21 @@
 //   bsr trace   --k K --schedule "p0 p1 p0 ..."
 //       Replay a schedule of Algorithm 1 and dump the formatted trace.
 //   bsr explore --k K [--crashes C] [--threads T] [--max-steps S]
+//               [--tt] [--tt-bytes N] [--symmetry] [--no-tt] [--json]
 //       Exhaustively enumerate Algorithm 1's executions and print the count
 //       and decision spread. --threads 0 (the default) honors
 //       BSR_EXPLORE_THREADS; "auto" uses every hardware thread.
+//       --tt prunes via the shared transposition table (sim/tt.h): the
+//       count becomes the number of distinct final configurations, and the
+//       table's probe/hit/store/drop counters are reported ("collisions"
+//       are drops — full probe windows that fall back to exploring).
+//       --tt-bytes sizes the table (default 4 MiB); --symmetry additionally
+//       canonicalizes states over pid permutations. --no-tt is the
+//       differential mode: the same exploration is re-run through the
+//       ReplayExplorer oracle (no hashing, no rewinding) and the distinct
+//       final states and decision spread are cross-checked; any mismatch —
+//       or a nonzero drop count, which voids exactness — exits 1.
+//       --json emits one JSON object instead of text.
 //   bsr lint [--protocol NAME[,NAME...]] [--mode dynamic|static|both]
 //            [--static] [--json] [--list] [--help]
 //       Run the model-conformance analyzer (docs/ANALYSIS.md) over the
@@ -40,7 +52,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -54,6 +68,8 @@
 #include "core/sec6.h"
 #include "sim/explore.h"
 #include "sim/trace_fmt.h"
+#include "sim/tt.h"
+#include "sim/zobrist.h"
 #include "util/errors.h"
 #include "tasks/approx.h"
 #include "tasks/checker.h"
@@ -68,7 +84,18 @@ struct Args {
   [[nodiscard]] std::uint64_t u64(const std::string& key,
                                   std::uint64_t def) const {
     const auto it = kv.find(key);
-    return it == kv.end() ? def : std::stoull(it->second);
+    if (it == kv.end()) return def;
+    try {
+      std::size_t pos = 0;
+      const std::uint64_t v = std::stoull(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument(key);
+      return v;
+    } catch (const std::exception&) {
+      // stoull aborts the process on overflow/garbage if left uncaught;
+      // surface a usage error like the --threads parser does.
+      throw UsageError("--" + key + " '" + it->second +
+                       "': expected an unsigned integer");
+    }
   }
   [[nodiscard]] std::string str(const std::string& key,
                                 const std::string& def) const {
@@ -235,6 +262,30 @@ int cmd_trace(const Args& a) {
   return 0;
 }
 
+/// Path-order-independent summary of one exhaustive enumeration.
+struct ExploreObs {
+  long count = 0;
+  std::set<std::uint64_t> finals;  ///< Hashes of distinct final states.
+  std::uint64_t min_y = ~0ull;
+  std::uint64_t max_y = 0;
+  std::uint64_t max_gap = 0;
+
+  void visit(const sim::Sim& sim, std::uint64_t final_hash) {
+    finals.insert(final_hash);
+    for (int p = 0; p < sim.n(); ++p) {
+      if (!sim.terminated(p)) continue;
+      const std::uint64_t y = sim.decision(p).as_u64();
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+    if (sim.terminated(0) && sim.terminated(1)) {
+      const std::uint64_t y0 = sim.decision(0).as_u64();
+      const std::uint64_t y1 = sim.decision(1).as_u64();
+      max_gap = std::max(max_gap, y0 > y1 ? y0 - y1 : y1 - y0);
+    }
+  }
+};
+
 int cmd_explore(const Args& a) {
   const std::uint64_t k = a.u64("k", 2);
   sim::ExploreOptions opts;
@@ -257,39 +308,107 @@ int cmd_explore(const Args& a) {
   // threads = 0 falls through to BSR_EXPLORE_THREADS (or 1 if unset).
   const int resolved = sim::resolve_explore_threads(opts.threads);
 
-  std::uint64_t min_y = ~0ull;
-  std::uint64_t max_y = 0;
-  std::uint64_t max_gap = 0;
+  const bool differential = a.flag("no-tt");
+  const bool use_tt = a.flag("tt") || a.flag("tt-bytes") ||
+                      a.flag("symmetry") || differential;
+  const bool json = a.flag("json");
+  std::shared_ptr<sim::TranspositionTable> tt;
+  if (use_tt) {
+    tt = std::make_shared<sim::TranspositionTable>(
+        static_cast<std::size_t>(a.u64("tt-bytes", std::size_t{1} << 22)));
+    opts.tt = tt;
+    opts.tt_symmetry = a.flag("symmetry");
+  }
+
+  const auto make = [k]() {
+    auto sim = std::make_unique<sim::Sim>(2);
+    core::install_alg1(*sim, k, {0, 1});
+    return sim;
+  };
+
+  ExploreObs obs;
   std::mutex mu;
   sim::Explorer ex(opts);
   const long execs = ex.explore(
-      [k]() {
-        auto sim = std::make_unique<sim::Sim>(2);
-        core::install_alg1(*sim, k, {0, 1});
-        return sim;
-      },
-      [&](sim::Sim& sim, const std::vector<sim::Choice>&) {
+      make, [&](sim::Sim& sim, const std::vector<sim::Choice>&) {
         const std::lock_guard<std::mutex> lk(mu);
-        for (int p = 0; p < 2; ++p) {
-          if (!sim.terminated(p)) continue;
-          const std::uint64_t y = sim.decision(p).as_u64();
-          min_y = std::min(min_y, y);
-          max_y = std::max(max_y, y);
-        }
-        if (sim.terminated(0) && sim.terminated(1)) {
-          const std::uint64_t y0 = sim.decision(0).as_u64();
-          const std::uint64_t y1 = sim.decision(1).as_u64();
-          max_gap = std::max(max_gap, y0 > y1 ? y0 - y1 : y1 - y0);
-        }
+        obs.visit(sim, use_tt ? sim.state_hash()
+                              : sim::zobrist::full_hash(sim));
       });
-  std::cout << "Algorithm 1 exploration: k=" << k << " crashes<="
-            << opts.max_crashes << " threads=" << resolved << "\n"
-            << "executions: " << execs << "\n"
-            << "decisions: [" << min_y << ", " << max_y << "]/"
-            << core::alg1_denominator(k)
-            << ", max |y1-y2| (grid steps): " << max_gap
-            << " (paper: <= 1)\n";
-  return max_gap <= 1 ? 0 : 1;
+  obs.count = execs;
+
+  // Differential leg: the replay oracle enumerates every schedule with no
+  // hashing and no rewinding; the TT run's distinct-final-state set and
+  // decision spread must match it exactly (and drops must be 0, or the
+  // count is an over-approximation).
+  ExploreObs oracle;
+  bool match = true;
+  if (differential) {
+    sim::ExploreOptions plain = opts;
+    plain.tt.reset();
+    plain.threads = 1;
+    oracle.count = sim::ReplayExplorer(plain).explore(
+        [&make]() {
+          auto sim = make();
+          sim->set_checkpointing(true);  // full_hash reads the result logs
+          return sim;
+        },
+        [&](sim::Sim& sim, const std::vector<sim::Choice>&) {
+          // Canonicalize with the same symmetry mode as the pruned run, so
+          // the final-state sets are comparable hash-for-hash.
+          oracle.visit(sim, sim::zobrist::full_hash(sim, opts.tt_symmetry));
+        });
+    match = tt->stats().drops == 0 && obs.finals == oracle.finals &&
+            obs.count == static_cast<long>(oracle.finals.size()) &&
+            obs.min_y == oracle.min_y && obs.max_y == oracle.max_y &&
+            obs.max_gap == oracle.max_gap;
+  }
+
+  const std::uint64_t denom = core::alg1_denominator(k);
+  if (json) {
+    std::cout << "{\"command\":\"explore\",\"protocol\":\"alg1\",\"k\":" << k
+              << ",\"crashes\":" << opts.max_crashes
+              << ",\"threads\":" << resolved
+              << ",\"" << (use_tt ? "states" : "executions")
+              << "\":" << obs.count << ",\"decisions\":{\"min\":" << obs.min_y
+              << ",\"max\":" << obs.max_y << ",\"denominator\":" << denom
+              << ",\"max_gap\":" << obs.max_gap << "}";
+    if (use_tt) {
+      const sim::TranspositionTable::Stats s = tt->stats();
+      std::cout << ",\"tt\":{\"bytes\":" << s.slots * 8
+                << ",\"symmetry\":" << (opts.tt_symmetry ? "true" : "false")
+                << ",\"probes\":" << s.probes << ",\"hits\":" << s.hits
+                << ",\"stores\":" << s.stores << ",\"drops\":" << s.drops
+                << "}";
+    }
+    if (differential) {
+      std::cout << ",\"oracle\":{\"executions\":" << oracle.count
+                << ",\"states\":" << oracle.finals.size()
+                << ",\"match\":" << (match ? "true" : "false") << "}";
+    }
+    std::cout << "}\n";
+  } else {
+    std::cout << "Algorithm 1 exploration: k=" << k << " crashes<="
+              << opts.max_crashes << " threads=" << resolved << "\n"
+              << (use_tt ? "distinct final states: " : "executions: ")
+              << obs.count << "\n"
+              << "decisions: [" << obs.min_y << ", " << obs.max_y << "]/"
+              << denom << ", max |y1-y2| (grid steps): " << obs.max_gap
+              << " (paper: <= 1)\n";
+    if (use_tt) {
+      const sim::TranspositionTable::Stats s = tt->stats();
+      std::cout << "tt: " << s.slots * 8 << " bytes, probes " << s.probes
+                << ", hits " << s.hits << ", stores " << s.stores
+                << ", drops " << s.drops
+                << (opts.tt_symmetry ? ", symmetry on" : "") << "\n";
+    }
+    if (differential) {
+      std::cout << "oracle: " << oracle.count << " schedules, "
+                << oracle.finals.size() << " distinct final states — "
+                << (match ? "match" : "MISMATCH") << "\n";
+    }
+  }
+  return (obs.max_gap <= 1 && match) ? 0 : 1;
 }
 
 int cmd_lint(const Args& a) {
@@ -360,6 +479,11 @@ int main(int argc, char** argv) {
   } catch (const bsr::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
+  } catch (const std::exception& e) {
+    // Backstop for non-model failures (e.g. bad_alloc from an oversized
+    // --tt-bytes): a clean usage-style exit beats an abort.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
   std::cerr << "unknown command '" << cmd << "'\n";
   return 2;
