@@ -29,7 +29,8 @@ gen() {
 gen tests/golden/lint_static.json \
   lint --mode=static --json --protocol alg1,demo-misdeclared
 gen tests/golden/lint_symbolic.json \
-  lint --mode=static --json --protocol sec4-quantized,demo-misdeclared-symbolic
+  lint --mode=symbolic --json \
+  --protocol sec4-quantized,demo-misdeclared-symbolic,demo-holds-small-n
 
 # The protocol reference is rendered from the registry's reflected IR;
 # `bsr doc` exits 0 or the tool is broken.

@@ -506,6 +506,60 @@ ProtocolSpec misdeclared_symbolic_demo_spec() {
   return s;
 }
 
+/// The all-params canary's single-source body: every process writes a value
+/// it annotates as ⌈log₂ n⌉ bits wide into its own 2-bit register and reads
+/// its ring successor. At the spec's n = 3 instantiation ⌈log₂ 3⌉ = 2 fits
+/// the declaration and the 2-bit claim exactly; from n = 5 on it needs 3.
+void build_holds_small_n(proto::Proto& pr) {
+  constexpr std::size_t kN = 3;
+  std::array<int, kN> regs{};
+  for (std::size_t i = 0; i < kN; ++i) {
+    regs[i] = pr.add_register("small.R" + std::to_string(i),
+                              static_cast<int>(i), 2, Value(0));
+  }
+  for (std::size_t me = 0; me < kN; ++me) {
+    const std::size_t next = (me + 1) % kN;
+    pr.spawn(static_cast<int>(me), [=](proto::P p) -> sim::Proc {
+      co_await p.write(regs[me], Value(2),
+                       ir::ValueExpr::sym(ir::WidthExpr::ceil_log2(
+                           ir::WidthExpr::param(ir::Param::N))));
+      (void)co_await p.read(regs[next]);
+      co_return Value(static_cast<std::uint64_t>(me));
+    });
+  }
+}
+
+/// The symbolic prover's honesty canary: at its default instantiation
+/// (n = 3) every per-env check passes — the declarations, the resolved
+/// ⌈log₂ n⌉ write, and the explored executions all fit the 2-bit claim —
+/// but the claim is no theorem: the derived write width exceeds 2 bits from
+/// n = 5 on. Only `--mode=symbolic` may flag it, with witness environment
+/// (n=5, k=1, delta=1, t=0, b=1).
+ProtocolSpec holds_small_n_demo_spec() {
+  ProtocolSpec s;
+  s.name = "demo-holds-small-n";
+  s.description =
+      "claim holds at the default n=3 but fails from n=5 on "
+      "(symbolic-prover self-test; fails only under --mode=symbolic)";
+  s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/std::nullopt,
+             "none — a claim true at one instantiation, false as a theorem"};
+  s.demo = true;
+  s.params.n = 3;
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(3);
+    proto::Proto pr(*sim);
+    build_holds_small_n(pr);
+    return sim;
+  };
+  s.describe = [] {
+    proto::Proto pr(proto::Proto::ReflectOptions{.n = 3, .params = {}});
+    build_holds_small_n(pr);
+    return std::move(pr).take_ir();
+  };
+  s.explore.max_steps = 50;
+  return s;
+}
+
 /// The loop-shape canary's single-source body: process 0 sizes a NATIVE
 /// for-loop from a value it read, instead of declaring the trip count
 /// through a combinator. The solo reflection sees the tracked initial 0 and
@@ -582,6 +636,7 @@ const std::vector<ProtocolSpec>& builtin_protocols() {
     v.push_back(ring_stack_spec());
     v.push_back(misdeclared_demo_spec());
     v.push_back(misdeclared_symbolic_demo_spec());
+    v.push_back(holds_small_n_demo_spec());
     v.push_back(loop_shape_demo_spec());
     return v;
   }();

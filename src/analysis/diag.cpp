@@ -18,6 +18,7 @@ std::string to_string(Mode m) {
   switch (m) {
     case Mode::Dynamic: return "dynamic";
     case Mode::Static: return "static";
+    case Mode::Symbolic: return "symbolic";
     case Mode::Both: return "both";
   }
   return "?";
@@ -60,7 +61,7 @@ int ProtocolReport::warnings() const {
 
 void TextSink::report(const ProtocolReport& r) {
   os_ << r.name << ": ";
-  if (r.mode == Mode::Static) {
+  if (r.mode == Mode::Static || r.mode == Mode::Symbolic) {
     os_ << "static IR audit (0 executions), max derivable bounded bits ";
   } else {
     os_ << r.executions
@@ -71,6 +72,7 @@ void TextSink::report(const ProtocolReport& r) {
   os_ << r.max_bounded_bits_used << "/" << r.claimed_register_bits;
   if (!r.claimed_bits_expr.empty()) os_ << " (= " << r.claimed_bits_expr << ")";
   os_ << " claimed [" << r.claim_source << "]";
+  if (!r.claim_verified.empty()) os_ << ", verified: " << r.claim_verified;
   if (r.diagnostics.empty()) {
     os_ << ": clean\n";
     return;
@@ -131,6 +133,7 @@ void JsonSink::close(int errors, int warnings) {
        << ",\"max_bounded_bits_used\":" << r.max_bounded_bits_used
        << ",\"claimed_register_bits\":" << r.claimed_register_bits
        << ",\"claimed_bits_expr\":\"" << json_escape(r.claimed_bits_expr)
+       << "\",\"claim_verified\":\"" << json_escape(r.claim_verified)
        << "\",\"registers\":[";
     for (std::size_t j = 0; j < r.registers.size(); ++j) {
       const RegisterAudit& a = r.registers[j];
@@ -143,7 +146,8 @@ void JsonSink::close(int errors, int warnings) {
          << ",\"max_bits\":" << a.max_bits
          << ",\"max_writes\":" << a.max_writes
          << ",\"read\":" << (a.read ? "true" : "false") << ",\"sym_bits\":\""
-         << json_escape(a.sym_bits) << "\"}";
+         << json_escape(a.sym_bits) << "\",\"verified\":\""
+         << json_escape(a.verified) << "\"}";
     }
     os << "],\"diagnostics\":[";
     for (std::size_t j = 0; j < r.diagnostics.size(); ++j) {

@@ -26,10 +26,12 @@ enum class Severity {
 [[nodiscard]] std::string to_string(Severity s);
 
 /// Which analyzer tier produced a report: the dynamic explorer, the static
-/// IR checker, or both (cross-validated).
+/// IR checker, the symbolic prover (static checks plus all-params claim
+/// verification), or both explorer+static (cross-validated).
 enum class Mode {
   Dynamic,
   Static,
+  Symbolic,
   Both,
 };
 
@@ -73,6 +75,12 @@ struct RegisterAudit {
   /// Rendered symbolic width of the register's writes (static tier only;
   /// "" when no write was stated symbolically).
   std::string sym_bits;
+  /// Symbolic-prover verdict for this register's width obligations
+  /// (`--mode=symbolic` only): "all params" when proved for every
+  /// assumption-satisfying ParamEnv, "n <= N" when only the small-n cutoff
+  /// sweep closed it, "refuted" when a witness environment violates it,
+  /// "" when the register carries no obligation (or the prover did not run).
+  std::string verified;
 };
 
 /// Everything the analyzer learned about one protocol.
@@ -88,6 +96,10 @@ struct ProtocolReport {
   /// budget actually enforced is this expression evaluated at the spec's
   /// ParamEnv, which must agree with claimed_register_bits.
   std::string claimed_bits_expr;
+  /// Aggregate prover verdict over every register obligation
+  /// (`--mode=symbolic` only): "all params", "n <= N", or "refuted";
+  /// "" when the prover did not run on this report.
+  std::string claim_verified;
   std::vector<RegisterAudit> registers;
   std::vector<Diagnostic> diagnostics;
 

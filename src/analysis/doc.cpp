@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/claims.h"
+#include "analysis/static/checker.h"
 #include "analysis/static/ir.h"
 
 namespace bsr::analysis {
@@ -48,6 +49,13 @@ std::string claim_cell(const WidthClaim& c) {
     s += ")";
   }
   return s;
+}
+
+/// The symbolic prover's verdict on the spec's width claims ("all params",
+/// "n <= N", or "refuted" — the docs/PROTOCOLS.md *verified* column).
+std::string verified_cell(const ProtocolSpec& s) {
+  if (!s.describe) return "per-env only";
+  return verify_claims(s).status;
 }
 
 std::string audit_cell(const ProtocolSpec& s) {
@@ -183,6 +191,8 @@ void write_spec(std::ostream& os, const ProtocolSpec& s) {
     os << "; per-process budget " << bits_word(*s.claim.per_process_bits);
   }
   os << "\n";
+  os << "- **Claim verification:** " << verified_cell(s)
+     << " (symbolic prover; see docs/ANALYSIS.md)\n";
   const std::string params = params_line(s.params);
   if (!params.empty()) os << "- **Parameters:** " << params << "\n";
   os << "- **Audit:** " << audit_cell(s) << "\n";
@@ -229,13 +239,15 @@ void write_protocol_reference(std::ostream& os) {
         "is\n"
      << "documented in docs/ANALYSIS.md.\n\n";
 
-  os << "| protocol | paper anchor | claimed width | steps/exec | audit |\n"
-     << "|----------|--------------|---------------|------------|-------|\n";
+  os << "| protocol | paper anchor | claimed width | verified | steps/exec "
+        "| audit |\n"
+     << "|----------|--------------|---------------|----------|------------"
+        "|-------|\n";
   for (const ProtocolSpec& s : specs) {
     const ir::Count steps = total_steps(ir::summarize_full(s.describe()));
     os << "| [`" << s.name << "`](#" << s.name << ") | " << s.claim.source
-       << " | " << claim_cell(s.claim) << " | " << ir::render(steps) << " | "
-       << audit_cell(s) << " |\n";
+       << " | " << claim_cell(s.claim) << " | " << verified_cell(s) << " | "
+       << ir::render(steps) << " | " << audit_cell(s) << " |\n";
   }
   os << "\n";
   for (const ProtocolSpec& s : specs) write_spec(os, s);

@@ -25,19 +25,26 @@ options:
   --protocol NAME[,NAME...]   analyze only the named protocols; default is
                               every built-in protocol except the
                               intentionally-misdeclared demos
-  --mode dynamic|static|both  dynamic: explore executions and audit the
+  --mode dynamic|static|symbolic|both
+                              dynamic: explore executions and audit the
                               observed behavior (default); static: abstract
                               interpretation over each protocol's IR, zero
-                              simulator steps; both: run the two tiers and
-                              cross-validate them against each other
+                              simulator steps; symbolic: the static tier
+                              plus the width prover — every claim is
+                              verified for all parameter valuations
+                              (all params / n <= cutoff / refuted with a
+                              witness environment); both: run dynamic and
+                              static and cross-validate them
   --static                    shorthand for --mode static
   --json                      emit one JSON document instead of text
-  --list                      list the protocol registry and exit
+  --list                      list the protocol registry (with each claim's
+                              verification status) and exit
   --help                      print this help and exit
 
 exit codes:
   0  no error-severity diagnostics (warnings allowed)
-  1  at least one error-severity diagnostic
+  1  at least one error-severity diagnostic (symbolic mode: includes
+     claims refuted for some parameter valuation, witness in the message)
   2  usage or internal failure (unknown protocol, exploration bounds
      exceeded, static/dynamic disagreement)
 )";
@@ -51,7 +58,19 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
   if (opts.list) {
     for (const ProtocolSpec& s : builtin_protocols()) {
       out << s.name << (s.demo ? " (demo)" : "") << ": " << s.description
-          << " [" << s.claim.source << "]\n";
+          << " [" << s.claim.source << "]";
+      // Claim-verification status: what the symbolic prover can say about
+      // this spec's width claims ("per-env only" when it has no IR to
+      // reason over, so only per-instantiation checks apply).
+      std::string status = "per-env only";
+      if (s.describe) {
+        try {
+          status = "verified: " + verify_claims(s).status;
+        } catch (const std::exception&) {
+          status = "per-env only";
+        }
+      }
+      out << " — " << status << "\n";
     }
     return 0;
   }
@@ -92,6 +111,8 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
       ProtocolReport rep;
       if (opts.mode == LintMode::Static) {
         rep = analyze_static(*spec);
+      } else if (opts.mode == LintMode::Symbolic) {
+        rep = analyze_symbolic(*spec);
       } else if (opts.mode == LintMode::Dynamic) {
         rep = analyze_protocol(*spec);
       } else {

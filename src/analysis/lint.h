@@ -9,11 +9,15 @@ namespace bsr::analysis {
 
 /// Which analyzer tier(s) `bsr lint` runs.
 enum class LintMode {
-  Dynamic,  ///< Explore executions (the default).
-  Static,   ///< Abstract interpretation over protocol IR; zero sim steps.
-  Both,     ///< Run both tiers and cross-validate them; any disagreement is
-            ///< an internal error (exit 2), each tier being the other's
-            ///< oracle.
+  Dynamic,   ///< Explore executions (the default).
+  Static,    ///< Abstract interpretation over protocol IR; zero sim steps.
+  Symbolic,  ///< Static tier plus the symbolic width prover: claims are
+             ///< verified for all parameter valuations (or refuted with a
+             ///< witness ParamEnv — an error, exit 1 — or downgraded to a
+             ///< small-n cutoff sweep).
+  Both,      ///< Run dynamic and static and cross-validate them; any
+             ///< disagreement is an internal error (exit 2), each tier
+             ///< being the other's oracle.
 };
 
 struct LintOptions {

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "proto/builder.h"
+#include "util/errors.h"
 
 namespace bsr::analysis {
 namespace {
@@ -302,6 +303,140 @@ ProtocolReport analyze_static(const ProtocolSpec& spec) {
     }
   }
 
+  return rep;
+}
+
+// ------------------------------------------------------- symbolic verifier
+
+std::vector<WidthObligation> width_obligations(
+    const ProtocolSpec& spec, const ir::ProtocolIR& p,
+    const std::vector<ir::RegisterSummary>& sums) {
+  std::vector<WidthObligation> out;
+  const ir::WidthExpr budget =
+      spec.claim.symbolic_bits.defined()
+          ? spec.claim.symbolic_bits
+          : ir::WidthExpr::constant(spec.claim.max_register_bits);
+  for (std::size_t i = 0; i < p.registers.size(); ++i) {
+    const ir::RegisterDecl& decl = p.registers[i];
+    if (decl.width_bits == ir::kUnboundedWidth) continue;
+    const int index = static_cast<int>(i);
+    // A declaration is a fixed number chosen for one instantiation; under a
+    // symbolic claim it is checked per-env by the static tier, not
+    // quantified (⌈log₂ k⌉ at k=4 rightly declares 2 bits — that is no
+    // all-params statement). Under a constant claim the declaration *is*
+    // the strongest width fact, so it becomes an obligation.
+    if (!spec.claim.symbolic_bits.defined()) {
+      WidthObligation o;
+      o.reg = index;
+      o.reg_name = decl.name;
+      o.what = "declared width";
+      o.lhs = ir::WidthExpr::constant(decl.width_bits);
+      o.budget = budget;
+      out.push_back(std::move(o));
+    }
+    // The IR's derived write summary: the symbolic width when one was
+    // stated, else the concrete interval's bit count. Unbounded value sets
+    // are the static tier's finding, not a provable inequality.
+    const ir::RegisterSummary& sum = sums[i];
+    if (sum.written && !sum.values.unbounded) {
+      WidthObligation o;
+      o.reg = index;
+      o.reg_name = decl.name;
+      o.what = "derived write width";
+      o.lhs = sum.sym.defined()
+                  ? sum.sym
+                  : ir::WidthExpr::constant(sum.values.max_bits());
+      o.budget = budget;
+      out.push_back(std::move(o));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Orders verdict strings by badness for per-register/aggregate joins.
+int verdict_rank(const std::string& v) {
+  if (v == "refuted") return 3;
+  if (!v.empty() && v != "all params") return 2;  // the cutoff form
+  if (v == "all params") return 1;
+  return 0;
+}
+
+}  // namespace
+
+ClaimVerification verify_claims(const ProtocolSpec& spec,
+                                const ir::ProtocolIR& p,
+                                const std::vector<ir::RegisterSummary>& sums) {
+  ClaimVerification v;
+  const std::string cutoff = "n <= " + std::to_string(ir::kCutoffN);
+  v.status = "all params";
+  const auto join = [](std::string& into, const std::string& with) {
+    if (verdict_rank(with) > verdict_rank(into)) into = with;
+  };
+  for (const WidthObligation& o : width_obligations(spec, p, sums)) {
+    const ir::Verdict verdict = ir::prove_le(o.lhs, o.budget);
+    std::string status;
+    switch (verdict.kind) {
+      case ir::Verdict::Kind::Proved:
+        status = "all params";
+        break;
+      case ir::Verdict::Kind::Unknown:
+        // The prover's grid search found no witness (a grid violation
+        // would have refuted), so the claim holds up to the cutoff.
+        status = cutoff;
+        break;
+      case ir::Verdict::Kind::Refuted: {
+        status = "refuted";
+        std::ostringstream msg;
+        msg << "claim [" << spec.claim.source << "] fails for some "
+            << "parameters: " << o.what << " of register '" << o.reg_name
+            << "' is " << o.lhs.render() << " but the budget is "
+            << o.budget.render() << "; witness "
+            << ir::render_env(verdict.witness) << " gives "
+            << o.lhs.eval(verdict.witness) << " > "
+            << o.budget.eval(verdict.witness) << " bits";
+        Diagnostic d;
+        d.rule = "static-width-all-n";
+        d.protocol = spec.name;
+        d.reg = o.reg;
+        d.reg_name = o.reg_name;
+        d.message = msg.str();
+        v.refutations.push_back(std::move(d));
+        break;
+      }
+    }
+    join(v.per_register[o.reg], status);
+    join(v.status, status);
+  }
+  return v;
+}
+
+ClaimVerification verify_claims(const ProtocolSpec& spec) {
+  usage_check(static_cast<bool>(spec.describe),
+              "verify_claims: spec has no describe() hook");
+  ir::ProtocolIR p = spec.describe();
+  p.params = spec.params;
+  return verify_claims(spec, p, ir::summarize_full(p).registers);
+}
+
+ProtocolReport analyze_symbolic(const ProtocolSpec& spec) {
+  ProtocolReport rep = analyze_static(spec);
+  rep.mode = Mode::Symbolic;
+  if (!spec.describe) return rep;  // ir-missing already reported
+  ir::ProtocolIR p = spec.describe();
+  p.params = spec.params;
+  ClaimVerification v = verify_claims(spec, p, ir::summarize_full(p).registers);
+  rep.claim_verified = v.status;
+  for (RegisterAudit& a : rep.registers) {
+    if (const auto it = v.per_register.find(a.reg);
+        it != v.per_register.end()) {
+      a.verified = it->second;
+    }
+  }
+  for (Diagnostic& d : v.refutations) {
+    rep.diagnostics.push_back(std::move(d));
+  }
   return rep;
 }
 

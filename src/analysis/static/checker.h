@@ -19,14 +19,27 @@
 // protocol finding. Static slack in the other direction (derived bounds the
 // explorer never reaches) is expected and never flagged.
 //
+// `analyze_symbolic` is the third tier (`bsr lint --mode=symbolic`): the
+// full static rule set plus the symbolic width prover (static/prover.h). It
+// extracts one proof obligation per bounded register — `lhs ≤ budget` with
+// both sides WidthExprs over the model parameters — and asks the prover to
+// decide it for *all* assumption-satisfying ParamEnvs, not just the spec's
+// own instantiation. The verdict lands in three places: per-register
+// (`RegisterAudit::verified`), per-protocol (`ProtocolReport::
+// claim_verified`), and — for refuted obligations — as a new
+// `static-width-all-n` error carrying the concrete witness environment.
+//
 // This lives in bsr_analysis (not bsr_ir): it needs the claims registry,
 // which sits above core in the layering.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "analysis/claims.h"
 #include "analysis/diag.h"
+#include "analysis/static/prover.h"
 
 namespace bsr::analysis {
 
@@ -34,6 +47,53 @@ namespace bsr::analysis {
 /// mode = Mode::Static and executions = 0. A spec without a describe hook
 /// yields a single `ir-missing` error.
 [[nodiscard]] ProtocolReport analyze_static(const ProtocolSpec& spec);
+
+/// One `lhs ≤ budget` proof obligation the prover must discharge for every
+/// assumption-satisfying ParamEnv.
+struct WidthObligation {
+  int reg = -1;           ///< Register index the obligation is about.
+  std::string reg_name;
+  /// What the lhs measures: "declared width" (the register's declaration,
+  /// only when the claim is a plain constant — a declaration under a
+  /// symbolic claim is an instantiation artifact and is checked per-env
+  /// instead) or "derived write width" (the IR's symbolic or interval
+  /// write summary).
+  std::string what;
+  ir::WidthExpr lhs;
+  ir::WidthExpr budget;   ///< The claim: symbolic_bits or the constant.
+};
+
+/// Extracts the spec's obligation set from its IR and register summaries
+/// (one entry per check the prover should quantify over all parameters).
+[[nodiscard]] std::vector<WidthObligation> width_obligations(
+    const ProtocolSpec& spec, const ir::ProtocolIR& p,
+    const std::vector<ir::RegisterSummary>& sums);
+
+/// The prover's verdict over a spec's whole obligation set. Status strings
+/// are canonical: "all params" (every obligation proved — including the
+/// vacuous case of no obligations), "n <= N" (some obligation only closed
+/// by the cutoff sweep over the assumption grid), "refuted" (some
+/// obligation has a witness environment violating it).
+struct ClaimVerification {
+  std::string status;                        ///< Aggregate, see above.
+  std::map<int, std::string> per_register;   ///< reg index → status.
+  /// One `static-width-all-n` error per refuted obligation, witness env
+  /// and evaluated widths in the message.
+  std::vector<Diagnostic> refutations;
+};
+
+/// Runs the symbolic prover over the spec's obligations. The overload
+/// without IR re-reflects via `spec.describe()` (requires the hook).
+[[nodiscard]] ClaimVerification verify_claims(
+    const ProtocolSpec& spec, const ir::ProtocolIR& p,
+    const std::vector<ir::RegisterSummary>& sums);
+[[nodiscard]] ClaimVerification verify_claims(const ProtocolSpec& spec);
+
+/// The symbolic tier: everything `analyze_static` checks, plus all-params
+/// claim verification. The returned report has mode = Mode::Symbolic;
+/// refuted obligations appear as `static-width-all-n` errors (so the lint
+/// exit-code contract is unchanged: refutation ⇒ exit 1).
+[[nodiscard]] ProtocolReport analyze_symbolic(const ProtocolSpec& spec);
 
 /// Compares a static and a dynamic report of the same spec and returns one
 /// `static-dynamic-disagreement` diagnostic per inconsistency (empty when

@@ -221,6 +221,44 @@ std::string WidthExpr::render() const {
   return Rn{}(*node_);
 }
 
+WidthExpr::Kind WidthExpr::kind() const {
+  if (node_ == nullptr) return Kind::Undefined;
+  switch (node_->kind) {
+    case Node::Kind::Const: return Kind::Const;
+    case Node::Kind::Parameter: return Kind::Parameter;
+    case Node::Kind::Add: return Kind::Add;
+    case Node::Kind::Mul: return Kind::Mul;
+    case Node::Kind::CeilLog2: return Kind::CeilLog2;
+    case Node::Kind::Max: return Kind::Max;
+  }
+  usage_check(false, "WidthExpr::kind: unknown node kind");
+  return Kind::Undefined;
+}
+
+long WidthExpr::const_value() const {
+  usage_check(node_ != nullptr && node_->kind == Node::Kind::Const,
+              "WidthExpr::const_value: not a Const node");
+  return node_->value;
+}
+
+Param WidthExpr::param_value() const {
+  usage_check(node_ != nullptr && node_->kind == Node::Kind::Parameter,
+              "WidthExpr::param_value: not a Parameter node");
+  return node_->param;
+}
+
+WidthExpr WidthExpr::child_a() const {
+  usage_check(node_ != nullptr && node_->a != nullptr,
+              "WidthExpr::child_a: node has no first operand");
+  return WidthExpr(node_->a);
+}
+
+WidthExpr WidthExpr::child_b() const {
+  usage_check(node_ != nullptr && node_->b != nullptr,
+              "WidthExpr::child_b: node has no second operand");
+  return WidthExpr(node_->b);
+}
+
 bool WidthExpr::operator==(const WidthExpr& o) const {
   struct Eq {
     bool operator()(const Node* a, const Node* b) const {

@@ -80,6 +80,11 @@ struct ParamEnv {
 /// "no symbolic claim" state — and must not be evaluated.
 class WidthExpr {
  public:
+  /// Structural node kinds, exposed so the symbolic prover (prover.h) can
+  /// traverse the term without owning the representation. Undefined is the
+  /// default-constructed "no expression" state.
+  enum class Kind { Undefined, Const, Parameter, Add, Mul, CeilLog2, Max };
+
   WidthExpr() = default;
 
   [[nodiscard]] static WidthExpr constant(long c);
@@ -100,6 +105,17 @@ class WidthExpr {
 
   /// Structural equality (undefined == undefined).
   bool operator==(const WidthExpr& o) const;
+
+  // Structural introspection for the prover's normalizer. The child
+  // accessors and the value accessors throw UsageError when called on a
+  // node of the wrong kind (or on an undefined expression).
+  [[nodiscard]] Kind kind() const;
+  [[nodiscard]] long const_value() const;   ///< Kind::Const only.
+  [[nodiscard]] Param param_value() const;  ///< Kind::Parameter only.
+  /// First operand of Add/Mul/Max/CeilLog2.
+  [[nodiscard]] WidthExpr child_a() const;
+  /// Second operand of Add/Mul/Max (CeilLog2 is unary).
+  [[nodiscard]] WidthExpr child_b() const;
 
  private:
   struct Node;

@@ -1,0 +1,590 @@
+#include "analysis/static/prover.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/errors.h"
+
+namespace bsr::analysis::ir {
+
+bool satisfies_assumptions(const ParamEnv& env) {
+  return env.n >= 1 && env.k >= 1 && env.k <= env.n && env.t >= 0 &&
+         env.t < env.n && env.delta >= 1 && env.b >= 1;
+}
+
+const std::vector<ParamEnv>& assumption_grid() {
+  static const std::vector<ParamEnv> grid = [] {
+    std::vector<ParamEnv> g;
+    for (long n = 1; n <= kCutoffN; ++n) {
+      for (long k = 1; k <= n; ++k) {
+        for (long t = 0; t < n; ++t) {
+          for (long delta = 1; delta <= kCutoffAux; ++delta) {
+            for (long b = 1; b <= kCutoffAux; ++b) {
+              g.push_back(ParamEnv{n, k, delta, t, b});
+            }
+          }
+        }
+      }
+    }
+    return g;
+  }();
+  return grid;
+}
+
+std::string render_env(const ParamEnv& env) {
+  return "(n=" + std::to_string(env.n) + ", k=" + std::to_string(env.k) +
+         ", delta=" + std::to_string(env.delta) +
+         ", t=" + std::to_string(env.t) + ", b=" + std::to_string(env.b) +
+         ")";
+}
+
+namespace {
+
+constexpr long kLongMax = std::numeric_limits<long>::max();
+constexpr long kLongMin = std::numeric_limits<long>::min();
+
+/// Saturates a wide intermediate back into long — the same clamp
+/// WidthExpr::eval applies at every arithmetic node.
+long clamp128(__int128 v) {
+  if (v > kLongMax) return kLongMax;
+  if (v < kLongMin) return kLongMin;
+  return static_cast<long>(v);
+}
+
+long sat_add(long a, long b) {
+  return clamp128(static_cast<__int128>(a) + b);
+}
+
+long sat_mul(long a, long b) {
+  return clamp128(static_cast<__int128>(a) * b);
+}
+
+const char* param_key(Param p) {
+  switch (p) {
+    case Param::N: return "n";
+    case Param::K: return "k";
+    case Param::Delta: return "delta";
+    case Param::T: return "t";
+    case Param::B: return "b";
+  }
+  return "?";
+}
+
+long eval_ceil_log2(long v) {
+  return v <= 1 ? 0 : ceil_log2_u64(static_cast<std::uint64_t>(v));
+}
+
+long eval_atom(const Atom& a, const ParamEnv& env);
+
+Atom make_param_atom(Param p) {
+  Atom a;
+  a.kind = Atom::Kind::Parameter;
+  a.param = p;
+  a.key = param_key(p);
+  return a;
+}
+
+Atom make_log_atom(Poly p) {
+  Atom a;
+  a.kind = Atom::Kind::Log;
+  a.a = std::make_shared<const Poly>(std::move(p));
+  a.key = "ceil_log2(" + a.a->render() + ")";
+  return a;
+}
+
+Atom make_max_atom(Poly p, Poly q) {
+  // Commutative: order the operands by their canonical rendering so that
+  // max(a, b) and max(b, a) share one atom key.
+  if (q.render() < p.render()) std::swap(p, q);
+  Atom a;
+  a.kind = Atom::Kind::Max;
+  a.a = std::make_shared<const Poly>(std::move(p));
+  a.b = std::make_shared<const Poly>(std::move(q));
+  a.key = "max(" + a.a->render() + ", " + a.b->render() + ")";
+  return a;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- Poly
+
+Poly Poly::constant(long c) {
+  Poly p;
+  p.accumulate({}, c);
+  return p;
+}
+
+Poly Poly::atom(Atom a) {
+  Poly p;
+  p.accumulate({std::move(a)}, 1);
+  return p;
+}
+
+void Poly::accumulate(std::vector<Atom> atoms, long coeff) {
+  if (coeff == 0) return;
+  std::string key;
+  for (const Atom& a : atoms) {
+    if (!key.empty()) key += "*";
+    key += a.key;
+  }
+  auto it = terms_.find(key);
+  if (it == terms_.end()) {
+    terms_.emplace(std::move(key), Term{std::move(atoms), coeff});
+    return;
+  }
+  it->second.coeff = sat_add(it->second.coeff, coeff);
+  if (it->second.coeff == 0) terms_.erase(it);
+}
+
+Poly Poly::add(const Poly& o) const {
+  Poly r = *this;
+  for (const auto& kv : o.terms_) {
+    r.accumulate(kv.second.atoms, kv.second.coeff);
+  }
+  return r;
+}
+
+Poly Poly::sub(const Poly& o) const {
+  Poly r = *this;
+  for (const auto& kv : o.terms_) {
+    r.accumulate(kv.second.atoms, sat_mul(kv.second.coeff, -1));
+  }
+  return r;
+}
+
+Poly Poly::mul(const Poly& o) const {
+  Poly r;
+  for (const auto& ka : terms_) {
+    const Term& ta = ka.second;
+    for (const auto& kb : o.terms_) {
+      const Term& tb = kb.second;
+      std::vector<Atom> atoms = ta.atoms;
+      atoms.insert(atoms.end(), tb.atoms.begin(), tb.atoms.end());
+      std::sort(atoms.begin(), atoms.end(),
+                [](const Atom& x, const Atom& y) { return x.key < y.key; });
+      r.accumulate(std::move(atoms), sat_mul(ta.coeff, tb.coeff));
+    }
+  }
+  return r;
+}
+
+bool Poly::is_constant() const {
+  return terms_.empty() ||
+         (terms_.size() == 1 && terms_.begin()->first.empty());
+}
+
+long Poly::constant_term() const {
+  auto it = terms_.find("");
+  return it == terms_.end() ? 0 : it->second.coeff;
+}
+
+long Poly::eval(const ParamEnv& env) const {
+  long sum = 0;
+  for (const auto& kv : terms_) {
+    const Term& term = kv.second;
+    long prod = term.coeff;
+    for (const Atom& a : term.atoms) {
+      prod = sat_mul(prod, eval_atom(a, env));
+    }
+    sum = sat_add(sum, prod);
+  }
+  return sum;
+}
+
+std::string Poly::render() const {
+  std::string out;
+  const auto append = [&out](const Term& term) {
+    if (!out.empty()) out += " + ";
+    if (term.atoms.empty()) {
+      out += std::to_string(term.coeff);
+      return;
+    }
+    std::string mono;
+    for (const Atom& a : term.atoms) {
+      if (!mono.empty()) mono += "*";
+      mono += a.key;
+    }
+    if (term.coeff == 1) {
+      out += mono;
+    } else if (term.coeff == -1) {
+      out += "-" + mono;
+    } else {
+      out += std::to_string(term.coeff) + "*" + mono;
+    }
+  };
+  // Monomials in key order, the constant term (key "") last.
+  for (const auto& [key, term] : terms_) {
+    if (!key.empty()) append(term);
+  }
+  if (const long c = constant_term(); c != 0 || out.empty()) {
+    append(Term{{}, c});
+  }
+  return out;
+}
+
+bool Poly::operator==(const Poly& o) const {
+  if (terms_.size() != o.terms_.size()) return false;
+  for (const auto& [key, term] : terms_) {
+    auto it = o.terms_.find(key);
+    if (it == o.terms_.end() || it->second.coeff != term.coeff) return false;
+  }
+  return true;
+}
+
+namespace {
+
+long eval_atom(const Atom& a, const ParamEnv& env) {
+  switch (a.kind) {
+    case Atom::Kind::Parameter: return env.get(a.param);
+    case Atom::Kind::Log: return eval_ceil_log2(a.a->eval(env));
+    case Atom::Kind::Max: return std::max(a.a->eval(env), a.b->eval(env));
+  }
+  usage_check(false, "eval_atom: unknown atom kind");
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- normalize
+
+Poly normalize(const WidthExpr& e) {
+  usage_check(e.defined(), "normalize: undefined expression");
+  switch (e.kind()) {
+    case WidthExpr::Kind::Undefined: break;  // unreachable: defined() above
+    case WidthExpr::Kind::Const: return Poly::constant(e.const_value());
+    case WidthExpr::Kind::Parameter:
+      return Poly::atom(make_param_atom(e.param_value()));
+    case WidthExpr::Kind::Add:
+      return normalize(e.child_a()).add(normalize(e.child_b()));
+    case WidthExpr::Kind::Mul:
+      return normalize(e.child_a()).mul(normalize(e.child_b()));
+    case WidthExpr::Kind::CeilLog2: {
+      Poly p = normalize(e.child_a());
+      if (p.is_constant()) {
+        return Poly::constant(eval_ceil_log2(p.constant_term()));
+      }
+      return Poly::atom(make_log_atom(std::move(p)));
+    }
+    case WidthExpr::Kind::Max: {
+      Poly p = normalize(e.child_a());
+      Poly q = normalize(e.child_b());
+      // When the arms differ by a constant one dominates everywhere, so the
+      // max folds away; this also collapses max(x, x).
+      if (const Poly d = p.sub(q); d.is_constant()) {
+        return d.constant_term() >= 0 ? p : q;
+      }
+      return Poly::atom(make_max_atom(std::move(p), std::move(q)));
+    }
+  }
+  usage_check(false, "normalize: unknown expression kind");
+  return {};
+}
+
+// ----------------------------------------------------------------- interval
+
+namespace {
+
+/// A closed interval over the extended integers: [lo, hi] with either end
+/// optionally at ∓∞. Used to bound a Poly's value over the whole standing-
+/// assumption region.
+struct Ival {
+  bool lo_inf = false;  ///< lo is −∞.
+  bool hi_inf = false;  ///< hi is +∞.
+  long lo = 0;
+  long hi = 0;
+
+  [[nodiscard]] static Ival exactly(long v) { return {false, false, v, v}; }
+  [[nodiscard]] static Ival at_least(long v) { return {false, true, v, 0}; }
+};
+
+/// One extended-integer endpoint, for interval multiplication.
+struct Ext {
+  bool pinf = false;
+  bool ninf = false;
+  long v = 0;
+};
+
+Ext ext_mul(const Ext& a, const Ext& b) {
+  // 0 · ∞ = 0: an infinite bound scaled by a zero coefficient contributes
+  // nothing (the monomial is identically zero on that factor).
+  const bool a_zero = !a.pinf && !a.ninf && a.v == 0;
+  const bool b_zero = !b.pinf && !b.ninf && b.v == 0;
+  if (a_zero || b_zero) return {};
+  const bool a_pos = a.pinf || (!a.ninf && a.v > 0);
+  const bool b_pos = b.pinf || (!b.ninf && b.v > 0);
+  if (a.pinf || a.ninf || b.pinf || b.ninf) {
+    Ext r;
+    if (a_pos == b_pos) {
+      r.pinf = true;
+    } else {
+      r.ninf = true;
+    }
+    return r;
+  }
+  return {false, false, sat_mul(a.v, b.v)};
+}
+
+bool ext_less(const Ext& a, const Ext& b) {
+  if (a.ninf) return !b.ninf;
+  if (a.pinf) return false;
+  if (b.ninf) return false;
+  if (b.pinf) return true;
+  return a.v < b.v;
+}
+
+Ival ival_add(const Ival& a, const Ival& b) {
+  Ival r;
+  r.lo_inf = a.lo_inf || b.lo_inf;
+  r.hi_inf = a.hi_inf || b.hi_inf;
+  if (!r.lo_inf) r.lo = sat_add(a.lo, b.lo);
+  if (!r.hi_inf) r.hi = sat_add(a.hi, b.hi);
+  return r;
+}
+
+Ival ival_mul(const Ival& a, const Ival& b) {
+  const Ext ea_lo{false, a.lo_inf, a.lo};
+  const Ext ea_hi{a.hi_inf, false, a.hi};
+  const Ext eb_lo{false, b.lo_inf, b.lo};
+  const Ext eb_hi{b.hi_inf, false, b.hi};
+  const Ext prods[4] = {ext_mul(ea_lo, eb_lo), ext_mul(ea_lo, eb_hi),
+                        ext_mul(ea_hi, eb_lo), ext_mul(ea_hi, eb_hi)};
+  Ext mn = prods[0];
+  Ext mx = prods[0];
+  for (int i = 1; i < 4; ++i) {
+    if (ext_less(prods[i], mn)) mn = prods[i];
+    if (ext_less(mx, prods[i])) mx = prods[i];
+  }
+  Ival r;
+  r.lo_inf = mn.ninf;
+  r.hi_inf = mx.pinf;
+  if (!r.lo_inf) r.lo = mn.v;
+  if (!r.hi_inf) r.hi = mx.v;
+  return r;
+}
+
+Ival ival_of_poly(const Poly& p);
+
+Ival ival_of_atom(const Atom& a) {
+  switch (a.kind) {
+    case Atom::Kind::Parameter:
+      // Standing assumptions: n, k, Δ, b ≥ 1 and t ≥ 0; nothing is bounded
+      // above (k ≤ n and t < n are *relational* and handled by the
+      // dominance substitutions, not by this box).
+      return a.param == Param::T ? Ival::at_least(0) : Ival::at_least(1);
+    case Atom::Kind::Log: {
+      const Ival o = ival_of_poly(*a.a);
+      Ival r;
+      r.lo = (o.lo_inf || o.lo <= 1) ? 0 : eval_ceil_log2(o.lo);
+      r.hi_inf = o.hi_inf;
+      if (!r.hi_inf) r.hi = eval_ceil_log2(o.hi);
+      return r;
+    }
+    case Atom::Kind::Max: {
+      const Ival p = ival_of_poly(*a.a);
+      const Ival q = ival_of_poly(*a.b);
+      Ival r;
+      r.lo_inf = p.lo_inf && q.lo_inf;
+      if (!r.lo_inf) {
+        r.lo = p.lo_inf ? q.lo : (q.lo_inf ? p.lo : std::max(p.lo, q.lo));
+      }
+      r.hi_inf = p.hi_inf || q.hi_inf;
+      if (!r.hi_inf) r.hi = std::max(p.hi, q.hi);
+      return r;
+    }
+  }
+  usage_check(false, "ival_of_atom: unknown atom kind");
+  return {};
+}
+
+Ival ival_of_poly(const Poly& p) {
+  Ival sum = Ival::exactly(0);
+  for (const auto& kv : p.terms()) {
+    const Poly::Term& term = kv.second;
+    Ival prod = Ival::exactly(term.coeff);
+    for (const Atom& a : term.atoms) {
+      prod = ival_mul(prod, ival_of_atom(a));
+    }
+    sum = ival_add(sum, prod);
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------- dominance
+
+/// An upper-bound substitute for one atom: a Poly `bound` with
+/// atom_value ≤ bound on the whole assumption region.
+struct Substitute {
+  Poly bound;
+  bool valid = false;
+};
+
+/// The relational upper bounds the interval box cannot see: k ≤ n,
+/// t ≤ n − 1, ⌈log₂ x⌉ ≤ x − 1 (x ≥ 1), max(a, b) ≤ a + b (a, b ≥ 0).
+Substitute upper_bound_of(const Atom& a) {
+  switch (a.kind) {
+    case Atom::Kind::Parameter:
+      if (a.param == Param::K) {
+        return {Poly::atom(make_param_atom(Param::N)), true};
+      }
+      if (a.param == Param::T) {
+        return {Poly::atom(make_param_atom(Param::N)).add(Poly::constant(-1)),
+                true};
+      }
+      return {};
+    case Atom::Kind::Log: {
+      const Ival o = ival_of_poly(*a.a);
+      if (o.lo_inf) return {};
+      if (o.lo >= 1) return {a.a->add(Poly::constant(-1)), true};
+      if (o.lo >= 0) return {*a.a, true};
+      return {};
+    }
+    case Atom::Kind::Max: {
+      const Ival p = ival_of_poly(*a.a);
+      const Ival q = ival_of_poly(*a.b);
+      if (!p.lo_inf && p.lo >= 0 && !q.lo_inf && q.lo >= 0) {
+        return {a.a->add(*a.b), true};
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+/// Tries to prove d ≥ 0 on the whole assumption region: first by the
+/// interval lower bound, then by substituting relational upper bounds into
+/// atoms of negative-coefficient monomials (which only lowers d, so any
+/// substituted form that is non-negative witnesses the original).
+bool prove_nonneg(const Poly& d, int depth) {
+  const Ival iv = ival_of_poly(d);
+  if (!iv.lo_inf && iv.lo >= 0) return true;
+  if (depth <= 0) return false;
+  for (const auto& kv : d.terms()) {
+    const Poly::Term& term = kv.second;
+    if (term.coeff >= 0) continue;
+    for (std::size_t i = 0; i < term.atoms.size(); ++i) {
+      const Substitute s = upper_bound_of(term.atoms[i]);
+      if (!s.valid) continue;
+      // Soundness needs the rest of the monomial non-negative: the
+      // substituted factor only grows, so with coeff < 0 the whole
+      // monomial only shrinks.
+      bool rest_nonneg = true;
+      Poly rest = Poly::constant(term.coeff);
+      for (std::size_t j = 0; j < term.atoms.size(); ++j) {
+        if (j == i) continue;
+        const Ival aj = ival_of_atom(term.atoms[j]);
+        if (aj.lo_inf || aj.lo < 0) {
+          rest_nonneg = false;
+          break;
+        }
+        rest = rest.mul(Poly::atom(term.atoms[j]));
+      }
+      if (!rest_nonneg) continue;
+      Poly whole;
+      {
+        Poly w = Poly::constant(term.coeff);
+        for (const Atom& a : term.atoms) w = w.mul(Poly::atom(a));
+        whole = std::move(w);
+      }
+      const Poly lowered = d.sub(whole).add(rest.mul(s.bound));
+      if (prove_nonneg(lowered, depth - 1)) return true;
+    }
+  }
+  return false;
+}
+
+constexpr int kNonnegDepth = 8;
+constexpr int kStructuralDepth = 16;
+
+Verdict proved(std::string how) {
+  return {Verdict::Kind::Proved, {}, std::move(how)};
+}
+
+Verdict refuted(ParamEnv witness, std::string how) {
+  return {Verdict::Kind::Refuted, witness, std::move(how)};
+}
+
+Verdict prove_le_impl(const WidthExpr& lhs, const WidthExpr& rhs, int depth) {
+  if (depth <= 0) return {};
+  // max on the left splits: max(a, b) ≤ rhs ⟺ a ≤ rhs ∧ b ≤ rhs, so both
+  // proofs and refutations propagate.
+  if (lhs.kind() == WidthExpr::Kind::Max) {
+    const Verdict va = prove_le_impl(lhs.child_a(), rhs, depth - 1);
+    if (va.kind == Verdict::Kind::Refuted) return va;
+    const Verdict vb = prove_le_impl(lhs.child_b(), rhs, depth - 1);
+    if (vb.kind == Verdict::Kind::Refuted) return vb;
+    if (va.kind == Verdict::Kind::Proved &&
+        vb.kind == Verdict::Kind::Proved) {
+      return proved("max split: " + va.how + " / " + vb.how);
+    }
+  }
+  // ceil_log2 is monotone: a ≤ b ⊢ ⌈log₂ a⌉ ≤ ⌈log₂ b⌉ (proof only — the
+  // converse direction does not refute).
+  if (lhs.kind() == WidthExpr::Kind::CeilLog2 &&
+      rhs.kind() == WidthExpr::Kind::CeilLog2) {
+    const Verdict v =
+        prove_le_impl(lhs.child_a(), rhs.child_a(), depth - 1);
+    if (v.kind == Verdict::Kind::Proved) {
+      return proved("ceil_log2 monotone: " + v.how);
+    }
+  }
+  // Against a constant bound c the log unfolds exactly:
+  // ⌈log₂ v⌉ ≤ c ⟺ v ≤ 2^c (both directions, including v ≤ 1 ↦ 0).
+  if (lhs.kind() == WidthExpr::Kind::CeilLog2) {
+    if (const Poly r = normalize(rhs); r.is_constant()) {
+      const long c = r.constant_term();
+      if (c >= 0 && c <= 62) {
+        const Verdict v = prove_le_impl(
+            lhs.child_a(), WidthExpr::constant(1L << c), depth - 1);
+        if (v.kind != Verdict::Kind::Unknown) return v;
+      }
+    }
+  }
+  // max on the right: lhs ≤ a ⊢ lhs ≤ max(a, b) (proof only).
+  if (rhs.kind() == WidthExpr::Kind::Max) {
+    const Verdict va = prove_le_impl(lhs, rhs.child_a(), depth - 1);
+    if (va.kind == Verdict::Kind::Proved) {
+      return proved("max arm: " + va.how);
+    }
+    const Verdict vb = prove_le_impl(lhs, rhs.child_b(), depth - 1);
+    if (vb.kind == Verdict::Kind::Proved) {
+      return proved("max arm: " + vb.how);
+    }
+  }
+  // Generic dominance on the normal-form gap d = rhs − lhs.
+  const Poly d = normalize(rhs).sub(normalize(lhs));
+  if (d.is_constant()) {
+    if (d.constant_term() >= 0) return proved("constant gap");
+    // A negative constant gap is violated at *every* assumption-satisfying
+    // env; report the minimal one.
+    return refuted(ParamEnv{1, 1, 1, 0, 1}, "constant gap");
+  }
+  if (prove_nonneg(d, kNonnegDepth)) return proved("polynomial dominance");
+  if (const Ival iv = ival_of_poly(d); !iv.hi_inf && iv.hi < 0) {
+    return refuted(ParamEnv{1, 1, 1, 0, 1}, "negative interval");
+  }
+  if (const auto w = refute_le_on_grid(lhs, rhs)) {
+    return refuted(*w, "grid witness");
+  }
+  return {};
+}
+
+}  // namespace
+
+Verdict prove_le(const WidthExpr& lhs, const WidthExpr& rhs) {
+  usage_check(lhs.defined() && rhs.defined(),
+              "prove_le: undefined operand expression");
+  return prove_le_impl(lhs, rhs, kStructuralDepth);
+}
+
+std::optional<ParamEnv> refute_le_on_grid(const WidthExpr& lhs,
+                                          const WidthExpr& rhs) {
+  usage_check(lhs.defined() && rhs.defined(),
+              "refute_le_on_grid: undefined operand expression");
+  for (const ParamEnv& env : assumption_grid()) {
+    if (lhs.eval(env) > rhs.eval(env)) return env;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bsr::analysis::ir

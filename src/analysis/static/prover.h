@@ -1,0 +1,154 @@
+// The symbolic width prover: decides WidthExpr inequalities for *all*
+// parameter valuations, not one ParamEnv.
+//
+// The paper states its width bounds as theorems over every n, k, Δ, t, b,
+// but evaluating a symbolic claim at one instantiation only checks one
+// point of that family. This module closes the gap in three layers:
+//
+//   normalize  — rewrites a WidthExpr into a canonical sum-of-products-
+//                over-⌈log₂⌉ form (Poly): integer-coefficient monomials
+//                over atoms, where an atom is a bare parameter, a
+//                ceil_log2 of a normalized subterm, or a max of two
+//                normalized subterms. Constants fold, multiplication
+//                distributes over addition, like monomials merge, and
+//                commutative operands sort — so two terms are equal for
+//                every valuation iff their normal forms are identical
+//                (modulo the saturation the evaluator shares).
+//   prove_le   — a three-valued proof engine for `lhs ≤ rhs` under the
+//                model's standing assumptions
+//
+//                    n ≥ 1,  1 ≤ k ≤ n,  0 ≤ t ≤ n − 1,  Δ ≥ 1,  b ≥ 1
+//
+//                using monotonicity (case-splitting max on the left,
+//                arm-domination on the right, ceil_log2 monotone, the
+//                2^c bound for ceil_log2 against a constant) and
+//                interval/polynomial dominance (lower-bound rhs − lhs
+//                over the assumption box; substitute the relational
+//                upper bounds k ≤ n, t ≤ n − 1, ⌈log₂ x⌉ ≤ x − 1 and
+//                max(a, b) ≤ a + b into negative monomials). Verdicts:
+//                Proved (holds for every valuation), Refuted (with a
+//                concrete witness ParamEnv), Unknown (neither rule set
+//                closes the claim — the caller falls back to the cutoff
+//                harness below).
+//   the grid   — assumption_grid() enumerates every assumption-satisfying
+//                ParamEnv with n ≤ kCutoffN (and Δ, b ≤ kCutoffAux): the
+//                refutation sampler inside prove_le and the checker's
+//                cutoff harness, which downgrades an Unknown claim to
+//                "verified: n ≤ kCutoffN" by per-env evaluation.
+//
+// Everything here is sound but incomplete: Proved and Refuted are exact
+// statements, Unknown is an honest shrug. The prover lives in bsr_ir — it
+// speaks only WidthExpr/ParamEnv and knows nothing of claims or protocols
+// (the obligation extraction sits in the checker, one layer up).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/static/domain.h"
+
+namespace bsr::analysis::ir {
+
+/// The model's standing assumptions: n ≥ 1, 1 ≤ k ≤ n, 0 ≤ t < n, Δ ≥ 1,
+/// b ≥ 1. Proofs quantify over exactly this set; witnesses come from it.
+[[nodiscard]] bool satisfies_assumptions(const ParamEnv& env);
+
+/// The small-n cutoff: Unknown claims are verified per-env up to here.
+inline constexpr long kCutoffN = 6;
+/// Grid bound for the free parameters Δ and b (unbounded in the model but
+/// monotone in every claim the registry states, so a small sweep suffices
+/// for witness search).
+inline constexpr long kCutoffAux = 3;
+
+/// Every ParamEnv satisfying the standing assumptions with n ≤ kCutoffN and
+/// Δ, b ≤ kCutoffAux, in lexicographic (n, k, t, Δ, b) order — so the first
+/// violating entry is a minimal witness. Built once.
+[[nodiscard]] const std::vector<ParamEnv>& assumption_grid();
+
+/// "(n=5, k=1, delta=1, t=0, b=1)" — witness rendering for diagnostics.
+[[nodiscard]] std::string render_env(const ParamEnv& env);
+
+/// One multiplicative atom of a canonical monomial. `key` is the atom's
+/// canonical rendering and doubles as its total order: equal keys mean
+/// structurally equal atoms (operand polys render canonically too).
+struct Atom {
+  enum class Kind { Parameter, Log, Max };
+  Kind kind = Kind::Parameter;
+  Param param = Param::N;         ///< Kind::Parameter.
+  std::shared_ptr<const class Poly> a;  ///< Log operand / first Max operand.
+  std::shared_ptr<const class Poly> b;  ///< Second Max operand.
+  std::string key;
+};
+
+/// A WidthExpr in canonical sum-of-products-over-⌈log₂⌉ form: a map from
+/// monomial key to (sorted atom vector, integer coefficient). The empty
+/// monomial is the constant term. Arithmetic saturates like WidthExpr::eval.
+class Poly {
+ public:
+  struct Term {
+    std::vector<Atom> atoms;  ///< Sorted by key; empty = constant term.
+    long coeff = 0;
+  };
+
+  Poly() = default;  ///< The zero polynomial.
+  [[nodiscard]] static Poly constant(long c);
+  [[nodiscard]] static Poly atom(Atom a);
+
+  [[nodiscard]] Poly add(const Poly& o) const;
+  [[nodiscard]] Poly sub(const Poly& o) const;
+  [[nodiscard]] Poly mul(const Poly& o) const;
+
+  /// True when no monomial mentions an atom (the constant term may be 0).
+  [[nodiscard]] bool is_constant() const;
+  [[nodiscard]] long constant_term() const;
+
+  /// Evaluates under `env` with the same saturation and ceil_log2 clamping
+  /// as WidthExpr::eval — normalize preserves eval on every ParamEnv.
+  [[nodiscard]] long eval(const ParamEnv& env) const;
+
+  /// Canonical rendering, e.g. "ceil_log2(k) + 2*n + 3". "0" for zero.
+  [[nodiscard]] std::string render() const;
+
+  /// Monomial-key → term map (constant term under ""). Exposed for the
+  /// prover's dominance rules and for tests.
+  [[nodiscard]] const std::map<std::string, Term>& terms() const {
+    return terms_;
+  }
+
+  bool operator==(const Poly& o) const;
+
+ private:
+  void accumulate(std::vector<Atom> atoms, long coeff);
+  std::map<std::string, Term> terms_;
+};
+
+/// Rewrites `e` into canonical form. Throws UsageError on an undefined
+/// expression. For every env, normalize(e).eval(env) == e.eval(env).
+[[nodiscard]] Poly normalize(const WidthExpr& e);
+
+/// Outcome of prove_le. Proved and Refuted are exact; Unknown means the
+/// rule set gave up and the caller should fall back to the cutoff grid.
+struct Verdict {
+  enum class Kind { Proved, Refuted, Unknown };
+  Kind kind = Kind::Unknown;
+  ParamEnv witness;  ///< A violating assumption-satisfying env (Refuted).
+  std::string how;   ///< One-line note naming the deciding rule.
+};
+
+/// Decides `lhs ≤ rhs` for all ParamEnvs satisfying the standing
+/// assumptions. Proved: the inequality holds at every such env. Refuted:
+/// `witness` is an env where lhs.eval > rhs.eval. Unknown: neither the
+/// symbolic rules nor the grid search settled it (the inequality holds on
+/// the whole assumption grid). Throws UsageError on undefined operands.
+[[nodiscard]] Verdict prove_le(const WidthExpr& lhs, const WidthExpr& rhs);
+
+/// The cutoff harness's primitive: evaluates `lhs ≤ rhs` at every grid env
+/// (the per-env evaluator, swept) and returns the first — minimal —
+/// violating env, or nullopt when the claim holds everywhere on the grid.
+[[nodiscard]] std::optional<ParamEnv> refute_le_on_grid(const WidthExpr& lhs,
+                                                        const WidthExpr& rhs);
+
+}  // namespace bsr::analysis::ir

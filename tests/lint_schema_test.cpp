@@ -215,17 +215,31 @@ void check_schema(const std::string& json) {
     for (const char* key :
          {"name", "mode", "claim_source", "sampled", "executions",
           "max_bounded_bits_used", "claimed_register_bits",
-          "claimed_bits_expr", "registers", "diagnostics"}) {
+          "claimed_bits_expr", "claim_verified", "registers", "diagnostics"}) {
       ASSERT_TRUE(p.contains(key)) << "protocol entry missing " << key;
     }
     const std::string& mode = p.at("mode").str();
-    EXPECT_TRUE(mode == "dynamic" || mode == "static" || mode == "both");
-    if (mode == "static") EXPECT_EQ(p.at("executions").num(), 0);
+    EXPECT_TRUE(mode == "dynamic" || mode == "static" || mode == "symbolic" ||
+                mode == "both");
+    if (mode == "static" || mode == "symbolic") {
+      EXPECT_EQ(p.at("executions").num(), 0);
+    }
+    // The aggregate verdict only appears on symbolic reports, and always
+    // takes one of the three canonical forms.
+    const std::string& verified = p.at("claim_verified").str();
+    if (mode == "symbolic") {
+      EXPECT_TRUE(verified == "all params" || verified == "refuted" ||
+                  verified.rfind("n <= ", 0) == 0)
+          << "unexpected claim_verified: " << verified;
+    } else {
+      EXPECT_EQ(verified, "");
+    }
     for (const JsonValue& rv : p.at("registers").array()) {
       const JsonObject& r = rv.object();
       for (const char* key :
            {"index", "name", "writer", "declared_bits", "write_once",
-            "allows_bottom", "max_bits", "max_writes", "read", "sym_bits"}) {
+            "allows_bottom", "max_bits", "max_writes", "read", "sym_bits",
+            "verified"}) {
         ASSERT_TRUE(r.contains(key)) << "register row missing " << key;
       }
       (void)r.at("write_once").boolean();
@@ -252,6 +266,31 @@ TEST(LintSchema, StaticDocumentMatchesDocumentedSchema) {
   check_schema(lint_json(LintMode::Static, {"alg1", "demo-misdeclared"}));
 }
 
+TEST(LintSchema, SymbolicDocumentMatchesDocumentedSchema) {
+  const std::string json = lint_json(
+      LintMode::Symbolic, {"alg1", "sec4-quantized", "demo-holds-small-n"});
+  check_schema(json);
+  const JsonValue doc = Parser(json).parse();
+  const JsonArray& protocols = doc.object().at("protocols").array();
+  ASSERT_EQ(protocols.size(), 3u);
+  EXPECT_EQ(protocols[0].object().at("mode").str(), "symbolic");
+  EXPECT_EQ(protocols[0].object().at("claim_verified").str(), "all params");
+  EXPECT_EQ(protocols[1].object().at("claim_verified").str(), "all params");
+  // The canary passes every per-env tier but is refuted as a theorem; the
+  // witness environment must appear in the static-width-all-n message.
+  EXPECT_EQ(protocols[2].object().at("claim_verified").str(), "refuted");
+  bool witnessed = false;
+  for (const JsonValue& dv : protocols[2].object().at("diagnostics").array()) {
+    const JsonObject& d = dv.object();
+    if (d.at("rule").str() == "static-width-all-n" &&
+        d.at("message").str().find("(n=5, k=1, delta=1, t=0, b=1)") !=
+            std::string::npos) {
+      witnessed = true;
+    }
+  }
+  EXPECT_TRUE(witnessed) << "no static-width-all-n refutation with witness";
+}
+
 TEST(LintSchema, BothDocumentMatchesDocumentedSchema) {
   const std::string json = lint_json(LintMode::Both, {"alg1"});
   check_schema(json);
@@ -268,16 +307,18 @@ TEST(LintSchema, EscapingRoundTrips) {
   EXPECT_EQ(std::get<std::string>(p.parse().v), nasty);
 }
 
-void check_golden(const std::string& file, std::vector<std::string> protocols) {
-  // Exact-output pin: the static tier is deterministic (no exploration), so
-  // any schema or diagnostic drift shows up as a golden-file diff.
+void check_golden(const std::string& file, LintMode mode,
+                  std::vector<std::string> protocols) {
+  // Exact-output pin: the static/symbolic tiers are deterministic (no
+  // exploration), so any schema or diagnostic drift shows up as a
+  // golden-file diff.
   std::ifstream golden(std::string(BSR_GOLDEN_DIR) + "/" + file);
   ASSERT_TRUE(golden.good()) << "missing tests/golden/" << file;
   std::ostringstream want;
   want << golden.rdbuf();
   LintOptions opts;
   opts.protocols = std::move(protocols);
-  opts.mode = LintMode::Static;
+  opts.mode = mode;
   opts.json = true;
   std::ostringstream out;
   std::ostringstream err;
@@ -287,16 +328,19 @@ void check_golden(const std::string& file, std::vector<std::string> protocols) {
 }
 
 TEST(LintSchema, StaticGoldenFileIsCurrent) {
-  check_golden("lint_static.json", {"alg1", "demo-misdeclared"});
+  check_golden("lint_static.json", LintMode::Static,
+               {"alg1", "demo-misdeclared"});
 }
 
 TEST(LintSchema, SymbolicGoldenFileIsCurrent) {
   // Pins the symbolic-width surface: sec4-quantized's claim and write set
-  // are WidthExpr terms (⌈log₂ k⌉), and the symbolic canary's violated
-  // budget is ⌈log₂ k⌉ + Δ — claimed_bits_expr and sym_bits must render
-  // byte-identically across schema changes.
-  check_golden("lint_symbolic.json",
-               {"sec4-quantized", "demo-misdeclared-symbolic"});
+  // are WidthExpr terms (⌈log₂ k⌉), the symbolic canary's violated budget
+  // is ⌈log₂ k⌉ + Δ, and demo-holds-small-n is the all-params refutation
+  // with its witness env — claimed_bits_expr, sym_bits, claim_verified and
+  // the verified rows must render byte-identically across schema changes.
+  check_golden(
+      "lint_symbolic.json", LintMode::Symbolic,
+      {"sec4-quantized", "demo-misdeclared-symbolic", "demo-holds-small-n"});
 }
 
 }  // namespace

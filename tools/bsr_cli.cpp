@@ -30,14 +30,19 @@
 //       final states and decision spread are cross-checked; any mismatch —
 //       or a nonzero drop count, which voids exactness — exits 1.
 //       --json emits one JSON object instead of text.
-//   bsr lint [--protocol NAME[,NAME...]] [--mode dynamic|static|both]
+//   bsr lint [--protocol NAME[,NAME...]]
+//            [--mode dynamic|static|symbolic|both]
 //            [--static] [--json] [--list] [--help]
 //       Run the model-conformance analyzer (docs/ANALYSIS.md) over the
 //       built-in protocols: register-width claims, SWMR/write-once/⊥
 //       discipline, dead registers. --mode static audits each protocol's IR
-//       abstractly (zero simulator steps); --mode both cross-validates the
+//       abstractly (zero simulator steps); --mode symbolic additionally
+//       runs the width prover, deciding each claim for *all* parameter
+//       valuations (all params / n <= cutoff / refuted with a witness
+//       ParamEnv, the latter an error); --mode both cross-validates the
 //       static and dynamic tiers against each other. Exits 0 clean, 1 on
-//       violations, 2 on usage errors or static/dynamic disagreement.
+//       violations (including all-params refutations), 2 on usage errors
+//       or static/dynamic disagreement.
 //       `bsr lint --help` prints the full flag and exit-code reference.
 //   bsr doc
 //       Render the built-in protocol registry as the markdown protocol
@@ -429,11 +434,13 @@ int cmd_lint(const Args& a) {
     opts.mode = analysis::LintMode::Dynamic;
   } else if (mode == "static") {
     opts.mode = analysis::LintMode::Static;
+  } else if (mode == "symbolic") {
+    opts.mode = analysis::LintMode::Symbolic;
   } else if (mode == "both") {
     opts.mode = analysis::LintMode::Both;
   } else {
     std::cerr << "bsr lint: unknown mode '" << mode
-              << "' (expected dynamic, static, or both)\n";
+              << "' (expected dynamic, static, symbolic, or both)\n";
     return 2;
   }
   std::istringstream names(a.str("protocol", ""));
