@@ -31,6 +31,9 @@ gen tests/golden/lint_static.json \
 gen tests/golden/lint_symbolic.json \
   lint --mode=symbolic --json \
   --protocol sec4-quantized,demo-misdeclared-symbolic,demo-holds-small-n
+# The interference canary is warning-only, so this golden pins exit 0.
+gen tests/golden/lint_interference.json \
+  lint --mode=interference --json --protocol alg1,demo-false-independence
 
 # The protocol reference is rendered from the registry's reflected IR;
 # `bsr doc` exits 0 or the tool is broken.

@@ -614,6 +614,67 @@ ProtocolSpec loop_shape_demo_spec() {
   return s;
 }
 
+/// The interference canary's single-source body. The only cross-process
+/// contention on `fi.data` flows through p1's *snapshot*: a footprint
+/// analysis that forgot snapshot members are reads would call p0's write of
+/// `fi.data` and p1's snapshot independent — and a POR built on that
+/// relation would prune schedules whose final snapshots differ. `fi.flag`
+/// is ordinary read/write contention (a control pair that must classify
+/// dependent either way), and `fi.private` is a bounded register only p0
+/// ever touches — the `static-interference` rule must flag it, and must
+/// NOT flag `fi.data` (the snapshot read is its contention).
+void build_false_independence(proto::Proto& pr) {
+  const int data = pr.add_register("fi.data", 0, 2, Value(0));
+  const int flag = pr.add_register("fi.flag", 1, 2, Value(0));
+  const int priv = pr.add_register("fi.private", 0, 2, Value(0));
+  pr.spawn(0, [=](proto::P p) -> sim::Proc {
+    co_await p.write(data, Value(2), ir::ValueExpr::constant(2));
+    co_await p.write(priv, Value(1), ir::ValueExpr::constant(1));
+    (void)co_await p.read(priv);
+    (void)co_await p.read(flag);
+    co_return Value(0);
+  });
+  pr.spawn(1, [=](proto::P p) -> sim::Proc {
+    co_await p.write(flag, Value(1), ir::ValueExpr::constant(1));
+    std::vector<int> members;
+    members.push_back(data);
+    members.push_back(flag);
+    (void)co_await p.snapshot(members);
+    co_return Value(1);
+  });
+}
+
+/// A canary for the interference tier: structurally clean under every
+/// width/ownership rule (so plain lint stays green), but shaped so that
+/// (a) snapshot-member reads are the only thing making a write/snapshot
+/// pair dependent, and (b) one bounded register is provably uncontended —
+/// `--mode=interference` must warn on `fi.private` alone.
+ProtocolSpec false_independence_demo_spec() {
+  ProtocolSpec s;
+  s.name = "demo-false-independence";
+  s.description =
+      "snapshot-only contention plus an uncontended bounded register "
+      "(interference-analysis self-test; warns under --mode=interference)";
+  s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/std::nullopt,
+             "none — a demo pinning the static-interference rule and the "
+             "snapshot-read footprint"};
+  s.demo = true;
+  s.params.n = 2;
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    proto::Proto pr(*sim);
+    build_false_independence(pr);
+    return sim;
+  };
+  s.describe = [] {
+    proto::Proto pr(proto::Proto::ReflectOptions{.n = 2, .params = {}});
+    build_false_independence(pr);
+    return std::move(pr).take_ir();
+  };
+  s.explore.max_steps = 50;
+  return s;
+}
+
 }  // namespace
 
 const std::vector<ProtocolSpec>& builtin_protocols() {
@@ -638,6 +699,7 @@ const std::vector<ProtocolSpec>& builtin_protocols() {
     v.push_back(misdeclared_symbolic_demo_spec());
     v.push_back(holds_small_n_demo_spec());
     v.push_back(loop_shape_demo_spec());
+    v.push_back(false_independence_demo_spec());
     return v;
   }();
   return specs;

@@ -20,6 +20,7 @@ std::string to_string(Mode m) {
     case Mode::Static: return "static";
     case Mode::Symbolic: return "symbolic";
     case Mode::Both: return "both";
+    case Mode::Interference: return "interference";
   }
   return "?";
 }
@@ -61,6 +62,24 @@ int ProtocolReport::warnings() const {
 
 void TextSink::report(const ProtocolReport& r) {
   os_ << r.name << ": ";
+  if (r.mode == Mode::Interference) {
+    os_ << "interference: " << r.interference_ops << " op site(s), "
+        << r.interference_pairs << " cross-process pair(s), "
+        << r.interference_independent << " independent";
+    if (r.interference_truncated) os_ << " (detail truncated)";
+    if (r.diagnostics.empty()) {
+      os_ << ": clean\n";
+      return;
+    }
+    os_ << "\n";
+    for (const Diagnostic& d : r.diagnostics) {
+      os_ << "  " << to_string(d.severity) << "[" << d.rule << "]";
+      if (d.pid != -1) os_ << " p" << d.pid;
+      if (d.reg != -1) os_ << " register '" << d.reg_name << "'";
+      os_ << ": " << d.message << "\n";
+    }
+    return;
+  }
   if (r.mode == Mode::Static || r.mode == Mode::Symbolic) {
     os_ << "static IR audit (0 executions), max derivable bounded bits ";
   } else {
@@ -160,7 +179,26 @@ void JsonSink::close(int errors, int warnings) {
          << ",\"fingerprint\":\"" << json_escape(d.fingerprint)
          << "\",\"message\":\"" << json_escape(d.message) << "\"}";
     }
-    os << "]}";
+    os << "]";
+    if (r.mode == Mode::Interference) {
+      // Interference tier: totals over the full op-pair relation plus the
+      // (possibly truncated) pair detail. Documented in docs/ANALYSIS.md.
+      os << ",\"interference\":{\"ops\":" << r.interference_ops
+         << ",\"pairs\":" << r.interference_pairs
+         << ",\"independent\":" << r.interference_independent
+         << ",\"truncated\":" << (r.interference_truncated ? "true" : "false")
+         << ",\"detail\":[";
+      for (std::size_t j = 0; j < r.interference.size(); ++j) {
+        const InterferencePair& p = r.interference[j];
+        if (j > 0) os << ",";
+        os << "{\"a\":\"" << json_escape(p.a) << "\",\"b\":\""
+           << json_escape(p.b) << "\",\"independent\":"
+           << (p.independent ? "true" : "false") << ",\"reason\":\""
+           << json_escape(p.reason) << "\"}";
+      }
+      os << "]}";
+    }
+    os << "}";
   }
   os << "],\"errors\":" << errors << ",\"warnings\":" << warnings << "}";
   os_ << os.str() << "\n";

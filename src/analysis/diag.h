@@ -9,6 +9,7 @@
 // --json`, CI annotations).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -27,12 +28,14 @@ enum class Severity {
 
 /// Which analyzer tier produced a report: the dynamic explorer, the static
 /// IR checker, the symbolic prover (static checks plus all-params claim
-/// verification), or both explorer+static (cross-validated).
+/// verification), both explorer+static (cross-validated), or the static
+/// interference pass (op-footprint independence over the protocol IR).
 enum class Mode {
   Dynamic,
   Static,
   Symbolic,
   Both,
+  Interference,
 };
 
 [[nodiscard]] std::string to_string(Mode m);
@@ -83,6 +86,23 @@ struct RegisterAudit {
   std::string verified;
 };
 
+/// One cross-process op pair from the static interference analysis
+/// (`--mode=interference`): the two op sites (rendered labels), the
+/// verdict, and the rule that justified it (see
+/// analysis/static/interference.h for the soundness argument).
+/// Cap on stored InterferencePair detail rows per report. Stack-based
+/// protocols flatten to hundreds of op sites (hundreds of thousands of
+/// pairs); the totals always cover the full relation, only the rendered
+/// detail is truncated.
+inline constexpr std::size_t kMaxInterferenceDetail = 2048;
+
+struct InterferencePair {
+  std::string a;              ///< Label of the first op site, e.g. "p0 write 'r'".
+  std::string b;              ///< Label of the second op site.
+  bool independent = false;   ///< Proven to commute in every state.
+  std::string reason;         ///< Human-readable justification of the verdict.
+};
+
 /// Everything the analyzer learned about one protocol.
 struct ProtocolReport {
   std::string name;
@@ -102,6 +122,15 @@ struct ProtocolReport {
   std::string claim_verified;
   std::vector<RegisterAudit> registers;
   std::vector<Diagnostic> diagnostics;
+  /// Interference tier (`--mode=interference`) only: totals over every
+  /// cross-process op pair, plus the pair verdicts themselves (capped at
+  /// kMaxInterferenceDetail entries; `interference_truncated` says whether
+  /// the cap hit — the totals always cover the full relation).
+  long interference_ops = 0;          ///< Op sites across all processes.
+  long interference_pairs = 0;        ///< Cross-process pairs classified.
+  long interference_independent = 0;  ///< Pairs proven independent.
+  bool interference_truncated = false;
+  std::vector<InterferencePair> interference;
 
   [[nodiscard]] int errors() const;
   [[nodiscard]] int warnings() const;

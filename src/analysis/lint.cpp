@@ -25,7 +25,7 @@ options:
   --protocol NAME[,NAME...]   analyze only the named protocols; default is
                               every built-in protocol except the
                               intentionally-misdeclared demos
-  --mode dynamic|static|symbolic|both
+  --mode dynamic|static|symbolic|both|interference
                               dynamic: explore executions and audit the
                               observed behavior (default); static: abstract
                               interpretation over each protocol's IR, zero
@@ -34,7 +34,13 @@ options:
                               verified for all parameter valuations
                               (all params / n <= cutoff / refuted with a
                               witness environment); both: run dynamic and
-                              static and cross-validate them
+                              static and cross-validate them;
+                              interference: classify every cross-process op
+                              pair of the IR as independent or
+                              may-interfere (the relation `bsr explore
+                              --por` consumes) and warn on bounded
+                              registers no pair conflicts on
+                              (static-interference)
   --static                    shorthand for --mode static
   --json                      emit one JSON document instead of text
   --list                      list the protocol registry (with each claim's
@@ -113,6 +119,8 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
         rep = analyze_static(*spec);
       } else if (opts.mode == LintMode::Symbolic) {
         rep = analyze_symbolic(*spec);
+      } else if (opts.mode == LintMode::Interference) {
+        rep = analyze_interference(*spec);
       } else if (opts.mode == LintMode::Dynamic) {
         rep = analyze_protocol(*spec);
       } else {

@@ -18,6 +18,12 @@ enum class LintMode {
   Both,      ///< Run dynamic and static and cross-validate them; any
              ///< disagreement is an internal error (exit 2), each tier
              ///< being the other's oracle.
+  Interference,  ///< Static op-footprint interference analysis over the
+                 ///< protocol IR: classify every cross-process op pair as
+                 ///< independent or may-interfere (the relation the
+                 ///< explorer's sleep-set POR consumes) and flag bounded
+                 ///< registers no pair ever conflicts on
+                 ///< (`static-interference`).
 };
 
 struct LintOptions {

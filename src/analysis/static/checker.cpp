@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/static/interference.h"
 #include "proto/builder.h"
 #include "util/errors.h"
 
@@ -437,6 +438,88 @@ ProtocolReport analyze_symbolic(const ProtocolSpec& spec) {
   for (Diagnostic& d : v.refutations) {
     rep.diagnostics.push_back(std::move(d));
   }
+  return rep;
+}
+
+ProtocolReport analyze_interference(const ProtocolSpec& spec) {
+  ProtocolReport rep;
+  rep.name = spec.name;
+  rep.claim_source = spec.claim.source;
+  rep.claimed_register_bits = spec.claim.max_register_bits;
+  rep.claimed_bits_expr = spec.claim.symbolic_bits.render();
+  rep.mode = Mode::Interference;
+
+  const auto add = [&rep, &spec](Diagnostic d) {
+    d.protocol = spec.name;
+    rep.diagnostics.push_back(std::move(d));
+  };
+
+  if (!spec.describe) {
+    Diagnostic d;
+    d.rule = "ir-missing";
+    d.message = "protocol has no describe() hook; the interference tier "
+                "cannot audit it (add one or exempt it in the claims "
+                "registry)";
+    add(std::move(d));
+    return rep;
+  }
+
+  ir::ProtocolIR p = spec.describe();
+  p.params = spec.params;  // the spec's instantiation is authoritative
+
+  const itf::Report r = itf::analyze(p);
+  rep.interference_ops = static_cast<long>(r.ops.size());
+  rep.interference_pairs = static_cast<long>(r.pairs.size());
+  rep.interference_independent = r.independent;
+  const std::size_t detail = std::min(r.pairs.size(), kMaxInterferenceDetail);
+  rep.interference_truncated = r.pairs.size() > detail;
+  rep.interference.reserve(detail);
+  for (std::size_t i = 0; i < detail; ++i) {
+    const itf::OpPair& op = r.pairs[i];
+    InterferencePair row;
+    row.a = r.ops[static_cast<std::size_t>(op.a)].label;
+    row.b = r.ops[static_cast<std::size_t>(op.b)].label;
+    row.independent = op.verdict.independent;
+    row.reason = itf::render_reason(op.verdict, p.registers);
+    rep.interference.push_back(std::move(row));
+  }
+
+  // Register audit rows, same derivation as the static tier (so the JSON
+  // registers[] block stays populated and comparable across modes).
+  const std::vector<ir::RegisterSummary> sums = ir::summarize_full(p).registers;
+  for (std::size_t i = 0; i < p.registers.size(); ++i) {
+    rep.registers.push_back(
+        audit_row(static_cast<int>(i), p.registers[i], sums[i]));
+  }
+
+  // `static-interference`: a bounded register some process writes, but that
+  // no cross-process op pair ever conflicts on (before the may-violate
+  // veto — contended_registers uses the raw footprint overlap). Every
+  // schedule-sensitive behavior of the register is then confined to one
+  // process's program order, so the width bound constrains nothing that
+  // contention could expose: either the bound is decorative or the claims
+  // registry misdeclares who touches the register.
+  const std::vector<bool> contended =
+      itf::contended_registers(r, p.registers.size());
+  for (std::size_t i = 0; i < p.registers.size(); ++i) {
+    const ir::RegisterDecl& decl = p.registers[i];
+    if (decl.width_bits == ir::kUnboundedWidth) continue;
+    if (!sums[i].written) continue;
+    if (contended[i]) continue;
+    std::ostringstream msg;
+    msg << "bounded register '" << decl.name << "' (" << decl.width_bits
+        << " bits) is written but never accessed in cross-process "
+           "conflict: its width claim is vacuous under contention";
+    Diagnostic d;
+    d.rule = "static-interference";
+    d.severity = Severity::Warning;
+    d.pid = decl.writer;
+    d.reg = static_cast<int>(i);
+    d.reg_name = decl.name;
+    d.message = msg.str();
+    add(std::move(d));
+  }
+
   return rep;
 }
 

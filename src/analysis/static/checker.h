@@ -95,6 +95,17 @@ struct ClaimVerification {
 /// exit-code contract is unchanged: refutation ⇒ exit 1).
 [[nodiscard]] ProtocolReport analyze_symbolic(const ProtocolSpec& spec);
 
+/// The interference tier (`bsr lint --mode=interference`): runs the static
+/// op-footprint independence analysis (analysis/static/interference.h) over
+/// the spec's reflected IR and reports every cross-process op pair with its
+/// verdict and justification. The returned report has mode =
+/// Mode::Interference. One rule fires here: `static-interference` (warning)
+/// flags each bounded, written register that no cross-process pair ever
+/// conflicts on — its width claim is vacuous under contention, so either
+/// the bound is decorative or the registry misdeclares who touches it.
+/// A spec without a describe hook yields a single `ir-missing` error.
+[[nodiscard]] ProtocolReport analyze_interference(const ProtocolSpec& spec);
+
 /// Compares a static and a dynamic report of the same spec and returns one
 /// `static-dynamic-disagreement` diagnostic per inconsistency (empty when
 /// the tiers agree, or when the static tier reported `ir-missing`).

@@ -1,8 +1,11 @@
 #include "sim/explore.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "sim/explore_parallel.h"
 #include "sim/tt.h"
@@ -32,6 +35,83 @@ int resolve_explore_threads(int requested) {
 }
 
 namespace detail {
+namespace {
+
+/// Exact runtime mirror of Sim::do_write's violation checks for a pending
+/// write of `v` into `reg` by `pid` (the value is known, so this is not an
+/// approximation). Any condition that would make do_write record a
+/// ModelEvent — or throw ModelError outside collect mode — makes the op
+/// order-sensitive.
+bool write_may_violate(const Sim& sim, Pid pid, int reg, const Value& v) {
+  if (reg < 0 || reg >= sim.num_registers()) return true;
+  const Register& r = sim.register_info(reg);
+  if (r.writer != -1 && r.writer != pid) return true;  // Swmr
+  if (r.write_once && r.writes != 0) return true;      // WriteOnce
+  if (r.width_bits != kUnbounded && r.track_width) {
+    if (!v.is_u64()) return true;  // Width (non-integer)
+    if (v.bit_width() > r.width_bits) return true;  // Width (overflow)
+    const std::uint64_t limit =
+        (std::uint64_t{1} << r.width_bits) - (r.allows_bottom ? 2 : 1);
+    if (v.as_u64() > limit) return true;  // Bottom (⊥ code point)
+  }
+  return false;
+}
+
+void add_sorted(std::vector<int>& v, int x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+}  // namespace
+
+analysis::itf::Footprint choice_footprint(const Sim& sim, const Choice& c) {
+  analysis::itf::Footprint fp;
+  fp.pid = c.pid;
+  if (c.kind == Choice::Kind::Crash) {
+    fp.crash = true;
+    return fp;
+  }
+  const OpRequest& req = sim.pending_request(c.pid);
+  switch (req.kind) {
+    case OpKind::Start:
+      break;  // resumes the body to its first op: local computation only
+    case OpKind::Read:
+      add_sorted(fp.reads, req.reg);
+      break;
+    case OpKind::Write:
+      add_sorted(fp.writes, req.reg);
+      fp.may_violate = write_may_violate(sim, c.pid, req.reg, req.value);
+      break;
+    case OpKind::Snapshot:
+      for (const int r : req.regs) add_sorted(fp.reads, r);
+      break;
+    case OpKind::WriteSnap:
+      add_sorted(fp.writes, req.reg);
+      for (const int r : req.regs) add_sorted(fp.reads, r);
+      fp.may_violate = write_may_violate(sim, c.pid, req.reg, req.value);
+      break;
+    case OpKind::Send:
+      fp.send_to = req.peer;
+      fp.may_violate = !sim.can_send(c.pid, req.peer);  // Topology
+      break;
+    case OpKind::Recv:
+      fp.is_recv = true;
+      fp.recv_from = c.recv_from;
+      break;
+  }
+  // Round events fire inside the resumed body (Env::note_round), invisible
+  // from the pending op, so a declared budget makes every step
+  // order-sensitive. Blunt but sound; round-budgeted registry protocols
+  // are sampled, never explored exhaustively.
+  if (sim.max_rounds() >= 0) fp.may_violate = true;
+  return fp;
+}
+
+bool independent(const Sim& sim, const Choice& a, const Choice& b) {
+  return analysis::itf::classify(choice_footprint(sim, a),
+                                 choice_footprint(sim, b))
+      .independent;
+}
 
 std::vector<Choice> legal_choices(const Sim& sim, int crashes_so_far,
                                   const ExploreOptions& opts) {
@@ -71,23 +151,45 @@ long incremental_dfs(Sim& sim, const ExploreOptions& opts, long depth_limit,
     std::size_t next;        ///< Next untried index.
     int crashes_before;      ///< cursor.crashes before any choice here.
     long steps_before;       ///< cursor.steps before any choice here.
+    /// POR: this node's sleep set — choices whose subtrees are owned by
+    /// sibling branches. Seeded from the parent when the frame is pushed;
+    /// grows by each completed (or table-pruned) child.
+    std::vector<Choice> sleep;
   };
   std::vector<Frame> stack;
   std::vector<std::size_t> idx;  // chosen index per depth since the root
   long visited = 0;
+
+  const auto asleep = [](const Frame& f, const Choice& c) {
+    return std::find(f.sleep.begin(), f.sleep.end(), c) != f.sleep.end();
+  };
 
   // Applies the frame's next untried choice, skipping (and immediately
   // rewinding) any whose resulting state the transposition table has seen —
   // the first visitor of a state explores its whole subtree before
   // backtracking, so a repeat can only be a reconvergence, never a state
   // still on the current path (histories grow monotonically along it).
-  // Returns false when every remaining sibling was pruned or exhausted, in
-  // which case the frame holds no applied choice.
+  // Under POR it also skips sleeping choices (their interleavings commute
+  // into branches explored elsewhere). Returns false when every remaining
+  // sibling was pruned, asleep, or exhausted, in which case the frame holds
+  // no applied choice.
   const auto advance = [&](Frame& f) {
     while (f.next < f.cs.size()) {
       const Choice& c = f.cs[f.next];
       idx.back() = f.next;
       f.next += 1;
+      std::vector<Choice> child_sleep;
+      if (opts.por) {
+        if (asleep(f, c)) continue;
+        // The child inherits every sleeping choice that commutes with `c`:
+        // such a choice is still enabled below `c` (independence preserves
+        // enabledness), its pending op is unchanged (same-pid pairs are
+        // never independent), and its subtree still commutes into the
+        // sibling branch that owns it.
+        for (const Choice& d : f.sleep) {
+          if (independent(sim, d, c)) child_sleep.push_back(d);
+        }
+      }
       if (c.kind == Choice::Kind::Step) {
         sim.step(c.pid, c.recv_from);
         cursor.steps += 1;
@@ -96,13 +198,27 @@ long incremental_dfs(Sim& sim, const ExploreOptions& opts, long depth_limit,
         cursor.crashes += 1;
       }
       cursor.schedule.push_back(c);
-      if (tt != nullptr && !tt->first_visit(sim.state_hash())) {
-        sim.rewind(1);
-        cursor.schedule.pop_back();
-        cursor.crashes = f.crashes_before;
-        cursor.steps = f.steps_before;
-        continue;
+      if (tt != nullptr) {
+        // A state is published only when entered under an *empty* sleep
+        // set: that visit explores the full subtree, so a later hit may
+        // prune no matter what the later visit's sleep set is. A
+        // non-empty-sleep visit explores only part of the subtree and must
+        // probe without inserting (TranspositionTable::seen).
+        const bool pruned = child_sleep.empty()
+                                ? !tt->first_visit(sim.state_hash())
+                                : tt->seen(sim.state_hash());
+        if (pruned) {
+          sim.rewind(1);
+          cursor.schedule.pop_back();
+          cursor.crashes = f.crashes_before;
+          cursor.steps = f.steps_before;
+          // The recorded state's subtree was fully explored by its first
+          // visitor, so `c` is as done here as a completed child.
+          if (opts.por) f.sleep.push_back(c);
+          continue;
+        }
       }
+      if (opts.por) cursor.sleep = std::move(child_sleep);
       return true;
     }
     return false;
@@ -120,7 +236,9 @@ long incremental_dfs(Sim& sim, const ExploreOptions& opts, long depth_limit,
       usage_check(cursor.steps < opts.max_steps,
                   "Explorer: execution exceeded max_steps; "
                   "protocol may not terminate");
-      stack.push_back(Frame{std::move(cs), 0, cursor.crashes, cursor.steps});
+      stack.push_back(Frame{std::move(cs), 0, cursor.crashes, cursor.steps,
+                            std::move(cursor.sleep)});
+      cursor.sleep.clear();  // defined state after the move
       idx.push_back(0);
       if (!advance(stack.back())) {
         stack.pop_back();
@@ -153,6 +271,11 @@ long incremental_dfs(Sim& sim, const ExploreOptions& opts, long depth_limit,
       Frame& f = stack.back();
       cursor.crashes = f.crashes_before;
       cursor.steps = f.steps_before;
+      // The child just backed out of is fully explored: later siblings may
+      // skip any interleaving that merely reorders it across independent
+      // steps, so it joins this node's sleep set (Godefroid's sleep-set
+      // discipline — siblings inherit completed siblings).
+      if (opts.por) f.sleep.push_back(f.cs[idx[t - 1]]);
       if (advance(f)) break;
       stack.pop_back();
       idx.pop_back();

@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/static/interference.h"
 #include "sim/sched.h"
 #include "sim/sim.h"
 
@@ -84,6 +85,23 @@ struct ExploreOptions {
   /// symmetric in the process ids; preserves the *kinds* of reachable
   /// violations, not exact counts or messages.
   bool tt_symmetry = false;
+  /// Sleep-set partial-order reduction (off by default). At each search
+  /// node the engine skips any choice provably independent — via the
+  /// footprint relation of analysis/static/interference.h, fed with
+  /// pending-op footprints — of every choice already explored since the
+  /// node was entered: the skipped interleaving commutes, step by step,
+  /// into one explored earlier. The reduction preserves the exact set of
+  /// reachable final configurations and of collected violations (the
+  /// search tree is acyclic: result histories grow along every path), so
+  /// violation findings are bit-identical to the unreduced search; without
+  /// `tt` the visited-execution count shrinks to one representative per
+  /// commutation class. Composes with `tt`: states are published to the
+  /// table only when visited under an empty sleep set (a non-empty-sleep
+  /// visit explores the subtree only partially, so it probes without
+  /// inserting), which keeps the memoized count equal to the number of
+  /// distinct final configurations. Ignored by ReplayExplorer (the
+  /// differential oracle).
+  bool por = false;
 };
 
 /// Resolves the effective thread count: `requested` if > 0, else
@@ -149,7 +167,24 @@ struct DfsCursor {
   std::vector<Choice> schedule;
   int crashes = 0;  ///< Crash choices in `schedule`.
   long steps = 0;   ///< Step choices in `schedule` (max_steps accounting).
+  /// POR: the sleep set of the node the cursor currently sits on. Seed it
+  /// to resume a reduced search mid-tree (the parallel engine's frontier
+  /// jobs do); after each descent it holds the current node's set.
+  std::vector<Choice> sleep;
 };
+
+/// The shared-state footprint of one scheduling choice in the Sim's
+/// *current* state, built from the pending OpRequest (crash choices have a
+/// crash-only footprint). Mirrors the simulator's own violation checks
+/// (do_write, topology) so `may_violate` is exact for the pending op; a
+/// declared round budget conservatively marks every Step may-violate.
+[[nodiscard]] analysis::itf::Footprint choice_footprint(const Sim& sim,
+                                                        const Choice& c);
+
+/// Whether `a` and `b` commute in the Sim's current state, per the shared
+/// decision procedure analysis::itf::classify over pending-op footprints.
+[[nodiscard]] bool independent(const Sim& sim, const Choice& a,
+                               const Choice& b);
 
 /// Leaf callback of `incremental_dfs`: receives the Sim in the leaf state,
 /// the full schedule, and the per-depth choice indices taken since the DFS

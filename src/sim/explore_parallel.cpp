@@ -23,6 +23,10 @@ namespace {
 struct Job {
   std::vector<Choice> choices;
   std::vector<std::size_t> idx;
+  /// POR: the sleep set of the subtree root, captured during frontier
+  /// enumeration and re-seeded into the job's DFS cursor — the reduced
+  /// parallel search explores exactly the serial engine's reduced tree.
+  std::vector<Choice> sleep;
 };
 
 /// What one job's subtree contributed, merged in canonical order afterwards.
@@ -63,7 +67,7 @@ std::vector<Job> enumerate_frontier(Sim& sim, const ExploreOptions& opts,
       [&](Sim&, const std::vector<Choice>& schedule,
           const std::vector<std::size_t>& idx) {
         if (static_cast<long>(idx.size()) == depth) exhausted = false;
-        jobs.push_back(Job{schedule, idx});
+        jobs.push_back(Job{schedule, idx, cursor.sleep});
         return false;
       });
   sim.rewind(sim.history_size());
@@ -179,10 +183,17 @@ long ParallelExplorer::explore_until(const Factory& make,
       }
       cursor.schedule.push_back(c);
     }
+    cursor.sleep = job.sleep;
     // Publish the subtree root: distinct frontier prefixes can converge on
     // one state, and whichever job claims it first owns the whole subtree.
-    if (opts_.tt != nullptr && !opts_.tt->first_visit(sim->state_hash())) {
-      return;
+    // Under POR a root entered with a non-empty sleep set explores only
+    // part of the subtree, so it probes without inserting (same discipline
+    // as incremental_dfs).
+    if (opts_.tt != nullptr) {
+      const bool pruned = job.sleep.empty()
+                              ? !opts_.tt->first_visit(sim->state_hash())
+                              : opts_.tt->seen(sim->state_hash());
+      if (pruned) return;
     }
     detail::incremental_dfs(
         *sim, opts_, -1, cursor,

@@ -143,6 +143,11 @@ std::vector<Pid> Sim::recv_choices(Pid pid) const {
   return out;
 }
 
+const OpRequest& Sim::pending_request(Pid pid) const {
+  check_pid(pid);
+  return ctls_[static_cast<std::size_t>(pid)].ctl.pending;
+}
+
 void Sim::step(Pid pid, Pid recv_from) {
   usage_check(enabled(pid), [&] {
     return "step: process " + std::to_string(pid) + " is not enabled";

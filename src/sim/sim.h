@@ -234,6 +234,16 @@ class Sim {
   /// For a pid blocked on Recv: the senders with queued matching messages.
   [[nodiscard]] std::vector<Pid> recv_choices(Pid pid) const;
 
+  /// The pending atomic op `pid` would execute on its next step
+  /// (OpKind::Start before the first). Exposed so the explorer's
+  /// partial-order reduction can derive the op's footprint without
+  /// executing it (src/sim/explore.cpp, detail::choice_footprint).
+  [[nodiscard]] const OpRequest& pending_request(Pid pid) const;
+
+  /// Whether the topology (declared edges, SimOptions::edges, or the
+  /// default complete graph) lets `from` send to `to`.
+  [[nodiscard]] bool can_send(Pid from, Pid to) const { return may_send(from, to); }
+
   /// Executes `pid`'s pending op and resumes it until its next op (or
   /// termination). For Recv with multiple available senders, `recv_from`
   /// picks the channel (-1 = lowest pid). Throws if not enabled, and

@@ -33,6 +33,21 @@ bool TranspositionTable::first_visit(std::uint64_t h) noexcept {
   return true;
 }
 
+bool TranspositionTable::seen(std::uint64_t h) noexcept {
+  if (h == 0) h = 0x9e3779b97f4a7c15ULL;
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t i = h & mask_;
+  for (int probe = 0; probe < kProbeWindow; ++probe, i = (i + 1) & mask_) {
+    const std::uint64_t cur = slots_[i].load(std::memory_order_relaxed);
+    if (cur == 0) return false;
+    if (cur == h) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
 TranspositionTable::Stats TranspositionTable::stats() const noexcept {
   Stats s;
   s.probes = probes_.load(std::memory_order_relaxed);

@@ -39,6 +39,14 @@ class TranspositionTable {
   /// state simply goes unmemoized) and counts a drop.
   bool first_visit(std::uint64_t h) noexcept;
 
+  /// Probe-only lookup: true when `h` is already published (prune), false
+  /// otherwise. Never inserts — the sleep-set explorer (ExploreOptions::
+  /// por) must not memoize a state it visits under a non-empty sleep set,
+  /// because such a visit explores only part of the state's subtree; only
+  /// empty-sleep visits go through `first_visit`. Counts a probe (and a
+  /// hit when found).
+  [[nodiscard]] bool seen(std::uint64_t h) noexcept;
+
   /// Monotonic counters, snapshot with relaxed loads: `probes` calls,
   /// `hits` already-present results, `stores` successful inserts, `drops`
   /// full-window misses.

@@ -220,9 +220,28 @@ void check_schema(const std::string& json) {
     }
     const std::string& mode = p.at("mode").str();
     EXPECT_TRUE(mode == "dynamic" || mode == "static" || mode == "symbolic" ||
-                mode == "both");
-    if (mode == "static" || mode == "symbolic") {
+                mode == "both" || mode == "interference");
+    if (mode == "static" || mode == "symbolic" || mode == "interference") {
       EXPECT_EQ(p.at("executions").num(), 0);
+    }
+    // The interference relation rides along as an extra object, only in
+    // interference mode: pair totals plus a (possibly truncated) detail list.
+    EXPECT_EQ(p.contains("interference"), mode == "interference");
+    if (mode == "interference") {
+      const JsonObject& itf = p.at("interference").object();
+      for (const char* key :
+           {"ops", "pairs", "independent", "truncated", "detail"}) {
+        ASSERT_TRUE(itf.contains(key)) << "interference object missing " << key;
+      }
+      EXPECT_LE(itf.at("independent").num(), itf.at("pairs").num());
+      (void)itf.at("truncated").boolean();
+      for (const JsonValue& dv : itf.at("detail").array()) {
+        const JsonObject& d = dv.object();
+        for (const char* key : {"a", "b", "independent", "reason"}) {
+          ASSERT_TRUE(d.contains(key)) << "interference pair missing " << key;
+        }
+        (void)d.at("independent").boolean();
+      }
     }
     // The aggregate verdict only appears on symbolic reports, and always
     // takes one of the three canonical forms.
@@ -291,6 +310,26 @@ TEST(LintSchema, SymbolicDocumentMatchesDocumentedSchema) {
   EXPECT_TRUE(witnessed) << "no static-width-all-n refutation with witness";
 }
 
+TEST(LintSchema, InterferenceDocumentMatchesDocumentedSchema) {
+  const std::string json = lint_json(LintMode::Interference,
+                                     {"alg1", "demo-false-independence"});
+  check_schema(json);
+  const JsonValue doc = Parser(json).parse();
+  const JsonArray& protocols = doc.object().at("protocols").array();
+  ASSERT_EQ(protocols.size(), 2u);
+  // alg1's relation is non-trivial in both directions: some pairs commute
+  // (disjoint footprints), some do not (the shared bounded register).
+  const JsonObject& itf = protocols[0].object().at("interference").object();
+  EXPECT_GT(itf.at("pairs").num(), 0);
+  EXPECT_GT(itf.at("independent").num(), 0);
+  EXPECT_LT(itf.at("independent").num(), itf.at("pairs").num());
+  // The canary warns on exactly its contention-free bounded register.
+  const JsonArray& diags = protocols[1].object().at("diagnostics").array();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].object().at("rule").str(), "static-interference");
+  EXPECT_EQ(diags[0].object().at("register_name").str(), "fi.private");
+}
+
 TEST(LintSchema, BothDocumentMatchesDocumentedSchema) {
   const std::string json = lint_json(LintMode::Both, {"alg1"});
   check_schema(json);
@@ -308,10 +347,11 @@ TEST(LintSchema, EscapingRoundTrips) {
 }
 
 void check_golden(const std::string& file, LintMode mode,
-                  std::vector<std::string> protocols) {
-  // Exact-output pin: the static/symbolic tiers are deterministic (no
-  // exploration), so any schema or diagnostic drift shows up as a
-  // golden-file diff.
+                  std::vector<std::string> protocols, int expected_exit = 1) {
+  // Exact-output pin: the static/symbolic/interference tiers are
+  // deterministic (no exploration), so any schema or diagnostic drift shows
+  // up as a golden-file diff. Most goldens pair a canary that fails (exit
+  // 1); warning-only canaries pin exit 0.
   std::ifstream golden(std::string(BSR_GOLDEN_DIR) + "/" + file);
   ASSERT_TRUE(golden.good()) << "missing tests/golden/" << file;
   std::ostringstream want;
@@ -322,7 +362,7 @@ void check_golden(const std::string& file, LintMode mode,
   opts.json = true;
   std::ostringstream out;
   std::ostringstream err;
-  EXPECT_EQ(run_lint(opts, out, err), 1);  // each pairs a canary that fails
+  EXPECT_EQ(run_lint(opts, out, err), expected_exit);
   EXPECT_EQ(out.str(), want.str())
       << "regenerate with: ./scripts/update_goldens.sh";
 }
@@ -341,6 +381,14 @@ TEST(LintSchema, SymbolicGoldenFileIsCurrent) {
   check_golden(
       "lint_symbolic.json", LintMode::Symbolic,
       {"sec4-quantized", "demo-misdeclared-symbolic", "demo-holds-small-n"});
+}
+
+TEST(LintSchema, InterferenceGoldenFileIsCurrent) {
+  // Pins the interference surface: alg1's pair totals and detail rows, and
+  // the demo's static-interference warning on 'fi.private'. The canary is
+  // warning-only, so the pinned exit code is 0.
+  check_golden("lint_interference.json", LintMode::Interference,
+               {"alg1", "demo-false-independence"}, /*expected_exit=*/0);
 }
 
 }  // namespace

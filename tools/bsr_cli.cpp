@@ -15,7 +15,8 @@
 //   bsr trace   --k K --schedule "p0 p1 p0 ..."
 //       Replay a schedule of Algorithm 1 and dump the formatted trace.
 //   bsr explore --k K [--crashes C] [--threads T] [--max-steps S]
-//               [--tt] [--tt-bytes N] [--symmetry] [--no-tt] [--json]
+//               [--tt] [--tt-bytes N] [--symmetry] [--no-tt]
+//               [--por] [--no-por] [--json]
 //       Exhaustively enumerate Algorithm 1's executions and print the count
 //       and decision spread. --threads 0 (the default) honors
 //       BSR_EXPLORE_THREADS; "auto" uses every hardware thread.
@@ -29,9 +30,16 @@
 //       ReplayExplorer oracle (no hashing, no rewinding) and the distinct
 //       final states and decision spread are cross-checked; any mismatch —
 //       or a nonzero drop count, which voids exactness — exits 1.
+//       --por turns on sleep-set partial-order reduction (default off;
+//       --no-por spells the default explicitly): choices provably
+//       independent of every sibling already explored — per the static
+//       interference relation, see `bsr lint --mode=interference` — are
+//       skipped. The distinct-final-state set, decision spread, and
+//       violation findings are provably unchanged, so --por composes with
+//       --no-tt as a differential check of the reduction itself.
 //       --json emits one JSON object instead of text.
 //   bsr lint [--protocol NAME[,NAME...]]
-//            [--mode dynamic|static|symbolic|both]
+//            [--mode dynamic|static|symbolic|both|interference]
 //            [--static] [--json] [--list] [--help]
 //       Run the model-conformance analyzer (docs/ANALYSIS.md) over the
 //       built-in protocols: register-width claims, SWMR/write-once/⊥
@@ -40,7 +48,11 @@
 //       runs the width prover, deciding each claim for *all* parameter
 //       valuations (all params / n <= cutoff / refuted with a witness
 //       ParamEnv, the latter an error); --mode both cross-validates the
-//       static and dynamic tiers against each other. Exits 0 clean, 1 on
+//       static and dynamic tiers against each other; --mode interference
+//       classifies every cross-process op pair of each protocol's IR as
+//       independent or may-interfere (the relation `bsr explore --por`
+//       consumes) and warns on bounded registers no pair conflicts on
+//       (static-interference). Exits 0 clean, 1 on
 //       violations (including all-params refutations), 2 on usage errors
 //       or static/dynamic disagreement.
 //       `bsr lint --help` prints the full flag and exit-code reference.
@@ -291,7 +303,40 @@ struct ExploreObs {
   }
 };
 
+constexpr const char* kExploreUsage =
+    R"(usage: bsr explore [--k N] [--crashes N] [--max-steps N] [--threads N|auto]
+                   [--tt] [--tt-bytes N] [--symmetry] [--no-tt]
+                   [--por] [--no-por] [--json]
+
+Exhaustively enumerates Algorithm 1's executions and reports the decision
+spread against the paper's |y1-y2| <= 1 claim.
+
+  --k N            grid size (default 2)
+  --crashes N      crash budget for the adversary (default 0)
+  --max-steps N    per-execution step bound (default 1000)
+  --threads N      worker count; 0 defers to BSR_EXPLORE_THREADS, 'auto'
+                   uses the hardware concurrency (default 0)
+  --tt             prune revisited states via the transposition table:
+                   the count becomes distinct final configurations
+  --tt-bytes N     table size in bytes (default 4194304; implies --tt)
+  --symmetry       canonicalize hashes over process renamings (implies --tt)
+  --no-tt          differential mode: also run the replay oracle and exit
+                   nonzero on any mismatch or dropped insert (implies --tt)
+  --por            sleep-set partial-order reduction, driven by the static
+                   interference relation (`bsr lint --mode=interference`);
+                   composes with --tt, and --no-tt cross-checks it
+  --no-por         spell the default explicitly (wins over --por)
+  --json           one JSON object instead of text
+  --help           print this help and exit
+
+exit status: 0 ok; 1 differential mismatch, usage or model error.
+)";
+
 int cmd_explore(const Args& a) {
+  if (a.flag("help")) {
+    std::cout << kExploreUsage;
+    return 0;
+  }
   const std::uint64_t k = a.u64("k", 2);
   sim::ExploreOptions opts;
   opts.max_steps = static_cast<long>(a.u64("max-steps", 1000));
@@ -317,6 +362,8 @@ int cmd_explore(const Args& a) {
   const bool use_tt = a.flag("tt") || a.flag("tt-bytes") ||
                       a.flag("symmetry") || differential;
   const bool json = a.flag("json");
+  // --no-por wins over --por (spelling the default explicitly always works).
+  opts.por = a.flag("por") && !a.flag("no-por");
   std::shared_ptr<sim::TranspositionTable> tt;
   if (use_tt) {
     tt = std::make_shared<sim::TranspositionTable>(
@@ -374,6 +421,7 @@ int cmd_explore(const Args& a) {
     std::cout << "{\"command\":\"explore\",\"protocol\":\"alg1\",\"k\":" << k
               << ",\"crashes\":" << opts.max_crashes
               << ",\"threads\":" << resolved
+              << ",\"por\":" << (opts.por ? "true" : "false")
               << ",\"" << (use_tt ? "states" : "executions")
               << "\":" << obs.count << ",\"decisions\":{\"min\":" << obs.min_y
               << ",\"max\":" << obs.max_y << ",\"denominator\":" << denom
@@ -394,7 +442,8 @@ int cmd_explore(const Args& a) {
     std::cout << "}\n";
   } else {
     std::cout << "Algorithm 1 exploration: k=" << k << " crashes<="
-              << opts.max_crashes << " threads=" << resolved << "\n"
+              << opts.max_crashes << " threads=" << resolved
+              << (opts.por ? " por=on" : "") << "\n"
               << (use_tt ? "distinct final states: " : "executions: ")
               << obs.count << "\n"
               << "decisions: [" << obs.min_y << ", " << obs.max_y << "]/"
@@ -438,6 +487,8 @@ int cmd_lint(const Args& a) {
     opts.mode = analysis::LintMode::Symbolic;
   } else if (mode == "both") {
     opts.mode = analysis::LintMode::Both;
+  } else if (mode == "interference") {
+    opts.mode = analysis::LintMode::Interference;
   } else {
     std::cerr << "bsr lint: unknown mode '" << mode
               << "' (expected dynamic, static, symbolic, or both)\n";
