@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Regenerates the golden files pinned by lint_schema_test.cpp and the
 # generated protocol reference (docs/PROTOCOLS.md, from `bsr doc`). Both are
-# deterministic (zero exploration, no timestamps), so the output is
-# byte-stable; CI re-runs this script and fails on any uncommitted drift.
+# deterministic (the static tiers explore nothing; the steps tier's dynamic
+# half is exhaustive, so its counts are schedule-order independent), so the
+# output is byte-stable; CI re-runs this script and fails on any
+# uncommitted drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +36,9 @@ gen tests/golden/lint_symbolic.json \
 # The interference canary is warning-only, so this golden pins exit 0.
 gen tests/golden/lint_interference.json \
   lint --mode=interference --json --protocol alg1,demo-false-independence
+# The termination canary's undeclared [0, ∞] loop is an error, so exit 1.
+gen tests/golden/lint_steps.json \
+  lint --mode=steps --json --protocol alg1,demo-unbounded-loop
 
 # The protocol reference is rendered from the registry's reflected IR;
 # `bsr doc` exits 0 or the tool is broken.

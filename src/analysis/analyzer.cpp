@@ -159,6 +159,7 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
   std::vector<RegAgg> agg(static_cast<std::size_t>(nregs));
   std::set<std::string> seen;
   int max_used = 0;
+  std::vector<long> steps_seen(static_cast<std::size_t>(probe->n()), 0);
 
   const auto harvest = [&](sim::Sim& sim, const std::string& fingerprint) {
     for (const sim::ModelEvent& e : sim.model_violations()) {
@@ -190,6 +191,14 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
       a.max_writes = std::max(a.max_writes, reg.writes);
     }
     max_used = std::max(max_used, sim.max_bounded_bits_used());
+    // Max steps any schedule made each process take — the observation the
+    // step tier checks against its symbolic bounds (`--mode=steps`). The
+    // artificial OpKind::Start step is a scheduler artifact, not one of the
+    // paper's atomic shared-memory accesses, so it is excluded.
+    for (int pid = 0; pid < sim.n(); ++pid) {
+      auto& cell = steps_seen[static_cast<std::size_t>(pid)];
+      cell = std::max(cell, std::max(0L, sim.steps(pid) - 1));
+    }
   };
 
   const std::vector<bool> skip_width = prefilter_mask(spec, nregs);
@@ -220,6 +229,7 @@ ProtocolReport analyze_protocol(const ProtocolSpec& spec) {
         });
   }
   rep.max_bounded_bits_used = max_used;
+  rep.observed_steps = std::move(steps_seen);
 
   // The audit table the cross-validator compares against the static tier's:
   // declarations from the probe Sim, usage from the exploration aggregate.

@@ -54,6 +54,14 @@ std::function<void(Sim&, std::uint64_t)> stack_sample_runner() {
   };
 }
 
+/// A concrete per-process step budget: the bound every schedule of the
+/// spec's instantiation must respect, stated as a constant because the
+/// registry pins each protocol at fixed parameters. The checker proves the
+/// IR-derived symbolic bound ≤ this budget for all parameter values.
+StepClaim const_steps(long steps, std::string source) {
+  return {ir::WidthExpr::constant(steps), std::move(source)};
+}
+
 /// ApproxAgreement(2, m) materialized for the BMZ machinery (Algorithm 2's
 /// precomputation input).
 tasks::ExplicitTask approx_task(std::uint64_t m) {
@@ -70,6 +78,8 @@ ProtocolSpec alg1_spec() {
   s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/3,
              "Theorem 1.2 / §5.1 (1-bit R_i, 2-bit ⊥/0/1 I_i; 3 bits per "
              "process, §5.2.3)"};
+  s.step_claim = const_steps(
+      7, "Theorem 1.2 / §5.1 (wait-free: at most 7 atomic steps at k = 2)");
   s.factory = [] {
     auto sim = std::make_unique<Sim>(2);
     core::install_alg1(*sim, /*k=*/2, {0, 1});
@@ -88,6 +98,8 @@ ProtocolSpec packed_alg1_spec() {
       "Algorithm 1 over one packed 3-bit register per process";
   s.claim = {/*max_register_bits=*/3, /*per_process_bits=*/3,
              "§5.2.3 (b1+b2-bit register emulates b1- and b2-bit registers)"};
+  s.step_claim = const_steps(
+      6, "§5.2.3 (packing saves one write: at most 6 steps at k = 2)");
   s.factory = [] {
     auto sim = std::make_unique<Sim>(2);
     core::install_packed_alg1(*sim, /*k=*/2, {0, 1});
@@ -107,6 +119,8 @@ ProtocolSpec alg2_spec() {
   s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/3,
              "Theorem 1.2 / §5.2.3 (3 coordination bits per process; task "
              "inputs through write-once input registers)"};
+  s.step_claim = const_steps(
+      8, "Theorem 1.2 / §5.2 (universal construction: at most 8 steps)");
   const auto task = std::make_shared<tasks::ExplicitTask>(approx_task(2));
   const auto bmz = std::make_shared<topo::Bmz2>(*task);
   const auto plan = std::make_shared<topo::Bmz2Plan>(bmz->plan());
@@ -129,6 +143,8 @@ ProtocolSpec lemma82_spec() {
       "Lemma 8.2: IIS eps-agreement from the 1-bit labelling protocol";
   s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/std::nullopt,
              "Lemma 8.2 / §8.1 (1 data bit + ⊥ per iterated register)"};
+  s.step_claim = const_steps(
+      4, "Lemma 8.2 / §8.1 (2 steps per IIS iteration, 2 iterations)");
   s.factory = [] {
     auto sim = std::make_unique<Sim>(2);
     core::install_labelling_agreement(*sim, /*rounds=*/2, {0, 1});
@@ -149,6 +165,8 @@ ProtocolSpec alg6_spec() {
   s.claim = {/*max_register_bits=*/core::alg6_register_bits(opts.delta),
              /*per_process_bits=*/core::alg6_register_bits(opts.delta),
              "Theorem 8.1 / §8.2 (⌈log₂(2Δ+1)⌉ + Δ+1 = 6 bits at Δ = 2)"};
+  s.step_claim = const_steps(
+      4, "Theorem 8.1 / §8.2 (2 steps per simulated round, 2 rounds)");
   s.factory = [opts] {
     auto sim = std::make_unique<Sim>(2);
     core::install_alg6_labelling(*sim, opts);
@@ -168,6 +186,8 @@ ProtocolSpec fast_agreement_spec() {
   s.claim = {/*max_register_bits=*/core::alg6_register_bits(opts.delta),
              /*per_process_bits=*/core::alg6_register_bits(opts.delta),
              "Theorem 8.1 (6-bit registers, O(log 1/ε) steps)"};
+  s.step_claim = const_steps(
+      6, "Theorem 8.1 (O(log 1/ε) steps: 6 at the 2-round instantiation)");
   const auto plan = std::make_shared<core::FastAgreementPlan>(opts);
   s.factory = [plan] {
     auto sim = std::make_unique<Sim>(2);
@@ -186,6 +206,8 @@ ProtocolSpec alg4_spec() {
       "Algorithm 4: IIS universality with 1-bit registers (eps-agreement)";
   s.claim = {/*max_register_bits=*/1, /*per_process_bits=*/std::nullopt,
              "Theorem 1.4 / §7 (every iterated register is 1 bit)"};
+  s.step_claim = const_steps(
+      6, "Theorem 1.4 / §7 (3 bit-register writes/reads per IIS round)");
   const auto plan = std::make_shared<core::Alg4AgreementPlan>(/*k=*/1);
   s.factory = [plan] {
     auto sim = std::make_unique<Sim>(2);
@@ -204,6 +226,8 @@ ProtocolSpec baseline_spec() {
       "Lemma 2.2 baseline: eps-agreement with unbounded registers";
   s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
              "Lemma 2.2 (unbounded model: no bounded register may appear)"};
+  s.step_claim = const_steps(
+      2, "Lemma 2.2 (one write and one read per round, 2 rounds collapsed)");
   s.factory = [] {
     auto sim = std::make_unique<Sim>(2);
     core::install_unbounded_agreement(*sim, /*rounds=*/2, {0, 1});
@@ -226,6 +250,8 @@ ProtocolSpec sec6_spec() {
   s.claim = {/*max_register_bits=*/core::sec6_register_bits(t),
              /*per_process_bits=*/core::sec6_register_bits(t),
              "Theorem 1.3 / §6 (one register of 3(t+1) bits per process)"};
+  s.step_claim.source =
+      "§6 (serve-forever stack: no finite per-execution step bound)";
   s.factory = [n, t] {
     auto sim = std::make_unique<Sim>(n);
     auto result = std::make_shared<core::Sec6Result>(n);
@@ -255,6 +281,8 @@ ProtocolSpec packed_alg2_spec() {
   s.claim = {/*max_register_bits=*/3, /*per_process_bits=*/3,
              "Theorem 1.2 / §5.2.3 (packed universal construction: all "
              "coordination in one 3-bit register per process)"};
+  s.step_claim = const_steps(
+      7, "Theorem 1.2 / §5.2.3 (packed construction: at most 7 steps)");
   const auto task = std::make_shared<tasks::ExplicitTask>(approx_task(2));
   const auto bmz = std::make_shared<topo::Bmz2>(*task);
   const auto plan = std::make_shared<topo::Bmz2Plan>(bmz->plan());
@@ -277,6 +305,8 @@ ProtocolSpec alg3_spec() {
       "Algorithm 3: k-round full-information IC protocol (unbounded views)";
   s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
              "§7 Algorithm 3 (full-information views: no bounded registers)"};
+  s.step_claim = const_steps(
+      6, "§7 Algorithm 3 (one write-snapshot + 2 reads per round, k = 2)");
   s.factory = [] {
     auto sim = std::make_unique<Sim>(2);
     core::install_full_info_ic(*sim, /*k=*/2, {Value(0), Value(1)});
@@ -297,6 +327,8 @@ ProtocolSpec alg5_spec() {
       "Algorithm 5: one-shot immediate snapshot from n IC iterations";
   s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
              "§7 Algorithm 5 / Proposition 7.2 (unbounded IC registers)"};
+  s.step_claim = const_steps(
+      6, "§7 Algorithm 5 (n IC iterations of 3 steps each at n = 2)");
   s.factory = [] {
     auto sim = std::make_unique<Sim>(2);
     core::install_alg5(*sim, {Value(0), Value(1)});
@@ -319,6 +351,8 @@ ProtocolSpec abd_stack_spec() {
       "§6 phase 1: ABD atomic registers over native complete-graph channels";
   s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
              "§6 / ABD (message passing only: no shared registers)"};
+  s.step_claim.source =
+      "§6 / ABD (serve-forever quorum servers: no finite step bound)";
   s.factory = [n, t] {
     auto sim = std::make_unique<Sim>(n);
     auto result = std::make_shared<core::Sec6Result>(n);
@@ -347,6 +381,8 @@ ProtocolSpec ring_stack_spec() {
   s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
              "§6 / t-augmented ring (messages only; kernel enforces the ring "
              "topology)"};
+  s.step_claim.source =
+      "§6 / ring router (serve-forever flooding: no finite step bound)";
   s.factory = [n, t] {
     auto sim = std::make_unique<Sim>(core::ring_sim_options(n, t));
     auto result = std::make_shared<core::Sec6Result>(n);
@@ -378,6 +414,8 @@ ProtocolSpec sec4_quantized_spec() {
              "the k-point grid)"};
   s.claim.symbolic_bits =
       ir::WidthExpr::ceil_log2(ir::WidthExpr::param(ir::Param::K));
+  s.step_claim = const_steps(
+      2, "§4 / Theorem 1.1 (one estimate write + one read per round)");
   s.factory = [s_bits, rounds] {
     auto setup = core::make_quantized_early_group(s_bits, rounds);
     return std::move(setup.sim);
@@ -436,6 +474,7 @@ ProtocolSpec misdeclared_demo_spec() {
       "intentionally misdeclared protocol (linter self-test; always fails)";
   s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/3,
              "none — a deliberately false claim the linter must refute"};
+  s.step_claim = const_steps(5, "none — 5 straight-line ops per process");
   s.demo = true;
   s.factory = [] {
     auto sim = std::make_unique<Sim>(2);
@@ -484,6 +523,7 @@ ProtocolSpec misdeclared_symbolic_demo_spec() {
       "self-test; always fails)";
   s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/std::nullopt,
              "none — a deliberately violated symbolic budget"};
+  s.step_claim = const_steps(2, "none — one write + one read per process");
   s.claim.symbolic_bits = ir::WidthExpr::add(
       ir::WidthExpr::ceil_log2(ir::WidthExpr::param(ir::Param::K)),
       ir::WidthExpr::param(ir::Param::Delta));
@@ -543,6 +583,7 @@ ProtocolSpec holds_small_n_demo_spec() {
       "(symbolic-prover self-test; fails only under --mode=symbolic)";
   s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/std::nullopt,
              "none — a claim true at one instantiation, false as a theorem"};
+  s.step_claim = const_steps(2, "none — one write + one read per process");
   s.demo = true;
   s.params.n = 3;
   s.factory = [] {
@@ -597,6 +638,7 @@ ProtocolSpec loop_shape_demo_spec() {
   s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
              "none — unbounded registers; the defect is reflective, not "
              "width-related"};
+  s.step_claim = const_steps(2, "none — two reads per process as reflected");
   s.demo = true;
   s.params.n = 2;
   s.factory = [] {
@@ -658,6 +700,7 @@ ProtocolSpec false_independence_demo_spec() {
   s.claim = {/*max_register_bits=*/2, /*per_process_bits=*/std::nullopt,
              "none — a demo pinning the static-interference rule and the "
              "snapshot-read footprint"};
+  s.step_claim = const_steps(4, "none — 4 ops on the longer process");
   s.demo = true;
   s.params.n = 2;
   s.factory = [] {
@@ -669,6 +712,68 @@ ProtocolSpec false_independence_demo_spec() {
   s.describe = [] {
     proto::Proto pr(proto::Proto::ReflectOptions{.n = 2, .params = {}});
     build_false_independence(pr);
+    return std::move(pr).take_ir();
+  };
+  s.explore.max_steps = 50;
+  return s;
+}
+
+/// The termination canary's single-source body: process 0 spins on a
+/// [0, ∞] retry loop that is declared through `loop_until` — NOT through
+/// `serve` — so the IR carries an unbounded loop with no serve marker and
+/// no round-budget cap. The gate register starts at 1, so every actual
+/// execution breaks out of the loop on its first iteration: the per-env
+/// tiers (and exhaustive exploration) see a perfectly well-behaved
+/// 2-step process. Only the step engine can tell that nothing *proves*
+/// the loop finite. Both registers are unbounded and read by both
+/// processes, so every width/ownership/dead-register rule stays quiet.
+void build_unbounded_loop(proto::Proto& pr) {
+  const int gate = pr.add_register("ub.gate", 0, sim::kUnbounded, Value(1));
+  const int out = pr.add_register("ub.out", 1, sim::kUnbounded, Value(0));
+  pr.spawn(0, [=](proto::P p) -> sim::Proc {
+    co_await p.loop_until(
+        ir::Count::between(0, ir::kMany), [&]() -> sim::Task<proto::LoopCtl> {
+          const bool ready = (co_await p.read(gate)).value.as_u64() != 0;
+          co_return ready ? proto::LoopCtl::Break : proto::LoopCtl::Continue;
+        });
+    (void)co_await p.read(out);
+    co_return Value(0);
+  });
+  pr.spawn(1, [=](proto::P p) -> sim::Proc {
+    (void)co_await p.read(gate);
+    (void)co_await p.read(out);
+    co_return Value(1);
+  });
+}
+
+/// A canary for the termination rule: dynamically clean (the loop always
+/// breaks immediately at this instantiation), statically clean under every
+/// width rule, symbolically clean (no symbolic writes) — but its [0, ∞]
+/// loop is neither a declared serve pump nor capped by a round budget, so
+/// `--mode=steps` must raise `static-termination` while every other mode
+/// passes.
+ProtocolSpec unbounded_loop_demo_spec() {
+  ProtocolSpec s;
+  s.name = "demo-unbounded-loop";
+  s.description =
+      "undeclared [0, ∞] retry loop that happens to break immediately "
+      "(termination-rule self-test; fails only under --mode=steps)";
+  s.claim = {/*max_register_bits=*/0, /*per_process_bits=*/std::nullopt,
+             "none — unbounded registers; the defect is the missing "
+             "termination argument, not width"};
+  s.step_claim.source =
+      "none — no finite step claim is possible for an unproven loop";
+  s.demo = true;
+  s.params.n = 2;
+  s.factory = [] {
+    auto sim = std::make_unique<Sim>(2);
+    proto::Proto pr(*sim);
+    build_unbounded_loop(pr);
+    return sim;
+  };
+  s.describe = [] {
+    proto::Proto pr(proto::Proto::ReflectOptions{.n = 2, .params = {}});
+    build_unbounded_loop(pr);
     return std::move(pr).take_ir();
   };
   s.explore.max_steps = 50;
@@ -700,6 +805,7 @@ const std::vector<ProtocolSpec>& builtin_protocols() {
     v.push_back(holds_small_n_demo_spec());
     v.push_back(loop_shape_demo_spec());
     v.push_back(false_independence_demo_spec());
+    v.push_back(unbounded_loop_demo_spec());
     return v;
   }();
   return specs;

@@ -44,12 +44,28 @@ struct WidthClaim {
   [[nodiscard]] int effective_bits(const ir::ParamEnv& params) const;
 };
 
+/// The step budget a spec claims: a symbolic upper bound on atomic steps
+/// per process per complete execution (the wait-freedom axis of the same
+/// theorems the width claims pin). An undefined `max_steps` means the spec
+/// makes no finite step claim — the §6 serve-forever stacks, and demos
+/// that exist to exercise other rules.
+struct StepClaim {
+  /// Per-process step budget over n, k, Δ, t, b; undefined = no claim.
+  ir::WidthExpr max_steps;
+  /// Paper grounding, e.g. "Algorithm 1: 4 ops/execution".
+  std::string source;
+};
+
 /// A runnable, auditable protocol: how to build it, how to run it, and what
 /// the paper claims about it.
 struct ProtocolSpec {
   std::string name;         ///< Registry key (`bsr lint --protocol <name>`).
   std::string description;
   WidthClaim claim;
+  /// Step budget for `bsr lint --mode=steps`; may be claimless (see
+  /// StepClaim). The checker proves the derived symbolic bound ≤ this
+  /// budget for all parameter values.
+  StepClaim step_claim;
   /// Builds a fresh fully-spawned Sim. Must be deterministic — the analyzer
   /// may call it several times (and, under the parallel explorer, from
   /// several threads), and cross-run aggregation assumes identical register

@@ -21,6 +21,7 @@ std::string to_string(Mode m) {
     case Mode::Symbolic: return "symbolic";
     case Mode::Both: return "both";
     case Mode::Interference: return "interference";
+    case Mode::Steps: return "steps";
   }
   return "?";
 }
@@ -76,6 +77,38 @@ void TextSink::report(const ProtocolReport& r) {
       os_ << "  " << to_string(d.severity) << "[" << d.rule << "]";
       if (d.pid != -1) os_ << " p" << d.pid;
       if (d.reg != -1) os_ << " register '" << d.reg_name << "'";
+      os_ << ": " << d.message << "\n";
+    }
+    return;
+  }
+  if (r.mode == Mode::Steps) {
+    // Step tier: the symbolic per-process bounds, the claim they were
+    // proved against, and the dynamic observation they were checked
+    // against — one row per process.
+    os_ << r.executions
+        << (r.sampled ? " sampled runs" : " executions explored")
+        << " + step-bound audit, ";
+    if (!r.step_claim_expr.empty()) {
+      os_ << "claimed <= " << r.step_claim_expr << " steps/process";
+    } else {
+      os_ << "no finite step claim";
+    }
+    os_ << " [" << r.step_claim_source << "]";
+    if (!r.step_verified.empty()) os_ << ", verified: " << r.step_verified;
+    os_ << (r.diagnostics.empty() ? ": clean" : "") << "\n";
+    for (const StepAudit& a : r.steps) {
+      os_ << "  p" << a.pid << ": bound " << a.bound;
+      if (a.serve) os_ << " (serve)";
+      if (a.finite && std::to_string(a.bound_eval) != a.bound) {
+        os_ << " (= " << a.bound_eval << " here)";
+      }
+      if (a.observed >= 0) os_ << ", observed max " << a.observed;
+      if (!a.verified.empty()) os_ << ", verified: " << a.verified;
+      os_ << "\n";
+    }
+    for (const Diagnostic& d : r.diagnostics) {
+      os_ << "  " << to_string(d.severity) << "[" << d.rule << "]";
+      if (d.pid != -1) os_ << " p" << d.pid;
       os_ << ": " << d.message << "\n";
     }
     return;
@@ -195,6 +228,25 @@ void JsonSink::close(int errors, int warnings) {
            << json_escape(p.b) << "\",\"independent\":"
            << (p.independent ? "true" : "false") << ",\"reason\":\""
            << json_escape(p.reason) << "\"}";
+      }
+      os << "]}";
+    }
+    if (r.mode == Mode::Steps) {
+      // Step tier: the claim, the aggregate verdict, and one row per
+      // process. Documented in docs/ANALYSIS.md.
+      os << ",\"steps\":{\"claim\":\"" << json_escape(r.step_claim_expr)
+         << "\",\"claim_source\":\"" << json_escape(r.step_claim_source)
+         << "\",\"verified\":\"" << json_escape(r.step_verified)
+         << "\",\"processes\":[";
+      for (std::size_t j = 0; j < r.steps.size(); ++j) {
+        const StepAudit& a = r.steps[j];
+        if (j > 0) os << ",";
+        os << "{\"pid\":" << a.pid << ",\"bound\":\"" << json_escape(a.bound)
+           << "\",\"finite\":" << (a.finite ? "true" : "false")
+           << ",\"serve\":" << (a.serve ? "true" : "false")
+           << ",\"bound_eval\":" << a.bound_eval
+           << ",\"observed\":" << a.observed << ",\"verified\":\""
+           << json_escape(a.verified) << "\"}";
       }
       os << "]}";
     }

@@ -28,14 +28,17 @@ enum class Severity {
 
 /// Which analyzer tier produced a report: the dynamic explorer, the static
 /// IR checker, the symbolic prover (static checks plus all-params claim
-/// verification), both explorer+static (cross-validated), or the static
-/// interference pass (op-footprint independence over the protocol IR).
+/// verification), both explorer+static (cross-validated), the static
+/// interference pass (op-footprint independence over the protocol IR), or
+/// the step-complexity engine (symbolic per-process step bounds proved
+/// against the step claims and cross-validated against observed steps).
 enum class Mode {
   Dynamic,
   Static,
   Symbolic,
   Both,
   Interference,
+  Steps,
 };
 
 [[nodiscard]] std::string to_string(Mode m);
@@ -103,6 +106,22 @@ struct InterferencePair {
   std::string reason;         ///< Human-readable justification of the verdict.
 };
 
+/// One process row of the step-complexity tier (`--mode=steps`): the
+/// symbolic bound the static engine derived, its value at the spec's
+/// ParamEnv, the max steps the dynamic tier actually observed on any
+/// schedule, and the prover's verdict on "bound ≤ step claim".
+struct StepAudit {
+  sim::Pid pid = -1;
+  std::string bound;     ///< Rendered symbolic bound; "∞" when !finite.
+  bool finite = true;
+  bool serve = false;    ///< Declared serve pump (exempt ∞).
+  long bound_eval = -1;  ///< Bound at the spec's ParamEnv (-1: no bound).
+  long observed = -1;    ///< Dynamic max steps seen (-1: not measured).
+  /// Prover verdict for this process's obligation: "all params", "n <= N",
+  /// "refuted", or "" (no finite claim or no finite bound).
+  std::string verified;
+};
+
 /// Everything the analyzer learned about one protocol.
 struct ProtocolReport {
   std::string name;
@@ -131,6 +150,18 @@ struct ProtocolReport {
   long interference_independent = 0;  ///< Pairs proven independent.
   bool interference_truncated = false;
   std::vector<InterferencePair> interference;
+  /// Step tier (`--mode=steps`) only: the declared per-process step claim
+  /// ("" when the spec makes no finite step claim), its paper grounding,
+  /// the aggregate prover verdict over every process obligation, and one
+  /// audit row per process.
+  std::string step_claim_expr;
+  std::string step_claim_source;
+  std::string step_verified;
+  std::vector<StepAudit> steps;
+  /// Dynamic tier only: max atomic steps each process (indexed by pid) was
+  /// observed taking on any explored/sampled schedule. Not serialized —
+  /// the step tier merges it into its StepAudit rows.
+  std::vector<long> observed_steps;
 
   [[nodiscard]] int errors() const;
   [[nodiscard]] int warnings() const;

@@ -8,6 +8,7 @@
 #include "analysis/claims.h"
 #include "analysis/static/checker.h"
 #include "analysis/static/ir.h"
+#include "analysis/static/steps.h"
 
 namespace bsr::analysis {
 
@@ -56,6 +57,18 @@ std::string claim_cell(const WidthClaim& c) {
 std::string verified_cell(const ProtocolSpec& s) {
   if (!s.describe) return "per-env only";
   return verify_claims(s).status;
+}
+
+/// The step tier's summary column: the declared per-process step claim and
+/// the prover's verdict on the derived bounds ("—" when the spec makes no
+/// finite step claim — serve-pump stacks and the termination canary).
+std::string step_bound_cell(const ProtocolSpec& s) {
+  if (!s.describe) return "per-env only";
+  if (!s.step_claim.max_steps.defined()) return "—";
+  std::string cell = "≤ " + s.step_claim.max_steps.render();
+  const std::string status = analyze_steps(s).step_verified;
+  if (!status.empty()) cell += " (" + status + ")";
+  return cell;
 }
 
 std::string audit_cell(const ProtocolSpec& s) {
@@ -134,17 +147,23 @@ ir::Count total_steps(const ir::ProtocolSummary& sum) {
 /// Per-process step and round counts, derived by the same abstract
 /// interpretation that audits the widths (ir::summarize_full).
 void write_step_table(std::ostream& os, const ir::ProtocolIR& p,
-                      const ir::ProtocolSummary& sum) {
-  os << "| process | steps/exec | rounds/exec |\n"
-     << "|---------|------------|-------------|\n";
+                      const ir::ProtocolSummary& sum,
+                      const ir::StepReport& bounds) {
+  os << "| process | steps/exec | step bound | rounds/exec |\n"
+     << "|---------|------------|------------|-------------|\n";
   for (std::size_t i = 0; i < p.processes.size(); ++i) {
+    const ir::ProcessStepBound& b = bounds.processes[i];
+    const std::string bound =
+        b.finite ? b.bound.render()
+                 : (b.serve ? std::string("∞ (serve)")
+                            : std::string("∞ (unproven)"));
     os << "| p" << p.processes[i].pid << " | " << ir::render(sum.steps[i])
-       << " | "
+       << " | " << bound << " | "
        << (p.max_rounds == ir::kMany ? std::string("—")
                                      : ir::render(sum.rounds[i]))
        << " |\n";
   }
-  os << "| **total** | " << ir::render(total_steps(sum)) << " | |\n";
+  os << "| **total** | " << ir::render(total_steps(sum)) << " | | |\n";
 }
 
 void write_register_table(std::ostream& os, const ir::ProtocolIR& p,
@@ -193,6 +212,16 @@ void write_spec(std::ostream& os, const ProtocolSpec& s) {
   os << "\n";
   os << "- **Claim verification:** " << verified_cell(s)
      << " (symbolic prover; see docs/ANALYSIS.md)\n";
+  os << "- **Step claim:** ";
+  if (s.step_claim.max_steps.defined()) {
+    os << "at most " << s.step_claim.max_steps.render()
+       << " steps/process [" << s.step_claim.source << "]";
+    const std::string status = analyze_steps(s).step_verified;
+    if (!status.empty()) os << ", verified: " << status;
+  } else {
+    os << "none [" << s.step_claim.source << "]";
+  }
+  os << "\n";
   const std::string params = params_line(s.params);
   if (!params.empty()) os << "- **Parameters:** " << params << "\n";
   os << "- **Audit:** " << audit_cell(s) << "\n";
@@ -209,7 +238,7 @@ void write_spec(std::ostream& os, const ProtocolSpec& s) {
     os << rules[i];
   }
   os << "\n\n### Step counts\n\n";
-  write_step_table(os, p, sum);
+  write_step_table(os, p, sum, ir::step_bounds(p));
   os << "\n### Registers\n\n";
   write_register_table(os, p, sum.registers);
   os << "\n### Reflected structure\n\n";
@@ -240,14 +269,15 @@ void write_protocol_reference(std::ostream& os) {
      << "documented in docs/ANALYSIS.md.\n\n";
 
   os << "| protocol | paper anchor | claimed width | verified | steps/exec "
-        "| audit |\n"
+        "| step bound | audit |\n"
      << "|----------|--------------|---------------|----------|------------"
-        "|-------|\n";
+        "|------------|-------|\n";
   for (const ProtocolSpec& s : specs) {
     const ir::Count steps = total_steps(ir::summarize_full(s.describe()));
     os << "| [`" << s.name << "`](#" << s.name << ") | " << s.claim.source
        << " | " << claim_cell(s.claim) << " | " << verified_cell(s) << " | "
-       << ir::render(steps) << " | " << audit_cell(s) << " |\n";
+       << ir::render(steps) << " | " << step_bound_cell(s) << " | "
+       << audit_cell(s) << " |\n";
   }
   os << "\n";
   for (const ProtocolSpec& s : specs) write_spec(os, s);

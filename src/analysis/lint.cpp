@@ -25,7 +25,7 @@ options:
   --protocol NAME[,NAME...]   analyze only the named protocols; default is
                               every built-in protocol except the
                               intentionally-misdeclared demos
-  --mode dynamic|static|symbolic|both|interference
+  --mode dynamic|static|symbolic|both|interference|steps
                               dynamic: explore executions and audit the
                               observed behavior (default); static: abstract
                               interpretation over each protocol's IR, zero
@@ -40,8 +40,19 @@ options:
                               may-interfere (the relation `bsr explore
                               --por` consumes) and warn on bounded
                               registers no pair conflicts on
-                              (static-interference)
+                              (static-interference); steps: derive
+                              per-process symbolic step bounds from the IR
+                              (static-termination on undeclared [0, ∞]
+                              loops), prove them against the step claims
+                              for all parameter valuations
+                              (static-step-bound), and cross-validate the
+                              bounds against the max steps the explorer
+                              observes
   --static                    shorthand for --mode static
+  --max-pairs N               interference mode: cap on rendered pair
+                              detail rows per protocol (default 2048;
+                              0 = unlimited; totals always cover the full
+                              relation)
   --json                      emit one JSON document instead of text
   --list                      list the protocol registry (with each claim's
                               verification status) and exit
@@ -50,9 +61,11 @@ options:
 exit codes:
   0  no error-severity diagnostics (warnings allowed)
   1  at least one error-severity diagnostic (symbolic mode: includes
-     claims refuted for some parameter valuation, witness in the message)
+     claims refuted for some parameter valuation, witness in the message;
+     steps mode: includes unproven [0, ∞] loops and refuted step claims)
   2  usage or internal failure (unknown protocol, exploration bounds
-     exceeded, static/dynamic disagreement)
+     exceeded, static/dynamic disagreement — including an observed step
+     count exceeding the symbolic bound)
 )";
 
 int run_lint_impl(const LintOptions& opts, std::ostream& out,
@@ -76,7 +89,27 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
           status = "per-env only";
         }
       }
-      out << " — " << status << "\n";
+      out << " — " << status;
+      // Step-bound status: the prover's verdict on the step claim, or why
+      // there is nothing to prove (serve pumps, claimless specs, unproven
+      // loops).
+      if (s.describe) {
+        try {
+          const ProtocolReport sr = analyze_steps(s);
+          std::string steps_status = sr.step_verified;
+          if (steps_status.empty()) {
+            bool serve = false;
+            for (const StepAudit& a : sr.steps) serve = serve || a.serve;
+            steps_status = sr.errors() > 0 ? "unproven"
+                           : serve        ? "serve (no finite bound)"
+                                          : "no claim";
+          }
+          out << ", steps: " << steps_status;
+        } catch (const std::exception&) {
+          // leave the column off: the spec cannot be reflected
+        }
+      }
+      out << "\n";
     }
     return 0;
   }
@@ -120,7 +153,26 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
       } else if (opts.mode == LintMode::Symbolic) {
         rep = analyze_symbolic(*spec);
       } else if (opts.mode == LintMode::Interference) {
-        rep = analyze_interference(*spec);
+        rep = analyze_interference(*spec, opts.max_pairs);
+      } else if (opts.mode == LintMode::Steps) {
+        // Steps: the static engine derives and proves the bounds; the
+        // dynamic tier supplies the observed per-process maxima the
+        // cross-validator checks them against. Width findings stay in the
+        // per-env tiers — only step findings surface here.
+        rep = analyze_steps(*spec);
+        const ProtocolReport dyn = analyze_protocol(*spec);
+        rep.sampled = dyn.sampled;
+        rep.executions = dyn.executions;
+        rep.max_bounded_bits_used = dyn.max_bounded_bits_used;
+        for (StepAudit& a : rep.steps) {
+          const auto pid = static_cast<std::size_t>(a.pid);
+          if (pid < dyn.observed_steps.size()) {
+            a.observed = dyn.observed_steps[pid];
+          }
+        }
+        std::vector<Diagnostic> dis = cross_validate_steps(*spec, rep);
+        disagreements += static_cast<long>(dis.size());
+        for (Diagnostic& d : dis) rep.diagnostics.push_back(std::move(d));
       } else if (opts.mode == LintMode::Dynamic) {
         rep = analyze_protocol(*spec);
       } else {

@@ -1,6 +1,7 @@
 // The `bsr lint` driver: analyze registered protocols, print diagnostics.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -24,6 +25,12 @@ enum class LintMode {
                  ///< explorer's sleep-set POR consumes) and flag bounded
                  ///< registers no pair ever conflicts on
                  ///< (`static-interference`).
+  Steps,     ///< Symbolic step-complexity tier: derive per-process step
+             ///< bounds from the IR (`static-termination` on undeclared
+             ///< [0, ∞] loops), prove them against the step claims for all
+             ///< parameter valuations (`static-step-bound`), and
+             ///< cross-validate against the max steps the dynamic tier
+             ///< observes (disagreement = exit 2, as in `--mode=both`).
 };
 
 struct LintOptions {
@@ -34,6 +41,11 @@ struct LintOptions {
   bool json = false;  ///< Emit one JSON document instead of text.
   bool list = false;  ///< Just list the registry; analyze nothing.
   bool help = false;  ///< Print usage and exit 0.
+  /// Cap on rendered interference pair detail (`--mode=interference`
+  /// `--max-pairs=N`); 0 = unlimited. The default mirrors
+  /// kMaxInterferenceDetail (diag.h); totals always cover the full
+  /// relation regardless of the cap.
+  std::size_t max_pairs = 2048;
 };
 
 /// Runs the conformance analyzer per LintOptions, writing findings to `out`

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "analysis/static/interference.h"
+#include "analysis/static/steps.h"
 #include "proto/builder.h"
 #include "util/errors.h"
 
@@ -441,7 +442,8 @@ ProtocolReport analyze_symbolic(const ProtocolSpec& spec) {
   return rep;
 }
 
-ProtocolReport analyze_interference(const ProtocolSpec& spec) {
+ProtocolReport analyze_interference(const ProtocolSpec& spec,
+                                    std::size_t max_pairs) {
   ProtocolReport rep;
   rep.name = spec.name;
   rep.claim_source = spec.claim.source;
@@ -471,7 +473,8 @@ ProtocolReport analyze_interference(const ProtocolSpec& spec) {
   rep.interference_ops = static_cast<long>(r.ops.size());
   rep.interference_pairs = static_cast<long>(r.pairs.size());
   rep.interference_independent = r.independent;
-  const std::size_t detail = std::min(r.pairs.size(), kMaxInterferenceDetail);
+  const std::size_t detail =
+      max_pairs == 0 ? r.pairs.size() : std::min(r.pairs.size(), max_pairs);
   rep.interference_truncated = r.pairs.size() > detail;
   rep.interference.reserve(detail);
   for (std::size_t i = 0; i < detail; ++i) {
@@ -521,6 +524,154 @@ ProtocolReport analyze_interference(const ProtocolSpec& spec) {
   }
 
   return rep;
+}
+
+// ----------------------------------------------------------- step tier
+
+std::vector<StepObligation> step_obligations(const ProtocolSpec& spec,
+                                             const ir::ProtocolIR& p) {
+  std::vector<StepObligation> out;
+  if (!spec.step_claim.max_steps.defined()) return out;
+  const ir::StepReport bounds = ir::step_bounds(p);
+  for (const ir::ProcessStepBound& b : bounds.processes) {
+    if (!b.finite) continue;  // serve/unproven: no provable inequality
+    StepObligation o;
+    o.pid = b.pid;
+    o.bound = b.bound;
+    o.budget = spec.step_claim.max_steps;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+StepVerification verify_step_claims(const ProtocolSpec& spec,
+                                    const ir::ProtocolIR& p) {
+  StepVerification v;
+  if (!spec.step_claim.max_steps.defined()) return v;  // status stays ""
+  const std::string cutoff = "n <= " + std::to_string(ir::kCutoffN);
+  v.status = "all params";
+  const auto join = [](std::string& into, const std::string& with) {
+    if (verdict_rank(with) > verdict_rank(into)) into = with;
+  };
+  for (const StepObligation& o : step_obligations(spec, p)) {
+    const ir::Verdict verdict = ir::prove_le(o.bound, o.budget);
+    std::string status;
+    switch (verdict.kind) {
+      case ir::Verdict::Kind::Proved:
+        status = "all params";
+        break;
+      case ir::Verdict::Kind::Unknown:
+        status = cutoff;
+        break;
+      case ir::Verdict::Kind::Refuted: {
+        status = "refuted";
+        std::ostringstream msg;
+        msg << "step claim [" << spec.step_claim.source << "] fails for "
+            << "some parameters: process " << o.pid << "'s derived bound is "
+            << o.bound.render() << " steps but the budget is "
+            << o.budget.render() << "; witness "
+            << ir::render_env(verdict.witness) << " gives "
+            << o.bound.eval(verdict.witness) << " > "
+            << o.budget.eval(verdict.witness) << " steps";
+        Diagnostic d;
+        d.rule = "static-step-bound";
+        d.protocol = spec.name;
+        d.pid = o.pid;
+        d.message = msg.str();
+        v.refutations.push_back(std::move(d));
+        break;
+      }
+    }
+    join(v.per_process[o.pid], status);
+    join(v.status, status);
+  }
+  return v;
+}
+
+ProtocolReport analyze_steps(const ProtocolSpec& spec) {
+  ProtocolReport rep;
+  rep.name = spec.name;
+  rep.claim_source = spec.claim.source;
+  rep.claimed_register_bits = spec.claim.max_register_bits;
+  rep.claimed_bits_expr = spec.claim.symbolic_bits.render();
+  rep.mode = Mode::Steps;
+  rep.step_claim_expr = spec.step_claim.max_steps.render();
+  rep.step_claim_source = spec.step_claim.source;
+
+  const auto add = [&rep, &spec](Diagnostic d) {
+    d.protocol = spec.name;
+    rep.diagnostics.push_back(std::move(d));
+  };
+
+  if (!spec.describe) {
+    Diagnostic d;
+    d.rule = "ir-missing";
+    d.message = "protocol has no describe() hook; the step tier cannot "
+                "audit it (add one or exempt it in the claims registry)";
+    add(std::move(d));
+    return rep;
+  }
+
+  ir::ProtocolIR p = spec.describe();
+  p.params = spec.params;  // the spec's instantiation is authoritative
+
+  const ir::StepReport bounds = ir::step_bounds(p);
+  StepVerification v = verify_step_claims(spec, p);
+  rep.step_verified = v.status;
+
+  for (const ir::ProcessStepBound& b : bounds.processes) {
+    StepAudit a;
+    a.pid = b.pid;
+    a.finite = b.finite;
+    a.serve = b.serve;
+    a.bound = b.finite ? b.bound.render() : "∞";
+    a.bound_eval = b.finite ? b.bound.eval(spec.params) : -1;
+    if (const auto it = v.per_process.find(b.pid);
+        it != v.per_process.end()) {
+      a.verified = it->second;
+    }
+    rep.steps.push_back(std::move(a));
+
+    // An undeclared [0, ∞] loop: nothing proves the process terminates.
+    for (const std::string& loop : b.nonterminating) {
+      std::ostringstream msg;
+      msg << "process " << b.pid << " contains a [0, ∞] loop with no "
+          << "termination argument — neither a declared serve pump nor "
+          << "capped by a declared round budget: " << loop;
+      Diagnostic d;
+      d.rule = "static-termination";
+      d.pid = b.pid;
+      d.message = msg.str();
+      add(std::move(d));
+    }
+  }
+
+  for (Diagnostic& d : v.refutations) {
+    rep.diagnostics.push_back(std::move(d));
+  }
+  return rep;
+}
+
+std::vector<Diagnostic> cross_validate_steps(const ProtocolSpec& spec,
+                                             const ProtocolReport& rep) {
+  std::vector<Diagnostic> out;
+  for (const StepAudit& a : rep.steps) {
+    if (!a.finite || a.observed < 0) continue;
+    if (a.observed <= a.bound_eval) continue;
+    std::ostringstream msg;
+    msg << "explorer observed " << a.observed << " steps by process "
+        << a.pid << " on one schedule, but the symbolic bound " << a.bound
+        << " evaluates to " << a.bound_eval
+        << " at this instantiation — the static step engine is unsound "
+           "or the IR under-declares a trip count";
+    Diagnostic d;
+    d.rule = "static-dynamic-disagreement";
+    d.protocol = spec.name;
+    d.pid = a.pid;
+    d.message = msg.str();
+    out.push_back(std::move(d));
+  }
+  return out;
 }
 
 namespace {

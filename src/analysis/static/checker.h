@@ -104,7 +104,57 @@ struct ClaimVerification {
 /// conflicts on — its width claim is vacuous under contention, so either
 /// the bound is decorative or the registry misdeclares who touches it.
 /// A spec without a describe hook yields a single `ir-missing` error.
-[[nodiscard]] ProtocolReport analyze_interference(const ProtocolSpec& spec);
+/// `max_pairs` caps the rendered pair detail (`--max-pairs`; 0 = unlimited;
+/// the totals always cover the full relation).
+[[nodiscard]] ProtocolReport analyze_interference(
+    const ProtocolSpec& spec, std::size_t max_pairs = kMaxInterferenceDetail);
+
+/// One `derived bound ≤ step budget` proof obligation: a process whose
+/// symbolic step bound is finite, under a spec that states a finite step
+/// claim. Serve-exempt processes and claimless specs contribute none.
+struct StepObligation {
+  int pid = -1;
+  ir::WidthExpr bound;    ///< The engine's derived per-process bound.
+  ir::WidthExpr budget;   ///< The spec's step claim.
+};
+
+/// Extracts the spec's step obligations from its IR (one per process with
+/// a finite derived bound, when `spec.step_claim.max_steps` is defined).
+[[nodiscard]] std::vector<StepObligation> step_obligations(
+    const ProtocolSpec& spec, const ir::ProtocolIR& p);
+
+/// The prover's verdict over a spec's step obligations; same status
+/// strings as ClaimVerification ("" when the spec makes no finite step
+/// claim). Refutations carry the `static-step-bound` rule with a witness
+/// environment.
+struct StepVerification {
+  std::string status;
+  std::map<int, std::string> per_process;  ///< pid → status.
+  std::vector<Diagnostic> refutations;
+};
+
+[[nodiscard]] StepVerification verify_step_claims(const ProtocolSpec& spec,
+                                                  const ir::ProtocolIR& p);
+
+/// The static half of the step tier (`bsr lint --mode=steps`): derives
+/// per-process symbolic step bounds (static/steps.h), raises one
+/// `static-termination` error per undeclared [0, ∞] loop, proves every
+/// finite bound against the spec's step claim for all parameter values
+/// (`static-step-bound` on refutation), and fills one StepAudit row per
+/// process with `observed = -1`. The lint driver merges the dynamic
+/// tier's observed per-process max step counts into those rows and calls
+/// `cross_validate_steps`. The returned report has mode = Mode::Steps.
+[[nodiscard]] ProtocolReport analyze_steps(const ProtocolSpec& spec);
+
+/// Checks a merged step report's observation against its bounds: a
+/// dynamically observed per-process max step count exceeding the symbolic
+/// bound evaluated at the spec's ParamEnv is an internal error
+/// (`static-dynamic-disagreement`, exit 2) — exhaustive exploration
+/// visits every schedule, so the static bound cannot be undercut by a
+/// sound engine. Rows without a finite bound or without an observation
+/// are skipped.
+[[nodiscard]] std::vector<Diagnostic> cross_validate_steps(
+    const ProtocolSpec& spec, const ProtocolReport& rep);
 
 /// Compares a static and a dynamic report of the same spec and returns one
 /// `static-dynamic-disagreement` diagnostic per inconsistency (empty when

@@ -48,6 +48,12 @@ Instr loop(Count iters, std::vector<Instr> body) {
   return i;
 }
 
+Instr serve_loop(std::vector<Instr> body) {
+  Instr i = loop(Count::between(0, kMany), std::move(body));
+  i.serve = true;
+  return i;
+}
+
 Instr maybe(std::vector<Instr> body) {
   return loop(Count::between(0, 1), std::move(body));
 }

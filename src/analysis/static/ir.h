@@ -81,6 +81,11 @@ struct Instr {
   Count iters;              ///< Loop trip-count interval.
   std::vector<Instr> body;  ///< Loop / Round body.
   int peer = -1;            ///< Send destination / Recv source (-1 = any).
+  /// Declared-forever service pump (P::serve): the loop is [0, ∞] *by
+  /// design* — long-lived server processes that answer requests until the
+  /// run ends. The step-complexity engine (steps.h) exempts serve loops
+  /// from the static-termination rule; an undeclared [0, ∞] loop is flagged.
+  bool serve = false;
 
   /// Structural equality, recursive over loop/round bodies.
   bool operator==(const Instr&) const = default;
@@ -94,6 +99,9 @@ struct Instr {
 [[nodiscard]] Instr write_snapshot(int reg, ValueExpr v,
                                    std::vector<int> regs);
 [[nodiscard]] Instr loop(Count iters, std::vector<Instr> body);
+/// A declared-forever service pump: a [0, ∞] loop with the `serve` marker
+/// set, exempting it from the static-termination rule (see Instr::serve).
+[[nodiscard]] Instr serve_loop(std::vector<Instr> body);
 /// A conditional block: a loop executing 0 or 1 times.
 [[nodiscard]] Instr maybe(std::vector<Instr> body);
 /// A message send to `dst` with payload set `payload`.

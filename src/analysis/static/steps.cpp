@@ -1,0 +1,143 @@
+#include "analysis/static/steps.h"
+
+#include <limits>
+#include <utility>
+
+namespace bsr::analysis::ir {
+
+namespace {
+
+constexpr long kSatMax = std::numeric_limits<long>::max();
+
+long sat_add_long(long a, long b) {
+  if (a > kSatMax - b) return kSatMax;
+  return a + b;
+}
+
+long sat_mul_long(long a, long b) {
+  if (a != 0 && b > kSatMax / a) return kSatMax;
+  return a * b;
+}
+
+/// `a + b` with constant folding and 0-identities, so bounds built from
+/// concrete trip counts render as single constants rather than op chains.
+WidthExpr sym_add(const WidthExpr& a, const WidthExpr& b) {
+  if (!a.defined()) return b;
+  if (!b.defined()) return a;
+  if (a.kind() == WidthExpr::Kind::Const &&
+      b.kind() == WidthExpr::Kind::Const) {
+    return WidthExpr::constant(sat_add_long(a.const_value(), b.const_value()));
+  }
+  if (a.kind() == WidthExpr::Kind::Const && a.const_value() == 0) return b;
+  if (b.kind() == WidthExpr::Kind::Const && b.const_value() == 0) return a;
+  return WidthExpr::add(a, b);
+}
+
+/// `a · c` for a concrete trip count c, with constant folding and the
+/// 0/1 identities.
+WidthExpr sym_scale(const WidthExpr& a, long c) {
+  if (!a.defined() || c == 0) return WidthExpr::constant(0);
+  if (c == 1) return a;
+  if (a.kind() == WidthExpr::Kind::Const) {
+    return WidthExpr::constant(sat_mul_long(a.const_value(), c));
+  }
+  return WidthExpr::mul(a, WidthExpr::constant(c));
+}
+
+/// One subtree's contribution to the fold.
+struct Fold {
+  WidthExpr steps = WidthExpr::constant(0);  ///< Meaningful iff finite.
+  bool finite = true;
+  bool serve = false;
+  Count rounds = Count::exactly(0);  ///< Rounds completed by the subtree.
+  std::vector<std::string> nonterminating;
+};
+
+void absorb(Fold& acc, Fold&& f) {
+  acc.steps = acc.finite && f.finite ? sym_add(acc.steps, f.steps)
+                                     : WidthExpr();
+  acc.finite = acc.finite && f.finite;
+  acc.serve = acc.serve || f.serve;
+  acc.rounds = acc.rounds.seq(f.rounds);
+  for (std::string& s : f.nonterminating) {
+    acc.nonterminating.push_back(std::move(s));
+  }
+}
+
+Fold fold_body(const std::vector<Instr>& body, long max_rounds);
+
+Fold fold_instr(const Instr& i, long max_rounds) {
+  switch (i.kind) {
+    case Instr::Kind::Read:
+    case Instr::Kind::Write:
+    case Instr::Kind::Snapshot:
+    case Instr::Kind::WriteSnapshot:
+    case Instr::Kind::Send:
+    case Instr::Kind::Recv: {
+      Fold f;
+      f.steps = WidthExpr::constant(1);
+      return f;
+    }
+    case Instr::Kind::Round: {
+      Fold f = fold_body(i.body, max_rounds);
+      f.rounds = f.rounds.seq(Count::exactly(1));
+      return f;
+    }
+    case Instr::Kind::Loop: {
+      Fold inner = fold_body(i.body, max_rounds);
+      Fold f;
+      f.serve = inner.serve;
+      f.nonterminating = std::move(inner.nonterminating);
+      f.rounds = inner.rounds.times(i.iters);
+      if (!i.iters.unbounded()) {
+        f.finite = inner.finite;
+        f.steps = f.finite ? sym_scale(inner.steps, i.iters.hi) : WidthExpr();
+        return f;
+      }
+      // A [0, ∞] loop: classify it. A declared round budget caps the trip
+      // count when every iteration completes at least one round; a serve
+      // loop is exempt by declaration; anything else is a termination
+      // finding.
+      if (max_rounds != kMany && inner.rounds.lo >= 1) {
+        f.finite = inner.finite;
+        f.steps = f.finite ? sym_scale(inner.steps, max_rounds) : WidthExpr();
+        return f;
+      }
+      f.finite = false;
+      f.steps = WidthExpr();
+      if (i.serve) {
+        f.serve = true;
+      } else {
+        f.nonterminating.push_back(render(i));
+      }
+      return f;
+    }
+  }
+  return {};
+}
+
+Fold fold_body(const std::vector<Instr>& body, long max_rounds) {
+  Fold acc;
+  for (const Instr& i : body) absorb(acc, fold_instr(i, max_rounds));
+  return acc;
+}
+
+}  // namespace
+
+StepReport step_bounds(const ProtocolIR& p) {
+  StepReport report;
+  report.processes.reserve(p.processes.size());
+  for (const ProcessIR& proc : p.processes) {
+    Fold f = fold_body(proc.body, p.max_rounds);
+    ProcessStepBound b;
+    b.pid = proc.pid;
+    b.finite = f.finite;
+    b.serve = f.serve;
+    b.bound = f.finite ? f.steps : WidthExpr();
+    b.nonterminating = std::move(f.nonterminating);
+    report.processes.push_back(std::move(b));
+  }
+  return report;
+}
+
+}  // namespace bsr::analysis::ir

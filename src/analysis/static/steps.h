@@ -1,0 +1,61 @@
+// Symbolic step-complexity analysis over the protocol IR.
+//
+// The paper's results are wait-freedom results: every theorem carries an
+// implicit per-process step budget alongside its register-width budget.
+// This engine derives that budget statically — per process, a symbolic
+// upper bound (a WidthExpr over n, k, Δ, t, b) on the number of atomic
+// steps in one complete execution, folded through the loop/round structure
+// of the reflected IR:
+//
+//   - every read/write/snapshot/write-snapshot/send/recv costs one step
+//     (the paper's §2 accounting; an immediate snapshot is a single step),
+//   - a loop with a concrete trip interval [lo, hi] multiplies its body's
+//     bound by hi,
+//   - a `round` costs only its body,
+//   - a [0, ∞] loop is *classified*: if the protocol declares `max_rounds`
+//     and every iteration of the loop completes at least one round, the
+//     trip count is capped by the round budget; a declared `serve` loop
+//     (Instr::serve) is exempt by design — the process is a long-lived
+//     server with no finite bound and no diagnostic; any other [0, ∞]
+//     loop has no static termination argument and is reported in
+//     `nonterminating` (the checker's `static-termination` rule).
+//
+// The checker (checker.h) feeds each finite bound to the symbolic prover
+// to verify the protocol's declared step claim for all parameter values
+// (`static-step-bound`), and the lint driver cross-validates it against
+// the dynamic tier: exhaustive exploration visits every schedule, so the
+// observed per-process max step count must be ≤ the bound evaluated at
+// the instantiation's ParamEnv.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/static/ir.h"
+
+namespace bsr::analysis::ir {
+
+/// The symbolic step bound of one process.
+struct ProcessStepBound {
+  int pid = 0;
+  /// Upper bound on atomic steps per complete execution; undefined when
+  /// the process has no finite bound (`finite == false`).
+  WidthExpr bound;
+  bool finite = true;
+  /// The body contains a declared serve loop (exempt-by-design ∞).
+  bool serve = false;
+  /// Renderings of undeclared [0, ∞] loops with no round-budget cap —
+  /// each one is a `static-termination` finding.
+  std::vector<std::string> nonterminating;
+};
+
+/// Per-process step bounds for a whole protocol.
+struct StepReport {
+  std::vector<ProcessStepBound> processes;  ///< Indexed like p.processes.
+};
+
+/// Folds per-op step costs through every process body of `p` (see the
+/// file comment for the cost model and [0, ∞]-loop classification).
+[[nodiscard]] StepReport step_bounds(const ProtocolIR& p);
+
+}  // namespace bsr::analysis::ir

@@ -94,7 +94,7 @@ std::string render(const Instr& i) {
       render_regs(os, i.regs);
       break;
     case Instr::Kind::Loop:
-      os << "loop " << render(i.iters) << " ";
+      os << (i.serve ? "serve " : "loop ") << render(i.iters) << " ";
       render_body(os, i.body);
       break;
     case Instr::Kind::Send:
@@ -158,7 +158,7 @@ std::string diff_body(const std::vector<Instr>& a, const std::vector<Instr>& b,
     if (a[i].kind == b[i].kind && !a[i].body.empty() && !b[i].body.empty() &&
         a[i].iters == b[i].iters && a[i].reg == b[i].reg &&
         a[i].peer == b[i].peer && a[i].value == b[i].value &&
-        a[i].regs == b[i].regs) {
+        a[i].regs == b[i].regs && a[i].serve == b[i].serve) {
       return diff_body(a[i].body, b[i].body, at + ".body");
     }
     return at + ": " + render(a[i]) + "  !=  " + render(b[i]);

@@ -160,7 +160,7 @@ sim::Task<void> P::serve(std::function<sim::Task<void>()> body) const {
       const SinkGuard guard(rctx_, &nested);
       co_await body();
     }
-    rctx_->emit(ir::loop(ir::Count::between(0, ir::kMany), std::move(nested)));
+    rctx_->emit(ir::serve_loop(std::move(nested)));
     co_return;
   }
   for (;;) co_await body();

@@ -150,7 +150,8 @@ class P {
   /// regardless of `cond`, so every op on the branch is audited.
   [[nodiscard]] sim::Task<void> when(
       bool cond, std::function<sim::Task<void>()> body) const;
-  /// An unbounded serve-forever loop, `loop[0,∞]` in the IR. In execute
+  /// An unbounded serve-forever loop, a serve-marked `loop[0,∞]` in the IR
+  /// (exempt from the static-termination rule by declaration). In execute
   /// mode the body repeats until the coroutine is externally crash-stopped
   /// or an exception unwinds it; reflect runs it once.
   [[nodiscard]] sim::Task<void> serve(

@@ -4,17 +4,23 @@
 // lives in explore_tt_test.cpp; this sweep carries the `slow` ctest label.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "analysis/claims.h"
+#include "analysis/static/ir.h"
+#include "analysis/static/steps.h"
+#include "core/alg1.h"
+#include "core/sec7.h"
 #include "sim/explore.h"
 #include "sim/sim.h"
 #include "sim/tt.h"
 #include "sim/zobrist.h"
 #include "util/errors.h"
+#include "util/value.h"
 
 namespace bsr::sim {
 namespace {
@@ -118,6 +124,69 @@ TEST(ExploreTTSlow, MatchesReplayOracleOnEveryTerminatingRegistryProtocol) {
       EXPECT_LE(count, static_cast<long>(oracle.finals.size()));
       EXPECT_GE(count, 1);
       EXPECT_EQ(kinds, oracle.kinds);
+    }
+  }
+}
+
+// The step-complexity contract beyond the paper's figures: the registry
+// pins alg1 at k = 2 and the full-information IC protocol at n = 2, k = 2
+// (`bsr lint --mode=steps` cross-validates those instantiations on every
+// run). This sweep builds each protocol at a larger instantiation and
+// asserts the same invariant — the max atomic steps any process takes on
+// any explored schedule stays ≤ the static symbolic bound evaluated there
+// (the artificial OpKind::Start step excluded, as in the analyzer).
+TEST(ExploreTTSlow, ObservedStepsStayUnderStaticBoundBeyondPaperFigures) {
+  struct Case {
+    const char* name;
+    Explorer::Factory make;
+    analysis::ir::ProtocolIR ir;
+    analysis::ir::ParamEnv env;
+  };
+  const std::vector<Case> cases = {
+      {"alg1-k6",
+       [] {
+         auto sim = std::make_unique<Sim>(2);
+         core::install_alg1(*sim, /*k=*/6, {0, 1});
+         return sim;
+       },
+       core::describe_alg1(/*k=*/6),
+       analysis::ir::ParamEnv{2, 6, 1, 0, 1}},
+      {"full-info-n3",
+       [] {
+         auto sim = std::make_unique<Sim>(3);
+         core::install_full_info_ic(*sim, /*k=*/2,
+                                    {Value(0), Value(1), Value(2)});
+         return sim;
+       },
+       core::describe_full_info_ic(/*n=*/3, /*k=*/2),
+       analysis::ir::ParamEnv{3, 2, 1, 0, 1}},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const analysis::ir::StepReport bounds = analysis::ir::step_bounds(c.ir);
+    ASSERT_EQ(bounds.processes.size(), c.ir.processes.size());
+    std::vector<long> budget;
+    for (const analysis::ir::ProcessStepBound& b : bounds.processes) {
+      ASSERT_TRUE(b.finite);
+      budget.push_back(b.bound.eval(c.env));
+    }
+
+    ExploreOptions opts;
+    opts.max_steps = 500;
+    opts.tt = std::make_shared<TranspositionTable>(std::size_t{16} << 20);
+    opts.threads = 1;
+    std::vector<long> observed(budget.size(), 0);
+    const long leaves = Explorer(opts).explore(
+        c.make, [&](Sim& sim, const std::vector<Choice>&) {
+          for (Pid pid = 0; pid < sim.n(); ++pid) {
+            auto& cell = observed[static_cast<std::size_t>(pid)];
+            cell = std::max(cell, std::max(0L, sim.steps(pid) - 1));
+          }
+        });
+    EXPECT_GE(leaves, 1);
+    for (std::size_t pid = 0; pid < budget.size(); ++pid) {
+      EXPECT_LE(observed[pid], budget[pid]) << "pid " << pid;
+      EXPECT_GT(observed[pid], 0) << "pid " << pid;
     }
   }
 }

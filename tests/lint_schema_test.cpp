@@ -220,7 +220,9 @@ void check_schema(const std::string& json) {
     }
     const std::string& mode = p.at("mode").str();
     EXPECT_TRUE(mode == "dynamic" || mode == "static" || mode == "symbolic" ||
-                mode == "both" || mode == "interference");
+                mode == "both" || mode == "interference" || mode == "steps");
+    // Steps mode runs the dynamic tier for its observations, so it is the
+    // one non-dynamic mode with a nonzero execution count.
     if (mode == "static" || mode == "symbolic" || mode == "interference") {
       EXPECT_EQ(p.at("executions").num(), 0);
     }
@@ -241,6 +243,29 @@ void check_schema(const std::string& json) {
           ASSERT_TRUE(d.contains(key)) << "interference pair missing " << key;
         }
         (void)d.at("independent").boolean();
+      }
+    }
+    // The step-bound audit rides along as an extra object, only in steps
+    // mode: the declared claim, the aggregate prover verdict, and one row
+    // per process.
+    EXPECT_EQ(p.contains("steps"), mode == "steps");
+    if (mode == "steps") {
+      const JsonObject& st = p.at("steps").object();
+      for (const char* key : {"claim", "claim_source", "verified",
+                              "processes"}) {
+        ASSERT_TRUE(st.contains(key)) << "steps object missing " << key;
+      }
+      for (const JsonValue& rv : st.at("processes").array()) {
+        const JsonObject& row = rv.object();
+        for (const char* key : {"pid", "bound", "finite", "serve",
+                                "bound_eval", "observed", "verified"}) {
+          ASSERT_TRUE(row.contains(key)) << "step row missing " << key;
+        }
+        (void)row.at("finite").boolean();
+        (void)row.at("serve").boolean();
+        (void)row.at("pid").num();
+        (void)row.at("bound_eval").num();
+        (void)row.at("observed").num();
       }
     }
     // The aggregate verdict only appears on symbolic reports, and always
@@ -330,6 +355,42 @@ TEST(LintSchema, InterferenceDocumentMatchesDocumentedSchema) {
   EXPECT_EQ(diags[0].object().at("register_name").str(), "fi.private");
 }
 
+TEST(LintSchema, StepsDocumentMatchesDocumentedSchema) {
+  const std::string json =
+      lint_json(LintMode::Steps, {"alg1", "demo-unbounded-loop"});
+  check_schema(json);
+  const JsonValue doc = Parser(json).parse();
+  const JsonArray& protocols = doc.object().at("protocols").array();
+  ASSERT_EQ(protocols.size(), 2u);
+  // alg1: both processes provably within the 7-step claim, and the
+  // explorer's observed maxima agree with the bound exactly.
+  const JsonObject& alg1 = protocols[0].object().at("steps").object();
+  EXPECT_EQ(alg1.at("claim").str(), "7");
+  EXPECT_EQ(alg1.at("verified").str(), "all params");
+  for (const JsonValue& rv : alg1.at("processes").array()) {
+    const JsonObject& row = rv.object();
+    EXPECT_TRUE(row.at("finite").boolean());
+    EXPECT_EQ(row.at("bound_eval").num(), 7);
+    EXPECT_EQ(row.at("observed").num(), 7);
+    EXPECT_EQ(row.at("verified").str(), "all params");
+  }
+  EXPECT_TRUE(protocols[0].object().at("diagnostics").array().empty());
+  // The canary: every per-env tier passes it, but the undeclared [0, ∞]
+  // loop has no termination argument — exactly one static-termination
+  // error, on the looping process.
+  const JsonArray& diags = protocols[1].object().at("diagnostics").array();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].object().at("rule").str(), "static-termination");
+  EXPECT_EQ(diags[0].object().at("severity").str(), "error");
+  EXPECT_EQ(diags[0].object().at("pid").num(), 0);
+  const JsonArray& rows = protocols[1].object().at("steps").object()
+                              .at("processes").array();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_FALSE(rows[0].object().at("finite").boolean());
+  EXPECT_FALSE(rows[0].object().at("serve").boolean());
+  EXPECT_EQ(rows[0].object().at("bound").str(), "∞");
+}
+
 TEST(LintSchema, BothDocumentMatchesDocumentedSchema) {
   const std::string json = lint_json(LintMode::Both, {"alg1"});
   check_schema(json);
@@ -349,9 +410,11 @@ TEST(LintSchema, EscapingRoundTrips) {
 void check_golden(const std::string& file, LintMode mode,
                   std::vector<std::string> protocols, int expected_exit = 1) {
   // Exact-output pin: the static/symbolic/interference tiers are
-  // deterministic (no exploration), so any schema or diagnostic drift shows
-  // up as a golden-file diff. Most goldens pair a canary that fails (exit
-  // 1); warning-only canaries pin exit 0.
+  // deterministic (no exploration), and the steps tier's exploration half
+  // is exhaustive (execution counts and observed maxima are schedule-order
+  // independent), so any schema or diagnostic drift shows up as a
+  // golden-file diff. Most goldens pair a canary that fails (exit 1);
+  // warning-only canaries pin exit 0.
   std::ifstream golden(std::string(BSR_GOLDEN_DIR) + "/" + file);
   ASSERT_TRUE(golden.good()) << "missing tests/golden/" << file;
   std::ostringstream want;
@@ -381,6 +444,14 @@ TEST(LintSchema, SymbolicGoldenFileIsCurrent) {
   check_golden(
       "lint_symbolic.json", LintMode::Symbolic,
       {"sec4-quantized", "demo-misdeclared-symbolic", "demo-holds-small-n"});
+}
+
+TEST(LintSchema, StepsGoldenFileIsCurrent) {
+  // Pins the step-bound surface: alg1's proved 7-step claim with exact
+  // observed maxima, and the termination canary's static-termination error
+  // with its ∞ bound row.
+  check_golden("lint_steps.json", LintMode::Steps,
+               {"alg1", "demo-unbounded-loop"});
 }
 
 TEST(LintSchema, InterferenceGoldenFileIsCurrent) {

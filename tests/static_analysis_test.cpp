@@ -54,6 +54,43 @@ TEST(CountDomain, TimesMultipliesIntervals) {
             Count::between(1, kMany));
 }
 
+TEST(CountDomain, SeqSaturatesAtTheLongBoundary) {
+  const long max = std::numeric_limits<long>::max();
+  const Count sum = Count::exactly(max - 1).seq(Count::exactly(max - 1));
+  EXPECT_EQ(sum.lo, max);
+  EXPECT_EQ(sum.hi, max);
+  // ∞ absorbs the upper bound; the lower bound still saturates finitely.
+  const Count inf = Count::exactly(max - 1).seq(Count::between(max - 1, kMany));
+  EXPECT_EQ(inf.lo, max);
+  EXPECT_EQ(inf.hi, kMany);
+}
+
+TEST(CountDomain, JoinSaturatedAndInfiniteCountsKeepsTheHull) {
+  const long max = std::numeric_limits<long>::max();
+  EXPECT_EQ(Count::between(0, max).join(Count::between(5, kMany)),
+            Count::between(0, kMany));
+  EXPECT_EQ(Count::exactly(max).join(Count::exactly(0)),
+            Count::between(0, max));
+}
+
+TEST(CountDomain, TimesSaturatesInsteadOfOverflowing) {
+  const long max = std::numeric_limits<long>::max();
+  // (LONG_MAX − 1) · [2, 3] would overflow a long on both endpoints; the
+  // domain must clamp to LONG_MAX, not wrap (signed overflow is UB).
+  const Count prod = Count::exactly(max - 1).times(Count::between(2, 3));
+  EXPECT_EQ(prod.lo, max);
+  EXPECT_EQ(prod.hi, max);
+  // Zero trips dominate a saturated body on either side of the ∞ boundary.
+  EXPECT_EQ(Count::exactly(max).times(Count::exactly(0)), Count::exactly(0));
+  EXPECT_EQ(Count::between(max, kMany).times(Count::exactly(0)),
+            Count::exactly(0));
+  // A saturated trip count against an unbounded body stays ∞ above and
+  // saturates below.
+  const Count mixed = Count::between(2, kMany).times(Count::exactly(max));
+  EXPECT_EQ(mixed.lo, max);
+  EXPECT_EQ(mixed.hi, kMany);
+}
+
 TEST(ValueDomain, RangesBitsAndJoins) {
   EXPECT_EQ(ValueExpr::constant(0).max_bits(), 0);
   EXPECT_EQ(ValueExpr::constant(5).max_bits(), 3);

@@ -39,8 +39,8 @@
 //       --no-tt as a differential check of the reduction itself.
 //       --json emits one JSON object instead of text.
 //   bsr lint [--protocol NAME[,NAME...]]
-//            [--mode dynamic|static|symbolic|both|interference]
-//            [--static] [--json] [--list] [--help]
+//            [--mode dynamic|static|symbolic|both|interference|steps]
+//            [--static] [--max-pairs N] [--json] [--list] [--help]
 //       Run the model-conformance analyzer (docs/ANALYSIS.md) over the
 //       built-in protocols: register-width claims, SWMR/write-once/⊥
 //       discipline, dead registers. --mode static audits each protocol's IR
@@ -52,7 +52,12 @@
 //       classifies every cross-process op pair of each protocol's IR as
 //       independent or may-interfere (the relation `bsr explore --por`
 //       consumes) and warns on bounded registers no pair conflicts on
-//       (static-interference). Exits 0 clean, 1 on
+//       (static-interference; --max-pairs caps the rendered pair detail,
+//       0 = unlimited); --mode steps derives per-process symbolic step
+//       bounds (static-termination on undeclared [0, ∞] loops), proves
+//       them against the step claims for all parameter valuations
+//       (static-step-bound), and cross-validates them against the max
+//       steps the explorer observes. Exits 0 clean, 1 on
 //       violations (including all-params refutations), 2 on usage errors
 //       or static/dynamic disagreement.
 //       `bsr lint --help` prints the full flag and exit-code reference.
@@ -489,11 +494,16 @@ int cmd_lint(const Args& a) {
     opts.mode = analysis::LintMode::Both;
   } else if (mode == "interference") {
     opts.mode = analysis::LintMode::Interference;
+  } else if (mode == "steps") {
+    opts.mode = analysis::LintMode::Steps;
   } else {
     std::cerr << "bsr lint: unknown mode '" << mode
-              << "' (expected dynamic, static, symbolic, or both)\n";
+              << "' (expected dynamic, static, symbolic, both, "
+                 "interference, or steps)\n";
     return 2;
   }
+  opts.max_pairs = static_cast<std::size_t>(
+      a.u64("max-pairs", static_cast<std::uint64_t>(opts.max_pairs)));
   std::istringstream names(a.str("protocol", ""));
   std::string name;
   while (std::getline(names, name, ',')) {
