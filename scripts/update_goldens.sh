@@ -40,9 +40,30 @@ gen tests/golden/lint_interference.json \
 gen tests/golden/lint_steps.json \
   lint --mode=steps --json --protocol alg1,demo-unbounded-loop
 
+# The serve envelope golden (serve_test.cpp pins it byte-exact): one static
+# lint answered through the loopback service. Deterministic — static tier,
+# no timestamps in the envelope, and the cache key is a structural hash.
+gen tests/golden/serve_lint.json \
+  serve --loopback \
+  '--request={"mode":"lint","protocols":["alg1"],"lint_mode":"static"}'
+
 # The protocol reference is rendered from the registry's reflected IR;
 # `bsr doc` exits 0 or the tool is broken.
 "$BSR" doc > docs/PROTOCOLS.md
 
+# Splice the generated request-mode table into docs/SERVE.md between the
+# serve-modes markers, so the service contract cannot drift from the
+# daemon's dispatch table.
+"$BSR" doc --serve-modes > /tmp/serve_modes.$$
+awk -v table=/tmp/serve_modes.$$ '
+  /<!-- serve-modes:begin -->/ {
+    print; while ((getline line < table) > 0) print line; skip = 1; next
+  }
+  /<!-- serve-modes:end -->/ { skip = 0 }
+  !skip { print }
+' docs/SERVE.md > docs/SERVE.md.new
+mv docs/SERVE.md.new docs/SERVE.md
+rm -f /tmp/serve_modes.$$
+
 echo "goldens updated:"
-ls -l tests/golden/ docs/PROTOCOLS.md
+ls -l tests/golden/ docs/PROTOCOLS.md docs/SERVE.md

@@ -9,6 +9,7 @@
 #include "analysis/static/checker.h"
 #include "analysis/static/ir.h"
 #include "analysis/static/steps.h"
+#include "serve/modes.h"
 
 namespace bsr::analysis {
 
@@ -281,6 +282,27 @@ void write_protocol_reference(std::ostream& os) {
   }
   os << "\n";
   for (const ProtocolSpec& s : specs) write_spec(os, s);
+
+  os << "## `bsr serve` request modes\n\n"
+     << "The analysis daemon (docs/SERVE.md) answers these request modes; "
+        "*cacheable*\n"
+     << "modes are served from the IR-keyed result cache on repeat "
+        "requests. This\n"
+     << "table is rendered from the daemon's own dispatch table "
+        "(src/serve/modes.h).\n\n";
+  write_serve_modes(os);
+}
+
+void write_serve_modes(std::ostream& os) {
+  os << "| mode | cacheable | payload | contract |\n"
+     << "|------|-----------|---------|----------|\n";
+  std::size_t count = 0;
+  const serve::ModeInfo* table = serve::dispatch_table(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    os << "| `" << table[i].mode << "` | "
+       << (table[i].cacheable ? "yes" : "—") << " | " << table[i].payload
+       << " | " << table[i].description << " |\n";
+  }
 }
 
 }  // namespace bsr::analysis

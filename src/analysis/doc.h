@@ -19,4 +19,11 @@ namespace bsr::analysis {
 /// Writes the full protocol reference markdown to `os`.
 void write_protocol_reference(std::ostream& os);
 
+/// Writes the `bsr serve` request-mode table (mode, cacheable, payload,
+/// contract), rendered from the daemon's own dispatch table
+/// (src/serve/modes.h). Included in the protocol reference and spliced into
+/// docs/SERVE.md by scripts/update_goldens.sh, so neither document can
+/// drift from what the daemon actually serves — or caches.
+void write_serve_modes(std::ostream& os);
+
 }  // namespace bsr::analysis

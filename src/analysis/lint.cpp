@@ -74,8 +74,10 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
     out << kUsage;
     return 0;
   }
+  const std::vector<ProtocolSpec>& registry =
+      opts.registry != nullptr ? *opts.registry : builtin_protocols();
   if (opts.list) {
-    for (const ProtocolSpec& s : builtin_protocols()) {
+    for (const ProtocolSpec& s : registry) {
       out << s.name << (s.demo ? " (demo)" : "") << ": " << s.description
           << " [" << s.claim.source << "]";
       // Claim-verification status: what the symbolic prover can say about
@@ -116,16 +118,22 @@ int run_lint_impl(const LintOptions& opts, std::ostream& out,
 
   std::vector<const ProtocolSpec*> specs;
   if (opts.protocols.empty()) {
-    for (const ProtocolSpec& s : builtin_protocols()) {
+    for (const ProtocolSpec& s : registry) {
       if (!s.demo) specs.push_back(&s);
     }
   } else {
     for (const std::string& name : opts.protocols) {
-      const ProtocolSpec* s = find_protocol(name);
+      const ProtocolSpec* s = nullptr;
+      for (const ProtocolSpec& known : registry) {
+        if (known.name == name) {
+          s = &known;
+          break;
+        }
+      }
       if (s == nullptr) {
         err << "bsr lint: no-such-protocol: unknown protocol '" << name
             << "' (see `bsr lint --list`)\nregistered protocols:";
-        for (const ProtocolSpec& known : builtin_protocols()) {
+        for (const ProtocolSpec& known : registry) {
           err << " " << known.name;
         }
         err << "\n";

@@ -8,6 +8,8 @@
 
 namespace bsr::analysis {
 
+struct ProtocolSpec;
+
 /// Which analyzer tier(s) `bsr lint` runs.
 enum class LintMode {
   Dynamic,   ///< Explore executions (the default).
@@ -46,6 +48,11 @@ struct LintOptions {
   /// kMaxInterferenceDetail (diag.h); totals always cover the full
   /// relation regardless of the cap.
   std::size_t max_pairs = 2048;
+  /// Registry override: analyze these specs instead of builtin_protocols().
+  /// Not reachable from the CLI — `bsr serve` differential tests use it to
+  /// lint instrumented specs (e.g. counting factories that prove a cache
+  /// hit runs zero simulator steps). nullptr = the built-in registry.
+  const std::vector<ProtocolSpec>* registry = nullptr;
 };
 
 /// Runs the conformance analyzer per LintOptions, writing findings to `out`

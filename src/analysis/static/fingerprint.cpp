@@ -1,0 +1,134 @@
+#include "analysis/static/fingerprint.h"
+
+#include <string>
+
+namespace bsr::analysis::ir {
+
+namespace {
+
+// Distinct chain seeds per field family, so e.g. a register index can never
+// collide with a channel endpoint by coincidence of encoding.
+constexpr std::uint64_t kEnvTag = fp_mix(0x5e21c0de00000001ULL);
+constexpr std::uint64_t kRegTag = fp_mix(0x5e21c0de00000002ULL);
+constexpr std::uint64_t kChanTag = fp_mix(0x5e21c0de00000003ULL);
+constexpr std::uint64_t kInstrTag = fp_mix(0x5e21c0de00000004ULL);
+constexpr std::uint64_t kProcTag = fp_mix(0x5e21c0de00000005ULL);
+constexpr std::uint64_t kProtoTag = fp_mix(0x5e21c0de00000006ULL);
+constexpr std::uint64_t kWidthTag = fp_mix(0x5e21c0de00000007ULL);
+constexpr std::uint64_t kValueTag = fp_mix(0x5e21c0de00000008ULL);
+
+[[nodiscard]] std::uint64_t u(long v) noexcept {
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t fold(std::uint64_t h, const ValueExpr& v) {
+  h = fp_combine(h, kValueTag);
+  h = fp_combine(h, v.unbounded ? 1 : 0);
+  h = fp_combine(h, v.lo);
+  h = fp_combine(h, v.hi);
+  h = fp_combine(h, fingerprint(v.sym_width));
+  h = fp_combine(h, u(v.rel_base));
+  return fp_combine(h, u(v.rel_slack));
+}
+
+std::uint64_t fold(std::uint64_t h, const Instr& i) {
+  h = fp_combine(h, kInstrTag);
+  h = fp_combine(h, static_cast<std::uint64_t>(i.kind));
+  h = fp_combine(h, u(i.reg));
+  h = fp_combine(h, u(static_cast<long>(i.regs.size())));
+  for (const int r : i.regs) h = fp_combine(h, u(r));
+  h = fold(h, i.value);
+  h = fp_combine(h, u(i.iters.lo));
+  h = fp_combine(h, u(i.iters.hi));
+  h = fp_combine(h, u(i.peer));
+  h = fp_combine(h, i.serve ? 1 : 0);
+  h = fp_combine(h, u(static_cast<long>(i.body.size())));
+  for (const Instr& b : i.body) h = fold(h, b);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fp_combine_str(std::uint64_t seed, std::string_view s) noexcept {
+  // FNV-1a over the bytes, then folded through the chain — the same
+  // discipline sim/zobrist.h uses for violation messages.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  seed = fp_combine(seed, u(static_cast<long>(s.size())));
+  return fp_combine(seed, h);
+}
+
+std::uint64_t fingerprint(const ParamEnv& env) noexcept {
+  std::uint64_t h = kEnvTag;
+  h = fp_combine(h, u(env.n));
+  h = fp_combine(h, u(env.k));
+  h = fp_combine(h, u(env.delta));
+  h = fp_combine(h, u(env.t));
+  return fp_combine(h, u(env.b));
+}
+
+std::uint64_t fingerprint(const WidthExpr& w) {
+  if (!w.defined()) return kWidthTag;
+  std::uint64_t h = fp_combine(kWidthTag, static_cast<std::uint64_t>(w.kind()));
+  switch (w.kind()) {
+    case WidthExpr::Kind::Const:
+      return fp_combine(h, u(w.const_value()));
+    case WidthExpr::Kind::Parameter:
+      return fp_combine(h, static_cast<std::uint64_t>(w.param_value()));
+    case WidthExpr::Kind::CeilLog2:
+      return fp_combine(h, fingerprint(w.child_a()));
+    case WidthExpr::Kind::Add:
+    case WidthExpr::Kind::Mul:
+    case WidthExpr::Kind::Max:
+      h = fp_combine(h, fingerprint(w.child_a()));
+      return fp_combine(h, fingerprint(w.child_b()));
+    case WidthExpr::Kind::Undefined:
+      break;
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const ProtocolIR& p) {
+  std::uint64_t h = kProtoTag;
+  h = fp_combine(h, u(static_cast<long>(p.registers.size())));
+  for (const RegisterDecl& r : p.registers) {
+    h = fp_combine(h, kRegTag);
+    h = fp_combine_str(h, r.name);
+    h = fp_combine(h, u(r.writer));
+    h = fp_combine(h, u(r.width_bits));
+    h = fp_combine(h, r.write_once ? 1 : 0);
+    h = fp_combine(h, r.allows_bottom ? 1 : 0);
+  }
+  h = fp_combine(h, u(static_cast<long>(p.channels.size())));
+  for (const ChannelDecl& c : p.channels) {
+    h = fp_combine(h, kChanTag);
+    h = fp_combine(h, u(c.src));
+    h = fp_combine(h, u(c.dst));
+    h = fp_combine(h, u(c.width_bits));
+  }
+  h = fp_combine(h, u(p.max_rounds));
+  h = fp_combine(h, fingerprint(p.params));
+  h = fp_combine(h, u(static_cast<long>(p.processes.size())));
+  for (const ProcessIR& proc : p.processes) {
+    h = fp_combine(h, kProcTag);
+    h = fp_combine(h, u(proc.pid));
+    h = fp_combine(h, u(static_cast<long>(proc.body.size())));
+    for (const Instr& i : proc.body) h = fold(h, i);
+  }
+  return h;
+}
+
+std::string fp_hex(std::uint64_t fp) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[fp & 0xf];
+    fp >>= 4;
+  }
+  return out;
+}
+
+}  // namespace bsr::analysis::ir

@@ -1,0 +1,66 @@
+// Content-addressed fingerprinting of reflected protocol IR.
+//
+// `bsr serve` answers repeat analysis requests from a cache instead of
+// re-running the analyzer. That is sound only because the analyses are pure
+// functions of (reflected ProtocolIR, ParamEnv, request mode): the builder's
+// reflect mode is deterministic — the `loop-shape` lint exists precisely to
+// keep body structure independent of read results — and every tier
+// (dynamic exploration included: exhaustive, or sampled with fixed seeds)
+// derives its verdict from the spec alone. So a canonical hash of the IR
+// plus the instantiation identifies the computation, and two requests with
+// equal keys are provably the same request.
+//
+// `fingerprint` is that hash: a structural 64-bit digest covering every
+// field the analyzers can observe — the register table (name, owner, width,
+// write-once, ⊥), the channel table, the round budget, the ParamEnv, and
+// the full instruction tree of every process (kinds, targets, value
+// expressions including symbolic widths, trip counts, peers, serve
+// markers). Any edit to any of these changes the digest; renderings or
+// summaries derived from the IR cannot change without it.
+//
+// The mixing discipline follows sim/zobrist.h (splitmix64 chains seeded per
+// field family), but lives here because bsr_ir sits below bsr_sim in the
+// layering and must not depend on it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "analysis/static/ir.h"
+
+namespace bsr::analysis::ir {
+
+/// splitmix64's output mixer (mirrors sim::zobrist::mix; bsr_ir cannot
+/// link against bsr_sim).
+[[nodiscard]] constexpr std::uint64_t fp_mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Folds one word into a fingerprint chain.
+[[nodiscard]] constexpr std::uint64_t fp_combine(std::uint64_t seed,
+                                                 std::uint64_t w) noexcept {
+  return fp_mix(seed + 0x9e3779b97f4a7c15ULL + w);
+}
+
+/// Folds a byte string (names, mode tags) into a fingerprint chain.
+[[nodiscard]] std::uint64_t fp_combine_str(std::uint64_t seed,
+                                           std::string_view s) noexcept;
+
+/// Structural digest of one ParamEnv (all five parameters, in order).
+[[nodiscard]] std::uint64_t fingerprint(const ParamEnv& env) noexcept;
+
+/// Structural digest of a symbolic width term ("" / undefined hashes to a
+/// distinct constant, so adding a symbolic claim changes the digest).
+[[nodiscard]] std::uint64_t fingerprint(const WidthExpr& w);
+
+/// Structural digest of the whole protocol IR, including its ParamEnv.
+/// Equal IRs (operator==) have equal digests; the digest is stable across
+/// runs and processes (no pointers, no iteration-order dependence).
+[[nodiscard]] std::uint64_t fingerprint(const ProtocolIR& p);
+
+/// Renders a digest as the 16-hex-digit form used in serve responses.
+[[nodiscard]] std::string fp_hex(std::uint64_t fp);
+
+}  // namespace bsr::analysis::ir

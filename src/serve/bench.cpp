@@ -1,0 +1,129 @@
+#include "serve/bench.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "serve/service.h"
+
+namespace bsr::serve {
+
+namespace {
+
+constexpr const char* kRequest =
+    R"({"mode":"lint","protocols":["alg1"],"lint_mode":"dynamic"})";
+constexpr int kColdRounds = 5;
+constexpr int kWarmRounds = 200;
+constexpr int kBatchElements = 32;
+constexpr double kAcceptSpeedup = 50.0;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string fmt(double v, const char* spec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+}  // namespace
+
+int run_serve_bench(std::ostream& out) {
+  // Leg 1 — cold: a fresh Service per request, so every request is a miss
+  // and pays the full dynamic-exploration analysis.
+  double cold_s = 0;
+  for (int i = 0; i < kColdRounds; ++i) {
+    Service service;
+    const auto t0 = std::chrono::steady_clock::now();
+    service.handle_line(kRequest);
+    cold_s += seconds_since(t0);
+  }
+  const double cold_per = cold_s / kColdRounds;
+
+  // Leg 2 — warm: one Service, primed once; every timed request is a cache
+  // hit served from the IR-keyed entry.
+  Service warm;
+  warm.handle_line(kRequest);
+  const std::uint64_t analyses_after_prime = warm.analyses_run();
+  const auto w0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kWarmRounds; ++i) warm.handle_line(kRequest);
+  const double warm_s = seconds_since(w0);
+  const double warm_per = warm_s / kWarmRounds;
+  const bool zero_cold_repeats = warm.analyses_run() == analyses_after_prime;
+
+  const double speedup = warm_per > 0 ? cold_per / warm_per : 0;
+
+  // Leg 3 — batched: one line carrying kBatchElements identical elements on
+  // a fresh Service; one cold analysis, the rest in-batch hits.
+  std::string batch = "{\"batch\":[";
+  for (int i = 0; i < kBatchElements; ++i) {
+    if (i > 0) batch += ",";
+    batch += kRequest;
+  }
+  batch += "]}";
+  Service batched;
+  const auto b0 = std::chrono::steady_clock::now();
+  batched.handle_line(batch);
+  const double batched_s = seconds_since(b0);
+
+  // Leg 4 — unbatched: the same elements as separate lines on a fresh
+  // Service. Same analysis count; the delta is per-line parse/envelope
+  // overhead.
+  Service unbatched;
+  const auto u0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kBatchElements; ++i) unbatched.handle_line(kRequest);
+  const double unbatched_s = seconds_since(u0);
+
+  const bool dedup_ok =
+      batched.analyses_run() == 1 && unbatched.analyses_run() == 1;
+  const bool ok = speedup >= kAcceptSpeedup && zero_cold_repeats && dedup_ok;
+
+  out << "serve bench — workload: lint dynamic alg1\n"
+      << "  cold:      " << kColdRounds << " requests, "
+      << fmt(cold_per * 1e3, "%.3f") << " ms/request\n"
+      << "  warm:      " << kWarmRounds << " requests, "
+      << fmt(warm_per * 1e6, "%.1f") << " us/request (zero new analyses: "
+      << (zero_cold_repeats ? "yes" : "NO") << ")\n"
+      << "  speedup:   " << fmt(speedup, "%.0f")
+      << "x (acceptance: >= " << fmt(kAcceptSpeedup, "%.0f") << "x)\n"
+      << "  batched:   " << kBatchElements << " elements in one line, "
+      << fmt(batched_s * 1e3, "%.3f") << " ms, analyses_run="
+      << batched.analyses_run() << "\n"
+      << "  unbatched: " << kBatchElements << " separate lines, "
+      << fmt(unbatched_s * 1e3, "%.3f") << " ms, analyses_run="
+      << unbatched.analyses_run() << "\n";
+
+  std::ostringstream json;
+  json << "{\"bench\":\"serve\",\"unit\":\"seconds\",\"workload\":"
+          "\"lint dynamic alg1\",\"cold\":{\"requests\":"
+       << kColdRounds << ",\"seconds_per_request\":" << fmt(cold_per, "%.6f")
+       << "},\"warm\":{\"requests\":" << kWarmRounds
+       << ",\"seconds_per_request\":" << fmt(warm_per, "%.9f")
+       << ",\"zero_cold_repeats\":" << (zero_cold_repeats ? "true" : "false")
+       << "},\"speedup\":" << fmt(speedup, "%.1f")
+       << ",\"batched\":{\"elements\":" << kBatchElements
+       << ",\"seconds\":" << fmt(batched_s, "%.6f")
+       << ",\"analyses_run\":" << batched.analyses_run()
+       << "},\"unbatched\":{\"elements\":" << kBatchElements
+       << ",\"seconds\":" << fmt(unbatched_s, "%.6f")
+       << ",\"analyses_run\":" << unbatched.analyses_run()
+       << "},\"acceptance\":{\"min_speedup\":" << fmt(kAcceptSpeedup, "%.0f")
+       << ",\"pass\":" << (ok ? "true" : "false") << "}}";
+
+  const char* dir = std::getenv("BSR_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_serve.json";
+  std::ofstream file(path);
+  file << json.str() << "\n";
+  out << "  wrote " << path << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace bsr::serve

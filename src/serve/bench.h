@@ -1,0 +1,18 @@
+// `bsr bench serve`: the daemon's perf-trajectory record.
+//
+// Drives a Service in-process (the transport adds nothing to what is being
+// measured) through four legs of a repeated-lint workload — cold misses,
+// warm hits, one batched line, the same elements unbatched — and writes
+// the committed machine-readable record BENCH_serve.json (into
+// $BSR_BENCH_JSON_DIR or the CWD), following the BENCH_explore_tt.json
+// convention. Returns nonzero unless the acceptance bar holds: warm-cache
+// throughput >= 50x cold, and a repeated request runs zero new analyses.
+#pragma once
+
+#include <iosfwd>
+
+namespace bsr::serve {
+
+int run_serve_bench(std::ostream& out);
+
+}  // namespace bsr::serve

@@ -1,0 +1,45 @@
+#include "serve/modes.h"
+
+#include <cstring>
+
+namespace bsr::serve {
+
+namespace {
+
+// Cacheable modes are pure functions of (reflected IR, ParamEnv, request
+// options); see docs/SERVE.md "The cache key" for the soundness argument.
+constexpr ModeInfo kModes[] = {
+    {"lint", true, "json",
+     "run the model-conformance analyzer (`lint_mode`: dynamic, static, "
+     "symbolic, both, interference, steps) over the named protocols"},
+    {"explore", true, "json",
+     "exhaustively enumerate Algorithm 1's executions (`k`, `crashes`, "
+     "`max_steps`) and report the execution count and decision spread"},
+    {"doc", true, "text",
+     "render the generated protocol reference (the docs/PROTOCOLS.md "
+     "markdown) from the registry's reflected IR"},
+    {"stats", false, "json",
+     "report cache hit/miss/eviction counters, per-mode request counts and "
+     "latency, and analysis-run totals"},
+    {"sleep", false, "json",
+     "hold a worker for `ms` milliseconds (test aid for driving the "
+     "backpressure and overload paths)"},
+    {"shutdown", false, "json",
+     "stop accepting connections, drain in-flight jobs, and exit"},
+};
+
+}  // namespace
+
+const ModeInfo* dispatch_table(std::size_t* count) {
+  *count = sizeof(kModes) / sizeof(kModes[0]);
+  return kModes;
+}
+
+const ModeInfo* find_mode(const char* mode) {
+  for (const ModeInfo& m : kModes) {
+    if (std::strcmp(m.mode, mode) == 0) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace bsr::serve

@@ -1,0 +1,34 @@
+// The `bsr serve` dispatch table: every request mode the daemon accepts,
+// with its cacheability and a one-line contract.
+//
+// This table is the single source of truth for which analyses are served
+// from the IR-keyed result cache. The service dispatches over it
+// (src/serve/service.cpp rejects any mode not listed here), `bsr doc`
+// renders it into docs/PROTOCOLS.md, and scripts/update_goldens.sh splices
+// the same rendering into docs/SERVE.md — so the daemon, the generated
+// reference, and the service contract cannot drift on what is cached.
+//
+// It lives in its own tiny library (bsr_serve_modes) because bsr_analysis
+// (which renders docs) sits *below* bsr_serve (which runs analyses) in the
+// layering; both link this leaf target.
+#pragma once
+
+#include <cstddef>
+
+namespace bsr::serve {
+
+/// One row of the dispatch table.
+struct ModeInfo {
+  const char* mode;         ///< Request "mode" field value.
+  bool cacheable;           ///< Served from the IR-keyed result cache.
+  const char* payload;      ///< Payload shape: "json" or "text".
+  const char* description;  ///< One-line contract (rendered into docs).
+};
+
+/// The table, in documentation order. Terminated by size, not a sentinel.
+[[nodiscard]] const ModeInfo* dispatch_table(std::size_t* count);
+
+/// Looks up one mode; nullptr if the daemon does not speak it.
+[[nodiscard]] const ModeInfo* find_mode(const char* mode);
+
+}  // namespace bsr::serve

@@ -61,11 +61,25 @@
 //       violations (including all-params refutations), 2 on usage errors
 //       or static/dynamic disagreement.
 //       `bsr lint --help` prints the full flag and exit-code reference.
-//   bsr doc
+//   bsr doc [--serve-modes]
 //       Render the built-in protocol registry as the markdown protocol
 //       reference (register tables, claimed widths, topology, paper
 //       anchors) on stdout. docs/PROTOCOLS.md is this output, committed;
 //       scripts/update_goldens.sh regenerates it and CI fails on drift.
+//       --serve-modes renders only the `bsr serve` request-mode table
+//       (the fragment update_goldens.sh splices into docs/SERVE.md).
+//   bsr serve [--socket PATH] [--workers N] [--queue N]
+//             [--cache-entries N] [--cache-bytes N]
+//       Run the batched analysis daemon: newline-delimited JSON requests
+//       over an AF_UNIX socket, answered by a worker pool with an IR-keyed
+//       result cache. With --request JSON, act as a client instead (one
+//       request, print the response line, exit 0 ok / 1 findings / 2 usage
+//       or transport error / 3 overloaded); --loopback answers --request
+//       in-process without a daemon. docs/SERVE.md is the wire contract.
+//   bsr bench serve
+//       Run the serve benchmark (cold vs warm cache, batched vs unbatched)
+//       and write BENCH_serve.json; exits nonzero if the warm-cache
+//       speedup falls below the committed acceptance bar.
 //
 // Flags may be spelled `--key value` or `--key=value`.
 #include <algorithm>
@@ -82,6 +96,10 @@
 
 #include "analysis/doc.h"
 #include "analysis/lint.h"
+#include "serve/bench.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "core/alg1.h"
 #include "core/alg6.h"
 #include "core/lemma82.h"
@@ -518,9 +536,107 @@ int cmd_lint(const Args& a) {
   return run_lint(opts, std::cout, std::cerr);
 }
 
-int cmd_doc(const Args&) {
+int cmd_doc(const Args& a) {
+  if (a.flag("serve-modes")) {
+    analysis::write_serve_modes(std::cout);
+    return 0;
+  }
   analysis::write_protocol_reference(std::cout);
   return 0;
+}
+
+constexpr const char* kServeUsage =
+    R"(usage: bsr serve [--socket PATH] [--workers N] [--queue N]
+                 [--cache-entries N] [--cache-bytes N]
+       bsr serve --request JSON [--socket PATH]
+       bsr serve --request JSON --loopback
+
+Daemon mode (no --request): listen on an AF_UNIX socket for
+newline-delimited JSON requests ({"mode":"lint",...}, {"batch":[...]}, ...)
+and answer them from a worker pool with an IR-keyed result cache. A
+`shutdown` request, SIGINT, or SIGTERM drains in-flight work and exits.
+docs/SERVE.md is the full request/response contract.
+
+  --socket PATH      socket path (default ./bsr.sock)
+  --workers N        worker threads (default 2)
+  --queue N          accepted-connection queue bound; a full queue answers
+                     new connections with an `overloaded` envelope (default
+                     16)
+  --cache-entries N  result-cache entry budget (default 1024)
+  --cache-bytes N    result-cache payload-byte budget (default 67108864)
+
+Client mode (--request): send one request to a running daemon and print the
+response line. --loopback answers the request in-process instead (no daemon
+needed; used by tests and goldens).
+
+exit codes (client/loopback):
+  0  response ok with payload exit 0
+  1  response ok with findings (payload exit nonzero)
+  2  usage, transport, or analysis error
+  3  daemon overloaded (queue full; retry later)
+)";
+
+/// Maps a response envelope to the client exit code above. Batch envelopes
+/// take the worst element.
+int response_exit(const serve::Json& r) {
+  if (!r.bool_or("ok", false)) {
+    return r.str_or("error", "") == "overloaded" ? 3 : 2;
+  }
+  if (const serve::Json* batch = r.get("batch")) {
+    int worst = 0;
+    for (const serve::Json& e : batch->array()) {
+      worst = std::max(worst, response_exit(e));
+    }
+    return worst;
+  }
+  return r.num_or("exit", 0) == 0 ? 0 : 1;
+}
+
+int cmd_serve(const Args& a) {
+  if (a.flag("help")) {
+    std::cout << kServeUsage;
+    return 0;
+  }
+  try {
+    serve::ServiceOptions so;
+    so.cache_entries =
+        static_cast<std::size_t>(a.u64("cache-entries", 1024));
+    so.cache_bytes =
+        static_cast<std::size_t>(a.u64("cache-bytes", 64u << 20));
+    const std::string request = a.str("request", "");
+    if (a.flag("loopback")) {
+      usage_check(!request.empty(), "--loopback requires --request JSON");
+      serve::Service service(so);
+      const std::string resp = service.handle_line(request);
+      std::cout << resp;  // handle_line output is newline-terminated
+      return response_exit(
+          serve::Json::parse(resp.substr(0, resp.size() - 1)));
+    }
+    if (!request.empty()) {
+      const std::string resp =
+          serve::client_roundtrip(a.str("socket", "bsr.sock"), request);
+      std::cout << resp << "\n";
+      return response_exit(serve::Json::parse(resp));
+    }
+    serve::ServerOptions opts;
+    opts.socket_path = a.str("socket", "bsr.sock");
+    opts.workers = static_cast<int>(a.u64("workers", 2));
+    opts.queue = static_cast<std::size_t>(a.u64("queue", 16));
+    opts.service = so;
+    return serve::run_server(opts, std::cout);
+  } catch (const UsageError& e) {
+    // The serve contract reserves 2 for usage/transport failures (main's
+    // generic Error handler would exit 1, which means "findings" here).
+    std::cerr << "bsr serve: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_bench(const Args&, const std::string& which) {
+  if (which == "serve") return serve::run_serve_bench(std::cout);
+  std::cerr << "bsr bench: unknown benchmark '" << which
+            << "' (expected: serve)\n";
+  return 2;
 }
 
 }  // namespace
@@ -528,13 +644,18 @@ int cmd_doc(const Args&) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cout << "usage: bsr <agree|fast|stack|adversary|iis|trace|explore"
-                 "|lint|doc> [--flags]\n"
+                 "|lint|doc|serve|bench> [--flags]\n"
                  "see the header comment of tools/bsr_cli.cpp\n";
     return 2;
   }
   const std::string cmd = argv[1];
-  const Args args = parse(argc, argv, 2);
+  // `bsr bench <name>` carries a positional subcommand; flags start after.
+  const bool is_bench = cmd == "bench";
+  const Args args = parse(argc, argv, is_bench ? 3 : 2);
   try {
+    if (is_bench) {
+      return cmd_bench(args, argc >= 3 ? argv[2] : "");
+    }
     if (cmd == "agree") return cmd_agree(args);
     if (cmd == "fast") return cmd_fast(args);
     if (cmd == "stack") return cmd_stack(args);
@@ -544,6 +665,7 @@ int main(int argc, char** argv) {
     if (cmd == "explore") return cmd_explore(args);
     if (cmd == "lint") return cmd_lint(args);
     if (cmd == "doc") return cmd_doc(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const bsr::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
